@@ -1,0 +1,119 @@
+//! Ukkonen banded edit-distance verification.
+//!
+//! When a candidate location pins the read to a diagonal, cells further
+//! than the error budget from that diagonal can never participate in an
+//! alignment within budget. Restricting the DP to a band of `2k+1`
+//! diagonals (Ukkonen 1985) turns verification into O(k·n) — the classic
+//! alternative to the bit-vector kernel, and the cheaper choice for very
+//! small budgets. Provided alongside [`crate::myers`] so the benches can
+//! compare the two (the paper's §II-A picks Myers as "one of the
+//! fastest"; the microbenches let the claim be checked).
+
+/// Sentinel for cells outside the band.
+const INF: u32 = u32::MAX / 2;
+
+/// Banded global edit distance between `pattern` and `text`, or `None`
+/// if it exceeds `k`.
+///
+/// # Example
+///
+/// ```
+/// use repute_align::banded::banded_distance;
+///
+/// assert_eq!(banded_distance(&[0, 1, 2, 3], &[0, 1, 3, 3], 2), Some(1));
+/// assert_eq!(banded_distance(&[0, 0, 0], &[3, 3, 3], 2), None);
+/// assert_eq!(banded_distance(&[], &[1, 1], 2), Some(2));
+/// ```
+#[allow(clippy::needless_range_loop)] // band-slot arithmetic reads clearer indexed
+pub fn banded_distance(pattern: &[u8], text: &[u8], k: u32) -> Option<u32> {
+    let (m, n) = (pattern.len(), text.len());
+    let k = k as usize;
+    if m.abs_diff(n) > k {
+        return None; // length difference alone exceeds the budget
+    }
+    let width = 2 * k + 1;
+    // row[b] = dp[i][j] with j = i − k + b; cells off the band are INF.
+    let mut prev = vec![INF; width];
+    let mut cur = vec![INF; width];
+    // Row 0: dp[0][j] = j for j ∈ [0, k].
+    for b in 0..width {
+        let j = b as isize - k as isize;
+        if (0..=n as isize).contains(&j) {
+            prev[b] = j as u32;
+        }
+    }
+    for i in 1..=m {
+        for b in 0..width {
+            let j = i as isize - k as isize + b as isize;
+            cur[b] = INF;
+            if j < 0 || j > n as isize {
+                continue;
+            }
+            let j = j as usize;
+            if j == 0 {
+                cur[b] = i as u32;
+                continue;
+            }
+            // dp[i-1][j-1] is the same band slot in the previous row;
+            // dp[i-1][j] one slot right; dp[i][j-1] one slot left.
+            let diag = prev[b];
+            let up = prev.get(b + 1).copied().unwrap_or(INF);
+            let left = if b > 0 { cur[b - 1] } else { INF };
+            let cost = u32::from(pattern[i - 1] != text[j - 1]);
+            cur[b] = diag
+                .saturating_add(cost)
+                .min(up.saturating_add(1))
+                .min(left.saturating_add(1));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // dp[m][n] sits at band slot n − m + k.
+    let b = (n as isize - m as isize + k as isize) as usize;
+    let d = prev[b];
+    (d <= k as u32).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::edit_distance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn basics() {
+        assert_eq!(banded_distance(&[], &[], 0), Some(0));
+        assert_eq!(banded_distance(&[1], &[1], 0), Some(0));
+        assert_eq!(banded_distance(&[1], &[2], 0), None);
+        assert_eq!(banded_distance(&[1], &[2], 1), Some(1));
+        assert_eq!(banded_distance(&[1, 2, 3], &[1, 3], 1), Some(1));
+    }
+
+    #[test]
+    fn agrees_with_full_dp_within_budget() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..300 {
+            let m = rng.gen_range(0..60usize);
+            let n = rng.gen_range(0..60usize);
+            let a: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            let exact = edit_distance(&a, &b);
+            for k in [0u32, 1, 3, 7, 60] {
+                let banded = banded_distance(&a, &b, k);
+                if exact <= k {
+                    assert_eq!(banded, Some(exact), "k={k} a={a:?} b={b:?}");
+                } else {
+                    assert_eq!(banded, None, "k={k} should reject distance {exact}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_gap_short_circuits() {
+        let a = vec![0u8; 50];
+        let b = vec![0u8; 10];
+        assert_eq!(banded_distance(&a, &b, 5), None);
+        assert_eq!(banded_distance(&a, &b, 40), Some(40));
+    }
+}

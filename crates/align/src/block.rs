@@ -1,0 +1,278 @@
+//! Blocked Myers bit-vector algorithm for patterns of any length.
+//!
+//! Reads in the paper are 100–150 bases, which does not fit the single
+//! 64-bit word of [`crate::myers`]; the blocked extension (Hyyrö 2003)
+//! chains the carry between ⌈m/64⌉ words per text column. The paper's
+//! hardware/software co-design keeps exactly this kernel small enough for
+//! GPU private memory; here the same structure keeps the inner loop
+//! allocation-free.
+
+const WORD: usize = 64;
+
+/// Per-base match masks for a pattern of arbitrary length, split into
+/// 64-base blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMasks {
+    /// `peq[base][block]`.
+    peq: [Vec<u64>; 4],
+    len: usize,
+    blocks: usize,
+    /// Bit position of the last pattern row within the final block.
+    last_bit: u32,
+}
+
+impl BlockMasks {
+    /// Builds blocked match masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty or contains a code above 3.
+    pub fn new(pattern: &[u8]) -> BlockMasks {
+        assert!(!pattern.is_empty(), "pattern must not be empty");
+        let blocks = pattern.len().div_ceil(WORD);
+        let mut peq = [
+            vec![0u64; blocks],
+            vec![0u64; blocks],
+            vec![0u64; blocks],
+            vec![0u64; blocks],
+        ];
+        for (i, &c) in pattern.iter().enumerate() {
+            assert!(c <= 3, "base code {c} out of range");
+            peq[c as usize][i / WORD] |= 1u64 << (i % WORD);
+        }
+        // Rows past the pattern end in the final block never match; the
+        // Myers recurrence only propagates information toward higher bits
+        // (carries and shifts move upward), so those junk rows cannot
+        // contaminate the tracked pattern rows below them.
+        BlockMasks {
+            peq,
+            len: pattern.len(),
+            blocks,
+            last_bit: ((pattern.len() - 1) % WORD) as u32,
+        }
+    }
+
+    /// Pattern length in bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `false` always (patterns cannot be empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of 64-base blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+}
+
+/// Result of a blocked semi-global scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockHit {
+    /// Best edit distance over all end positions.
+    pub distance: u32,
+    /// Leftmost end position (exclusive) achieving that distance.
+    pub end: usize,
+}
+
+/// Reusable working memory for [`search_with`]; one instance per thread
+/// avoids reallocation across the millions of verifications a mapping run
+/// performs (the "low memory footprint kernel" concern of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct BlockWork {
+    pv: Vec<u64>,
+    mv: Vec<u64>,
+}
+
+/// One column step for a single block (Hyyrö's `advance_block`).
+///
+/// `hin` is the horizontal delta entering the block top (−1, 0, +1).
+/// Returns `(hout, ph, mh)` where `hout` is the delta leaving the block
+/// bottom and `ph`/`mh` are the *pre-shift* horizontal delta vectors (bit
+/// `i` is the delta entering column-cell of pattern row `i`).
+#[inline]
+fn advance_block(pv: &mut u64, mv: &mut u64, eq: u64, hin: i32) -> (i32, u64, u64) {
+    let mut eq = eq;
+    if hin < 0 {
+        eq |= 1;
+    }
+    let xv = eq | *mv;
+    let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
+    let ph = *mv | !(xh | *pv);
+    let mh = *pv & xh;
+    let mut hout = 0i32;
+    if ph & (1 << (WORD - 1)) != 0 {
+        hout += 1;
+    }
+    if mh & (1 << (WORD - 1)) != 0 {
+        hout -= 1;
+    }
+    let mut ph_shift = ph << 1;
+    let mut mh_shift = mh << 1;
+    if hin < 0 {
+        mh_shift |= 1;
+    } else if hin > 0 {
+        ph_shift |= 1;
+    }
+    *pv = mh_shift | !(xv | ph_shift);
+    *mv = ph_shift & xv;
+    (hout, ph, mh)
+}
+
+/// Semi-global scan with caller-provided working memory.
+///
+/// Returns the minimum distance ≤ `max_distance` over all text end
+/// positions, with the leftmost end achieving it, or `None`.
+#[allow(clippy::needless_range_loop)] // per-block state is indexed in lockstep
+pub fn search_with(
+    masks: &BlockMasks,
+    text: &[u8],
+    max_distance: u32,
+    work: &mut BlockWork,
+) -> Option<BlockHit> {
+    let blocks = masks.blocks;
+    work.pv.clear();
+    work.pv.resize(blocks, !0u64);
+    work.mv.clear();
+    work.mv.resize(blocks, 0u64);
+    // Score of the bottom *pattern* row (bit `last_bit` of the last block).
+    let mut score = masks.len as u32;
+    let last_mask = 1u64 << masks.last_bit;
+    let mut best: Option<BlockHit> = if score <= max_distance {
+        Some(BlockHit {
+            distance: score,
+            end: 0,
+        })
+    } else {
+        None
+    };
+    for (j, &c) in text.iter().enumerate() {
+        debug_assert!(c <= 3, "base code out of range");
+        let peq = &masks.peq[(c & 3) as usize];
+        let mut hin = 0i32; // free start: top row is all zeros
+        let mut last_ph = 0u64;
+        let mut last_mh = 0u64;
+        for b in 0..blocks {
+            let (hout, ph, mh) = advance_block(&mut work.pv[b], &mut work.mv[b], peq[b], hin);
+            hin = hout;
+            if b == blocks - 1 {
+                last_ph = ph;
+                last_mh = mh;
+            }
+        }
+        if last_ph & last_mask != 0 {
+            score += 1;
+        } else if last_mh & last_mask != 0 {
+            score -= 1;
+        }
+        if score <= max_distance && best.is_none_or(|b| score < b.distance) {
+            best = Some(BlockHit {
+                distance: score,
+                end: j + 1,
+            });
+        }
+    }
+    best
+}
+
+/// Semi-global scan allocating its own working memory.
+///
+/// See [`search_with`] for reuse across calls.
+pub fn search(masks: &BlockMasks, text: &[u8], max_distance: u32) -> Option<BlockHit> {
+    let mut work = BlockWork::default();
+    search_with(masks, text, max_distance, &mut work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_single_word_behaviour_for_short_patterns() {
+        let pattern = [0u8, 1, 2, 3];
+        let text = [3u8, 3, 0, 1, 2, 3, 3];
+        let masks = BlockMasks::new(&pattern);
+        let hit = search(&masks, &text, 1).unwrap();
+        assert_eq!(hit.distance, 0);
+        assert_eq!(hit.end, 6);
+    }
+
+    #[test]
+    fn agrees_with_dp_across_block_boundaries() {
+        let mut rng = StdRng::seed_from_u64(53);
+        for m in [1usize, 63, 64, 65, 100, 127, 128, 129, 150, 200] {
+            for _ in 0..8 {
+                let n = rng.gen_range(0..=(m * 2 + 20));
+                let pattern: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+                let text: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+                let expected = dp::semi_global(&pattern, &text).unwrap();
+                let masks = BlockMasks::new(&pattern);
+                let got = search(&masks, &text, m as u32).expect("within m errors");
+                assert_eq!(got.distance, expected.distance, "m={m} n={n}");
+                assert_eq!(got.end, expected.end, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn read_length_150_with_errors() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let read: Vec<u8> = (0..150).map(|_| rng.gen_range(0..4)).collect();
+        // Embed the read with 3 substitutions.
+        let mut window = vec![2u8; 10];
+        let mut mutated = read.clone();
+        for pos in [10usize, 80, 140] {
+            mutated[pos] ^= 1;
+        }
+        window.extend_from_slice(&mutated);
+        window.extend_from_slice(&[1u8; 10]);
+        let masks = BlockMasks::new(&read);
+        let hit = search(&masks, &window, 5).unwrap();
+        assert_eq!(hit.distance, 3);
+        assert!(search(&masks, &window, 2).is_none());
+    }
+
+    #[test]
+    fn max_distance_zero_finds_exact_only() {
+        let pattern: Vec<u8> = (0..100).map(|i| (i % 4) as u8).collect();
+        let mut text = vec![3u8; 5];
+        text.extend_from_slice(&pattern);
+        let masks = BlockMasks::new(&pattern);
+        let hit = search(&masks, &text, 0).unwrap();
+        assert_eq!(hit.distance, 0);
+        assert_eq!(hit.end, 105);
+    }
+
+    #[test]
+    fn work_reuse_is_equivalent() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut work = BlockWork::default();
+        for _ in 0..20 {
+            let m = rng.gen_range(60..=140usize);
+            let pattern: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+            let text: Vec<u8> = (0..200).map(|_| rng.gen_range(0..4)).collect();
+            let masks = BlockMasks::new(&pattern);
+            let fresh = search(&masks, &text, m as u32);
+            let reused = search_with(&masks, &text, m as u32, &mut work);
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn block_count() {
+        assert_eq!(BlockMasks::new(&[0; 64]).blocks(), 1);
+        assert_eq!(BlockMasks::new(&[0; 65]).blocks(), 2);
+        assert_eq!(BlockMasks::new(&[0; 150]).blocks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_pattern_rejected() {
+        let _ = BlockMasks::new(&[]);
+    }
+}

@@ -1,0 +1,207 @@
+//! CIGAR alignment descriptions.
+//!
+//! The paper's REPUTE "currently does not produce the CIGAR string" and
+//! lists it as future work (§IV). This reproduction implements it as an
+//! extension: the DP traceback in [`crate::dp::semi_global_with_cigar`]
+//! emits a [`Cigar`], and the SAM writer in the evaluation crate consumes
+//! it.
+
+use std::fmt;
+
+/// One alignment operation, SAM-style with distinct `=`/`X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// Bases identical (`=`).
+    Match,
+    /// Bases aligned but different (`X`).
+    Mismatch,
+    /// Pattern base not present in the text (`I`).
+    Insertion,
+    /// Text base not present in the pattern (`D`).
+    Deletion,
+}
+
+impl CigarOp {
+    /// The SAM character for this operation.
+    pub const fn symbol(self) -> char {
+        match self {
+            CigarOp::Match => '=',
+            CigarOp::Mismatch => 'X',
+            CigarOp::Insertion => 'I',
+            CigarOp::Deletion => 'D',
+        }
+    }
+
+    /// Whether this operation consumes a pattern (read) base.
+    pub const fn consumes_pattern(self) -> bool {
+        !matches!(self, CigarOp::Deletion)
+    }
+
+    /// Whether this operation consumes a text (reference) base.
+    pub const fn consumes_text(self) -> bool {
+        !matches!(self, CigarOp::Insertion)
+    }
+
+    /// Whether this operation contributes to the edit distance.
+    pub const fn is_edit(self) -> bool {
+        !matches!(self, CigarOp::Match)
+    }
+}
+
+/// A run-length encoded edit script.
+///
+/// # Example
+///
+/// ```
+/// use repute_align::{Cigar, CigarOp};
+///
+/// let cigar = Cigar::from_ops([
+///     CigarOp::Match,
+///     CigarOp::Match,
+///     CigarOp::Mismatch,
+///     CigarOp::Match,
+/// ]);
+/// assert_eq!(cigar.to_string(), "2=1X1=");
+/// assert_eq!(cigar.edit_distance(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Cigar {
+    runs: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Builds a CIGAR from a sequence of single operations, run-length
+    /// encoding adjacent repeats.
+    pub fn from_ops<I: IntoIterator<Item = CigarOp>>(ops: I) -> Cigar {
+        let mut runs: Vec<(u32, CigarOp)> = Vec::new();
+        for op in ops {
+            match runs.last_mut() {
+                Some((count, last)) if *last == op => *count += 1,
+                _ => runs.push((1, op)),
+            }
+        }
+        Cigar { runs }
+    }
+
+    /// The run-length encoded operations.
+    pub fn runs(&self) -> &[(u32, CigarOp)] {
+        &self.runs
+    }
+
+    /// Iterates over individual operations (runs expanded).
+    pub fn iter(&self) -> impl Iterator<Item = CigarOp> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|&(count, op)| std::iter::repeat_n(op, count as usize))
+    }
+
+    /// Total edits (mismatches + insertions + deletions).
+    pub fn edit_distance(&self) -> u32 {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.is_edit())
+            .map(|(count, _)| count)
+            .sum()
+    }
+
+    /// Number of pattern (read) bases consumed.
+    pub fn pattern_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_pattern())
+            .map(|&(count, _)| count as usize)
+            .sum()
+    }
+
+    /// Number of text (reference) bases consumed.
+    pub fn text_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_text())
+            .map(|&(count, _)| count as usize)
+            .sum()
+    }
+
+    /// Returns `true` for an empty script.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs.is_empty() {
+            return write!(f, "*");
+        }
+        for &(count, op) in &self.runs {
+            write!(f, "{count}{}", op.symbol())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<CigarOp> for Cigar {
+    fn from_iter<I: IntoIterator<Item = CigarOp>>(iter: I) -> Cigar {
+        Cigar::from_ops(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_length_encoding_merges_adjacent() {
+        let cigar = Cigar::from_ops([
+            CigarOp::Match,
+            CigarOp::Match,
+            CigarOp::Insertion,
+            CigarOp::Insertion,
+            CigarOp::Match,
+        ]);
+        assert_eq!(cigar.runs().len(), 3);
+        assert_eq!(cigar.to_string(), "2=2I1=");
+    }
+
+    #[test]
+    fn empty_cigar_displays_star() {
+        assert_eq!(Cigar::default().to_string(), "*");
+        assert!(Cigar::default().is_empty());
+    }
+
+    #[test]
+    fn lengths_and_distance() {
+        let cigar = Cigar::from_ops([
+            CigarOp::Match,
+            CigarOp::Mismatch,
+            CigarOp::Deletion,
+            CigarOp::Insertion,
+        ]);
+        assert_eq!(cigar.edit_distance(), 3);
+        assert_eq!(cigar.pattern_len(), 3); // =, X, I
+        assert_eq!(cigar.text_len(), 3); // =, X, D
+    }
+
+    #[test]
+    fn iter_expands_runs() {
+        let cigar = Cigar::from_ops([CigarOp::Match, CigarOp::Match, CigarOp::Deletion]);
+        let ops: Vec<CigarOp> = cigar.iter().collect();
+        assert_eq!(ops, vec![CigarOp::Match, CigarOp::Match, CigarOp::Deletion]);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let cigar: Cigar = [CigarOp::Match; 5].into_iter().collect();
+        assert_eq!(cigar.to_string(), "5=");
+    }
+
+    #[test]
+    fn op_properties() {
+        assert!(CigarOp::Insertion.consumes_pattern());
+        assert!(!CigarOp::Insertion.consumes_text());
+        assert!(CigarOp::Deletion.consumes_text());
+        assert!(!CigarOp::Deletion.consumes_pattern());
+        assert!(!CigarOp::Match.is_edit());
+        assert_eq!(CigarOp::Mismatch.symbol(), 'X');
+    }
+}

@@ -1,0 +1,243 @@
+//! Reference dynamic-programming alignments.
+//!
+//! These are the slow-but-obviously-correct implementations: the Myers
+//! kernels are property-tested against them, and the traceback here is
+//! what produces [`Cigar`] strings (CIGAR output is a §IV future-work item
+//! of the paper, implemented as an extension in this reproduction).
+
+use crate::cigar::{Cigar, CigarOp};
+
+/// Global (Levenshtein) edit distance between two code sequences.
+///
+/// # Example
+///
+/// ```
+/// use repute_align::dp::edit_distance;
+///
+/// assert_eq!(edit_distance(&[0, 1, 2], &[0, 2, 2]), 1);
+/// assert_eq!(edit_distance(&[0, 1], &[0, 1]), 0);
+/// assert_eq!(edit_distance(&[], &[1, 1]), 2);
+/// ```
+pub fn edit_distance(a: &[u8], b: &[u8]) -> u32 {
+    let (m, n) = (a.len(), b.len());
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for i in 1..=m {
+        cur[0] = i as u32;
+        for j in 1..=n {
+            let sub = prev[j - 1] + u32::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Result of a semi-global alignment of a pattern against a text window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemiGlobalHit {
+    /// Best edit distance over all end positions.
+    pub distance: u32,
+    /// End position in the text (exclusive): the match covers
+    /// `start..end` for some start.
+    pub end: usize,
+}
+
+/// Semi-global alignment: the whole `pattern` against any substring of
+/// `text` (free start and end in the text).
+///
+/// Returns the leftmost end position achieving the minimum distance, or
+/// `None` for an empty pattern (which trivially matches everywhere).
+pub fn semi_global(pattern: &[u8], text: &[u8]) -> Option<SemiGlobalHit> {
+    if pattern.is_empty() {
+        return None;
+    }
+    let (m, n) = (pattern.len(), text.len());
+    // Column-by-column; row 0 is free (all zeros).
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut cur = vec![0u32; m + 1];
+    let mut best = SemiGlobalHit {
+        distance: m as u32, // empty-text column
+        end: 0,
+    };
+    for j in 1..=n {
+        cur[0] = 0;
+        for i in 1..=m {
+            let sub = prev[i - 1] + u32::from(pattern[i - 1] != text[j - 1]);
+            cur[i] = sub.min(prev[i] + 1).min(cur[i - 1] + 1);
+        }
+        if cur[m] < best.distance {
+            best = SemiGlobalHit {
+                distance: cur[m],
+                end: j,
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Some(best)
+}
+
+/// Full semi-global alignment with traceback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Edit distance of the alignment.
+    pub distance: u32,
+    /// Start position of the match in the text (inclusive).
+    pub start: usize,
+    /// End position of the match in the text (exclusive).
+    pub end: usize,
+    /// Edit script from pattern to the matched text substring.
+    pub cigar: Cigar,
+}
+
+/// Semi-global alignment with full traceback, producing a [`Cigar`].
+///
+/// O(m·n) time and memory; intended for reporting, not the hot path.
+/// Returns `None` for an empty pattern.
+pub fn semi_global_with_cigar(pattern: &[u8], text: &[u8]) -> Option<Alignment> {
+    if pattern.is_empty() {
+        return None;
+    }
+    let (m, n) = (pattern.len(), text.len());
+    let width = n + 1;
+    let mut dp = vec![0u32; (m + 1) * width];
+    for i in 0..=m {
+        dp[i * width] = i as u32;
+    }
+    // Row 0 stays zero: free start in text.
+    for i in 1..=m {
+        for j in 1..=n {
+            let sub = dp[(i - 1) * width + (j - 1)] + u32::from(pattern[i - 1] != text[j - 1]);
+            let del = dp[(i - 1) * width + j] + 1; // consume pattern base (deletion from text view)
+            let ins = dp[i * width + (j - 1)] + 1; // consume text base
+            dp[i * width + j] = sub.min(del).min(ins);
+        }
+    }
+    // Best end in the last row.
+    let mut end = 0usize;
+    let mut distance = dp[m * width];
+    for j in 1..=n {
+        if dp[m * width + j] < distance {
+            distance = dp[m * width + j];
+            end = j;
+        }
+    }
+    // Traceback.
+    let mut ops: Vec<CigarOp> = Vec::with_capacity(m + distance as usize);
+    let (mut i, mut j) = (m, end);
+    while i > 0 {
+        let here = dp[i * width + j];
+        let diag = if j > 0 { Some(dp[(i - 1) * width + (j - 1)]) } else { None };
+        let up = dp[(i - 1) * width + j];
+        let left = if j > 0 { Some(dp[i * width + (j - 1)]) } else { None };
+        if let Some(d) = diag {
+            let matched = pattern[i - 1] == text[j - 1];
+            if here == d + u32::from(!matched) {
+                ops.push(if matched { CigarOp::Match } else { CigarOp::Mismatch });
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if here == up + 1 {
+            ops.push(CigarOp::Insertion); // pattern base absent from text
+            i -= 1;
+            continue;
+        }
+        if let Some(l) = left {
+            if here == l + 1 {
+                ops.push(CigarOp::Deletion); // text base absent from pattern
+                j -= 1;
+                continue;
+            }
+        }
+        unreachable!("traceback stuck at ({i}, {j})");
+    }
+    ops.reverse();
+    Some(Alignment {
+        distance,
+        start: j,
+        end,
+        cigar: Cigar::from_ops(ops),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance(&[], &[]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1);
+        assert_eq!(edit_distance(&[0, 0, 0], &[3, 3, 3]), 3);
+    }
+
+    #[test]
+    fn edit_distance_symmetry() {
+        let a = [0u8, 1, 2, 3, 0, 1];
+        let b = [0u8, 2, 2, 3, 1];
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn semi_global_finds_embedded_pattern() {
+        // pattern ACG in text TTACGTT
+        let hit = semi_global(&[0, 1, 2], &[3, 3, 0, 1, 2, 3, 3]).unwrap();
+        assert_eq!(hit.distance, 0);
+        assert_eq!(hit.end, 5);
+    }
+
+    #[test]
+    fn semi_global_with_one_error() {
+        // pattern ACGT vs text with C->G substitution
+        let hit = semi_global(&[0, 1, 2, 3], &[0, 2, 2, 3]).unwrap();
+        assert_eq!(hit.distance, 1);
+    }
+
+    #[test]
+    fn semi_global_empty_cases() {
+        assert!(semi_global(&[], &[0, 1]).is_none());
+        let hit = semi_global(&[0, 1], &[]).unwrap();
+        assert_eq!(hit.distance, 2); // all deletions
+    }
+
+    #[test]
+    fn semi_global_leftmost_end_preferred() {
+        // pattern AC occurs at ends 2 and 4; leftmost (2) wins.
+        let hit = semi_global(&[0, 1], &[0, 1, 0, 1]).unwrap();
+        assert_eq!(hit.end, 2);
+    }
+
+    #[test]
+    fn cigar_traceback_round_trip() {
+        // pattern ACGT vs window TTACGTT: perfect match 2..6
+        let aln = semi_global_with_cigar(&[0, 1, 2, 3], &[3, 3, 0, 1, 2, 3, 3]).unwrap();
+        assert_eq!(aln.distance, 0);
+        assert_eq!((aln.start, aln.end), (2, 6));
+        assert_eq!(aln.cigar.to_string(), "4=");
+    }
+
+    #[test]
+    fn cigar_with_mismatch_and_indel() {
+        // pattern ACGT vs AGT (one deletion in text view)
+        let aln = semi_global_with_cigar(&[0, 1, 2, 3], &[0, 2, 3]).unwrap();
+        assert_eq!(aln.distance, 1);
+        assert_eq!(aln.cigar.edit_distance(), 1);
+        // pattern consumed fully
+        assert_eq!(aln.cigar.pattern_len(), 4);
+    }
+
+    #[test]
+    fn cigar_distance_matches_dp_distance() {
+        let pattern = [0u8, 1, 2, 3, 3, 2, 1, 0, 1, 2];
+        let text = [3u8, 0, 1, 2, 3, 2, 2, 1, 0, 1, 2, 3];
+        let aln = semi_global_with_cigar(&pattern, &text).unwrap();
+        let hit = semi_global(&pattern, &text).unwrap();
+        assert_eq!(aln.distance, hit.distance);
+        assert_eq!(aln.cigar.edit_distance(), aln.distance);
+        assert_eq!(aln.cigar.pattern_len(), pattern.len());
+        assert_eq!(aln.cigar.text_len(), aln.end - aln.start);
+    }
+}

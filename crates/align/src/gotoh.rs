@@ -1,0 +1,211 @@
+//! Affine-gap alignment (Gotoh 1982) — an extension beyond the paper.
+//!
+//! The paper scores alignments by unit-cost edit distance (Myers'
+//! algorithm is specific to it). Production mappers such as BWA-MEM score
+//! with affine gaps — opening a gap costs more than extending one — which
+//! models sequencing indels far better. This module provides the classic
+//! three-matrix Gotoh recurrence for *global* alignment under a penalty
+//! scheme, validated against an exhaustive recursion in the tests.
+
+/// Penalty scheme for affine-gap alignment (all penalties non-negative;
+/// the aligner minimises total penalty, so a perfect alignment costs 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffinePenalties {
+    /// Penalty per mismatched base pair.
+    pub mismatch: u32,
+    /// Penalty for opening a gap (charged once per gap, in addition to
+    /// the first extension).
+    pub gap_open: u32,
+    /// Penalty per gap position.
+    pub gap_extend: u32,
+}
+
+impl AffinePenalties {
+    /// BWA-MEM's default-like scheme (mismatch 4, open 6, extend 1).
+    pub const fn bwa_like() -> AffinePenalties {
+        AffinePenalties {
+            mismatch: 4,
+            gap_open: 6,
+            gap_extend: 1,
+        }
+    }
+
+    /// Unit costs: affine alignment degenerates to plain edit distance.
+    pub const fn unit() -> AffinePenalties {
+        AffinePenalties {
+            mismatch: 1,
+            gap_open: 0,
+            gap_extend: 1,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.mismatch > 0 || self.gap_extend > 0,
+            "a degenerate all-zero scheme scores every alignment 0"
+        );
+    }
+}
+
+/// Sentinel for unreachable DP states.
+const INF: u32 = u32::MAX / 2;
+
+/// Minimal affine-gap global alignment penalty between two code
+/// sequences.
+///
+/// # Panics
+///
+/// Panics for the degenerate all-zero penalty scheme.
+///
+/// # Example
+///
+/// ```
+/// use repute_align::gotoh::{affine_distance, AffinePenalties};
+///
+/// let p = AffinePenalties::bwa_like();
+/// // One 3-base gap: open 6 + 3 × extend 1 = 9 — cheaper than three
+/// // separate 1-base gaps (3 × (6 + 1) = 21).
+/// assert_eq!(affine_distance(&[0, 1, 2, 3, 0, 1], &[0, 1, 1], p), 9);
+/// // Identity costs nothing.
+/// assert_eq!(affine_distance(&[2, 2, 2], &[2, 2, 2], p), 0);
+/// ```
+pub fn affine_distance(a: &[u8], b: &[u8], penalties: AffinePenalties) -> u32 {
+    penalties.validate();
+    let (m, n) = (a.len(), b.len());
+    let open = penalties.gap_open + penalties.gap_extend; // cost of a gap's first base
+    let extend = penalties.gap_extend;
+
+    // Three states per cell: M (diagonal), X (gap in b / consume a),
+    // Y (gap in a / consume b). Row-rolling keeps memory O(n).
+    let mut m_prev = vec![INF; n + 1];
+    let mut x_prev = vec![INF; n + 1];
+    let mut y_prev = vec![INF; n + 1];
+    m_prev[0] = 0;
+    for (j, y) in y_prev.iter_mut().enumerate().skip(1) {
+        *y = open + (j as u32 - 1) * extend;
+    }
+    let mut m_cur = vec![INF; n + 1];
+    let mut x_cur = vec![INF; n + 1];
+    let mut y_cur = vec![INF; n + 1];
+
+    for i in 1..=m {
+        m_cur[0] = INF;
+        y_cur[0] = INF;
+        x_cur[0] = open + (i as u32 - 1) * extend;
+        for j in 1..=n {
+            let best_prev_diag = m_prev[j - 1].min(x_prev[j - 1]).min(y_prev[j - 1]);
+            let cost = u32::from(a[i - 1] != b[j - 1]) * penalties.mismatch;
+            m_cur[j] = best_prev_diag.saturating_add(cost);
+            x_cur[j] = (m_prev[j].min(y_prev[j]).saturating_add(open))
+                .min(x_prev[j].saturating_add(extend));
+            y_cur[j] = (m_cur[j - 1].min(x_cur[j - 1]).saturating_add(open))
+                .min(y_cur[j - 1].saturating_add(extend));
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut x_prev, &mut x_cur);
+        std::mem::swap(&mut y_prev, &mut y_cur);
+    }
+    m_prev[n].min(x_prev[n]).min(y_prev[n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::edit_distance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exhaustive recursion over edit scripts (exponential; tiny inputs
+    /// only). `in_gap`: 0 = none, 1 = gap in b (consuming a), 2 = gap in
+    /// a (consuming b).
+    fn brute(a: &[u8], b: &[u8], p: AffinePenalties, in_gap: u8) -> u32 {
+        match (a.is_empty(), b.is_empty()) {
+            (true, true) => 0,
+            (false, true) => {
+                let first = if in_gap == 1 { p.gap_extend } else { p.gap_open + p.gap_extend };
+                first + (a.len() as u32 - 1) * p.gap_extend
+            }
+            (true, false) => {
+                let first = if in_gap == 2 { p.gap_extend } else { p.gap_open + p.gap_extend };
+                first + (b.len() as u32 - 1) * p.gap_extend
+            }
+            (false, false) => {
+                let sub = u32::from(a[0] != b[0]) * p.mismatch + brute(&a[1..], &b[1..], p, 0);
+                let del = if in_gap == 1 { p.gap_extend } else { p.gap_open + p.gap_extend }
+                    + brute(&a[1..], b, p, 1);
+                let ins = if in_gap == 2 { p.gap_extend } else { p.gap_open + p.gap_extend }
+                    + brute(a, &b[1..], p, 2);
+                sub.min(del).min(ins)
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_recursion_on_small_inputs() {
+        let mut rng = StdRng::seed_from_u64(991);
+        let schemes = [
+            AffinePenalties::bwa_like(),
+            AffinePenalties::unit(),
+            AffinePenalties { mismatch: 2, gap_open: 3, gap_extend: 2 },
+        ];
+        for _ in 0..120 {
+            let m = rng.gen_range(0..7usize);
+            let n = rng.gen_range(0..7usize);
+            let a: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            for p in schemes {
+                assert_eq!(
+                    affine_distance(&a, &b, p),
+                    brute(&a, &b, p, 0),
+                    "a={a:?} b={b:?} p={p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_scheme_equals_edit_distance() {
+        let mut rng = StdRng::seed_from_u64(992);
+        for _ in 0..80 {
+            let m = rng.gen_range(0..40usize);
+            let n = rng.gen_range(0..40usize);
+            let a: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+            let b: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+            assert_eq!(
+                affine_distance(&a, &b, AffinePenalties::unit()),
+                edit_distance(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn long_gaps_are_preferred_over_scattered_ones() {
+        let p = AffinePenalties::bwa_like();
+        // Deleting a contiguous block of 4: open + 4 extends = 10.
+        let a = [0u8, 1, 2, 3, 0, 1, 2, 3];
+        let b = [0u8, 1, 2, 3];
+        assert_eq!(affine_distance(&a, &b, p), p.gap_open + 4 * p.gap_extend);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = AffinePenalties::bwa_like();
+        assert_eq!(affine_distance(&[], &[], p), 0);
+        assert_eq!(affine_distance(&[1, 1], &[], p), p.gap_open + 2 * p.gap_extend);
+        assert_eq!(affine_distance(&[], &[2], p), p.gap_open + p.gap_extend);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn all_zero_scheme_rejected() {
+        let _ = affine_distance(
+            &[0],
+            &[1],
+            AffinePenalties {
+                mismatch: 0,
+                gap_open: 0,
+                gap_extend: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The verification entry point shared by every mapper.
+//!
+//! Chooses the single-word Myers kernel for short patterns and the blocked
+//! kernel otherwise, and reports the bit-vector work performed so the
+//! heterogeneous platform simulator can convert algorithmic work into
+//! device time.
+
+use crate::block::{self, BlockMasks, BlockWork};
+use crate::myers::{self, PatternMasks};
+
+/// A successful verification of a read against a candidate window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verification {
+    /// Edit distance of the best alignment (≤ the `max_distance` asked for).
+    pub distance: u32,
+    /// Leftmost end position (exclusive) in the window achieving it.
+    pub end: usize,
+}
+
+/// Work performed by a verification call, in bit-vector word-updates.
+///
+/// One unit is one `advance_block` step (64 DP cells). The device profiles
+/// in the platform simulator are calibrated in these units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyCost {
+    /// Number of 64-cell word updates executed.
+    pub word_updates: u64,
+}
+
+/// Verifies `read` against `window` within `max_distance` edits
+/// (semi-global: the read may start and end anywhere in the window).
+///
+/// Returns `None` when no alignment within `max_distance` exists.
+///
+/// # Panics
+///
+/// Panics if `read` is empty or contains codes above 3.
+///
+/// # Example
+///
+/// ```
+/// use repute_align::verify;
+///
+/// let read = [0u8, 1, 2, 3];
+/// assert!(verify(&read, &[3, 0, 1, 2, 3, 3], 0).is_some());
+/// assert!(verify(&read, &[3, 3, 3, 3, 3, 3], 1).is_none());
+/// ```
+pub fn verify(read: &[u8], window: &[u8], max_distance: u32) -> Option<Verification> {
+    verify_counting(read, window, max_distance).0
+}
+
+/// Like [`verify`], additionally reporting the bit-vector work done.
+pub fn verify_counting(
+    read: &[u8],
+    window: &[u8],
+    max_distance: u32,
+) -> (Option<Verification>, VerifyCost) {
+    assert!(!read.is_empty(), "read must not be empty");
+    if read.len() <= myers::MAX_PATTERN {
+        let masks = PatternMasks::new(read);
+        let cost = VerifyCost {
+            word_updates: window.len() as u64,
+        };
+        let hit = myers::search(&masks, window, max_distance).map(|h| Verification {
+            distance: h.distance,
+            end: h.end,
+        });
+        (hit, cost)
+    } else {
+        let masks = BlockMasks::new(read);
+        let cost = VerifyCost {
+            word_updates: (window.len() * masks.blocks()) as u64,
+        };
+        let mut work = BlockWork::default();
+        let hit = block::search_with(&masks, window, max_distance, &mut work).map(|h| {
+            Verification {
+                distance: h.distance,
+                end: h.end,
+            }
+        });
+        (hit, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dispatches_by_length_and_agrees_with_dp() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for m in [10usize, 64, 65, 100, 150] {
+            let read: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+            let window: Vec<u8> = (0..m + 30).map(|_| rng.gen_range(0..4)).collect();
+            let expected = dp::semi_global(&read, &window).unwrap();
+            let got = verify(&read, &window, m as u32).unwrap();
+            assert_eq!(got.distance, expected.distance, "m={m}");
+            assert_eq!(got.end, expected.end, "m={m}");
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_blocks() {
+        let short = vec![0u8; 60];
+        let long = vec![0u8; 150];
+        let window = vec![0u8; 100];
+        let (_, c1) = verify_counting(&short, &window, 60);
+        let (_, c2) = verify_counting(&long, &window, 150);
+        assert_eq!(c1.word_updates, 100);
+        assert_eq!(c2.word_updates, 300); // 3 blocks × 100 columns
+    }
+
+    #[test]
+    fn rejection_within_budget() {
+        let read = vec![0u8; 100];
+        let window = vec![3u8; 120];
+        assert!(verify(&read, &window, 5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_read_rejected() {
+        let _ = verify(&[], &[0, 1], 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Criterion microbenches for the core data structures and kernels.
+//!
+//! These complement the table/figure binaries: where those reproduce the
+//! paper's system-level results, these pin down the per-component costs
+//! (index construction, backward search, bit-vector verification, and the
+//! three filtration strategies including the exploration-space ablation).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use repute_align::{banded, block, myers};
+use repute_core::{ReputeConfig, ReputeMapper};
+use repute_filter::freq::FreqTable;
+use repute_filter::greedy::GreedySelector;
+use repute_filter::oss::{Exploration, OssParams, OssSolver};
+use repute_filter::pigeonhole::UniformSelector;
+use repute_genome::reads::{ErrorProfile, ReadSimulator};
+use repute_genome::synth::ReferenceBuilder;
+use repute_genome::DnaSeq;
+use repute_index::{FmIndex, QGramIndex, SuffixArray};
+use repute_mappers::coral::CoralLike;
+use repute_mappers::{IndexedReference, Mapper};
+
+const REF_LEN: usize = 400_000;
+
+fn reference() -> DnaSeq {
+    ReferenceBuilder::new(REF_LEN).seed(0xBE).build()
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let reference = reference();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("suffix_array_sais_400k", |b| {
+        b.iter(|| SuffixArray::build(black_box(&reference)))
+    });
+    group.bench_function("fm_index_400k", |b| {
+        b.iter(|| FmIndex::build(black_box(&reference)))
+    });
+    group.bench_function("qgram_index_q10_400k", |b| {
+        b.iter(|| QGramIndex::build(black_box(&reference), 10))
+    });
+    group.finish();
+}
+
+fn bench_fm_queries(c: &mut Criterion) {
+    let reference = reference();
+    let fm = FmIndex::build(&reference);
+    let codes = reference.to_codes();
+    let pattern = &codes[1000..1020];
+    let mut group = c.benchmark_group("fm_queries");
+    group.bench_function("count_20mer", |b| {
+        b.iter(|| fm.count(black_box(pattern)))
+    });
+    let interval = fm.interval(&codes[1000..1012]).unwrap();
+    group.bench_function("locate_12mer_all", |b| {
+        b.iter(|| fm.locate(black_box(interval), usize::MAX))
+    });
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let reference = reference();
+    let codes = reference.to_codes();
+    let read64 = &codes[5000..5064];
+    let read150 = &codes[5000..5150];
+    let window64 = &codes[4995..5075];
+    let window150 = &codes[4995..5161];
+    let mut group = c.benchmark_group("verification");
+    group.bench_function("myers64_window80", |b| {
+        let masks = myers::PatternMasks::new(read64);
+        b.iter(|| myers::search(black_box(&masks), black_box(window64), 5))
+    });
+    group.bench_function("myers_blocked150_window166", |b| {
+        let masks = block::BlockMasks::new(read150);
+        let mut work = block::BlockWork::default();
+        b.iter(|| block::search_with(black_box(&masks), black_box(window150), 7, &mut work))
+    });
+    // The §II-A claim check: Myers vs the classic Ukkonen band.
+    group.bench_function("ukkonen_banded150_k7", |b| {
+        let target = &codes[5000..5150];
+        b.iter(|| banded::banded_distance(black_box(read150), black_box(target), 7))
+    });
+    group.finish();
+}
+
+fn bench_filtration(c: &mut Criterion) {
+    let reference = reference();
+    let fm = FmIndex::build(&reference);
+    let read = reference.subseq(9000..9100).to_codes();
+    let params = OssParams::new(5, 12).unwrap();
+    let full = params.exploration(Exploration::Full);
+    let mut group = c.benchmark_group("filtration_n100_d5");
+    group.bench_function("freq_table", |b| {
+        b.iter(|| FreqTable::build(&fm, black_box(&read), &params))
+    });
+    let table = FreqTable::build(&fm, &read, &params);
+    group.bench_function("oss_dp_restricted", |b| {
+        let solver = OssSolver::new(params);
+        b.iter(|| solver.select(black_box(&read), &table))
+    });
+    let full_table = FreqTable::build(&fm, &read, &full);
+    group.bench_function("freq_table_full_exploration", |b| {
+        b.iter(|| FreqTable::build(&fm, black_box(&read), &full))
+    });
+    group.bench_function("oss_dp_full_exploration", |b| {
+        let solver = OssSolver::new(full);
+        b.iter(|| solver.select(black_box(&read), &full_table))
+    });
+    group.bench_function("greedy_serial", |b| {
+        let selector = GreedySelector::new(5, 12);
+        b.iter(|| selector.select(black_box(&read), &fm))
+    });
+    group.bench_function("uniform", |b| {
+        let selector = UniformSelector::new(5);
+        b.iter(|| selector.select(black_box(&read), &fm))
+    });
+    group.bench_function("oss_sparse", |b| {
+        let solver = repute_filter::sparse::SparseSolver::new(params);
+        let table = FreqTable::build(&fm, &read, solver.params());
+        b.iter(|| solver.select(black_box(&read), &table))
+    });
+    group.finish();
+}
+
+fn bench_affine(c: &mut Criterion) {
+    // Gotoh affine-gap vs unit-cost kernels at read scale.
+    let reference = reference();
+    let codes = reference.to_codes();
+    let a = &codes[7000..7100];
+    let b_seq = &codes[7003..7103];
+    let mut group = c.benchmark_group("affine_gap_n100");
+    group.bench_function("gotoh_bwa_penalties", |bch| {
+        let p = repute_align::gotoh::AffinePenalties::bwa_like();
+        bch.iter(|| repute_align::gotoh::affine_distance(black_box(a), black_box(b_seq), p))
+    });
+    group.bench_function("unit_edit_distance", |bch| {
+        bch.iter(|| repute_align::dp::edit_distance(black_box(a), black_box(b_seq)))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let indexed = Arc::new(IndexedReference::build(reference()));
+    let reads: Vec<DnaSeq> = ReadSimulator::new(100, 64)
+        .profile(ErrorProfile::err012100())
+        .seed(0xE2E)
+        .simulate(indexed.seq())
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+    let repute = ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(5, 12).unwrap());
+    let coral = CoralLike::new(Arc::clone(&indexed), 5);
+    let mut group = c.benchmark_group("map_read_n100_d5");
+    group.sample_size(20);
+    let mut cycle = reads.iter().cycle();
+    group.bench_function("repute", |b| {
+        b.iter_batched(
+            || cycle.next().unwrap().clone(),
+            |read| repute.map_read(black_box(&read)),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut cycle = reads.iter().cycle();
+    group.bench_function("coral", |b| {
+        b.iter_batched(
+            || cycle.next().unwrap().clone(),
+            |read| coral.map_read(black_box(&read)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_fm_queries,
+    bench_verification,
+    bench_filtration,
+    bench_affine,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Table II — the heterogeneous scenario (§III-B / §IV).
+//!
+//! REPUTE-all and CORAL-all distribute reads across the CPU and both GPUs
+//! of System 1 (task-parallel, throughput-proportional split); the other
+//! mappers stay on the CPU. Accuracy is the Rabema-style *any-best*
+//! comparison, under which the best-mappers recover to ≈90–100% — the
+//! paper's Table II pattern.
+
+use std::sync::Arc;
+
+use repute_bench::harness::{gold_standard, grid_columns, match_tolerance, run_cell, AccuracyMethod, PAPER_GRID};
+use repute_bench::workload::{s_min_for, s_min_options, Scale, Workload};
+use repute_core::{ReputeConfig, ReputeMapper};
+use repute_eval::{Table, TableRow};
+use repute_hetsim::profiles;
+use repute_mappers::{
+    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like,
+    razers3::Razers3Like, yara::YaraLike, Mapper,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table II — mapping on CPU + 2×GPU (heterogeneous scenario, accuracy per §III-B)");
+    println!("{}", scale.describe());
+    println!("generating workload…");
+    let w = Workload::generate(scale);
+    let cpu_platform = profiles::system1_cpu_only();
+    let all_platform = profiles::system1();
+
+    let mut table = Table::new(
+        "System 1 — T(s) simulated / A(%) any-best vs RazerS3 gold".to_string(),
+        grid_columns(),
+    );
+    let mapper_names = [
+        "RazerS3", "Hobbes3", "Yara", "BWA-MEM", "GEM", "CORAL-all", "REPUTE-all",
+    ];
+    let mut rows: Vec<TableRow> = mapper_names
+        .iter()
+        .map(|name| TableRow {
+            mapper: (*name).to_string(),
+            cells: Vec::new(),
+        })
+        .collect();
+    let mut bwamem_cache: Vec<(usize, repute_eval::CellResult)> = Vec::new();
+
+    for &(n, delta) in &PAPER_GRID {
+        eprintln!("cell (n={n}, δ={delta})…");
+        let reads = w.read_seqs(n);
+        let gold = gold_standard(&w.indexed, delta, &reads);
+        let cpu_shares = cpu_platform.single_device_share(0, reads.len());
+        let all_shares = all_platform.even_shares(reads.len());
+        let s_min = s_min_for(n, delta);
+
+        let mappers: Vec<(Box<dyn Mapper>, bool)> = vec![
+            (Box::new(Razers3Like::new(Arc::clone(&w.indexed), delta)), false),
+            (Box::new(Hobbes3Like::new(Arc::clone(&w.indexed), delta)), false),
+            (Box::new(YaraLike::new(Arc::clone(&w.indexed), delta)), false),
+            (Box::new(BwaMemLike::new(Arc::clone(&w.indexed))), false),
+            (Box::new(GemLike::new(Arc::clone(&w.indexed), delta)), false),
+            (
+                Box::new(CoralLike::new(Arc::clone(&w.indexed), delta).with_s_min(s_min)),
+                true,
+            ),
+            (
+                Box::new(ReputeMapper::new(
+                    Arc::clone(&w.indexed),
+                    ReputeConfig::new(delta, s_min).expect("valid paper parameters"),
+                )),
+                true,
+            ),
+        ];
+        for (row, (mapper, heterogeneous)) in rows.iter_mut().zip(&mappers) {
+            let is_bwamem = mapper.name() == "BWA-MEM";
+            if is_bwamem {
+                if let Some((_, cached)) = bwamem_cache.iter().find(|(len, _)| *len == n) {
+                    row.cells.push(Some(*cached));
+                    continue;
+                }
+            }
+            let (platform, shares) = if *heterogeneous {
+                (&all_platform, all_shares.as_slice())
+            } else {
+                (&cpu_platform, cpu_shares.as_slice())
+            };
+            // REPUTE-all reports the best S_min per cell — the paper's
+            // stated methodology (§IV): a larger S_min shrinks the kernel
+            // footprint and restores GPU occupancy.
+            let outcome = if mapper.name() == "REPUTE" {
+                s_min_options(n, delta)
+                    .into_iter()
+                    .map(|s_min| {
+                        let tuned = ReputeMapper::new(
+                            Arc::clone(&w.indexed),
+                            ReputeConfig::new(delta, s_min).expect("valid"),
+                        );
+                        run_cell(
+                            &tuned,
+                            &reads,
+                            platform,
+                            shares,
+                            &gold,
+                            AccuracyMethod::AnyBest,
+                            match_tolerance(delta),
+                        )
+                    })
+                    .min_by(|a, b| a.result.time_s.total_cmp(&b.result.time_s))
+                    .expect("at least one s_min option")
+            } else {
+                run_cell(
+                    mapper.as_ref(),
+                    &reads,
+                    platform,
+                    shares,
+                    &gold,
+                    AccuracyMethod::AnyBest,
+                    match_tolerance(delta),
+                )
+            };
+            if is_bwamem {
+                bwamem_cache.push((n, outcome.result));
+            }
+            row.cells.push(Some(outcome.result));
+        }
+    }
+    for row in rows {
+        table.push_row(row);
+    }
+    println!("{table}");
+    let show = |base: &str, target: &str| {
+        let text: Vec<String> = table
+            .speedups(base, target)
+            .iter()
+            .map(|r| r.map_or("-".into(), |v| format!("{v:.2}x")))
+            .collect();
+        println!("speedup {target} vs {base}: {}", text.join(", "));
+    };
+    show("CORAL-all", "REPUTE-all");
+    show("Hobbes3", "REPUTE-all");
+    show("Yara", "REPUTE-all");
+    println!(
+        "\npaper shape check: REPUTE-all ≈2× faster than a CPU-only REPUTE run (Table I),\n\
+         best-mappers recover to ≈90–100% accuracy under any-best."
+    );
+}

@@ -1,0 +1,45 @@
+//! Diagnostic: per-read work decomposition for the main mappers.
+//!
+//! Not a paper experiment — a tuning aid that prints where each mapper's
+//! simulated work goes (filtration vs locate+verify), averaged over the
+//! workload, plus the candidate volumes that drive verification.
+
+use std::sync::Arc;
+
+use repute_bench::workload::{s_min_for, Scale, Workload};
+use repute_core::{ReputeConfig, ReputeMapper};
+use repute_mappers::{coral::CoralLike, razers3::Razers3Like, Mapper};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", scale.describe());
+    let w = Workload::generate(scale);
+    for (n, delta) in [(100usize, 3u32), (100, 5), (150, 7)] {
+        let s_min = s_min_for(n, delta);
+        let reads = w.read_seqs(n);
+        let repute = ReputeMapper::new(
+            Arc::clone(&w.indexed),
+            ReputeConfig::new(delta, s_min).expect("valid"),
+        );
+        let coral = CoralLike::new(Arc::clone(&w.indexed), delta).with_s_min(s_min);
+        let razers = Razers3Like::new(Arc::clone(&w.indexed), delta);
+        println!("\n(n={n}, δ={delta}, s_min={s_min}) over {} reads:", reads.len());
+        for (name, outs) in [
+            ("REPUTE", reads.iter().map(|r| repute.map_read(r)).collect::<Vec<_>>()),
+            ("CORAL", reads.iter().map(|r| coral.map_read(r)).collect()),
+            ("RazerS3", reads.iter().map(|r| razers.map_read(r)).collect()),
+        ] {
+            let total_work: u64 = outs.iter().map(|o| o.work).sum();
+            let total_cand: u64 = outs.iter().map(|o| o.candidates).sum();
+            let total_maps: usize = outs.iter().map(|o| o.mappings.len()).sum();
+            let max_work = outs.iter().map(|o| o.work).max().unwrap_or(0);
+            println!(
+                "  {name:<8} work/read {:>9.0}  candidates/read {:>8.1}  mappings/read {:>7.1}  max work {:>10}",
+                total_work as f64 / reads.len() as f64,
+                total_cand as f64 / reads.len() as f64,
+                total_maps as f64 / reads.len() as f64,
+                max_work
+            );
+        }
+    }
+}

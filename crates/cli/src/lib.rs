@@ -1,0 +1,845 @@
+//! The `repute` command-line mapper.
+//!
+//! ```text
+//! repute map --reference ref.fa --reads reads.fq --delta 5 [options] > out.sam
+//! ```
+//!
+//! Reads a FASTA reference and a FASTQ read set, maps every read with the
+//! REPUTE pipeline of [`repute_core`], and writes SAM (with CIGAR — the
+//! §IV extension). The logic lives in this library so it can be tested;
+//! `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::sync::Arc;
+
+use repute_core::{map_on_platform, ReputeConfig, ReputeMapper};
+use repute_eval::sam;
+use repute_genome::fasta::{read_fasta, AmbiguityPolicy};
+use repute_genome::fastq::FastqReader;
+use repute_mappers::multiref::ReferenceSet;
+use repute_mappers::{
+    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like,
+    razers3::Razers3Like, yara::YaraLike, Mapper,
+};
+
+/// Which mapping strategy `repute map` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapperChoice {
+    /// The REPUTE mapper (default).
+    #[default]
+    Repute,
+    /// The CORAL-style serial-heuristic baseline.
+    Coral,
+    /// The RazerS3-style SWIFT counting baseline.
+    Razers3,
+    /// The Hobbes3-style q-gram signature baseline.
+    Hobbes3,
+    /// The Yara-style best-mapper baseline.
+    Yara,
+    /// The GEM-style adaptive-filtration baseline.
+    Gem,
+    /// The BWA-MEM-style SMEM best-mapper baseline (ignores δ).
+    BwaMem,
+}
+
+impl std::str::FromStr for MapperChoice {
+    type Err = ParseArgsError;
+
+    fn from_str(s: &str) -> Result<MapperChoice, ParseArgsError> {
+        match s.to_ascii_lowercase().as_str() {
+            "repute" => Ok(MapperChoice::Repute),
+            "coral" => Ok(MapperChoice::Coral),
+            "razers3" => Ok(MapperChoice::Razers3),
+            "hobbes3" => Ok(MapperChoice::Hobbes3),
+            "yara" => Ok(MapperChoice::Yara),
+            "gem" => Ok(MapperChoice::Gem),
+            "bwa-mem" | "bwamem" => Ok(MapperChoice::BwaMem),
+            other => Err(ParseArgsError::new(format!(
+                "unknown mapper {other:?} (repute, coral, razers3, hobbes3, yara, gem, bwa-mem)"
+            ))),
+        }
+    }
+}
+
+/// Parsed command-line options for `repute map`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapOptions {
+    /// Path to the FASTA reference (exclusive with `index`).
+    pub reference: String,
+    /// Path to a prebuilt index from `repute index` (exclusive with
+    /// `reference`).
+    pub index: Option<String>,
+    /// Path to the FASTQ reads.
+    pub reads: String,
+    /// Error budget δ.
+    pub delta: u32,
+    /// Minimum k-mer length `S_min`.
+    pub s_min: usize,
+    /// Output-slot limit per read.
+    pub max_locations: usize,
+    /// Output path; `None` writes to stdout.
+    pub output: Option<String>,
+    /// Emit CIGAR strings (slower; full DP traceback per mapping).
+    pub cigar: bool,
+    /// Which mapping strategy to run.
+    pub mapper: MapperChoice,
+    /// Simulated platform to report time/energy for (`system1`,
+    /// `system1-cpu`, `hikey970`); `None` skips the simulation report.
+    pub platform: Option<String>,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            reference: String::new(),
+            index: None,
+            reads: String::new(),
+            delta: 5,
+            s_min: 12,
+            max_locations: 100,
+            output: None,
+            cigar: false,
+            mapper: MapperChoice::default(),
+            platform: None,
+        }
+    }
+}
+
+/// Error for malformed command lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError {
+    message: String,
+}
+
+impl ParseArgsError {
+    fn new(message: impl Into<String>) -> ParseArgsError {
+        ParseArgsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{}", self.message, USAGE)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+/// Usage text shown on `--help` and argument errors.
+pub const USAGE: &str = "\
+repute — OpenCL-style heterogeneous short-read mapper (DATE 2020 reproduction)
+
+USAGE:
+    repute map      --reference <ref.fa> --reads <reads.fq> [OPTIONS]
+    repute map      --index <ref.rpx>    --reads <reads.fq> [OPTIONS]
+    repute index    --reference <ref.fa> --output <ref.rpx>
+    repute simulate --out-dir <dir> [--length N] [--reads N] [--read-len N]
+                    [--seed N] [--profile err012100|srr826460|perfect]
+
+MAP OPTIONS:
+    --reference <path>       FASTA reference (multi-record supported)
+    --index <path>           prebuilt index from `repute index`
+    --reads <path>           FASTQ reads (required)
+    --delta <n>              error budget δ [default: 5]
+    --s-min <n>              minimum k-mer length S_min [default: 12]
+    --max-locations <n>      first-n output slots per read [default: 100]
+    --output <path>          SAM output path [default: stdout]
+    --cigar                  compute CIGAR strings (repute mapper only)
+    --mapper <name>          repute | coral | razers3 | hobbes3 | yara |
+                             gem | bwa-mem [default: repute]
+    --platform <name>        also report simulated time/energy on
+                             system1 | system1-cpu | hikey970
+    --help                   print this text";
+
+/// Parses `repute map` arguments (everything after the subcommand).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown flags, missing values, or
+/// missing required options.
+pub fn parse_map_args<I: IntoIterator<Item = String>>(args: I) -> Result<MapOptions, ParseArgsError> {
+    let mut opts = MapOptions::default();
+    let mut args = args.into_iter();
+    let mut have_reference = false;
+    let mut have_reads = false;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| ParseArgsError::new(format!("{name} expects a value")))
+        };
+        match arg.as_str() {
+            "--reference" => {
+                opts.reference = value("--reference")?;
+                have_reference = true;
+            }
+            "--index" => {
+                opts.index = Some(value("--index")?);
+                have_reference = true;
+            }
+            "--reads" => {
+                opts.reads = value("--reads")?;
+                have_reads = true;
+            }
+            "--delta" => {
+                opts.delta = value("--delta")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--delta expects an integer"))?;
+            }
+            "--s-min" => {
+                opts.s_min = value("--s-min")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--s-min expects an integer"))?;
+            }
+            "--max-locations" => {
+                opts.max_locations = value("--max-locations")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--max-locations expects an integer"))?;
+                if opts.max_locations == 0 {
+                    return Err(ParseArgsError::new("--max-locations must be positive"));
+                }
+            }
+            "--output" => opts.output = Some(value("--output")?),
+            "--cigar" => opts.cigar = true,
+            "--mapper" => opts.mapper = value("--mapper")?.parse()?,
+            "--platform" => opts.platform = Some(value("--platform")?),
+            "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
+            other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
+        }
+    }
+    if opts.cigar && opts.mapper != MapperChoice::Repute {
+        return Err(ParseArgsError::new("--cigar requires the repute mapper"));
+    }
+    if !have_reference {
+        return Err(ParseArgsError::new("--reference or --index is required"));
+    }
+    if opts.index.is_some() && !opts.reference.is_empty() {
+        return Err(ParseArgsError::new(
+            "--reference and --index are mutually exclusive",
+        ));
+    }
+    if !have_reads {
+        return Err(ParseArgsError::new("--reads is required"));
+    }
+    Ok(opts)
+}
+
+/// Parsed command-line options for `repute index`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IndexOptions {
+    /// Path to the FASTA reference.
+    pub reference: String,
+    /// Output path for the binary index.
+    pub output: String,
+}
+
+/// Parses `repute index` arguments.
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown flags or missing options.
+pub fn parse_index_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<IndexOptions, ParseArgsError> {
+    let mut opts = IndexOptions::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| ParseArgsError::new(format!("{name} expects a value")))
+        };
+        match arg.as_str() {
+            "--reference" => opts.reference = value("--reference")?,
+            "--output" => opts.output = value("--output")?,
+            "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
+            other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
+        }
+    }
+    if opts.reference.is_empty() {
+        return Err(ParseArgsError::new("--reference is required"));
+    }
+    if opts.output.is_empty() {
+        return Err(ParseArgsError::new("--output is required"));
+    }
+    Ok(opts)
+}
+
+/// Parsed command-line options for `repute simulate`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulateOptions {
+    /// Directory the FASTA/FASTQ/truth files are written into.
+    pub out_dir: String,
+    /// Reference length in bases.
+    pub length: usize,
+    /// Number of reads.
+    pub reads: usize,
+    /// Read length in bases.
+    pub read_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Error profile name.
+    pub profile: String,
+}
+
+impl Default for SimulateOptions {
+    fn default() -> Self {
+        SimulateOptions {
+            out_dir: String::new(),
+            length: 1_000_000,
+            reads: 10_000,
+            read_len: 100,
+            seed: 42,
+            profile: "err012100".into(),
+        }
+    }
+}
+
+/// Parses `repute simulate` arguments.
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown flags or missing options.
+pub fn parse_simulate_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<SimulateOptions, ParseArgsError> {
+    let mut opts = SimulateOptions::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| ParseArgsError::new(format!("{name} expects a value")))
+        };
+        let int = |name: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| ParseArgsError::new(format!("{name} expects an integer")))
+        };
+        match arg.as_str() {
+            "--out-dir" => opts.out_dir = value("--out-dir")?,
+            "--length" => opts.length = int("--length", value("--length")?)? as usize,
+            "--reads" => opts.reads = int("--reads", value("--reads")?)? as usize,
+            "--read-len" => opts.read_len = int("--read-len", value("--read-len")?)? as usize,
+            "--seed" => opts.seed = int("--seed", value("--seed")?)?,
+            "--profile" => opts.profile = value("--profile")?,
+            "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
+            other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
+        }
+    }
+    if opts.out_dir.is_empty() {
+        return Err(ParseArgsError::new("--out-dir is required"));
+    }
+    if !matches!(opts.profile.as_str(), "err012100" | "srr826460" | "perfect") {
+        return Err(ParseArgsError::new(format!(
+            "unknown profile {:?} (err012100, srr826460, perfect)",
+            opts.profile
+        )));
+    }
+    Ok(opts)
+}
+
+/// Runs `repute simulate`: writes `reference.fa`, `reads.fq` and
+/// `truth.tsv` into the output directory.
+///
+/// # Errors
+///
+/// Propagates I/O and generation errors.
+pub fn run_simulate(opts: &SimulateOptions) -> Result<(), Box<dyn Error>> {
+    use repute_genome::fasta::{write_fasta, FastaRecord};
+    use repute_genome::fastq::write_fastq;
+    use repute_genome::reads::{ErrorProfile, ReadSimulator};
+    use repute_genome::synth::ReferenceBuilder;
+
+    let dir = std::path::Path::new(&opts.out_dir);
+    std::fs::create_dir_all(dir)?;
+    eprintln!("generating a {} bp reference…", opts.length);
+    let reference = ReferenceBuilder::new(opts.length).seed(opts.seed).build();
+    let profile = match opts.profile.as_str() {
+        "err012100" => ErrorProfile::err012100(),
+        "srr826460" => ErrorProfile::srr826460(),
+        _ => ErrorProfile::perfect(),
+    };
+    let sim = ReadSimulator::new(opts.read_len, opts.reads)
+        .profile(profile)
+        .seed(opts.seed ^ 0x5EED);
+    let records = sim.simulate_fastq(&reference);
+
+    let fa = File::create(dir.join("reference.fa"))?;
+    write_fasta(
+        BufWriter::new(fa),
+        &[FastaRecord::new("chrSim", reference)],
+        70,
+    )?;
+    let fq = File::create(dir.join("reads.fq"))?;
+    write_fastq(
+        BufWriter::new(fq),
+        &records.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>(),
+    )?;
+    let mut truth = BufWriter::new(File::create(dir.join("truth.tsv"))?);
+    writeln!(truth, "read	strand	position	edits")?;
+    for (record, origin) in &records {
+        match origin {
+            Some(o) => writeln!(
+                truth,
+                "{}	{}	{}	{}",
+                record.id,
+                o.strand.symbol(),
+                o.position,
+                o.edits
+            )?,
+            None => writeln!(truth, "{}	*	*	*", record.id)?,
+        }
+    }
+    truth.flush()?;
+    eprintln!(
+        "wrote reference.fa ({} bp), reads.fq ({} reads), truth.tsv into {:?}",
+        opts.length, opts.reads, opts.out_dir
+    );
+    Ok(())
+}
+
+fn load_reference_set(opts: &MapOptions) -> Result<ReferenceSet, Box<dyn Error>> {
+    if let Some(index_path) = &opts.index {
+        let file = File::open(index_path)
+            .map_err(|e| format!("cannot open index {index_path:?}: {e}"))?;
+        eprintln!("loading prebuilt index {index_path:?}…");
+        return Ok(ReferenceSet::read_from(BufReader::new(file))?);
+    }
+    let file = File::open(&opts.reference)
+        .map_err(|e| format!("cannot open reference {:?}: {e}", opts.reference))?;
+    let records = read_fasta(BufReader::new(file), AmbiguityPolicy::Randomize(0))?;
+    if records.is_empty() {
+        return Err("reference FASTA contains no sequence".into());
+    }
+    let total: usize = records.iter().map(|r| r.seq.len()).sum();
+    eprintln!("indexing {} record(s), {total} bp…", records.len());
+    Ok(ReferenceSet::build(
+        records.into_iter().map(|r| (r.id, r.seq)).collect(),
+    ))
+}
+
+/// Runs `repute index`: builds the reference set and writes the binary
+/// index.
+///
+/// # Errors
+///
+/// Propagates I/O, format and construction errors.
+pub fn run_index(opts: &IndexOptions) -> Result<(), Box<dyn Error>> {
+    let set = load_reference_set(&MapOptions {
+        reference: opts.reference.clone(),
+        ..MapOptions::default()
+    })?;
+    let out = File::create(&opts.output)
+        .map_err(|e| format!("cannot create {:?}: {e}", opts.output))?;
+    set.write_to(BufWriter::new(out))?;
+    eprintln!(
+        "wrote index for {} record(s) to {:?}",
+        set.records().len(),
+        opts.output
+    );
+    Ok(())
+}
+
+/// Runs `repute map`, writing SAM to the configured output.
+///
+/// Returns `(reads_mapped, mappings_reported)`.
+///
+/// # Errors
+///
+/// Propagates I/O, format and configuration errors.
+pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
+    let set = load_reference_set(opts)?;
+    let names: Vec<&str> = set.records().iter().map(|(n, _)| n.as_str()).collect();
+    let header: Vec<(&str, usize)> = set
+        .records()
+        .iter()
+        .map(|(n, l)| (n.as_str(), *l))
+        .collect();
+    let config = ReputeConfig::new(opts.delta, opts.s_min)?.with_max_locations(opts.max_locations);
+    let repute = ReputeMapper::new(Arc::clone(set.indexed()), config);
+    let baseline: Option<Box<dyn Mapper>> = match opts.mapper {
+        MapperChoice::Repute => None,
+        MapperChoice::Coral => Some(Box::new(
+            CoralLike::new(Arc::clone(set.indexed()), opts.delta)
+                .with_s_min(opts.s_min)
+                .with_max_locations(opts.max_locations),
+        )),
+        MapperChoice::Razers3 => Some(Box::new(
+            Razers3Like::new(Arc::clone(set.indexed()), opts.delta)
+                .with_max_locations(opts.max_locations),
+        )),
+        MapperChoice::Hobbes3 => Some(Box::new(
+            Hobbes3Like::new(Arc::clone(set.indexed()), opts.delta)
+                .with_max_locations(opts.max_locations),
+        )),
+        MapperChoice::Yara => Some(Box::new(
+            YaraLike::new(Arc::clone(set.indexed()), opts.delta)
+                .with_max_locations(opts.max_locations),
+        )),
+        MapperChoice::Gem => Some(Box::new(
+            GemLike::new(Arc::clone(set.indexed()), opts.delta)
+                .with_max_locations(opts.max_locations),
+        )),
+        MapperChoice::BwaMem => Some(Box::new(
+            BwaMemLike::new(Arc::clone(set.indexed())).with_max_locations(opts.max_locations),
+        )),
+    };
+
+    let reads_file =
+        File::open(&opts.reads).map_err(|e| format!("cannot open reads {:?}: {e}", opts.reads))?;
+    let mut out: Box<dyn Write> = match &opts.output {
+        Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+        None => Box::new(BufWriter::new(std::io::stdout())),
+    };
+    sam::write_header_multi(&mut out, &header)?;
+
+    let mut reads_mapped = 0usize;
+    let mut total_mappings = 0usize;
+    let mut per_read_for_stats: Vec<Vec<repute_mappers::Mapping>> = Vec::new();
+    for record in FastqReader::new(BufReader::new(reads_file)) {
+        let record = record?;
+        let (raw, cigar) = if opts.cigar {
+            let (_, detailed) = repute.map_read_with_cigars(&record.seq);
+            let raw: Vec<_> = detailed.iter().map(|d| d.mapping).collect();
+            let cigar = detailed.into_iter().next().map(|d| d.cigar);
+            (raw, cigar)
+        } else {
+            let mappings = match &baseline {
+                Some(mapper) => mapper.map_read(&record.seq).mappings,
+                None => repute.map_read(&record.seq).mappings,
+            };
+            (mappings, None)
+        };
+        let resolved = set.resolve_mappings(record.seq.len(), &raw);
+        if !resolved.is_empty() {
+            reads_mapped += 1;
+            total_mappings += resolved.len();
+        }
+        per_read_for_stats.push(
+            resolved
+                .iter()
+                .map(|r| repute_mappers::Mapping {
+                    position: r.position,
+                    strand: r.strand,
+                    distance: r.distance,
+                })
+                .collect(),
+        );
+        sam::write_resolved_record(
+            &mut out,
+            &names,
+            &record.id,
+            &record.seq,
+            &resolved,
+            cigar.as_ref(),
+        )?;
+    }
+    out.flush()?;
+    let stats = repute_eval::stats::MappingStats::collect(
+        per_read_for_stats.iter().map(|v| v.as_slice()),
+    );
+    eprint!("{stats}");
+
+    if let Some(platform_name) = &opts.platform {
+        report_platform_simulation(platform_name, opts, &repute, baseline.as_deref())?;
+    }
+    Ok((reads_mapped, total_mappings))
+}
+
+/// Re-runs the mapping through the heterogeneous platform simulator and
+/// prints the §III-D style time/energy summary.
+fn report_platform_simulation(
+    platform_name: &str,
+    opts: &MapOptions,
+    repute: &ReputeMapper,
+    baseline: Option<&dyn Mapper>,
+) -> Result<(), Box<dyn Error>> {
+    use repute_hetsim::profiles;
+    let platform = match platform_name {
+        "system1" => profiles::system1(),
+        "system1-cpu" => profiles::system1_cpu_only(),
+        "hikey970" => profiles::system2_hikey970(),
+        other => return Err(format!("unknown platform {other:?}").into()),
+    };
+    // Reload the reads (the SAM pass consumed the reader).
+    let reads_file = File::open(&opts.reads)?;
+    let mut reads = Vec::new();
+    for record in FastqReader::new(BufReader::new(reads_file)) {
+        reads.push(record?.seq);
+    }
+    let shares = platform.even_shares(reads.len());
+    let run = match baseline {
+        Some(mapper) => map_on_platform(&mapper, &platform, &shares, &reads)?,
+        None => map_on_platform(repute, &platform, &shares, &reads)?,
+    };
+    eprintln!(
+        "simulated on {}: {:.3} s | {:.1} W avg | {:.3} J above idle",
+        platform.name(),
+        run.simulated_seconds,
+        run.energy.average_power_w,
+        run.energy.energy_j
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --delta 4 --s-min 14 --max-locations 50 --output o.sam --cigar",
+        ))
+        .unwrap();
+        assert_eq!(opts.reference, "r.fa");
+        assert_eq!(opts.reads, "q.fq");
+        assert_eq!(opts.delta, 4);
+        assert_eq!(opts.s_min, 14);
+        assert_eq!(opts.max_locations, 50);
+        assert_eq!(opts.output.as_deref(), Some("o.sam"));
+        assert!(opts.cigar);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq")).unwrap();
+        assert_eq!(opts.delta, 5);
+        assert_eq!(opts.s_min, 12);
+        assert_eq!(opts.max_locations, 100);
+        assert_eq!(opts.output, None);
+        assert!(!opts.cigar);
+    }
+
+    #[test]
+    fn missing_required_rejected() {
+        assert!(parse_map_args(args("--reads q.fq")).is_err());
+        assert!(parse_map_args(args("--reference r.fa")).is_err());
+    }
+
+    #[test]
+    fn malformed_values_rejected() {
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --delta x")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --max-locations 0")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --bogus")).is_err());
+        assert!(parse_map_args(args("--reference")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_maps_reads_to_sam() {
+        use repute_genome::fasta::{write_fasta, FastaRecord};
+        use repute_genome::fastq::{write_fastq, FastqRecord};
+        use repute_genome::synth::ReferenceBuilder;
+
+        let dir = std::env::temp_dir().join("repute-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = ReferenceBuilder::new(100_000).seed(5).build();
+        let ref_path = dir.join("ref.fa");
+        let reads_path = dir.join("reads.fq");
+        let out_path = dir.join("out.sam");
+
+        let mut f = Vec::new();
+        write_fasta(
+            &mut f,
+            &[FastaRecord::new("chrT", reference.clone())],
+            70,
+        )
+        .unwrap();
+        std::fs::write(&ref_path, f).unwrap();
+
+        let reads: Vec<FastqRecord> = (0..5)
+            .map(|i| {
+                let start = 10_000 + i * 7_000;
+                FastqRecord::with_uniform_quality(
+                    format!("r{i}"),
+                    reference.subseq(start..start + 100),
+                    40,
+                )
+            })
+            .collect();
+        let mut f = Vec::new();
+        write_fastq(&mut f, &reads).unwrap();
+        std::fs::write(&reads_path, f).unwrap();
+
+        let opts = MapOptions {
+            reference: ref_path.to_string_lossy().into_owned(),
+            index: None,
+            reads: reads_path.to_string_lossy().into_owned(),
+            delta: 3,
+            s_min: 15,
+            max_locations: 10,
+            output: Some(out_path.to_string_lossy().into_owned()),
+            cigar: true,
+            mapper: MapperChoice::Repute,
+            platform: None,
+        };
+        let (mapped, mappings) = run_map(&opts).unwrap();
+        assert_eq!(mapped, 5);
+        assert!(mappings >= 5);
+        let sam = std::fs::read_to_string(&out_path).unwrap();
+        assert!(sam.starts_with("@HD"));
+        assert!(sam.contains("@SQ\tSN:chrT\tLN:100000"));
+        // Exact reads: primary lines carry perfect-match CIGARs.
+        assert!(sam.contains("100="));
+        for i in 0..5 {
+            assert!(sam.contains(&format!("r{i}\t")));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_subcommand_round_trips_and_multi_ref_maps() {
+        use repute_genome::fasta::{write_fasta, FastaRecord};
+        use repute_genome::fastq::{write_fastq, FastqRecord};
+        use repute_genome::synth::ReferenceBuilder;
+
+        let dir = std::env::temp_dir().join("repute-cli-index-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let chr_a = ReferenceBuilder::new(60_000).seed(15).build();
+        let chr_b = ReferenceBuilder::new(40_000).seed(16).build();
+        let ref_path = dir.join("ref.fa");
+        let index_path = dir.join("ref.rpx");
+        let reads_path = dir.join("reads.fq");
+        let out_path = dir.join("out.sam");
+
+        let mut f = Vec::new();
+        write_fasta(
+            &mut f,
+            &[
+                FastaRecord::new("chrA", chr_a.clone()),
+                FastaRecord::new("chrB", chr_b.clone()),
+            ],
+            70,
+        )
+        .unwrap();
+        std::fs::write(&ref_path, f).unwrap();
+
+        // Build the index once.
+        run_index(&IndexOptions {
+            reference: ref_path.to_string_lossy().into_owned(),
+            output: index_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+
+        // One read from each chromosome.
+        let reads = vec![
+            FastqRecord::with_uniform_quality("fromA", chr_a.subseq(20_000..20_100), 40),
+            FastqRecord::with_uniform_quality("fromB", chr_b.subseq(5_000..5_100), 40),
+        ];
+        let mut f = Vec::new();
+        write_fastq(&mut f, &reads).unwrap();
+        std::fs::write(&reads_path, f).unwrap();
+
+        // Map via the prebuilt index.
+        let opts = parse_map_args(
+            format!(
+                "--index {} --reads {} --delta 3 --s-min 15 --output {}",
+                index_path.display(),
+                reads_path.display(),
+                out_path.display()
+            )
+            .split_whitespace()
+            .map(String::from),
+        )
+        .unwrap();
+        let (mapped, _) = run_map(&opts).unwrap();
+        assert_eq!(mapped, 2);
+        let sam = std::fs::read_to_string(&out_path).unwrap();
+        assert!(sam.contains("@SQ\tSN:chrA\tLN:60000"));
+        assert!(sam.contains("@SQ\tSN:chrB\tLN:40000"));
+        // Each read resolves to its own chromosome with a local position.
+        let line_a = sam.lines().find(|l| l.starts_with("fromA\t")).unwrap();
+        assert!(line_a.contains("\tchrA\t"), "{line_a}");
+        let line_b = sam.lines().find(|l| l.starts_with("fromB\t")).unwrap();
+        assert!(line_b.contains("\tchrB\t5001\t") || line_b.contains("\tchrB\t"), "{line_b}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_args_validation() {
+        let opts = parse_simulate_args(args(
+            "--out-dir d --length 5000 --reads 10 --read-len 80 --seed 7 --profile perfect",
+        ))
+        .unwrap();
+        assert_eq!(opts.length, 5000);
+        assert_eq!(opts.profile, "perfect");
+        assert!(parse_simulate_args(args("--length 100")).is_err());
+        assert!(parse_simulate_args(args("--out-dir d --profile nope")).is_err());
+    }
+
+    #[test]
+    fn simulate_then_map_end_to_end() {
+        let dir = std::env::temp_dir().join("repute-cli-simulate-test");
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 80_000,
+            reads: 25,
+            read_len: 100,
+            seed: 11,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        assert!(dir.join("reference.fa").exists());
+        assert!(dir.join("truth.tsv").exists());
+        let truth = std::fs::read_to_string(dir.join("truth.tsv")).unwrap();
+        assert_eq!(truth.lines().count(), 26); // header + 25 reads
+
+        let out_path = dir.join("out.sam");
+        let opts = parse_map_args(
+            format!(
+                "--reference {}/reference.fa --reads {}/reads.fq --delta 5 --output {}",
+                dir_s,
+                dir_s,
+                out_path.display()
+            )
+            .split_whitespace()
+            .map(String::from),
+        )
+        .unwrap();
+        let (mapped, _) = run_map(&opts).unwrap();
+        assert!(mapped >= 23, "only {mapped}/25 simulated reads mapped");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_args_validation() {
+        assert!(parse_index_args(args("--reference r.fa --output o.rpx")).is_ok());
+        assert!(parse_index_args(args("--reference r.fa")).is_err());
+        assert!(parse_index_args(args("--output o.rpx")).is_err());
+        assert!(parse_index_args(args("--wat")).is_err());
+    }
+
+    #[test]
+    fn mapper_choice_parses() {
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq --mapper coral")).unwrap();
+        assert_eq!(opts.mapper, MapperChoice::Coral);
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq --mapper bwa-mem")).unwrap();
+        assert_eq!(opts.mapper, MapperChoice::BwaMem);
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --mapper nope")).is_err());
+        // --cigar only works with the repute mapper.
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --mapper gem --cigar")).is_err());
+    }
+
+    #[test]
+    fn platform_flag_parses() {
+        let opts =
+            parse_map_args(args("--reference r.fa --reads q.fq --platform hikey970")).unwrap();
+        assert_eq!(opts.platform.as_deref(), Some("hikey970"));
+    }
+
+    #[test]
+    fn reference_and_index_are_exclusive() {
+        assert!(parse_map_args(args("--reference r.fa --index i.rpx --reads q.fq")).is_err());
+        assert!(parse_map_args(args("--index i.rpx --reads q.fq")).is_ok());
+    }
+}

@@ -1,0 +1,59 @@
+//! Thin binary wrapper over [`repute_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("map") => match repute_cli::parse_map_args(args) {
+            Ok(opts) => match repute_cli::run_map(&opts) {
+                Ok((reads, mappings)) => {
+                    eprintln!("done: {reads} reads mapped, {mappings} locations reported");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("index") => match repute_cli::parse_index_args(args) {
+            Ok(opts) => match repute_cli::run_index(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("simulate") => match repute_cli::parse_simulate_args(args) {
+            Ok(opts) => match repute_cli::run_simulate(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--help") | Some("-h") | None => {
+            println!("{}", repute_cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n\n{}", repute_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

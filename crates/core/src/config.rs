@@ -1,0 +1,154 @@
+//! REPUTE configuration.
+
+use repute_filter::oss::{Exploration, InvalidParamsError, OssParams};
+
+/// Configuration of a [`crate::ReputeMapper`].
+///
+/// # Example
+///
+/// ```
+/// use repute_core::ReputeConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = ReputeConfig::new(5, 12)?.with_max_locations(100);
+/// assert_eq!(config.delta(), 5);
+/// assert_eq!(config.max_locations(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReputeConfig {
+    oss: OssParams,
+    max_locations: usize,
+}
+
+impl ReputeConfig {
+    /// Creates a configuration for `delta` errors with minimum k-mer
+    /// length `s_min` and the paper's default limit of 1000 locations per
+    /// read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] under the conditions of
+    /// [`OssParams::new`].
+    pub fn new(delta: u32, s_min: usize) -> Result<ReputeConfig, InvalidParamsError> {
+        Ok(ReputeConfig {
+            oss: OssParams::new(delta, s_min)?,
+            max_locations: 1000,
+        })
+    }
+
+    /// Overrides the *first-n* output-slot limit per read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0`.
+    pub fn with_max_locations(mut self, limit: usize) -> ReputeConfig {
+        assert!(limit > 0, "location limit must be positive");
+        self.max_locations = limit;
+        self
+    }
+
+    /// Switches the DP exploration space (see
+    /// [`repute_filter::oss::Exploration`]); the default is the paper's
+    /// restricted space.
+    pub fn with_exploration(mut self, exploration: Exploration) -> ReputeConfig {
+        self.oss = self.oss.exploration(exploration);
+        self
+    }
+
+    /// The error budget δ.
+    pub fn delta(&self) -> u32 {
+        self.oss.delta()
+    }
+
+    /// The minimum k-mer length `S_min`.
+    pub fn s_min(&self) -> usize {
+        self.oss.s_min()
+    }
+
+    /// The per-read output-slot limit.
+    pub fn max_locations(&self) -> usize {
+        self.max_locations
+    }
+
+    /// The underlying DP parameters.
+    pub fn oss_params(&self) -> &OssParams {
+        &self.oss
+    }
+
+    /// Bytes of device output buffer one read needs (position, strand and
+    /// distance per slot) — the quantity the OpenCL 1.2 restrictions make
+    /// static (§III).
+    pub fn output_slot_bytes(&self) -> usize {
+        // position u32 + distance u32 + strand u8 (padded)
+        self.max_locations * 12
+    }
+
+    /// Returns `true` if a read of `read_len` bases is mappable under this
+    /// configuration.
+    pub fn feasible_for(&self, read_len: usize) -> bool {
+        self.oss.feasible_for(read_len)
+    }
+
+    /// Estimated private-memory bytes one read's kernel instance needs:
+    /// the DP tables (see
+    /// [`OssParams::dp_footprint_bytes`](repute_filter::oss::OssParams::dp_footprint_bytes)),
+    /// one frequency column of FM intervals, the blocked-Myers state and
+    /// the packed read. Feeding this to the platform simulator's
+    /// occupancy model reproduces the §IV link between `S_min` and GPU
+    /// throughput.
+    pub fn kernel_footprint_bytes(&self, read_len: usize) -> usize {
+        let column = (self.s_min() + repute_filter::freq::MAX_EXTRA) * 8;
+        let myers_state = read_len.div_ceil(64) * 16;
+        self.oss.dp_footprint_bytes(read_len) + column + myers_state + read_len.div_ceil(4) + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let config = ReputeConfig::new(5, 12).unwrap();
+        assert_eq!(config.delta(), 5);
+        assert_eq!(config.s_min(), 12);
+        assert_eq!(config.max_locations(), 1000);
+        assert!(config.feasible_for(100));
+        assert!(!config.feasible_for(60));
+    }
+
+    #[test]
+    fn invalid_params_propagate() {
+        assert!(ReputeConfig::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn kernel_footprint_shrinks_with_s_min() {
+        // The §IV mechanism: larger S_min → smaller DP tables → smaller
+        // kernel → better GPU occupancy.
+        let small = ReputeConfig::new(4, 12).unwrap().kernel_footprint_bytes(100);
+        let large = ReputeConfig::new(4, 20).unwrap().kernel_footprint_bytes(100);
+        assert!(large < small, "footprint: s_min 12 → {small}, s_min 20 → {large}");
+        // Infeasible read: DP contributes 0; the column (31 intervals of
+        // 8 bytes), one Myers block (16), the packed read (10) and the
+        // fixed slack (64) remain.
+        assert_eq!(
+            ReputeConfig::new(7, 15).unwrap().kernel_footprint_bytes(40),
+            (15 + 16) * 8 + 16 + 10 + 64
+        );
+    }
+
+    #[test]
+    fn output_slots_scale_with_limit() {
+        let config = ReputeConfig::new(3, 12).unwrap().with_max_locations(100);
+        assert_eq!(config.output_slot_bytes(), 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_limit_rejected() {
+        let _ = ReputeConfig::new(3, 12).unwrap().with_max_locations(0);
+    }
+}

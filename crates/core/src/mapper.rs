@@ -1,0 +1,292 @@
+//! The REPUTE mapping kernel.
+
+use std::sync::Arc;
+
+use repute_filter::freq::FreqTable;
+use repute_filter::oss::OssSolver;
+use repute_genome::DnaSeq;
+use repute_mappers::{
+    CandidateSet, IndexedReference, MapOutput, Mapper, VerifyEngine,
+};
+
+use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
+
+/// Cap on located occurrences per seed (pathological repeats only).
+const PER_SEED_LOCATE_CAP: usize = 20_000;
+
+use crate::config::ReputeConfig;
+
+/// The REPUTE mapper: DP filtration + bit-vector verification, fused into
+/// one per-read kernel with a fixed memory footprint.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct ReputeMapper {
+    indexed: Arc<IndexedReference>,
+    config: ReputeConfig,
+}
+
+impl ReputeMapper {
+    /// Creates a mapper over a preprocessed reference.
+    pub fn new(indexed: Arc<IndexedReference>, config: ReputeConfig) -> ReputeMapper {
+        ReputeMapper { indexed, config }
+    }
+
+    /// The mapper's configuration.
+    pub fn config(&self) -> &ReputeConfig {
+        &self.config
+    }
+
+    /// The preprocessed reference this mapper maps against.
+    pub fn indexed(&self) -> &Arc<IndexedReference> {
+        &self.indexed
+    }
+}
+
+impl Mapper for ReputeMapper {
+    fn name(&self) -> &str {
+        "REPUTE"
+    }
+
+    fn max_locations(&self) -> usize {
+        self.config.max_locations()
+    }
+
+    fn kernel_private_bytes(&self, read_len: usize) -> usize {
+        self.config.kernel_footprint_bytes(read_len)
+    }
+
+    fn map_read(&self, read: &DnaSeq) -> MapOutput {
+        let fm = self.indexed.fm();
+        let engine = VerifyEngine::new(self.indexed.codes(), self.config.delta());
+        let solver = OssSolver::new(*self.config.oss_params());
+        let mut out = MapOutput::default();
+        let strands = [
+            (repute_genome::Strand::Forward, read.to_codes()),
+            (
+                repute_genome::Strand::Reverse,
+                read.reverse_complement().to_codes(),
+            ),
+        ];
+        for (strand, codes) in strands {
+            if !self.config.feasible_for(codes.len()) {
+                continue; // read too short for δ+1 seeds of S_min
+            }
+            // Filtration: frequency table + DP partition (the paper's
+            // §II-B kernel).
+            let table = FreqTable::build(fm, &codes, self.config.oss_params());
+            let outcome = solver.select(&codes, &table);
+            out.work += outcome.stats.extend_ops * EXTEND_COST
+                + outcome.stats.dp_cells * DP_CELL_COST;
+            // Candidate generation from the optimal seeds.
+            let mut candidates = CandidateSet::new();
+            for seed in &outcome.selection.seeds {
+                if let Some(interval) = seed.interval {
+                    let positions = fm.locate(interval, PER_SEED_LOCATE_CAP);
+                    out.work += positions.len() as u64 * LOCATE_COST;
+                    for pos in positions {
+                        // Capped seeds anchor their interval at a suffix.
+                        candidates.add(pos, seed.anchor);
+                    }
+                }
+            }
+            let merged = candidates.into_merged(self.config.delta());
+            out.candidates += merged.len() as u64;
+            // Verification (first-n output slots).
+            out.work += engine.verify(
+                &codes,
+                strand,
+                &merged,
+                self.config.max_locations(),
+                &mut out.mappings,
+            );
+            if out.mappings.len() >= self.config.max_locations() {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// A mapping together with its alignment description — the CIGAR output
+/// the paper lists as future work (§IV), implemented as an extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CigarMapping {
+    /// The mapping, with its position refined to the alignment's exact
+    /// start (no longer just the candidate diagonal).
+    pub mapping: repute_mappers::Mapping,
+    /// Edit script of the read against the reference at that position.
+    pub cigar: repute_align::Cigar,
+}
+
+impl ReputeMapper {
+    /// Maps a read and additionally computes the CIGAR string of every
+    /// reported location via a full DP traceback (§IV extension).
+    ///
+    /// Costs O(read · window) per reported mapping on top of
+    /// [`Mapper::map_read`]; intended for final output, not the hot path.
+    pub fn map_read_with_cigars(&self, read: &DnaSeq) -> (MapOutput, Vec<CigarMapping>) {
+        let out = self.map_read(read);
+        let reference = self.indexed.codes();
+        let delta = self.config.delta() as usize;
+        let forward = read.to_codes();
+        let reverse = read.reverse_complement().to_codes();
+        let mut detailed = Vec::with_capacity(out.mappings.len());
+        for &mapping in &out.mappings {
+            let codes = match mapping.strand {
+                repute_genome::Strand::Forward => &forward,
+                repute_genome::Strand::Reverse => &reverse,
+            };
+            let start = (mapping.position as usize).saturating_sub(delta);
+            let end = (mapping.position as usize + codes.len() + delta).min(reference.len());
+            let window = &reference[start..end];
+            if let Some(alignment) = repute_align::dp::semi_global_with_cigar(codes, window) {
+                detailed.push(CigarMapping {
+                    mapping: repute_mappers::Mapping {
+                        position: (start + alignment.start) as u32,
+                        ..mapping
+                    },
+                    cigar: alignment.cigar,
+                });
+            }
+        }
+        (out, detailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repute_genome::reads::{ErrorProfile, ReadSimulator};
+    use repute_genome::synth::ReferenceBuilder;
+    use repute_genome::Strand;
+    use repute_mappers::coral::CoralLike;
+
+    fn indexed() -> Arc<IndexedReference> {
+        Arc::new(IndexedReference::build(
+            ReferenceBuilder::new(60_000).seed(83).build(),
+        ))
+    }
+
+    fn mapper(delta: u32, s_min: usize) -> ReputeMapper {
+        ReputeMapper::new(indexed(), ReputeConfig::new(delta, s_min).unwrap())
+    }
+
+    #[test]
+    fn maps_exact_reads_both_strands() {
+        let m = mapper(5, 12);
+        let fwd = m.indexed().seq().subseq(20_000..20_100);
+        let out = m.map_read(&fwd);
+        assert!(out
+            .mappings
+            .iter()
+            .any(|h| h.position == 20_000 && h.strand == Strand::Forward && h.distance == 0));
+        let rev = fwd.reverse_complement();
+        let out = m.map_read(&rev);
+        assert!(out
+            .mappings
+            .iter()
+            .any(|h| h.position.abs_diff(20_000) <= 5 && h.strand == Strand::Reverse));
+    }
+
+    #[test]
+    fn full_sensitivity_within_delta() {
+        let m = mapper(5, 12);
+        let reads = ReadSimulator::new(100, 50)
+            .profile(ErrorProfile::err012100())
+            .seed(89)
+            .simulate(m.indexed().seq());
+        for read in &reads {
+            let origin = read.origin.unwrap();
+            if origin.edits > 5 {
+                continue;
+            }
+            let out = m.map_read(&read.seq);
+            assert!(
+                out.mappings.iter().any(|h| {
+                    h.strand == origin.strand
+                        && (h.position as i64 - origin.position as i64).abs() <= 5
+                }),
+                "read {} (edits {}) missed",
+                read.id,
+                origin.edits
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_read_yields_empty_output() {
+        let m = mapper(7, 15); // needs 120 bases
+        let read = m.indexed().seq().subseq(0..100);
+        let out = m.map_read(&read);
+        assert!(out.mappings.is_empty());
+        assert_eq!(out.work, 0);
+    }
+
+    #[test]
+    fn fewer_candidates_than_coral_on_average() {
+        // The DP-vs-heuristic claim of the paper, measured end-to-end.
+        let indexed = indexed();
+        let repute = ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(6, 12).unwrap());
+        let coral = CoralLike::new(Arc::clone(&indexed), 6);
+        let reads = ReadSimulator::new(150, 30)
+            .profile(ErrorProfile::srr826460())
+            .seed(97)
+            .simulate(indexed.seq());
+        let mut repute_cands = 0u64;
+        let mut coral_cands = 0u64;
+        for read in &reads {
+            repute_cands += repute.map_read(&read.seq).candidates;
+            coral_cands += coral.map_read(&read.seq).candidates;
+        }
+        assert!(
+            repute_cands <= coral_cands,
+            "REPUTE candidates {repute_cands} vs CORAL {coral_cands}"
+        );
+    }
+
+    #[test]
+    fn cigar_output_matches_reported_distances() {
+        let m = mapper(5, 12);
+        let reads = ReadSimulator::new(100, 15)
+            .profile(ErrorProfile::err012100())
+            .seed(211)
+            .simulate(m.indexed().seq());
+        for read in &reads {
+            let (out, detailed) = m.map_read_with_cigars(&read.seq);
+            assert_eq!(out.mappings.len(), detailed.len());
+            for (plain, rich) in out.mappings.iter().zip(&detailed) {
+                assert_eq!(rich.cigar.edit_distance(), plain.distance);
+                assert_eq!(rich.cigar.pattern_len(), 100);
+                // The refined position stays within the candidate window.
+                assert!(rich.mapping.position.abs_diff(plain.position) <= 2 * 5);
+            }
+        }
+    }
+
+    #[test]
+    fn cigar_of_exact_read_is_all_matches() {
+        let m = mapper(3, 15);
+        let read = m.indexed().seq().subseq(30_000..30_100);
+        let (_, detailed) = m.map_read_with_cigars(&read);
+        let exact = detailed
+            .iter()
+            .find(|d| d.mapping.position == 30_000)
+            .expect("origin reported");
+        assert_eq!(exact.cigar.to_string(), "100=");
+    }
+
+    #[test]
+    fn respects_first_n_limit() {
+        let indexed = indexed();
+        let m = ReputeMapper::new(
+            indexed,
+            ReputeConfig::new(2, 10).unwrap().with_max_locations(4),
+        );
+        let read: DnaSeq = "ACACACACACACACACACACACACACACAC".parse().unwrap();
+        let out = m.map_read(&read);
+        assert!(out.mappings.len() <= 4);
+        assert_eq!(m.max_locations(), 4);
+        assert_eq!(m.name(), "REPUTE");
+    }
+}

@@ -1,0 +1,431 @@
+//! Task-parallel mapping across the devices of a simulated platform.
+//!
+//! "Unlike state-of-the-art mappers, REPUTE distributes the workload on
+//! CPU and GPU, as per user specification, executing the work-items in
+//! task-parallel fashion" (§III-B). This module runs any [`Mapper`] over a
+//! read set with a user-chosen [`Share`] distribution, honouring the
+//! OpenCL 1.2 buffer restrictions: when a device's share needs more output
+//! memory than a quarter of its RAM, the share is split into sequential
+//! batches ("run the kernel multiple times with smaller read sets", §IV).
+
+use repute_genome::DnaSeq;
+use repute_hetsim::{
+    run_kernel, Buffer, DeviceProfile, DeviceRun, EnergyReport, FnKernel, LaunchError, Platform,
+    PlatformRun, Share,
+};
+use repute_mappers::{MapOutput, Mapper};
+
+/// How a device share is split into kernel launches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    batches: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// Plans batches of `items` reads on `device`, given the output bytes
+    /// one read requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single read's output does not fit the device at all.
+    pub fn plan(device: &DeviceProfile, items: usize, bytes_per_item: usize) -> BatchPlan {
+        if items == 0 {
+            return BatchPlan { batches: vec![] };
+        }
+        let per_launch = Buffer::max_items(device, bytes_per_item);
+        assert!(
+            per_launch >= 1,
+            "one read's output ({bytes_per_item} bytes) exceeds the quarter-RAM cap of {}",
+            device.name()
+        );
+        let mut batches = Vec::new();
+        let mut remaining = items;
+        while remaining > 0 {
+            let take = remaining.min(per_launch);
+            batches.push(take);
+            remaining -= take;
+        }
+        BatchPlan { batches }
+    }
+
+    /// The planned batch sizes, in launch order.
+    pub fn batches(&self) -> &[usize] {
+        &self.batches
+    }
+
+    /// Number of sequential kernel launches.
+    pub fn launches(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+/// Outcome of mapping a read set on a platform.
+#[derive(Debug, Clone)]
+pub struct MappingRun {
+    /// Per-read outputs, in read order.
+    pub outputs: Vec<MapOutput>,
+    /// Per-device accounting (one entry per share, batches folded in).
+    pub device_runs: Vec<DeviceRun>,
+    /// Simulated completion time: slowest device, batches sequential.
+    pub simulated_seconds: f64,
+    /// Wall-clock seconds the host spent.
+    pub wall_seconds: f64,
+    /// §III-D power/energy measurement of the run.
+    pub energy: EnergyReport,
+}
+
+impl MappingRun {
+    /// Total mappings reported across all reads.
+    pub fn total_mappings(&self) -> usize {
+        self.outputs.iter().map(|o| o.mappings.len()).sum()
+    }
+
+    /// Total substrate work across all devices.
+    pub fn total_work(&self) -> u64 {
+        self.device_runs.iter().map(|r| r.work).sum()
+    }
+}
+
+/// Computes a workload distribution proportional to each device's
+/// *effective* throughput for this mapper's kernel — nominal throughput
+/// times the occupancy its private-memory footprint allows.
+///
+/// [`Platform::even_shares`] splits by nominal throughput only; for
+/// footprint-heavy kernels (small `S_min`) that overloads the GPUs, which
+/// is why the paper's Fig. 3 sweep and §IV insist the distribution "should
+/// be performed judiciously".
+pub fn balanced_shares<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    read_len: usize,
+    items: usize,
+) -> Vec<Share> {
+    let footprint = mapper.kernel_private_bytes(read_len);
+    let effective: Vec<f64> = platform
+        .devices()
+        .iter()
+        .map(|d| d.throughput() * d.occupancy(footprint))
+        .collect();
+    let total: f64 = effective.iter().sum();
+    let mut shares: Vec<Share> = effective
+        .iter()
+        .enumerate()
+        .map(|(device, t)| Share {
+            device,
+            items: (items as f64 * t / total) as usize,
+        })
+        .collect();
+    let assigned: usize = shares.iter().map(|s| s.items).sum();
+    shares[0].items += items - assigned;
+    shares
+}
+
+/// Maps `reads` with `mapper`, distributing them over `shares` of
+/// `platform` — the paper's multi-device launch.
+///
+/// Each share receives a contiguous run of reads. Shares whose output
+/// buffers would exceed the device's quarter-RAM cap are processed in
+/// sequential batches on that device.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] if `shares` is empty, references an unknown
+/// device, or does not cover exactly `reads.len()` items.
+pub fn map_on_platform<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    shares: &[Share],
+    reads: &[DnaSeq],
+) -> Result<MappingRun, LaunchError> {
+    let covered: usize = shares.iter().map(|s| s.items).sum();
+    if covered != reads.len() {
+        return Err(LaunchError::from_message(format!(
+            "shares cover {covered} items but {} reads were supplied",
+            reads.len()
+        )));
+    }
+    if shares.is_empty() {
+        return Err(LaunchError::from_message("no shares supplied"));
+    }
+    for share in shares {
+        if share.device >= platform.devices().len() {
+            return Err(LaunchError::from_message(format!(
+                "device index {} out of range ({} devices)",
+                share.device,
+                platform.devices().len()
+            )));
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let bytes_per_read = mapper.max_locations() * 12;
+    let max_read_len = reads.iter().map(DnaSeq::len).max().unwrap_or(0);
+    let private_bytes = mapper.kernel_private_bytes(max_read_len);
+    let mut outputs: Vec<MapOutput> = Vec::with_capacity(reads.len());
+    let mut device_runs: Vec<DeviceRun> = Vec::with_capacity(shares.len());
+    let mut offset = 0usize;
+    for share in shares {
+        let device = &platform.devices()[share.device];
+        let plan = BatchPlan::plan(device, share.items, bytes_per_read);
+        let mut share_work = 0u64;
+        let mut share_seconds = 0.0f64;
+        let mut batch_offset = offset;
+        for &batch in plan.batches() {
+            let reads_slice = &reads[batch_offset..batch_offset + batch];
+            let kernel = FnKernel::new(|i: usize| {
+                let out = mapper.map_read(&reads_slice[i]);
+                let work = out.work;
+                (out, work)
+            })
+            .with_private_bytes(private_bytes);
+            let run = run_kernel(device, batch, &kernel);
+            outputs.extend(run.outputs);
+            share_work += run.work;
+            // Batches on one device run back to back.
+            share_seconds += run.simulated_seconds;
+            batch_offset += batch;
+        }
+        device_runs.push(DeviceRun {
+            device: share.device,
+            items: share.items,
+            work: share_work,
+            simulated_seconds: share_seconds,
+        });
+        offset += share.items;
+    }
+    let simulated_seconds = device_runs
+        .iter()
+        .map(|r| r.simulated_seconds)
+        .fold(0.0f64, f64::max);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    // Reuse the platform's §III-D meter by assembling an equivalent run.
+    let energy = {
+        let shadow: PlatformRun<()> = PlatformRun {
+            outputs: vec![],
+            device_runs: device_runs.clone(),
+            simulated_seconds,
+            wall_seconds,
+        };
+        platform.measure_energy(&shadow)
+    };
+    Ok(MappingRun {
+        outputs,
+        device_runs,
+        simulated_seconds,
+        wall_seconds,
+        energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use repute_genome::reads::ReadSimulator;
+    use repute_genome::synth::ReferenceBuilder;
+    use repute_hetsim::profiles;
+    use repute_mappers::IndexedReference;
+
+    use crate::{ReputeConfig, ReputeMapper};
+
+    fn setup() -> (ReputeMapper, Vec<DnaSeq>) {
+        let reference = ReferenceBuilder::new(40_000).seed(101).build();
+        let reads: Vec<DnaSeq> = ReadSimulator::new(100, 24)
+            .seed(103)
+            .simulate(&reference)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
+        let indexed = Arc::new(IndexedReference::build(reference));
+        let mapper = ReputeMapper::new(indexed, ReputeConfig::new(3, 15).unwrap());
+        (mapper, reads)
+    }
+
+    #[test]
+    fn outputs_in_read_order_across_devices() {
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let shares = vec![
+            Share { device: 0, items: 10 },
+            Share { device: 1, items: 8 },
+            Share { device: 2, items: 6 },
+        ];
+        let run = map_on_platform(&mapper, &platform, &shares, &reads).unwrap();
+        assert_eq!(run.outputs.len(), 24);
+        // Every output matches a single-device rerun of the same read.
+        for (read, out) in reads.iter().zip(&run.outputs) {
+            assert_eq!(mapper.map_read(read).mappings, out.mappings);
+        }
+        assert!(run.total_mappings() > 0);
+        assert!(run.energy.energy_j > 0.0);
+    }
+
+    #[test]
+    fn share_coverage_is_validated() {
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let bad = vec![Share { device: 0, items: 5 }];
+        assert!(map_on_platform(&mapper, &platform, &bad, &reads).is_err());
+        let bad_dev = vec![Share { device: 7, items: 24 }];
+        assert!(map_on_platform(&mapper, &platform, &bad_dev, &reads).is_err());
+    }
+
+    #[test]
+    fn offloading_to_gpus_reduces_completion_time() {
+        // The shape of the paper's Fig. 3: moving reads from the CPU to
+        // the GPUs shortens the bottleneck, up to a point.
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let cpu_only = map_on_platform(
+            &mapper,
+            &platform,
+            &platform.single_device_share(0, reads.len()),
+            &reads,
+        )
+        .unwrap();
+        let shares = platform.even_shares(reads.len());
+        let spread = map_on_platform(&mapper, &platform, &shares, &reads).unwrap();
+        assert!(
+            spread.simulated_seconds < cpu_only.simulated_seconds,
+            "spread {} !< cpu {}",
+            spread.simulated_seconds,
+            cpu_only.simulated_seconds
+        );
+    }
+
+    #[test]
+    fn balanced_shares_beat_even_shares_for_heavy_kernels() {
+        let reference = ReferenceBuilder::new(60_000).seed(205).build();
+        let reads: Vec<DnaSeq> = ReadSimulator::new(100, 32)
+            .seed(206)
+            .simulate(&reference)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
+        let indexed = Arc::new(IndexedReference::build(reference));
+        // Small S_min → heavy kernel → reduced GPU occupancy.
+        let mapper = ReputeMapper::new(
+            Arc::clone(&indexed),
+            ReputeConfig::new(4, 12).unwrap(),
+        );
+        let platform = profiles::system1();
+        let even = map_on_platform(&mapper, &platform, &platform.even_shares(reads.len()), &reads)
+            .expect("valid");
+        let balanced = balanced_shares(&mapper, &platform, 100, reads.len());
+        assert_eq!(balanced.iter().map(|s| s.items).sum::<usize>(), reads.len());
+        let run = map_on_platform(&mapper, &platform, &balanced, &reads).expect("valid");
+        // The balanced split must not be worse; with per-read work noise
+        // allow a small tolerance.
+        assert!(
+            run.simulated_seconds <= even.simulated_seconds * 1.05,
+            "balanced {} vs even {}",
+            run.simulated_seconds,
+            even.simulated_seconds
+        );
+        // It assigns the GPUs less than the nominal-throughput split does.
+        let even_gpu: usize = platform.even_shares(reads.len())[1..].iter().map(|s| s.items).sum();
+        let balanced_gpu: usize = balanced[1..].iter().map(|s| s.items).sum();
+        assert!(balanced_gpu <= even_gpu, "{balanced_gpu} > {even_gpu}");
+    }
+
+    #[test]
+    fn gpu_occupancy_penalises_small_s_min_kernels() {
+        // The §IV mechanism: a small S_min inflates the kernel's private
+        // footprint, dropping GPU occupancy — simulated seconds per work
+        // unit rise even though the algorithmic work is what it is.
+        let reference = ReferenceBuilder::new(60_000).seed(202).build();
+        let reads: Vec<DnaSeq> = ReadSimulator::new(100, 16)
+            .seed(203)
+            .simulate(&reference)
+            .into_iter()
+            .map(|r| r.seq)
+            .collect();
+        let indexed = Arc::new(IndexedReference::build(reference));
+        let gpu_only = Platform::new("gpu", 10.0, vec![profiles::gtx590()]);
+
+        let seconds_per_work = |s_min: usize| -> f64 {
+            let mapper = ReputeMapper::new(
+                Arc::clone(&indexed),
+                ReputeConfig::new(4, s_min).unwrap(),
+            );
+            let run = map_on_platform(
+                &mapper,
+                &gpu_only,
+                &gpu_only.single_device_share(0, reads.len()),
+                &reads,
+            )
+            .expect("valid shares");
+            run.simulated_seconds / run.total_work() as f64
+        };
+        let heavy = seconds_per_work(12);
+        let light = seconds_per_work(20);
+        assert!(
+            heavy > light * 1.1,
+            "occupancy effect missing: {heavy} vs {light} s/unit"
+        );
+
+        // The CPU is occupancy-insensitive: identical seconds per unit.
+        let cpu_only = profiles::system1_cpu_only();
+        let cpu_seconds_per_work = |s_min: usize| -> f64 {
+            let mapper = ReputeMapper::new(
+                Arc::clone(&indexed),
+                ReputeConfig::new(4, s_min).unwrap(),
+            );
+            let run = map_on_platform(
+                &mapper,
+                &cpu_only,
+                &cpu_only.single_device_share(0, reads.len()),
+                &reads,
+            )
+            .expect("valid shares");
+            run.simulated_seconds / run.total_work() as f64
+        };
+        let a = cpu_seconds_per_work(12);
+        let b = cpu_seconds_per_work(20);
+        assert!((a - b).abs() / a < 1e-9, "cpu must be occupancy-flat");
+    }
+
+    #[test]
+    fn batch_plan_respects_quarter_ram() {
+        let gpu = profiles::gtx590();
+        // A read whose output is 64 MiB forces small batches on a 1.5 GB
+        // card (cap 384 MiB → 6 reads per launch).
+        let plan = BatchPlan::plan(&gpu, 20, 64 << 20);
+        assert_eq!(plan.launches(), 4);
+        assert_eq!(plan.batches(), &[6, 6, 6, 2]);
+        let empty = BatchPlan::plan(&gpu, 0, 100);
+        assert_eq!(empty.launches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quarter-RAM cap")]
+    fn impossible_item_rejected() {
+        let gpu = profiles::gtx590();
+        let _ = BatchPlan::plan(&gpu, 1, usize::MAX / 2);
+    }
+
+    #[test]
+    fn batched_share_time_adds_up() {
+        let (mapper, reads) = setup();
+        // A tiny device: memory so small every read is its own batch.
+        let tiny = repute_hetsim::DeviceProfile::new(
+            "tiny",
+            repute_hetsim::DeviceKind::Gpu,
+            2,
+            1e6,
+            mapper.max_locations() * 12 * 8, // two reads per quarter-RAM
+            1.0,
+        );
+        let platform = Platform::new("tiny-sys", 1.0, vec![tiny]);
+        let run = map_on_platform(
+            &mapper,
+            &platform,
+            &platform.single_device_share(0, reads.len()),
+            &reads,
+        )
+        .unwrap();
+        assert_eq!(run.outputs.len(), reads.len());
+        assert!(run.simulated_seconds > 0.0);
+    }
+}

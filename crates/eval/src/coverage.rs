@@ -1,0 +1,172 @@
+//! Per-position coverage (pileup depth) from mapping locations.
+//!
+//! The downstream consumer's first question after mapping: how deeply is
+//! each region covered? This module accumulates read spans into a depth
+//! track and summarises it per interval — used by the gene-panel example
+//! to report per-target coverage.
+
+use repute_mappers::Mapping;
+
+/// A depth track over one reference sequence.
+///
+/// # Example
+///
+/// ```
+/// use repute_eval::coverage::CoverageMap;
+/// use repute_genome::Strand;
+/// use repute_mappers::Mapping;
+///
+/// let mut coverage = CoverageMap::new(100);
+/// coverage.add(&Mapping { position: 10, strand: Strand::Forward, distance: 0 }, 20);
+/// coverage.add(&Mapping { position: 25, strand: Strand::Reverse, distance: 1 }, 20);
+/// assert_eq!(coverage.depth(5), 0);
+/// assert_eq!(coverage.depth(12), 1);
+/// assert_eq!(coverage.depth(27), 2);
+/// assert!((coverage.mean_depth(10..30) - 1.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageMap {
+    /// Difference array; prefix sums give depth.
+    diffs: Vec<i64>,
+    len: usize,
+    finalized: Option<Vec<u32>>,
+}
+
+impl CoverageMap {
+    /// Creates an empty track over a reference of `len` bases.
+    pub fn new(len: usize) -> CoverageMap {
+        CoverageMap {
+            diffs: vec![0; len + 1],
+            len,
+            finalized: None,
+        }
+    }
+
+    /// Reference length the track covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for a zero-length reference.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Accumulates one mapping of a read of `read_len` bases. Spans are
+    /// clipped at the reference end.
+    pub fn add(&mut self, mapping: &Mapping, read_len: usize) {
+        let start = (mapping.position as usize).min(self.len);
+        let end = (start + read_len).min(self.len);
+        self.diffs[start] += 1;
+        self.diffs[end] -= 1;
+        self.finalized = None;
+    }
+
+    fn depths(&mut self) -> &[u32] {
+        if self.finalized.is_none() {
+            let mut running = 0i64;
+            let depths = self.diffs[..self.len]
+                .iter()
+                .map(|&d| {
+                    running += d;
+                    running.max(0) as u32
+                })
+                .collect();
+            self.finalized = Some(depths);
+        }
+        self.finalized.as_deref().expect("just set")
+    }
+
+    /// Depth at one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= len`.
+    pub fn depth(&mut self, position: usize) -> u32 {
+        assert!(position < self.len, "position {position} out of range {}", self.len);
+        self.depths()[position]
+    }
+
+    /// Mean depth over a half-open interval (0.0 for an empty interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval exceeds the reference.
+    pub fn mean_depth(&mut self, range: std::ops::Range<usize>) -> f64 {
+        assert!(range.end <= self.len, "range {range:?} out of bounds {}", self.len);
+        if range.is_empty() {
+            return 0.0;
+        }
+        let slice = &self.depths()[range.clone()];
+        slice.iter().map(|&d| u64::from(d)).sum::<u64>() as f64 / slice.len() as f64
+    }
+
+    /// Fraction of an interval covered to at least `min_depth`
+    /// (0.0 for an empty interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval exceeds the reference.
+    pub fn breadth(&mut self, range: std::ops::Range<usize>, min_depth: u32) -> f64 {
+        assert!(range.end <= self.len, "range {range:?} out of bounds {}", self.len);
+        if range.is_empty() {
+            return 0.0;
+        }
+        let slice = &self.depths()[range.clone()];
+        slice.iter().filter(|&&d| d >= min_depth).count() as f64 / slice.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repute_genome::Strand;
+
+    fn mapping(position: u32) -> Mapping {
+        Mapping {
+            position,
+            strand: Strand::Forward,
+            distance: 0,
+        }
+    }
+
+    #[test]
+    fn depth_accumulates_and_clips() {
+        let mut cov = CoverageMap::new(50);
+        cov.add(&mapping(0), 10);
+        cov.add(&mapping(5), 10);
+        cov.add(&mapping(45), 10); // clipped at 50
+        assert_eq!(cov.depth(0), 1);
+        assert_eq!(cov.depth(7), 2);
+        assert_eq!(cov.depth(10), 1);
+        assert_eq!(cov.depth(20), 0);
+        assert_eq!(cov.depth(49), 1);
+    }
+
+    #[test]
+    fn mean_and_breadth() {
+        let mut cov = CoverageMap::new(20);
+        cov.add(&mapping(0), 10);
+        cov.add(&mapping(0), 10);
+        assert!((cov.mean_depth(0..20) - 1.0).abs() < 1e-12);
+        assert!((cov.breadth(0..20, 1) - 0.5).abs() < 1e-12);
+        assert!((cov.breadth(0..10, 2) - 1.0).abs() < 1e-12);
+        assert_eq!(cov.mean_depth(5..5), 0.0);
+    }
+
+    #[test]
+    fn adding_after_query_invalidates_cache() {
+        let mut cov = CoverageMap::new(10);
+        cov.add(&mapping(0), 5);
+        assert_eq!(cov.depth(2), 1);
+        cov.add(&mapping(0), 5);
+        assert_eq!(cov.depth(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_depth_panics() {
+        let mut cov = CoverageMap::new(5);
+        let _ = cov.depth(5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Mapping-run summary statistics.
+//!
+//! The numbers a user checks first after a run: how many reads mapped,
+//! how ambiguous the mappings are, and how the edit distances distribute.
+//! Used by the `repute` CLI's end-of-run summary.
+
+use std::fmt;
+
+use repute_mappers::Mapping;
+
+/// Aggregate statistics over a mapping run.
+///
+/// # Example
+///
+/// ```
+/// use repute_eval::stats::MappingStats;
+/// use repute_genome::Strand;
+/// use repute_mappers::Mapping;
+///
+/// let per_read = vec![
+///     vec![Mapping { position: 10, strand: Strand::Forward, distance: 0 }],
+///     vec![],
+///     vec![
+///         Mapping { position: 5, strand: Strand::Forward, distance: 2 },
+///         Mapping { position: 99, strand: Strand::Reverse, distance: 2 },
+///     ],
+/// ];
+/// let stats = MappingStats::collect(per_read.iter().map(|v| v.as_slice()));
+/// assert_eq!(stats.reads, 3);
+/// assert_eq!(stats.mapped_reads, 2);
+/// assert_eq!(stats.multi_mapped_reads, 1);
+/// assert!((stats.mapping_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MappingStats {
+    /// Number of reads processed.
+    pub reads: usize,
+    /// Reads with at least one mapping.
+    pub mapped_reads: usize,
+    /// Reads with more than one mapping.
+    pub multi_mapped_reads: usize,
+    /// Total mapping locations reported.
+    pub total_mappings: usize,
+    /// `distance_histogram[d]` counts mappings with edit distance `d`.
+    pub distance_histogram: Vec<usize>,
+}
+
+impl MappingStats {
+    /// Collects statistics from per-read mapping slices.
+    pub fn collect<'a, I>(per_read: I) -> MappingStats
+    where
+        I: IntoIterator<Item = &'a [Mapping]>,
+    {
+        let mut stats = MappingStats::default();
+        for mappings in per_read {
+            stats.reads += 1;
+            if !mappings.is_empty() {
+                stats.mapped_reads += 1;
+            }
+            if mappings.len() > 1 {
+                stats.multi_mapped_reads += 1;
+            }
+            stats.total_mappings += mappings.len();
+            for m in mappings {
+                let d = m.distance as usize;
+                if stats.distance_histogram.len() <= d {
+                    stats.distance_histogram.resize(d + 1, 0);
+                }
+                stats.distance_histogram[d] += 1;
+            }
+        }
+        stats
+    }
+
+    /// Fraction of reads with at least one mapping, in `[0, 1]`
+    /// (0 when no reads were processed).
+    pub fn mapping_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.mapped_reads as f64 / self.reads as f64
+        }
+    }
+
+    /// Mean mappings per mapped read (0 when nothing mapped).
+    pub fn mean_multiplicity(&self) -> f64 {
+        if self.mapped_reads == 0 {
+            0.0
+        } else {
+            self.total_mappings as f64 / self.mapped_reads as f64
+        }
+    }
+}
+
+impl fmt::Display for MappingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "reads: {} | mapped: {} ({:.1}%) | multi-mapped: {} | locations: {} ({:.2}/mapped read)",
+            self.reads,
+            self.mapped_reads,
+            self.mapping_rate() * 100.0,
+            self.multi_mapped_reads,
+            self.total_mappings,
+            self.mean_multiplicity()
+        )?;
+        if !self.distance_histogram.is_empty() {
+            write!(f, "edit distances:")?;
+            for (d, count) in self.distance_histogram.iter().enumerate() {
+                if *count > 0 {
+                    write!(f, " {d}:{count}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repute_genome::Strand;
+
+    fn m(distance: u32) -> Mapping {
+        Mapping {
+            position: 0,
+            strand: Strand::Forward,
+            distance,
+        }
+    }
+
+    #[test]
+    fn collects_counts_and_histogram() {
+        let per_read = [
+            vec![m(0), m(2), m(2)],
+            vec![],
+            vec![m(1)],
+            vec![m(5)],
+        ];
+        let stats = MappingStats::collect(per_read.iter().map(|v| v.as_slice()));
+        assert_eq!(stats.reads, 4);
+        assert_eq!(stats.mapped_reads, 3);
+        assert_eq!(stats.multi_mapped_reads, 1);
+        assert_eq!(stats.total_mappings, 5);
+        assert_eq!(stats.distance_histogram, vec![1, 1, 2, 0, 0, 1]);
+        assert!((stats.mean_multiplicity() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run() {
+        let stats = MappingStats::collect(std::iter::empty());
+        assert_eq!(stats.reads, 0);
+        assert_eq!(stats.mapping_rate(), 0.0);
+        assert_eq!(stats.mean_multiplicity(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let per_read = [vec![m(0)], vec![m(3)]];
+        let stats = MappingStats::collect(per_read.iter().map(|v| v.as_slice()));
+        let text = stats.to_string();
+        assert!(text.contains("mapped: 2 (100.0%)"));
+        assert!(text.contains("0:1"));
+        assert!(text.contains("3:1"));
+    }
+}

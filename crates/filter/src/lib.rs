@@ -1,0 +1,47 @@
+//! Filtration strategies — the heart of the REPUTE reproduction.
+//!
+//! Read mapping spends its time verifying candidate locations, so the
+//! filtration stage's job (§II-B of the paper) is to pick the δ+1 seeds
+//! whose *total candidate count* is as small as possible. This crate
+//! implements the paper's contribution and the strategies it is compared
+//! against:
+//!
+//! * [`oss`] — the memory-optimised dynamic-programming seed selection
+//!   inspired by the Optimal Seed Solver, with the restricted exploration
+//!   space that is REPUTE's key memory optimisation,
+//! * [`pigeonhole`] — the pigeonhole principle and uniform partitions
+//!   (the RazerS3-style baseline),
+//! * [`greedy`] — serial heuristic k-mer selection (the CORAL-style
+//!   baseline: "CORAL examines k-mers serially"),
+//! * [`freq`] — seed-frequency providers backed by the FM-Index with
+//!   incremental backward-search reuse.
+//!
+//! # Example
+//!
+//! ```
+//! use repute_genome::synth::ReferenceBuilder;
+//! use repute_index::FmIndex;
+//! use repute_filter::{freq::FreqTable, oss::{OssParams, OssSolver}};
+//!
+//! let reference = ReferenceBuilder::new(20_000).seed(1).build();
+//! let fm = FmIndex::build(&reference);
+//! let read = reference.subseq(500..600).to_codes();
+//!
+//! let params = OssParams::new(5, 12).expect("valid");
+//! let solver = OssSolver::new(params);
+//! let outcome = solver.select(&read, &FreqTable::build(&fm, &read, &params));
+//! assert_eq!(outcome.selection.seeds.len(), 6); // δ + 1 seeds
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod freq;
+pub mod greedy;
+pub mod oss;
+pub mod pigeonhole;
+pub mod segmented;
+pub mod sparse;
+mod seed;
+
+pub use seed::{Seed, SeedSelection, SeedSelector, SelectionStats};

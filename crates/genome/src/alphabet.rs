@@ -1,0 +1,231 @@
+//! The DNA alphabet and strand orientation.
+
+use std::fmt;
+
+use crate::error::GenomeError;
+
+/// One of the four DNA nucleotides.
+///
+/// Each base carries a fixed 2-bit code (`A=0, C=1, G=2, T=3`), the packing
+/// used by [`crate::DnaSeq`] and by every index structure downstream.
+///
+/// # Example
+///
+/// ```
+/// use repute_genome::Base;
+///
+/// assert_eq!(Base::A.complement(), Base::T);
+/// assert_eq!(Base::G.code(), 2);
+/// assert_eq!(Base::from_code(3), Base::T);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in code order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Returns the 2-bit code of this base (`A=0, C=1, G=2, T=3`).
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a base from its 2-bit code.
+    ///
+    /// Only the two least-significant bits of `code` are used, so every
+    /// `u8` maps to some base; use [`Base::try_from_code`] for validation.
+    #[inline]
+    pub const fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// Builds a base from a 2-bit code, rejecting codes above 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidBaseCode`] if `code > 3`.
+    #[inline]
+    pub fn try_from_code(code: u8) -> Result<Base, GenomeError> {
+        if code <= 3 {
+            Ok(Base::from_code(code))
+        } else {
+            Err(GenomeError::InvalidBaseCode(code))
+        }
+    }
+
+    /// Parses an ASCII character (case-insensitive) into a base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::ParseBase`] for anything other than
+    /// `A`, `C`, `G` or `T` (ambiguity codes such as `N` are *not*
+    /// accepted here; see [`crate::fasta::AmbiguityPolicy`]).
+    #[inline]
+    pub fn from_char(c: char) -> Result<Base, GenomeError> {
+        match c {
+            'A' | 'a' => Ok(Base::A),
+            'C' | 'c' => Ok(Base::C),
+            'G' | 'g' => Ok(Base::G),
+            'T' | 't' => Ok(Base::T),
+            other => Err(GenomeError::ParseBase(other)),
+        }
+    }
+
+    /// Returns the uppercase ASCII character for this base.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+
+    /// Returns the Watson–Crick complement (`A↔T`, `C↔G`).
+    #[inline]
+    pub const fn complement(self) -> Base {
+        // Complement is bitwise negation in the 2-bit encoding.
+        Base::from_code(3 - self.code())
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl TryFrom<char> for Base {
+    type Error = GenomeError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        Base::from_char(c)
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_char()
+    }
+}
+
+/// Which strand of the double helix a read maps to.
+///
+/// # Example
+///
+/// ```
+/// use repute_genome::Strand;
+///
+/// assert_eq!(Strand::Forward.flipped(), Strand::Reverse);
+/// assert_eq!(Strand::Forward.symbol(), '+');
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Strand {
+    /// The reference (plus) strand.
+    #[default]
+    Forward,
+    /// The reverse-complement (minus) strand.
+    Reverse,
+}
+
+impl Strand {
+    /// Returns the opposite strand.
+    #[inline]
+    pub const fn flipped(self) -> Strand {
+        match self {
+            Strand::Forward => Strand::Reverse,
+            Strand::Reverse => Strand::Forward,
+        }
+    }
+
+    /// Returns the SAM-style symbol, `+` or `-`.
+    #[inline]
+    pub const fn symbol(self) -> char {
+        match self {
+            Strand::Forward => '+',
+            Strand::Reverse => '-',
+        }
+    }
+}
+
+impl fmt::Display for Strand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+            assert_eq!(Base::try_from_code(b.code()).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn invalid_code_rejected() {
+        assert!(matches!(
+            Base::try_from_code(4),
+            Err(GenomeError::InvalidBaseCode(4))
+        ));
+    }
+
+    #[test]
+    fn chars_round_trip_case_insensitive() {
+        for (c, b) in [('a', Base::A), ('C', Base::C), ('g', Base::G), ('T', Base::T)] {
+            assert_eq!(Base::from_char(c).unwrap(), b);
+        }
+        assert_eq!(Base::G.to_char(), 'G');
+    }
+
+    #[test]
+    fn rejects_ambiguity_codes() {
+        for c in ['N', 'n', 'R', 'x', '-'] {
+            assert!(Base::from_char(c).is_err(), "{c} should not parse");
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    fn strand_flips() {
+        assert_eq!(Strand::Forward.flipped(), Strand::Reverse);
+        assert_eq!(Strand::Reverse.flipped(), Strand::Forward);
+        assert_eq!(Strand::Reverse.symbol(), '-');
+        assert_eq!(Strand::default(), Strand::Forward);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Base::T.to_string(), "T");
+        assert_eq!(Strand::Reverse.to_string(), "-");
+    }
+}

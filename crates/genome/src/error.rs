@@ -1,0 +1,92 @@
+//! Error type shared by the genome crate.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while parsing or constructing genomic data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GenomeError {
+    /// A character outside `{A, C, G, T}` was encountered where a
+    /// concrete base was required.
+    ParseBase(char),
+    /// A 2-bit base code above 3 was supplied.
+    InvalidBaseCode(u8),
+    /// A FASTA/FASTQ stream violated the expected format.
+    Format {
+        /// 1-based line number at which the violation was detected.
+        line: usize,
+        /// Description of the violation.
+        message: String,
+    },
+    /// A quality string did not match its sequence, or contained bytes
+    /// outside the printable Phred+33 range.
+    InvalidQuality(String),
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::ParseBase(c) => {
+                write!(f, "character {c:?} is not one of A, C, G, T")
+            }
+            GenomeError::InvalidBaseCode(code) => {
+                write!(f, "base code {code} is outside 0..=3")
+            }
+            GenomeError::Format { line, message } => {
+                write!(f, "format violation at line {line}: {message}")
+            }
+            GenomeError::InvalidQuality(msg) => {
+                write!(f, "invalid quality string: {msg}")
+            }
+            GenomeError::Io(err) => write!(f, "i/o failure: {err}"),
+        }
+    }
+}
+
+impl Error for GenomeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GenomeError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GenomeError {
+    fn from(err: io::Error) -> Self {
+        GenomeError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GenomeError::ParseBase('N');
+        assert!(e.to_string().contains("'N'"));
+        let e = GenomeError::Format {
+            line: 7,
+            message: "missing header".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "boom");
+        let e = GenomeError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GenomeError>();
+    }
+}

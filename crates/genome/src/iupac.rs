@@ -1,0 +1,226 @@
+//! IUPAC nucleotide ambiguity codes.
+//!
+//! Real references and primer sequences use the 15-letter IUPAC alphabet
+//! (`N` = any base, `R` = purine, …). The 2-bit mapping pipeline cannot
+//! store ambiguity, so [`crate::fasta`] resolves it at parse time; this
+//! module provides the codes themselves for tools that need to *reason*
+//! about ambiguity — degenerate primer matching, masked-region handling,
+//! or deciding how a parse policy should resolve a character.
+
+use std::fmt;
+
+use crate::alphabet::Base;
+use crate::error::GenomeError;
+
+/// One IUPAC nucleotide code: a non-empty subset of `{A, C, G, T}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IupacCode {
+    /// Bitmask over [`Base::code`] bits (bit 0 = A … bit 3 = T).
+    mask: u8,
+}
+
+impl IupacCode {
+    /// The 15 valid codes in conventional order.
+    pub const ALL: [char; 15] = [
+        'A', 'C', 'G', 'T', 'R', 'Y', 'S', 'W', 'K', 'M', 'B', 'D', 'H', 'V', 'N',
+    ];
+
+    /// Parses an IUPAC character (case-insensitive; `U` is accepted as
+    /// `T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::ParseBase`] for non-IUPAC characters.
+    pub fn from_char(c: char) -> Result<IupacCode, GenomeError> {
+        let mask = match c.to_ascii_uppercase() {
+            'A' => 0b0001,
+            'C' => 0b0010,
+            'G' => 0b0100,
+            'T' | 'U' => 0b1000,
+            'R' => 0b0101, // A|G (purine)
+            'Y' => 0b1010, // C|T (pyrimidine)
+            'S' => 0b0110, // G|C (strong)
+            'W' => 0b1001, // A|T (weak)
+            'K' => 0b1100, // G|T (keto)
+            'M' => 0b0011, // A|C (amino)
+            'B' => 0b1110, // not A
+            'D' => 0b1101, // not C
+            'H' => 0b1011, // not G
+            'V' => 0b0111, // not T
+            'N' => 0b1111, // any
+            other => return Err(GenomeError::ParseBase(other)),
+        };
+        Ok(IupacCode { mask })
+    }
+
+    /// The canonical uppercase character for this code.
+    pub fn to_char(self) -> char {
+        match self.mask {
+            0b0001 => 'A',
+            0b0010 => 'C',
+            0b0100 => 'G',
+            0b1000 => 'T',
+            0b0101 => 'R',
+            0b1010 => 'Y',
+            0b0110 => 'S',
+            0b1001 => 'W',
+            0b1100 => 'K',
+            0b0011 => 'M',
+            0b1110 => 'B',
+            0b1101 => 'D',
+            0b1011 => 'H',
+            0b0111 => 'V',
+            _ => 'N',
+        }
+    }
+
+    /// Whether this code admits `base`.
+    pub fn matches(self, base: Base) -> bool {
+        self.mask & (1 << base.code()) != 0
+    }
+
+    /// The concrete bases this code admits, in code order.
+    pub fn bases(self) -> impl Iterator<Item = Base> {
+        let mask = self.mask;
+        Base::ALL.into_iter().filter(move |b| mask & (1 << b.code()) != 0)
+    }
+
+    /// Number of concrete bases admitted (1–4).
+    pub fn degeneracy(self) -> u32 {
+        u32::from(self.mask.count_ones())
+    }
+
+    /// Returns the concrete base if the code is unambiguous.
+    pub fn to_base(self) -> Option<Base> {
+        (self.degeneracy() == 1).then(|| {
+            Base::from_code(self.mask.trailing_zeros() as u8)
+        })
+    }
+
+    /// The complement code (complements every admitted base; e.g. the
+    /// purines `R` complement to the pyrimidines `Y`, and `N` stays `N`).
+    pub fn complement(self) -> IupacCode {
+        let mut mask = 0u8;
+        for base in self.bases() {
+            mask |= 1 << base.complement().code();
+        }
+        IupacCode { mask }
+    }
+}
+
+impl fmt::Display for IupacCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<Base> for IupacCode {
+    fn from(base: Base) -> IupacCode {
+        IupacCode {
+            mask: 1 << base.code(),
+        }
+    }
+}
+
+/// Tests whether `pattern` (IUPAC) matches `text` (concrete bases) at
+/// every position; lengths must agree.
+///
+/// # Example
+///
+/// ```
+/// use repute_genome::iupac::{degenerate_match, IupacCode};
+/// use repute_genome::{Base, DnaSeq};
+///
+/// # fn main() -> Result<(), repute_genome::GenomeError> {
+/// let primer: Vec<IupacCode> = "ARYN"
+///     .chars()
+///     .map(IupacCode::from_char)
+///     .collect::<Result<_, _>>()?;
+/// let site: DnaSeq = "AGCT".parse()?;
+/// assert!(degenerate_match(&primer, &site.to_codes()));
+/// let miss: DnaSeq = "TGCT".parse()?;
+/// assert!(!degenerate_match(&primer, &miss.to_codes()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn degenerate_match(pattern: &[IupacCode], text: &[u8]) -> bool {
+    pattern.len() == text.len()
+        && pattern
+            .iter()
+            .zip(text)
+            .all(|(code, &base)| code.matches(Base::from_code(base)))
+}
+
+/// Finds all start positions where the degenerate `pattern` matches
+/// `text` (concrete base codes).
+pub fn degenerate_find(pattern: &[IupacCode], text: &[u8]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    text.windows(pattern.len())
+        .enumerate()
+        .filter(|(_, window)| degenerate_match(pattern, window))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_codes_round_trip() {
+        for c in IupacCode::ALL {
+            let code = IupacCode::from_char(c).unwrap();
+            assert_eq!(code.to_char(), c, "round trip of {c}");
+            assert!(code.degeneracy() >= 1 && code.degeneracy() <= 4);
+        }
+        assert_eq!(IupacCode::from_char('u').unwrap().to_char(), 'T');
+        assert!(IupacCode::from_char('X').is_err());
+    }
+
+    #[test]
+    fn matching_semantics() {
+        let n = IupacCode::from_char('N').unwrap();
+        for b in Base::ALL {
+            assert!(n.matches(b));
+        }
+        let r = IupacCode::from_char('R').unwrap();
+        assert!(r.matches(Base::A) && r.matches(Base::G));
+        assert!(!r.matches(Base::C) && !r.matches(Base::T));
+        assert_eq!(r.degeneracy(), 2);
+        assert_eq!(r.bases().collect::<Vec<_>>(), vec![Base::A, Base::G]);
+    }
+
+    #[test]
+    fn concrete_codes_convert_to_bases() {
+        assert_eq!(IupacCode::from_char('G').unwrap().to_base(), Some(Base::G));
+        assert_eq!(IupacCode::from_char('W').unwrap().to_base(), None);
+        assert_eq!(IupacCode::from(Base::T).to_char(), 'T');
+    }
+
+    #[test]
+    fn complements() {
+        let pairs = [('A', 'T'), ('R', 'Y'), ('S', 'S'), ('W', 'W'), ('B', 'V'), ('N', 'N')];
+        for (c, comp) in pairs {
+            assert_eq!(
+                IupacCode::from_char(c).unwrap().complement().to_char(),
+                comp,
+                "complement of {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_search() {
+        // Pattern "RN" over text ACGTAG: R matches A/G.
+        let pattern: Vec<IupacCode> = "RN"
+            .chars()
+            .map(|c| IupacCode::from_char(c).unwrap())
+            .collect();
+        let text = [0u8, 1, 2, 3, 0, 2]; // ACGTAG
+        assert_eq!(degenerate_find(&pattern, &text), vec![0, 2, 4]);
+        assert!(degenerate_find(&pattern, &[0]).is_empty());
+        assert!(degenerate_find(&[], &text).is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Device buffer allocation under OpenCL 1.2 restrictions.
+//!
+//! §III of the paper: OpenCL 1.2 "does not permit dynamic memory
+//! allocation" (outputs per read must be sized beforehand) and caps any
+//! single variable at a quarter of device RAM. REPUTE consequently reports
+//! only the *first-n* mapping locations and, when a batch would exceed the
+//! cap, "runs the kernel multiple times with smaller read sets" (§IV).
+//! [`Buffer`] models exactly these rules; the core crate sizes its output
+//! slots and chunks its batches through it.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::device::DeviceProfile;
+
+/// Error returned when an allocation violates a device restriction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    requested: usize,
+    limit: usize,
+    device: String,
+}
+
+impl AllocError {
+    /// Bytes that were requested.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// The device's single-allocation limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocation of {} bytes exceeds the quarter-RAM limit of {} bytes on {}",
+            self.requested, self.limit, self.device
+        )
+    }
+}
+
+impl Error for AllocError {}
+
+/// A simulated device buffer.
+///
+/// # Example
+///
+/// ```
+/// use repute_hetsim::{profiles, Buffer};
+///
+/// let gpu = profiles::gtx590();
+/// let ok = Buffer::allocate(&gpu, 1 << 20);
+/// assert!(ok.is_ok());
+/// let too_big = Buffer::allocate(&gpu, gpu.max_alloc_bytes() + 1);
+/// assert!(too_big.is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buffer {
+    bytes: usize,
+}
+
+impl Buffer {
+    /// Allocates `bytes` on `device`, enforcing the ¼-RAM rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when `bytes` exceeds
+    /// [`DeviceProfile::max_alloc_bytes`].
+    pub fn allocate(device: &DeviceProfile, bytes: usize) -> Result<Buffer, AllocError> {
+        let limit = device.max_alloc_bytes();
+        if bytes > limit {
+            return Err(AllocError {
+                requested: bytes,
+                limit,
+                device: device.name().to_string(),
+            });
+        }
+        Ok(Buffer { bytes })
+    }
+
+    /// Size of the buffer in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Largest number of `item_bytes`-sized records a single buffer can
+    /// hold on `device` — the planning primitive for batch chunking.
+    pub fn max_items(device: &DeviceProfile, item_bytes: usize) -> usize {
+        if item_bytes == 0 {
+            return usize::MAX;
+        }
+        device.max_alloc_bytes() / item_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    fn device() -> DeviceProfile {
+        DeviceProfile::new("t", DeviceKind::Gpu, 1, 1.0, 4096, 1.0)
+    }
+
+    #[test]
+    fn within_limit_succeeds() {
+        let b = Buffer::allocate(&device(), 1024).unwrap();
+        assert_eq!(b.bytes(), 1024);
+        assert!(Buffer::allocate(&device(), 0).is_ok());
+    }
+
+    #[test]
+    fn beyond_limit_fails_with_context() {
+        let err = Buffer::allocate(&device(), 1025).unwrap_err();
+        assert_eq!(err.requested(), 1025);
+        assert_eq!(err.limit(), 1024);
+        assert!(err.to_string().contains("quarter-RAM"));
+    }
+
+    #[test]
+    fn max_items_plans_batches() {
+        assert_eq!(Buffer::max_items(&device(), 100), 10);
+        assert_eq!(Buffer::max_items(&device(), 0), usize::MAX);
+    }
+}

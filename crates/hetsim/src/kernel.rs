@@ -1,0 +1,227 @@
+//! Kernels and the per-device scheduler.
+//!
+//! A [`Kernel`] is the OpenCL analogue: a function applied to every
+//! work-item index. Items execute for real on host threads (one per
+//! compute unit, clamped to the host's parallelism) and report the
+//! algorithmic work they performed; the device's throughput converts the
+//! accumulated work into simulated device seconds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::device::DeviceProfile;
+
+/// Work-items claimed per scheduling step.
+const CHUNK: usize = 16;
+
+/// A data-parallel kernel over work-item indices `0..items`.
+///
+/// Implementations must be `Sync`: items run concurrently.
+pub trait Kernel: Sync {
+    /// Per-item output type.
+    type Output: Send;
+
+    /// Executes one work-item, returning its output and the work units it
+    /// consumed (substrate operations — see
+    /// [`DeviceProfile`](crate::DeviceProfile) for the unit definition).
+    fn run_item(&self, index: usize) -> (Self::Output, u64);
+
+    /// Private-memory bytes one work-item of this kernel occupies on the
+    /// device (drives the occupancy model of
+    /// [`DeviceProfile::occupancy`](crate::DeviceProfile::occupancy)).
+    /// Zero (the default) means occupancy-insensitive.
+    fn private_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Adapts a closure into a [`Kernel`].
+///
+/// # Example
+///
+/// ```
+/// use repute_hetsim::{profiles, FnKernel, Kernel};
+///
+/// let kernel = FnKernel::new(|i: usize| (i + 1, 10));
+/// assert_eq!(kernel.run_item(4), (5, 10));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FnKernel<F> {
+    f: F,
+    private_bytes: usize,
+}
+
+impl<F, O> FnKernel<F>
+where
+    F: Fn(usize) -> (O, u64) + Sync,
+    O: Send,
+{
+    /// Wraps a closure returning `(output, work_units)` per item.
+    pub fn new(f: F) -> FnKernel<F> {
+        FnKernel {
+            f,
+            private_bytes: 0,
+        }
+    }
+
+    /// Declares the per-item private-memory footprint for the occupancy
+    /// model.
+    pub fn with_private_bytes(mut self, bytes: usize) -> FnKernel<F> {
+        self.private_bytes = bytes;
+        self
+    }
+}
+
+impl<F, O> Kernel for FnKernel<F>
+where
+    F: Fn(usize) -> (O, u64) + Sync,
+    O: Send,
+{
+    type Output = O;
+
+    fn run_item(&self, index: usize) -> (O, u64) {
+        (self.f)(index)
+    }
+
+    fn private_bytes(&self) -> usize {
+        self.private_bytes
+    }
+}
+
+/// Outcome of running a kernel on one device.
+#[derive(Debug, Clone)]
+pub struct KernelRun<O> {
+    /// Per-item outputs, in item order.
+    pub outputs: Vec<O>,
+    /// Total work units consumed.
+    pub work: u64,
+    /// Simulated seconds on the device (`work / throughput`).
+    pub simulated_seconds: f64,
+    /// Wall-clock seconds the host actually spent.
+    pub wall_seconds: f64,
+}
+
+/// Runs `kernel` over `items` work-items on `device`.
+///
+/// Execution is real (host threads, one per device compute unit, capped by
+/// host parallelism); time and energy are simulated from the work counts.
+pub fn run_kernel<K: Kernel>(device: &DeviceProfile, items: usize, kernel: &K) -> KernelRun<K::Output> {
+    let start = Instant::now();
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = device.compute_units().min(host_threads).min(items.max(1));
+
+    let mut slots: Vec<Option<K::Output>> = Vec::with_capacity(items);
+    slots.resize_with(items, || None);
+    let mut work = 0u64;
+
+    if threads <= 1 {
+        for (index, slot) in slots.iter_mut().enumerate() {
+            let (out, w) = kernel.run_item(index);
+            *slot = Some(out);
+            work += w;
+        }
+    } else {
+        let counter = AtomicUsize::new(0);
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let counter = &counter;
+                    scope.spawn(move |_| {
+                        let mut local: Vec<(usize, K::Output)> = Vec::new();
+                        let mut local_work = 0u64;
+                        loop {
+                            let lo = counter.fetch_add(CHUNK, Ordering::Relaxed);
+                            if lo >= items {
+                                break;
+                            }
+                            for index in lo..(lo + CHUNK).min(items) {
+                                let (out, w) = kernel.run_item(index);
+                                local.push((index, out));
+                                local_work += w;
+                            }
+                        }
+                        (local, local_work)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kernel worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("kernel scope panicked");
+        for (local, local_work) in results {
+            work += local_work;
+            for (index, out) in local {
+                slots[index] = Some(out);
+            }
+        }
+    }
+
+    let outputs = slots
+        .into_iter()
+        .map(|s| s.expect("every work-item produces an output"))
+        .collect();
+    KernelRun {
+        outputs,
+        work,
+        simulated_seconds: device.seconds_for_with_footprint(work, kernel.private_bytes()),
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+    use crate::profiles;
+
+    fn device(units: usize) -> DeviceProfile {
+        DeviceProfile::new("t", DeviceKind::Cpu, units, 1e6, 1 << 30, 1.0)
+    }
+
+    #[test]
+    fn outputs_preserve_item_order() {
+        let kernel = FnKernel::new(|i: usize| (i * 3, 1));
+        for units in [1usize, 4] {
+            let run = run_kernel(&device(units), 100, &kernel);
+            let expected: Vec<usize> = (0..100).map(|i| i * 3).collect();
+            assert_eq!(run.outputs, expected, "units {units}");
+            assert_eq!(run.work, 100);
+        }
+    }
+
+    #[test]
+    fn simulated_time_tracks_work_not_wall_time() {
+        let kernel = FnKernel::new(|_| ((), 500));
+        let run = run_kernel(&device(4), 2000, &kernel);
+        // 2000 items × 500 units / 1e6 units-per-second = 1 second.
+        assert!((run.simulated_seconds - 1.0).abs() < 1e-9);
+        assert!(run.wall_seconds < 1.0, "host must not actually sleep");
+    }
+
+    #[test]
+    fn zero_items() {
+        let kernel = FnKernel::new(|i: usize| (i, 1));
+        let run = run_kernel(&device(4), 0, &kernel);
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.work, 0);
+        assert_eq!(run.simulated_seconds, 0.0);
+    }
+
+    #[test]
+    fn gpu_profile_clamps_to_host_threads() {
+        // 512 compute units must not spawn 512 threads.
+        let kernel = FnKernel::new(|i: usize| (i, 1));
+        let run = run_kernel(&profiles::gtx590(), 1000, &kernel);
+        assert_eq!(run.outputs.len(), 1000);
+    }
+
+    #[test]
+    fn uneven_work_is_summed() {
+        let kernel = FnKernel::new(|i: usize| (i, (i % 7) as u64));
+        let run = run_kernel(&device(3), 50, &kernel);
+        let expected: u64 = (0..50u64).map(|i| i % 7).sum();
+        assert_eq!(run.work, expected);
+    }
+}

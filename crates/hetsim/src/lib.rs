@@ -1,0 +1,51 @@
+//! Heterogeneous platform simulator — the OpenCL substitution.
+//!
+//! The paper runs REPUTE through OpenCL 1.2 on three kinds of devices:
+//! an Intel CPU, two Nvidia GTX 590 GPUs, and the ARM big.LITTLE clusters
+//! of a HiKey970 SoC. This reproduction has none of that hardware, so this
+//! crate simulates the *platform*, while the mapping algorithms above it
+//! run for real:
+//!
+//! * kernels execute every work-item on real host threads and **count the
+//!   algorithmic work they perform** (FM-Index extensions, DP cells,
+//!   bit-vector word updates);
+//! * [`DeviceProfile`]s convert work counts into simulated seconds via a
+//!   per-device throughput, and into joules via a per-device active power;
+//! * [`Platform::launch`] reproduces OpenCL's task-parallel multi-device
+//!   semantics: kernels launch simultaneously and the run completes when
+//!   the slowest device finishes ("making one of the devices the
+//!   performance bottleneck", §IV);
+//! * [`Buffer`] enforces the OpenCL 1.2 restrictions the paper calls out
+//!   in §III: no dynamic allocation (fixed output slots) and no single
+//!   allocation above ¼ of device RAM.
+//!
+//! # Example
+//!
+//! ```
+//! use repute_hetsim::{profiles, FnKernel, Platform};
+//!
+//! let platform = profiles::system1();
+//! // A kernel whose items each cost 1000 work units.
+//! let kernel = FnKernel::new(|i: usize| (i * 2, 1000));
+//! let run = platform.launch(&platform.even_shares(100), &kernel).expect("shares valid");
+//! assert_eq!(run.outputs.len(), 100);
+//! assert!(run.simulated_seconds > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod device;
+mod kernel;
+mod platform;
+mod power;
+pub mod profiles;
+mod queue;
+
+pub use buffer::{AllocError, Buffer};
+pub use device::{DeviceKind, DeviceProfile};
+pub use kernel::{run_kernel, FnKernel, Kernel, KernelRun};
+pub use platform::{DeviceRun, LaunchError, Platform, PlatformRun, Share};
+pub use power::EnergyReport;
+pub use queue::{CommandQueue, Event};

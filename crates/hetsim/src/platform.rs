@@ -1,0 +1,353 @@
+//! Platforms and task-parallel multi-device launches.
+//!
+//! "REPUTE distributes the workload on CPU and GPU, as per user
+//! specification, executing the work-items in task-parallel fashion using
+//! [the] OpenCL framework" (§III-B), and "launches the kernels
+//! simultaneously and upon completion it combines the results, thus,
+//! making one of the devices the performance bottleneck" (§IV).
+//! [`Platform::launch`] reproduces exactly that: a contiguous slice of the
+//! work-items per device, simulated completion at the *maximum* of the
+//! per-device simulated times.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::device::DeviceProfile;
+use crate::kernel::{run_kernel, Kernel};
+use crate::power::EnergyReport;
+
+/// How many work-items one device receives in a launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Share {
+    /// Index into [`Platform::devices`].
+    pub device: usize,
+    /// Number of consecutive work-items assigned.
+    pub items: usize,
+}
+
+/// Error returned by [`Platform::launch`] for malformed distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchError {
+    message: String,
+}
+
+impl LaunchError {
+    /// Creates a launch error with a caller-supplied message (used by
+    /// higher-level launchers such as `repute-core`'s multi-device runner).
+    pub fn from_message(message: impl Into<String>) -> LaunchError {
+        LaunchError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid launch distribution: {}", self.message)
+    }
+}
+
+impl Error for LaunchError {}
+
+/// What one device did during a launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceRun {
+    /// Index into [`Platform::devices`].
+    pub device: usize,
+    /// Work-items the device processed.
+    pub items: usize,
+    /// Work units the device consumed.
+    pub work: u64,
+    /// Simulated busy time of the device, in seconds.
+    pub simulated_seconds: f64,
+}
+
+/// Outcome of a task-parallel launch.
+#[derive(Debug, Clone)]
+pub struct PlatformRun<O> {
+    /// Per-item outputs in global item order.
+    pub outputs: Vec<O>,
+    /// Per-device accounting.
+    pub device_runs: Vec<DeviceRun>,
+    /// Simulated completion time: the slowest device (the barrier the
+    /// paper describes).
+    pub simulated_seconds: f64,
+    /// Wall-clock seconds the host actually spent.
+    pub wall_seconds: f64,
+}
+
+impl<O> PlatformRun<O> {
+    /// Total work units across all devices.
+    pub fn total_work(&self) -> u64 {
+        self.device_runs.iter().map(|r| r.work).sum()
+    }
+
+    /// Per-device utilisation: busy time divided by the run's completion
+    /// time, in `[0, 1]`. The bottleneck device reads 1.0; devices that
+    /// idle at the task-parallel barrier read less — the quantity the
+    /// paper's Fig. 3 sweep is implicitly balancing.
+    pub fn device_utilization(&self) -> Vec<(usize, f64)> {
+        if self.simulated_seconds <= 0.0 {
+            return self.device_runs.iter().map(|r| (r.device, 0.0)).collect();
+        }
+        self.device_runs
+            .iter()
+            .map(|r| (r.device, r.simulated_seconds / self.simulated_seconds))
+            .collect()
+    }
+}
+
+/// A named collection of devices with a shared idle power — one of the
+/// paper's two test systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    name: String,
+    idle_power_w: f64,
+    devices: Vec<DeviceProfile>,
+}
+
+impl Platform {
+    /// Creates a platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty or `idle_power_w` is negative.
+    pub fn new(name: impl Into<String>, idle_power_w: f64, devices: Vec<DeviceProfile>) -> Platform {
+        assert!(!devices.is_empty(), "platform needs at least one device");
+        assert!(idle_power_w >= 0.0, "idle power cannot be negative");
+        Platform {
+            name: name.into(),
+            idle_power_w,
+            devices,
+        }
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// System idle power in watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.idle_power_w
+    }
+
+    /// The platform's devices.
+    pub fn devices(&self) -> &[DeviceProfile] {
+        &self.devices
+    }
+
+    /// A distribution that splits `items` across all devices
+    /// proportionally to their throughput (a sensible default; Fig. 3 of
+    /// the paper sweeps away from it).
+    pub fn even_shares(&self, items: usize) -> Vec<Share> {
+        let total: f64 = self.devices.iter().map(|d| d.throughput()).sum();
+        let mut shares: Vec<Share> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(device, d)| Share {
+                device,
+                items: (items as f64 * d.throughput() / total) as usize,
+            })
+            .collect();
+        let assigned: usize = shares.iter().map(|s| s.items).sum();
+        shares[0].items += items - assigned; // remainder to the first device
+        shares
+    }
+
+    /// A distribution that puts every item on one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn single_device_share(&self, device: usize, items: usize) -> Vec<Share> {
+        assert!(device < self.devices.len(), "device index {device} out of range");
+        vec![Share { device, items }]
+    }
+
+    /// Launches `kernel` task-parallel across the distribution `shares`.
+    ///
+    /// Each share receives a contiguous run of work-item indices, in share
+    /// order. Outputs are recombined in global item order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaunchError`] if `shares` is empty or references a device
+    /// out of range.
+    pub fn launch<K: Kernel>(
+        &self,
+        shares: &[Share],
+        kernel: &K,
+    ) -> Result<PlatformRun<K::Output>, LaunchError> {
+        if shares.is_empty() {
+            return Err(LaunchError {
+                message: "no shares supplied".into(),
+            });
+        }
+        for share in shares {
+            if share.device >= self.devices.len() {
+                return Err(LaunchError {
+                    message: format!(
+                        "device index {} out of range ({} devices)",
+                        share.device,
+                        self.devices.len()
+                    ),
+                });
+            }
+        }
+        let start = std::time::Instant::now();
+        let mut outputs = Vec::new();
+        let mut device_runs = Vec::with_capacity(shares.len());
+        let mut offset = 0usize;
+        for share in shares {
+            let device = &self.devices[share.device];
+            let base = offset;
+            // Shift the item index so the kernel sees global indices.
+            let shifted = ShiftedKernel { inner: kernel, base };
+            let run = run_kernel(device, share.items, &shifted);
+            outputs.extend(run.outputs);
+            device_runs.push(DeviceRun {
+                device: share.device,
+                items: share.items,
+                work: run.work,
+                simulated_seconds: run.simulated_seconds,
+            });
+            offset += share.items;
+        }
+        let simulated_seconds = device_runs
+            .iter()
+            .map(|r| r.simulated_seconds)
+            .fold(0.0f64, f64::max);
+        Ok(PlatformRun {
+            outputs,
+            device_runs,
+            simulated_seconds,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Measures power and energy for a finished run, per the paper's
+    /// §III-D methodology.
+    pub fn measure_energy<O>(&self, run: &PlatformRun<O>) -> EnergyReport {
+        EnergyReport::measure(self, run)
+    }
+}
+
+struct ShiftedKernel<'a, K> {
+    inner: &'a K,
+    base: usize,
+}
+
+impl<K: Kernel> Kernel for ShiftedKernel<'_, K> {
+    type Output = K::Output;
+
+    fn run_item(&self, index: usize) -> (K::Output, u64) {
+        self.inner.run_item(self.base + index)
+    }
+
+    fn private_bytes(&self) -> usize {
+        self.inner.private_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FnKernel;
+    use crate::profiles;
+
+    #[test]
+    fn outputs_recombine_in_global_order() {
+        let platform = profiles::system1();
+        let kernel = FnKernel::new(|i: usize| (i, 1));
+        let shares = vec![
+            Share { device: 0, items: 30 },
+            Share { device: 1, items: 50 },
+            Share { device: 2, items: 20 },
+        ];
+        let run = platform.launch(&shares, &kernel).unwrap();
+        let expected: Vec<usize> = (0..100).collect();
+        assert_eq!(run.outputs, expected);
+        assert_eq!(run.device_runs.len(), 3);
+        assert_eq!(run.total_work(), 100);
+    }
+
+    #[test]
+    fn bottleneck_device_sets_completion_time() {
+        let platform = profiles::system1();
+        let kernel = FnKernel::new(|_| ((), 1_000_000));
+        // All items on the slower GPU.
+        let run = platform
+            .launch(&platform.single_device_share(1, 100), &kernel)
+            .unwrap();
+        let gpu_time = run.device_runs[0].simulated_seconds;
+        assert!((run.simulated_seconds - gpu_time).abs() < 1e-12);
+
+        // Splitting with the CPU strictly improves completion time.
+        let shares = vec![
+            Share { device: 0, items: 70 },
+            Share { device: 1, items: 30 },
+        ];
+        let split = platform.launch(&shares, &kernel).unwrap();
+        assert!(split.simulated_seconds < run.simulated_seconds);
+        assert_eq!(
+            split.simulated_seconds,
+            split
+                .device_runs
+                .iter()
+                .map(|r| r.simulated_seconds)
+                .fold(0.0, f64::max)
+        );
+    }
+
+    #[test]
+    fn utilization_identifies_the_bottleneck() {
+        let platform = profiles::system1();
+        let kernel = FnKernel::new(|_| ((), 1_000_000));
+        let shares = vec![
+            Share { device: 0, items: 50 },
+            Share { device: 1, items: 50 },
+        ];
+        let run = platform.launch(&shares, &kernel).unwrap();
+        let util = run.device_utilization();
+        // Equal items: the slower GPU is the bottleneck at 1.0; the CPU
+        // idles part of the time.
+        let cpu = util.iter().find(|(d, _)| *d == 0).unwrap().1;
+        let gpu = util.iter().find(|(d, _)| *d == 1).unwrap().1;
+        assert!((gpu - 1.0).abs() < 1e-12);
+        assert!(cpu < 1.0 && cpu > 0.0);
+
+        // Zero-work run: utilisation reads zero.
+        let idle = platform
+            .launch(&platform.even_shares(0), &FnKernel::new(|_| ((), 0)))
+            .unwrap();
+        assert!(idle.device_utilization().iter().all(|&(_, u)| u == 0.0));
+    }
+
+    #[test]
+    fn even_shares_cover_all_items() {
+        let platform = profiles::system1();
+        for items in [0usize, 1, 99, 1000] {
+            let shares = platform.even_shares(items);
+            assert_eq!(shares.iter().map(|s| s.items).sum::<usize>(), items);
+            assert_eq!(shares.len(), 3);
+        }
+    }
+
+    #[test]
+    fn launch_errors() {
+        let platform = profiles::system2_hikey970();
+        let kernel = FnKernel::new(|i: usize| (i, 1));
+        assert!(platform.launch(&[], &kernel).is_err());
+        let bad = vec![Share { device: 9, items: 1 }];
+        let err = platform.launch(&bad, &kernel).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_platform_rejected() {
+        let _ = Platform::new("x", 0.0, vec![]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Power and energy measurement (§III-D of the paper).
+//!
+//! The paper measures "the average power consumption during the mapping
+//! process and subtract[s] it with the idle power", then multiplies by the
+//! mapping time to obtain energy. The simulator reproduces the same
+//! arithmetic: during a run of duration `T` (the bottleneck device's
+//! time), device `d` is busy for its own simulated time drawing its active
+//! power; averaging over `T` gives the meter reading above idle.
+
+use crate::platform::{Platform, PlatformRun};
+
+/// A §III-D style power/energy measurement of one mapping run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Mapping time in seconds (simulated completion time).
+    pub mapping_seconds: f64,
+    /// Average total power at the wall during mapping, in watts
+    /// (idle + busy devices), the paper's `P(W)` column.
+    pub average_power_w: f64,
+    /// Energy above idle over the mapping, in joules — the paper's `E(J)`
+    /// column: `(P − P_idle) × T`.
+    pub energy_j: f64,
+}
+
+impl EnergyReport {
+    /// Measures a finished run on its platform.
+    pub fn measure<O>(platform: &Platform, run: &PlatformRun<O>) -> EnergyReport {
+        let t = run.simulated_seconds;
+        if t <= 0.0 {
+            return EnergyReport {
+                mapping_seconds: 0.0,
+                average_power_w: platform.idle_power_w(),
+                energy_j: 0.0,
+            };
+        }
+        // Busy-time-weighted active power.
+        let active_energy: f64 = run
+            .device_runs
+            .iter()
+            .map(|r| platform.devices()[r.device].active_power_w() * r.simulated_seconds)
+            .sum();
+        let average_power_w = platform.idle_power_w() + active_energy / t;
+        EnergyReport {
+            mapping_seconds: t,
+            average_power_w,
+            energy_j: active_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::kernel::FnKernel;
+    use crate::platform::Share;
+    use crate::profiles;
+
+    #[test]
+    fn cpu_only_power_matches_table_iv_row() {
+        let platform = profiles::system1();
+        let kernel = FnKernel::new(|_| ((), 1_000_000));
+        let run = platform
+            .launch(&platform.single_device_share(0, 100), &kernel)
+            .unwrap();
+        let report = platform.measure_energy(&run);
+        // CPU fully busy for the whole run: P = 160 + 194 = 354 W.
+        assert!((report.average_power_w - 354.0).abs() < 1e-6);
+        assert!(
+            (report.energy_j - 194.0 * report.mapping_seconds).abs() < 1e-9,
+            "E = (P - idle) × T"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_run_draws_more_power_but_can_use_less_energy() {
+        let platform = profiles::system1();
+        let kernel = FnKernel::new(|_| ((), 1_000_000));
+        let cpu_only = platform
+            .launch(&platform.single_device_share(0, 200), &kernel)
+            .unwrap();
+        let shares = vec![
+            Share { device: 0, items: 100 },
+            Share { device: 1, items: 50 },
+            Share { device: 2, items: 50 },
+        ];
+        let all = platform.launch(&shares, &kernel).unwrap();
+        let e_cpu = platform.measure_energy(&cpu_only);
+        let e_all = platform.measure_energy(&all);
+        // The §IV observation: REPUTE-all "uses more power but less
+        // energy and is faster".
+        assert!(e_all.average_power_w > e_cpu.average_power_w);
+        assert!(e_all.mapping_seconds < e_cpu.mapping_seconds);
+    }
+
+    #[test]
+    fn embedded_platform_is_far_more_energy_efficient() {
+        let workstation = profiles::system1_cpu_only();
+        let hikey = profiles::system2_hikey970();
+        let kernel = FnKernel::new(|_| ((), 10_000_000));
+        let w_run = workstation
+            .launch(&workstation.single_device_share(0, 100), &kernel)
+            .unwrap();
+        let h_run = hikey.launch(&hikey.even_shares(100), &kernel).unwrap();
+        let w = workstation.measure_energy(&w_run);
+        let h = hikey.measure_energy(&h_run);
+        // The paper's headline: an order of magnitude or more energy
+        // saving on the embedded SoC despite longer mapping time.
+        assert!(h.mapping_seconds > w.mapping_seconds);
+        assert!(w.energy_j / h.energy_j > 10.0, "ratio {}", w.energy_j / h.energy_j);
+    }
+
+    #[test]
+    fn empty_run_reports_idle() {
+        let platform = profiles::system2_hikey970();
+        let kernel = FnKernel::new(|_| ((), 0));
+        let run = platform.launch(&platform.even_shares(0), &kernel).unwrap();
+        let report = platform.measure_energy(&run);
+        assert_eq!(report.energy_j, 0.0);
+        assert_eq!(report.average_power_w, 3.5);
+    }
+}

@@ -1,0 +1,140 @@
+//! Device and platform profiles matching the paper's two systems (§III).
+//!
+//! Throughputs are calibrated so the *relative* speeds match the paper's
+//! observations, which is what the shape reproduction needs:
+//!
+//! * REPUTE-all (CPU + 2 GPUs) gains ≈2× over REPUTE-cpu (§IV, Table II),
+//!   so the two GTX 590s together roughly match the i7-2600;
+//! * REPUTE-HiKey is ≈2.3× slower than REPUTE-cpu at (n=100, δ=3)
+//!   (Tables I and III), so the HiKey clusters sum to ≈0.43× of the i7;
+//! * the A73 "big" cluster is ≈2.3× the A53 "LITTLE" cluster, the usual
+//!   big.LITTLE ratio at these clocks.
+//!
+//! Power numbers come straight from Table IV: System 1 idles at 160 W and
+//! REPUTE-cpu draws 354 W (CPU ≈ 194 W active); REPUTE-all draws ≈ 455 W
+//! (≈ 50 W per busy GPU). System 2 idles at 3.5 W and draws ≈ 8 W when
+//! mapping (≈ 3 W big cluster, ≈ 1.5 W LITTLE cluster).
+
+use crate::device::{DeviceKind, DeviceProfile};
+use crate::platform::Platform;
+
+/// Intel Core i7-2600 @ 3.40 GHz, 16 GB RAM (System 1 host CPU).
+pub fn intel_i7_2600() -> DeviceProfile {
+    DeviceProfile::new(
+        "Intel Core i7-2600",
+        DeviceKind::Cpu,
+        8, // 4 cores / 8 threads
+        1.0e9,
+        16 << 30,
+        194.0,
+    )
+}
+
+/// One GeForce GTX 590 with 1.5 GB of usable RAM (System 1 carries two).
+pub fn gtx590() -> DeviceProfile {
+    DeviceProfile::new(
+        "GeForce GTX 590",
+        DeviceKind::Gpu,
+        512,
+        0.55e9,
+        (3 << 30) / 2, // 1.5 GB
+        50.0,
+    )
+    // Fermi-era SM: 48 KiB shared/local memory per unit; needs many
+    // resident work-items to hide memory latency. This is the lever
+    // behind the paper's Figs. 3–4: kernel footprint ↔ GPU occupancy.
+    .with_occupancy_model(48 << 10, 64)
+}
+
+/// The Cortex-A73 "big" MP4 cluster of the HiKey970 (up to 2.36 GHz).
+pub fn cortex_a73_cluster() -> DeviceProfile {
+    DeviceProfile::new(
+        "ARM Cortex-A73 MP4",
+        DeviceKind::BigCluster,
+        4,
+        0.30e9,
+        6 << 30, // shared 6 GB
+        3.0,
+    )
+}
+
+/// The Cortex-A53 "LITTLE" MP4 cluster of the HiKey970 (up to 1.8 GHz).
+pub fn cortex_a53_cluster() -> DeviceProfile {
+    DeviceProfile::new(
+        "ARM Cortex-A53 MP4",
+        DeviceKind::LittleCluster,
+        4,
+        0.13e9,
+        6 << 30,
+        1.5,
+    )
+}
+
+/// System 1 of the paper: i7-2600 + 2 × GTX 590, 160 W idle.
+pub fn system1() -> Platform {
+    Platform::new(
+        "System 1 (i7-2600 + 2x GTX 590)",
+        160.0,
+        vec![intel_i7_2600(), gtx590(), gtx590()],
+    )
+}
+
+/// System 1 restricted to its CPU (the homogeneous scenario, §III-A).
+pub fn system1_cpu_only() -> Platform {
+    Platform::new("System 1 (CPU only)", 160.0, vec![intel_i7_2600()])
+}
+
+/// System 2 of the paper: HiKey970 embedded SoC, 3.5 W idle.
+pub fn system2_hikey970() -> Platform {
+    Platform::new(
+        "System 2 (HiKey970)",
+        3.5,
+        vec![cortex_a73_cluster(), cortex_a53_cluster()],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_throughputs_match_paper_shapes() {
+        let cpu = intel_i7_2600().throughput();
+        let gpu2 = 2.0 * gtx590().throughput();
+        // Two GPUs ≈ one CPU (REPUTE-all ≈ 2× REPUTE-cpu).
+        let ratio = gpu2 / cpu;
+        assert!((0.8..=1.4).contains(&ratio), "gpu pair / cpu = {ratio}");
+        // HiKey970 total ≈ 0.4–0.5× of the i7.
+        let hikey = cortex_a73_cluster().throughput() + cortex_a53_cluster().throughput();
+        let ratio = hikey / cpu;
+        assert!((0.3..=0.6).contains(&ratio), "hikey / cpu = {ratio}");
+    }
+
+    #[test]
+    fn platform_construction() {
+        assert_eq!(system1().devices().len(), 3);
+        assert_eq!(system1_cpu_only().devices().len(), 1);
+        assert_eq!(system2_hikey970().devices().len(), 2);
+        assert_eq!(system1().idle_power_w(), 160.0);
+        assert_eq!(system2_hikey970().idle_power_w(), 3.5);
+    }
+
+    #[test]
+    fn gpu_memory_matches_paper() {
+        // 1.5 GB per GTX 590, so ¼-RAM cap is 384 MiB.
+        assert_eq!(gtx590().max_alloc_bytes(), 384 << 20);
+    }
+
+    #[test]
+    fn active_power_sums_match_table_iv() {
+        // REPUTE-cpu on System 1: 160 idle + 194 CPU ≈ 354 W.
+        let p = 160.0 + intel_i7_2600().active_power_w();
+        assert!((p - 354.0).abs() < 1.0);
+        // REPUTE-all: + two GPUs ≈ 454 W.
+        let p = p + 2.0 * gtx590().active_power_w();
+        assert!((p - 454.0).abs() < 1.0);
+        // HiKey970 under load ≈ 8 W.
+        let p = 3.5 + cortex_a73_cluster().active_power_w() + cortex_a53_cluster().active_power_w();
+        assert!((p - 8.0).abs() < 0.1);
+    }
+}

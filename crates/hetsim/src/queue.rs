@@ -1,0 +1,208 @@
+//! In-order command queues with profiling events.
+//!
+//! OpenCL hosts drive each device through a command queue and read
+//! per-kernel timing from profiling events (`CL_PROFILING_COMMAND_START` /
+//! `_END`). This module models that: kernels enqueued on a
+//! [`CommandQueue`] run back-to-back on the device's simulated timeline —
+//! the mechanism behind REPUTE's "run the kernel multiple times with
+//! smaller read sets" when a batch exceeds the quarter-RAM buffer cap
+//! (§III/§IV) — and every launch leaves an [`Event`] for inspection.
+
+use crate::device::DeviceProfile;
+use crate::kernel::{run_kernel, Kernel};
+
+/// Profiling record of one enqueued kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Caller-supplied label.
+    pub label: String,
+    /// Work-items the launch processed.
+    pub items: usize,
+    /// Work units the launch consumed.
+    pub work: u64,
+    /// Simulated queue time at which the kernel started.
+    pub start_seconds: f64,
+    /// Simulated queue time at which the kernel finished.
+    pub end_seconds: f64,
+}
+
+impl Event {
+    /// Simulated duration of the kernel.
+    pub fn duration_seconds(&self) -> f64 {
+        self.end_seconds - self.start_seconds
+    }
+}
+
+/// An in-order command queue bound to one device.
+///
+/// # Example
+///
+/// ```
+/// use repute_hetsim::{profiles, CommandQueue, FnKernel};
+///
+/// let cpu = profiles::intel_i7_2600();
+/// let mut queue = CommandQueue::new(&cpu);
+/// let kernel = FnKernel::new(|i: usize| (i, 1_000_000));
+/// let first = queue.enqueue("batch-1", 100, &kernel);
+/// let second = queue.enqueue("batch-2", 50, &kernel);
+/// assert_eq!(first.len(), 100);
+/// assert_eq!(second.len(), 50);
+/// // In-order semantics: batch-2 starts exactly when batch-1 ends.
+/// let events = queue.events();
+/// assert_eq!(events[1].start_seconds, events[0].end_seconds);
+/// ```
+#[derive(Debug)]
+pub struct CommandQueue<'d> {
+    device: &'d DeviceProfile,
+    events: Vec<Event>,
+    clock_seconds: f64,
+}
+
+impl<'d> CommandQueue<'d> {
+    /// Creates an empty queue on `device`.
+    pub fn new(device: &'d DeviceProfile) -> CommandQueue<'d> {
+        CommandQueue {
+            device,
+            events: Vec::new(),
+            clock_seconds: 0.0,
+        }
+    }
+
+    /// The device this queue drives.
+    pub fn device(&self) -> &DeviceProfile {
+        self.device
+    }
+
+    /// Enqueues and executes a kernel over `items` work-items, returning
+    /// its outputs. The kernel occupies the device from the current queue
+    /// clock until its simulated completion.
+    pub fn enqueue<K: Kernel>(
+        &mut self,
+        label: impl Into<String>,
+        items: usize,
+        kernel: &K,
+    ) -> Vec<K::Output> {
+        let run = run_kernel(self.device, items, kernel);
+        let start_seconds = self.clock_seconds;
+        let end_seconds = start_seconds + run.simulated_seconds;
+        self.events.push(Event {
+            label: label.into(),
+            items,
+            work: run.work,
+            start_seconds,
+            end_seconds,
+        });
+        self.clock_seconds = end_seconds;
+        run.outputs
+    }
+
+    /// Profiling events of every launch so far, in queue order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The queue's simulated completion time (`clFinish` analogue).
+    pub fn finish_seconds(&self) -> f64 {
+        self.clock_seconds
+    }
+
+    /// Total work enqueued so far.
+    pub fn total_work(&self) -> u64 {
+        self.events.iter().map(|e| e.work).sum()
+    }
+
+    /// Renders a one-line-per-event timeline (a text Gantt chart), useful
+    /// in examples and debugging output.
+    pub fn timeline(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total = self.clock_seconds.max(f64::MIN_POSITIVE);
+        for event in &self.events {
+            let width = 40usize;
+            let from = (event.start_seconds / total * width as f64) as usize;
+            let to = ((event.end_seconds / total * width as f64) as usize).max(from + 1);
+            let _ = writeln!(
+                out,
+                "{:<12} [{}{}{}] {:.4}s–{:.4}s",
+                event.label,
+                " ".repeat(from.min(width)),
+                "#".repeat((to - from).min(width - from.min(width))),
+                " ".repeat(width.saturating_sub(to)),
+                event.start_seconds,
+                event.end_seconds
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FnKernel;
+    use crate::profiles;
+
+    #[test]
+    fn launches_run_back_to_back() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        let kernel = FnKernel::new(|_| ((), 1_000_000u64));
+        queue.enqueue("a", 10, &kernel);
+        queue.enqueue("b", 20, &kernel);
+        queue.enqueue("c", 5, &kernel);
+        let events = queue.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].start_seconds, 0.0);
+        for pair in events.windows(2) {
+            assert_eq!(pair[1].start_seconds, pair[0].end_seconds);
+        }
+        let total: f64 = events.iter().map(Event::duration_seconds).sum();
+        assert!((queue.finish_seconds() - total).abs() < 1e-12);
+        assert_eq!(queue.total_work(), 35_000_000);
+    }
+
+    #[test]
+    fn durations_scale_with_device_speed() {
+        let cpu = profiles::intel_i7_2600();
+        let gpu = profiles::gtx590();
+        let kernel = FnKernel::new(|_| ((), 1_000_000u64));
+        let mut qc = CommandQueue::new(&cpu);
+        let mut qg = CommandQueue::new(&gpu);
+        qc.enqueue("x", 100, &kernel);
+        qg.enqueue("x", 100, &kernel);
+        assert!(qg.finish_seconds() > qc.finish_seconds());
+        assert_eq!(qc.device().name(), "Intel Core i7-2600");
+    }
+
+    #[test]
+    fn outputs_are_returned_in_order() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        let kernel = FnKernel::new(|i: usize| (i * 2, 1));
+        let out = queue.enqueue("double", 8, &kernel);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn timeline_renders_every_event() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        let kernel = FnKernel::new(|_| ((), 500_000u64));
+        queue.enqueue("first", 10, &kernel);
+        queue.enqueue("second", 10, &kernel);
+        let text = queue.timeline();
+        assert!(text.contains("first"));
+        assert!(text.contains("second"));
+        assert!(text.contains('#'));
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let cpu = profiles::intel_i7_2600();
+        let queue = CommandQueue::new(&cpu);
+        assert_eq!(queue.finish_seconds(), 0.0);
+        assert!(queue.events().is_empty());
+        assert!(queue.timeline().is_empty());
+    }
+}

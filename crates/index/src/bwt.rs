@@ -1,0 +1,189 @@
+//! The Burrows–Wheeler transform over DNA with an explicit sentinel.
+//!
+//! Symbols are stored as `u8` with `0` reserved for the terminal sentinel
+//! and `1..=4` for `A, C, G, T` — the internal alphabet shared with
+//! [`crate::FmIndex`].
+
+use crate::suffix_array::SuffixArray;
+
+/// Internal sentinel symbol (lexicographically smallest).
+pub const SENTINEL: u8 = 0;
+
+/// Converts a 2-bit base code (`0..=3`) to the internal BWT symbol.
+#[inline]
+pub fn to_symbol(code: u8) -> u8 {
+    debug_assert!(code <= 3);
+    code + 1
+}
+
+/// Converts an internal BWT symbol back to a 2-bit base code.
+///
+/// # Panics
+///
+/// Panics if `symbol` is the sentinel.
+#[inline]
+pub fn to_code(symbol: u8) -> u8 {
+    assert!(symbol != SENTINEL, "sentinel has no base code");
+    symbol - 1
+}
+
+/// Output of [`transform`]: the BWT string and the row holding the sentinel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bwt {
+    /// BWT symbols (`0..=4`), length `text.len() + 1`.
+    pub symbols: Vec<u8>,
+    /// Row index at which the sentinel appears.
+    pub sentinel_row: usize,
+}
+
+/// Computes the BWT of `codes` (2-bit base codes) using a suffix array.
+///
+/// Row `i` of the (conceptual) sorted rotation matrix ends with
+/// `symbols[i]`. Row 0 always corresponds to the sentinel-terminated text.
+///
+/// # Example
+///
+/// ```
+/// use repute_index::bwt::{transform, inverse};
+///
+/// let codes = vec![1, 0, 2, 0]; // "CAGA"
+/// let bwt = transform(&codes);
+/// assert_eq!(inverse(&bwt), codes);
+/// ```
+pub fn transform(codes: &[u8]) -> Bwt {
+    let sa = SuffixArray::from_codes(codes);
+    transform_with_sa(codes, &sa)
+}
+
+/// Computes the BWT reusing an already-built suffix array.
+///
+/// # Panics
+///
+/// Panics if `sa` was not built over `codes`.
+pub fn transform_with_sa(codes: &[u8], sa: &SuffixArray) -> Bwt {
+    assert_eq!(sa.len(), codes.len(), "suffix array does not match text");
+    let n = codes.len();
+    let mut symbols = Vec::with_capacity(n + 1);
+    let mut sentinel_row = 0usize;
+    // Row 0 is the sentinel suffix: its BWT symbol is the last text char.
+    if n == 0 {
+        symbols.push(SENTINEL);
+        return Bwt {
+            symbols,
+            sentinel_row: 0,
+        };
+    }
+    symbols.push(to_symbol(codes[n - 1]));
+    for (row, &p) in sa.positions().iter().enumerate() {
+        if p == 0 {
+            symbols.push(SENTINEL);
+            sentinel_row = row + 1;
+        } else {
+            symbols.push(to_symbol(codes[p as usize - 1]));
+        }
+    }
+    Bwt {
+        symbols,
+        sentinel_row,
+    }
+}
+
+/// Inverts a BWT back to the original 2-bit base codes.
+///
+/// Used to validate index construction; linear time via LF-mapping.
+pub fn inverse(bwt: &Bwt) -> Vec<u8> {
+    let n = bwt.symbols.len();
+    if n <= 1 {
+        return vec![];
+    }
+    // Occurrence rank of each symbol instance and cumulative counts.
+    let mut counts = [0usize; 5];
+    let mut ranks = Vec::with_capacity(n);
+    for &s in &bwt.symbols {
+        ranks.push(counts[s as usize]);
+        counts[s as usize] += 1;
+    }
+    let mut first = [0usize; 5];
+    let mut sum = 0;
+    for c in 0..5 {
+        first[c] = sum;
+        sum += counts[c];
+    }
+    // Row 0 is the rotation starting with the sentinel; its last column is
+    // the final text character. LF-stepping from there emits the text
+    // right-to-left.
+    let mut out = vec![0u8; n - 1];
+    let mut row = 0usize;
+    for i in (0..n - 1).rev() {
+        let s = bwt.symbols[row];
+        debug_assert_ne!(s, SENTINEL, "reached sentinel early");
+        out[i] = to_code(s);
+        row = first[s as usize] + ranks[row];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_text() {
+        let bwt = transform(&[]);
+        assert_eq!(bwt.symbols, vec![SENTINEL]);
+        assert_eq!(inverse(&bwt), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_base() {
+        let bwt = transform(&[2]);
+        assert_eq!(bwt.symbols.len(), 2);
+        assert_eq!(inverse(&bwt), vec![2]);
+    }
+
+    #[test]
+    fn known_small_example() {
+        // "ACGT" codes 0,1,2,3; sentinel-terminated rotations sorted:
+        // $ACGT -> T, ACGT$ -> $, CGT$A -> A, GT$AC -> C, T$ACG -> G
+        let bwt = transform(&[0, 1, 2, 3]);
+        assert_eq!(bwt.symbols, vec![to_symbol(3), SENTINEL, to_symbol(0), to_symbol(1), to_symbol(2)]);
+        assert_eq!(bwt.sentinel_row, 1);
+    }
+
+    #[test]
+    fn round_trips_random_texts() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for len in [2usize, 10, 100, 1000] {
+            let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+            let bwt = transform(&codes);
+            assert_eq!(inverse(&bwt), codes, "len {len}");
+            assert_eq!(bwt.symbols.len(), len + 1);
+            assert_eq!(
+                bwt.symbols.iter().filter(|&&s| s == SENTINEL).count(),
+                1,
+                "exactly one sentinel"
+            );
+        }
+    }
+
+    #[test]
+    fn symbol_conversions() {
+        assert_eq!(to_symbol(0), 1);
+        assert_eq!(to_code(4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn sentinel_has_no_code() {
+        let _ = to_code(SENTINEL);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_sa_rejected() {
+        let sa = SuffixArray::from_codes(&[0, 1]);
+        let _ = transform_with_sa(&[0, 1, 2], &sa);
+    }
+}

@@ -1,0 +1,182 @@
+//! Longest-common-prefix arrays (Kasai) and repeat statistics.
+//!
+//! The LCP array is the suffix array's natural companion: `lcp[i]` is the
+//! length of the common prefix of the suffixes at ranks `i−1` and `i`.
+//! From it, repeat content — the property of chr21 that makes seed
+//! selection matter (see DESIGN.md §2) — can be quantified directly: a
+//! run of LCP values ≥ k marks a k-mer occurring multiple times. The
+//! workload tests use this to verify the synthetic reference actually has
+//! the chr21-like repeat mass the evaluation depends on.
+
+use crate::suffix_array::SuffixArray;
+
+/// The LCP array of a text (Kasai's algorithm, O(n)).
+///
+/// `lcp()[0]` is 0 by convention; `lcp()[i]` is the LCP of the suffixes
+/// ranked `i−1` and `i` in the suffix array.
+///
+/// # Example
+///
+/// ```
+/// use repute_genome::DnaSeq;
+/// use repute_index::{LcpArray, SuffixArray};
+///
+/// # fn main() -> Result<(), repute_genome::GenomeError> {
+/// let text: DnaSeq = "ACGTACG".parse()?;
+/// let sa = SuffixArray::build(&text);
+/// let lcp = LcpArray::build(&text.to_codes(), &sa);
+/// // Suffixes "ACG" (pos 4) and "ACGTACG" (pos 0) share "ACG".
+/// assert_eq!(lcp.lcp()[1], 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LcpArray {
+    lcp: Vec<u32>,
+}
+
+impl LcpArray {
+    /// Builds the LCP array for `codes` and its suffix array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sa` was not built over `codes`.
+    pub fn build(codes: &[u8], sa: &SuffixArray) -> LcpArray {
+        assert_eq!(sa.len(), codes.len(), "suffix array does not match text");
+        let n = codes.len();
+        if n == 0 {
+            return LcpArray { lcp: vec![] };
+        }
+        // rank[p] = position of suffix p in the suffix array.
+        let mut rank = vec![0u32; n];
+        for (i, &p) in sa.positions().iter().enumerate() {
+            rank[p as usize] = i as u32;
+        }
+        let mut lcp = vec![0u32; n];
+        let mut h = 0usize;
+        for p in 0..n {
+            let r = rank[p] as usize;
+            if r == 0 {
+                h = 0;
+                continue;
+            }
+            let q = sa.positions()[r - 1] as usize;
+            while p + h < n && q + h < n && codes[p + h] == codes[q + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        }
+        LcpArray { lcp }
+    }
+
+    /// The LCP values, aligned with the suffix array's ranks.
+    pub fn lcp(&self) -> &[u32] {
+        &self.lcp
+    }
+
+    /// The longest repeated substring length in the text.
+    pub fn longest_repeat(&self) -> u32 {
+        self.lcp.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of text positions that begin a k-mer occurring at least
+    /// twice — the "repeat mass" at resolution `k`, in `[0, 1]`.
+    ///
+    /// A suffix's k-prefix is repeated iff its LCP with the rank
+    /// neighbour above *or* below reaches `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn repeat_fraction(&self, k: u32) -> f64 {
+        assert!(k > 0, "k must be positive");
+        let n = self.lcp.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut repeated = 0usize;
+        for i in 0..n {
+            let above = if i + 1 < n { self.lcp[i + 1] } else { 0 };
+            if self.lcp[i] >= k || above >= k {
+                repeated += 1;
+            }
+        }
+        repeated as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use repute_genome::synth::{random_sequence, ReferenceBuilder};
+    use repute_genome::DnaSeq;
+
+    fn naive_lcp(a: &[u8], b: &[u8]) -> u32 {
+        a.iter().zip(b).take_while(|(x, y)| x == y).count() as u32
+    }
+
+    #[test]
+    fn matches_naive_on_random_texts() {
+        let mut rng = StdRng::seed_from_u64(881);
+        for len in [1usize, 2, 50, 400] {
+            let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+            let sa = SuffixArray::from_codes(&codes);
+            let lcp = LcpArray::build(&codes, &sa);
+            assert_eq!(lcp.lcp().len(), len);
+            assert_eq!(lcp.lcp()[0], 0);
+            for i in 1..len {
+                let a = sa.positions()[i - 1] as usize;
+                let b = sa.positions()[i] as usize;
+                assert_eq!(lcp.lcp()[i], naive_lcp(&codes[a..], &codes[b..]), "rank {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_text() {
+        let sa = SuffixArray::from_codes(&[]);
+        let lcp = LcpArray::build(&[], &sa);
+        assert_eq!(lcp.longest_repeat(), 0);
+        assert_eq!(lcp.repeat_fraction(10), 0.0);
+    }
+
+    #[test]
+    fn longest_repeat_of_planted_duplicate() {
+        // Plant an exact 60-mer twice in otherwise random sequence.
+        let mut rng = StdRng::seed_from_u64(882);
+        let mut codes: Vec<u8> = (0..2_000).map(|_| rng.gen_range(0..4)).collect();
+        let unit: Vec<u8> = (0..60).map(|_| rng.gen_range(0..4)).collect();
+        codes[100..160].copy_from_slice(&unit);
+        codes[1_500..1_560].copy_from_slice(&unit);
+        let sa = SuffixArray::from_codes(&codes);
+        let lcp = LcpArray::build(&codes, &sa);
+        assert!(lcp.longest_repeat() >= 60);
+    }
+
+    #[test]
+    fn repeat_fraction_separates_repetitive_from_random() {
+        let repetitive = ReferenceBuilder::new(60_000).seed(883).build();
+        let random = random_sequence(60_000, 883);
+        let frac = |seq: &DnaSeq| {
+            let codes = seq.to_codes();
+            let sa = SuffixArray::from_codes(&codes);
+            LcpArray::build(&codes, &sa).repeat_fraction(20)
+        };
+        let rep = frac(&repetitive);
+        let rnd = frac(&random);
+        assert!(
+            rep > 10.0 * rnd.max(1e-4),
+            "repeat mass should dominate: {rep} vs {rnd}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_sa_rejected() {
+        let sa = SuffixArray::from_codes(&[0, 1]);
+        let _ = LcpArray::build(&[0, 1, 2], &sa);
+    }
+}

@@ -1,0 +1,45 @@
+//! Reference-genome index substrate for the REPUTE reproduction.
+//!
+//! The paper's preprocessing stage (§II-A) stores the reference in an
+//! FM-Index backed by a suffix array, the combination used by GEM, Yara,
+//! CORAL and BWA-MEM. This crate builds that stack from scratch:
+//!
+//! * [`RankBitVec`] — a bit vector with O(1) rank support,
+//! * [`SuffixArray`] — linear-time SA-IS construction,
+//! * [`bwt`] — the Burrows–Wheeler transform and its inverse,
+//! * [`FmIndex`] — backward search, left extension and sampled-SA locate,
+//! * [`QGramIndex`] — the hash-based index used by the RazerS3- and
+//!   Hobbes3-style baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use repute_genome::DnaSeq;
+//! use repute_index::FmIndex;
+//!
+//! # fn main() -> Result<(), repute_genome::GenomeError> {
+//! let reference: DnaSeq = "ACGTACGTTTACGT".parse()?;
+//! let fm = FmIndex::build(&reference);
+//! let pattern: DnaSeq = "ACGT".parse()?;
+//! assert_eq!(fm.count(&pattern.to_codes()), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bifm;
+mod bitvec;
+pub mod bwt;
+mod fm;
+mod lcp;
+mod qgram;
+mod suffix_array;
+
+pub use bifm::{BiFmIndex, BiInterval, Smem};
+pub use bitvec::RankBitVec;
+pub use lcp::LcpArray;
+pub use fm::{FmFootprint, FmIndex, Interval};
+pub use qgram::QGramIndex;
+pub use suffix_array::SuffixArray;

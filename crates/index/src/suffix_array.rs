@@ -1,0 +1,306 @@
+//! Suffix-array construction via SA-IS (suffix-array induced sorting).
+//!
+//! SA-IS (Nong, Zhang & Chan, 2009) builds the suffix array in O(n) time,
+//! which keeps preprocessing practical even on the embedded profile — the
+//! paper's HiKey970 has 6 GB of RAM, so index build cost matters there.
+
+use repute_genome::DnaSeq;
+
+/// A suffix array over a DNA reference.
+///
+/// Entry `i` is the start position of the `i`-th smallest suffix. The
+/// implicit terminal sentinel (smaller than every base) is *not* included,
+/// so the array is a permutation of `0..text_len`.
+///
+/// # Example
+///
+/// ```
+/// use repute_genome::DnaSeq;
+/// use repute_index::SuffixArray;
+///
+/// # fn main() -> Result<(), repute_genome::GenomeError> {
+/// let text: DnaSeq = "ACGTACG".parse()?;
+/// let sa = SuffixArray::build(&text);
+/// // Suffix "ACG" (pos 4) sorts before "ACGTACG" (pos 0).
+/// assert_eq!(sa.positions()[0], 4);
+/// assert_eq!(sa.positions()[1], 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuffixArray {
+    positions: Vec<u32>,
+}
+
+impl SuffixArray {
+    /// Builds the suffix array of `text` with SA-IS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is longer than `u32::MAX - 2` bases.
+    pub fn build(text: &DnaSeq) -> SuffixArray {
+        Self::from_codes(&text.to_codes())
+    }
+
+    /// Builds the suffix array from 2-bit base codes (`0..=3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code exceeds 3, or the text exceeds `u32::MAX - 2`.
+    pub fn from_codes(codes: &[u8]) -> SuffixArray {
+        assert!(
+            codes.len() < (u32::MAX - 2) as usize,
+            "text too long for 32-bit suffix array"
+        );
+        if codes.is_empty() {
+            return SuffixArray { positions: vec![] };
+        }
+        // Shift codes to 1..=4 and append the unique sentinel 0.
+        let mut s: Vec<u32> = Vec::with_capacity(codes.len() + 1);
+        for &c in codes {
+            assert!(c <= 3, "base code {c} out of range");
+            s.push(u32::from(c) + 1);
+        }
+        s.push(0);
+        let sa = sais(&s, 5);
+        // Drop the sentinel suffix (always first).
+        let positions = sa[1..].iter().map(|&p| p as u32).collect();
+        SuffixArray { positions }
+    }
+
+    /// The sorted suffix start positions.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Number of suffixes (= text length).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` for the suffix array of the empty text.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Naive O(n² log n) construction, used as a cross-check in tests.
+#[cfg(test)]
+pub fn naive_suffix_array(codes: &[u8]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..codes.len() as u32).collect();
+    idx.sort_by(|&a, &b| codes[a as usize..].cmp(&codes[b as usize..]));
+    idx
+}
+
+/// Core SA-IS over a text whose last element is the unique smallest symbol.
+fn sais(s: &[u32], sigma: usize) -> Vec<usize> {
+    let n = s.len();
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        return vec![1, 0]; // s[1] is the sentinel
+    }
+
+    // 1. L/S classification. is_s[i] == true means suffix i is S-type.
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // Bucket sizes per symbol.
+    let mut bucket = vec![0usize; sigma];
+    for &c in s {
+        bucket[c as usize] += 1;
+    }
+    let bucket_heads = |bucket: &[usize]| {
+        let mut heads = vec![0usize; sigma];
+        let mut sum = 0;
+        for c in 0..sigma {
+            heads[c] = sum;
+            sum += bucket[c];
+        }
+        heads
+    };
+    let bucket_tails = |bucket: &[usize]| {
+        let mut tails = vec![0usize; sigma];
+        let mut sum = 0;
+        for c in 0..sigma {
+            sum += bucket[c];
+            tails[c] = sum;
+        }
+        tails
+    };
+
+    const EMPTY: usize = usize::MAX;
+    let induce = |lms: &[usize]| -> Vec<usize> {
+        let mut sa = vec![EMPTY; n];
+        // Place LMS suffixes at bucket tails in the given order (reversed so
+        // the last-placed ends up first within the bucket).
+        let mut tails = bucket_tails(&bucket);
+        for &p in lms.iter().rev() {
+            let c = s[p] as usize;
+            tails[c] -= 1;
+            sa[tails[c]] = p;
+        }
+        // Induce L-type from the left.
+        let mut heads = bucket_heads(&bucket);
+        for i in 0..n {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && !is_s[p - 1] {
+                let c = s[p - 1] as usize;
+                sa[heads[c]] = p - 1;
+                heads[c] += 1;
+            }
+        }
+        // Induce S-type from the right.
+        let mut tails = bucket_tails(&bucket);
+        for i in (0..n).rev() {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && is_s[p - 1] {
+                let c = s[p - 1] as usize;
+                tails[c] -= 1;
+                sa[tails[c]] = p - 1;
+            }
+        }
+        sa
+    };
+
+    // 2. First induced sort from unsorted LMS positions.
+    let lms_positions: Vec<usize> = (1..n).filter(|&i| is_lms(i)).collect();
+    let sa = induce(&lms_positions);
+
+    // 3. Name LMS substrings in SA order.
+    let lms_in_order: Vec<usize> = sa.iter().copied().filter(|&p| is_lms(p)).collect();
+    let mut names = vec![EMPTY; n];
+    let mut current = 0usize;
+    let mut prev: Option<usize> = None;
+    for &p in &lms_in_order {
+        if let Some(q) = prev {
+            if !lms_substring_eq(s, &is_s, q, p) {
+                current += 1;
+            }
+        }
+        names[p] = current;
+        prev = Some(p);
+    }
+    let name_count = current + 1;
+
+    // 4. Build the reduced problem in text order of LMS positions.
+    let reduced: Vec<u32> = lms_positions.iter().map(|&p| names[p] as u32).collect();
+    let lms_sorted: Vec<usize> = if name_count == reduced.len() {
+        // All names unique: order directly.
+        let mut order = vec![0usize; reduced.len()];
+        for (i, &name) in reduced.iter().enumerate() {
+            order[name as usize] = lms_positions[i];
+        }
+        order
+    } else {
+        let sub_sa = sais(&reduced, name_count);
+        sub_sa.iter().map(|&i| lms_positions[i]).collect()
+    };
+
+    // 5. Final induced sort with correctly ordered LMS suffixes.
+    induce(&lms_sorted)
+}
+
+/// Compares the LMS substrings starting at `a` and `b` for equality.
+fn lms_substring_eq(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
+    let n = s.len();
+    let is_lms = |i: usize| i > 0 && is_s[i] && !is_s[i - 1];
+    let mut i = 0usize;
+    loop {
+        let pa = a + i;
+        let pb = b + i;
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if s[pa] != s[pb] || is_s[pa] != is_s[pb] {
+            return false;
+        }
+        if i > 0 && (is_lms(pa) || is_lms(pb)) {
+            return is_lms(pa) && is_lms(pb);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check(text: &str) {
+        let seq: DnaSeq = text.parse().unwrap();
+        let codes = seq.to_codes();
+        let sa = SuffixArray::build(&seq);
+        assert_eq!(sa.positions(), naive_suffix_array(&codes).as_slice(), "text {text:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny_texts() {
+        let sa = SuffixArray::from_codes(&[]);
+        assert!(sa.is_empty());
+        check("A");
+        check("AC");
+        check("CA");
+        check("AA");
+    }
+
+    #[test]
+    fn classic_examples() {
+        check("ACGTACG");
+        check("AAAAAAAAAA");
+        check("ACACACACAC");
+        check("GTGTGTGTGA");
+        check("TGCATGCATGCA");
+    }
+
+    #[test]
+    fn matches_naive_on_random_texts() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for len in [3usize, 17, 64, 255, 1000] {
+            for _ in 0..5 {
+                let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+                let sa = SuffixArray::from_codes(&codes);
+                assert_eq!(
+                    sa.positions(),
+                    naive_suffix_array(&codes).as_slice(),
+                    "len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_a_permutation_on_larger_text() {
+        let reference = repute_genome::synth::ReferenceBuilder::new(50_000).seed(4).build();
+        let sa = SuffixArray::build(&reference);
+        let mut seen = vec![false; reference.len()];
+        for &p in sa.positions() {
+            assert!(!seen[p as usize], "duplicate {p}");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn suffixes_are_sorted_on_larger_text() {
+        let reference = repute_genome::synth::ReferenceBuilder::new(20_000).seed(5).build();
+        let codes = reference.to_codes();
+        let sa = SuffixArray::build(&reference);
+        for w in sa.positions().windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            assert!(codes[a..] < codes[b..], "order violated at {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_codes_rejected() {
+        let _ = SuffixArray::from_codes(&[0, 1, 7]);
+    }
+}

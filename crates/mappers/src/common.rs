@@ -1,0 +1,231 @@
+//! The mapper interface shared by every baseline and by REPUTE itself.
+
+use repute_genome::{DnaSeq, Strand};
+
+/// One reported mapping location.
+///
+/// REPUTE "gives the mapping positions, edit distance and strand for each
+/// \[read\]" (§IV) — this struct is exactly that triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    /// Leftmost reference base of the mapped region (0-based). Mappers
+    /// report the candidate diagonal, so positions are exact up to the
+    /// indel slack of the alignment (≤ δ); the evaluation crate matches
+    /// with that tolerance.
+    pub position: u32,
+    /// Strand the read maps to.
+    pub strand: Strand,
+    /// Edit distance of the accepted alignment.
+    pub distance: u32,
+}
+
+/// Everything one `map_read` call produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MapOutput {
+    /// Accepted mapping locations, at most the mapper's location limit.
+    pub mappings: Vec<Mapping>,
+    /// Substrate work units consumed (FM extensions, DP cells, bit-vector
+    /// word updates, locate steps) — the currency of the platform
+    /// simulator's time model.
+    pub work: u64,
+    /// Candidate locations that were verified (before acceptance).
+    pub candidates: u64,
+}
+
+/// The preprocessing stage's output: a reference together with the index
+/// structures every mapper draws on (§II-A of the paper).
+///
+/// Build it once and share it (e.g. via [`std::sync::Arc`]) across all the
+/// mappers in a comparison — index construction dominates setup time.
+#[derive(Debug, Clone)]
+pub struct IndexedReference {
+    seq: DnaSeq,
+    codes: Vec<u8>,
+    fm: repute_index::FmIndex,
+    qgram: repute_index::QGramIndex,
+}
+
+impl IndexedReference {
+    /// Default q-gram length for the hash index (RazerS3/Hobbes3 family).
+    pub const DEFAULT_Q: usize = 10;
+
+    /// Indexes `seq` with the default q-gram length.
+    pub fn build(seq: DnaSeq) -> IndexedReference {
+        IndexedReference::build_with_q(seq, Self::DEFAULT_Q)
+    }
+
+    /// Indexes `seq` with an explicit q-gram length.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`repute_index::QGramIndex::build`].
+    pub fn build_with_q(seq: DnaSeq, q: usize) -> IndexedReference {
+        let codes = seq.to_codes();
+        // Denser SA sampling than the library default: mapping locates
+        // millions of candidate positions, so the memory/locate-speed
+        // trade leans toward speed here (the ablation bench sweeps it).
+        let fm = repute_index::FmIndex::builder().sa_sample(8).build(&seq);
+        let qgram = repute_index::QGramIndex::build(&seq, q);
+        IndexedReference {
+            seq,
+            codes,
+            fm,
+            qgram,
+        }
+    }
+
+    /// The reference sequence.
+    pub fn seq(&self) -> &DnaSeq {
+        &self.seq
+    }
+
+    /// The reference as flat 2-bit codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The FM-Index over the reference.
+    pub fn fm(&self) -> &repute_index::FmIndex {
+        &self.fm
+    }
+
+    /// The q-gram hash index over the reference.
+    pub fn qgram(&self) -> &repute_index::QGramIndex {
+        &self.qgram
+    }
+
+    /// Reference length in bases.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` for an empty reference (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Serialises the index to a binary stream: the packed sequence, the
+    /// FM-Index (BWT + SA samples), and the q-gram length. The q-gram
+    /// index itself is rebuilt on load (one linear pass — far cheaper
+    /// than the suffix-array construction the FM payload avoids).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out` (a `&mut` writer is accepted).
+    pub fn write_to<W: std::io::Write>(&self, mut out: W) -> std::io::Result<()> {
+        out.write_all(b"RPIX")?;
+        out.write_all(&1u16.to_le_bytes())?;
+        out.write_all(&(self.qgram.q() as u32).to_le_bytes())?;
+        self.seq.write_packed(&mut out)?;
+        self.fm.write_to(&mut out)
+    }
+
+    /// Deserialises an index written by [`IndexedReference::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic,
+    /// version, or payload mismatch, and propagates I/O errors from
+    /// `input` (a `&mut` reader is accepted).
+    pub fn read_from<R: std::io::Read>(mut input: R) -> std::io::Result<IndexedReference> {
+        fn bad(msg: &str) -> std::io::Error {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+        }
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        if &magic != b"RPIX" {
+            return Err(bad("not a repute index stream (bad magic)"));
+        }
+        let mut b2 = [0u8; 2];
+        input.read_exact(&mut b2)?;
+        if u16::from_le_bytes(b2) != 1 {
+            return Err(bad("unsupported index format version"));
+        }
+        let mut b4 = [0u8; 4];
+        input.read_exact(&mut b4)?;
+        let q = u32::from_le_bytes(b4) as usize;
+        let seq = DnaSeq::read_packed(&mut input)?;
+        let fm = repute_index::FmIndex::read_from(&mut input)?;
+        if fm.text_len() != seq.len() {
+            return Err(bad("FM-Index does not match the stored sequence"));
+        }
+        let codes = seq.to_codes();
+        let qgram = repute_index::QGramIndex::build(&seq, q);
+        Ok(IndexedReference {
+            seq,
+            codes,
+            fm,
+            qgram,
+        })
+    }
+}
+
+/// A read mapper: reference-preprocessed, ready to map reads.
+///
+/// Implementations must be `Sync` so the platform simulator can run them
+/// from multiple worker threads.
+pub trait Mapper: Sync {
+    /// Short display name, e.g. `"RazerS3"`.
+    fn name(&self) -> &str;
+
+    /// Maps one read against both strands of the reference.
+    fn map_read(&self, read: &DnaSeq) -> MapOutput;
+
+    /// The output-slot limit per read (the *first-n* restriction of §III).
+    fn max_locations(&self) -> usize;
+
+    /// Estimated private-memory bytes one work-item (read) of this
+    /// mapper's kernel occupies on a device, for the occupancy model of
+    /// `repute-hetsim`. Zero (the default) means occupancy-insensitive;
+    /// REPUTE overrides this with its DP-table footprint — the
+    /// hardware/software co-design knob of the paper's §II-B.
+    fn kernel_private_bytes(&self, read_len: usize) -> usize {
+        let _ = read_len;
+        0
+    }
+}
+
+impl<M: Mapper + ?Sized> Mapper for &M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn map_read(&self, read: &DnaSeq) -> MapOutput {
+        (**self).map_read(read)
+    }
+
+    fn max_locations(&self) -> usize {
+        (**self).max_locations()
+    }
+
+    fn kernel_private_bytes(&self, read_len: usize) -> usize {
+        (**self).kernel_private_bytes(read_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_output_default_is_empty() {
+        let out = MapOutput::default();
+        assert!(out.mappings.is_empty());
+        assert_eq!(out.work, 0);
+    }
+
+    #[test]
+    fn mapping_is_comparable() {
+        let a = Mapping {
+            position: 5,
+            strand: Strand::Forward,
+            distance: 1,
+        };
+        assert_eq!(a, a);
+        let b = Mapping {
+            strand: Strand::Reverse,
+            ..a
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared candidate-verification machinery.
+//!
+//! Every pigeonhole mapper ends the same way: project each seed hit onto a
+//! read-start diagonal, merge nearby candidates, cut a reference window
+//! around each and run the Myers verifier. This engine centralises that
+//! flow — and its work accounting — so the mappers differ only in *how
+//! they choose seeds*, which is exactly the axis the paper compares.
+
+use repute_align::verify_counting;
+use repute_genome::{DnaSeq, Strand};
+
+use crate::common::Mapping;
+
+/// Work units charged per FM-Index left-extension: two rank queries, each
+/// a checkpoint load plus a BWT scan — cache-missing, memory-bound work,
+/// far heavier than one register-resident bit-vector update.
+pub const EXTEND_COST: u64 = 24;
+
+/// Work units charged per DP cell of a filtration dynamic program (one
+/// table read, one add, one compare).
+pub const DP_CELL_COST: u64 = 2;
+
+/// Work units charged per located suffix-array position: with the
+/// [`IndexedReference`](crate::IndexedReference) SA sampling of 8 the LF
+/// walk averages 4 steps, each an FM extension.
+pub const LOCATE_COST: u64 = 4 * EXTEND_COST;
+
+/// A deduplicating collection of candidate diagonals for one read/strand.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    diagonals: Vec<u32>,
+}
+
+impl CandidateSet {
+    /// Creates an empty set.
+    pub fn new() -> CandidateSet {
+        CandidateSet::default()
+    }
+
+    /// Adds a candidate: a seed hit at reference position `ref_pos` whose
+    /// seed started `read_offset` bases into the read. The implied read
+    /// start (diagonal) is clamped at zero.
+    pub fn add(&mut self, ref_pos: u32, read_offset: usize) {
+        self.diagonals
+            .push(ref_pos.saturating_sub(read_offset as u32));
+    }
+
+    /// Number of raw candidates added so far.
+    pub fn len(&self) -> usize {
+        self.diagonals.len()
+    }
+
+    /// Returns `true` when no candidate was added.
+    pub fn is_empty(&self) -> bool {
+        self.diagonals.is_empty()
+    }
+
+    /// Sorts and merges candidates closer than `merge_distance`, returning
+    /// the surviving diagonals.
+    pub fn into_merged(mut self, merge_distance: u32) -> Vec<u32> {
+        self.diagonals.sort_unstable();
+        let mut out: Vec<u32> = Vec::with_capacity(self.diagonals.len());
+        for d in self.diagonals {
+            match out.last() {
+                Some(&last) if d - last <= merge_distance => {}
+                _ => out.push(d),
+            }
+        }
+        out
+    }
+}
+
+/// The verification half of a mapper.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyEngine<'a> {
+    reference: &'a [u8],
+    delta: u32,
+}
+
+impl<'a> VerifyEngine<'a> {
+    /// Creates an engine over the reference's 2-bit codes with error
+    /// budget δ.
+    pub fn new(reference: &'a [u8], delta: u32) -> VerifyEngine<'a> {
+        VerifyEngine { reference, delta }
+    }
+
+    /// The error budget δ.
+    pub fn delta(&self) -> u32 {
+        self.delta
+    }
+
+    /// Verifies merged candidate diagonals for `read` on `strand`,
+    /// appending accepted mappings to `out` until `limit` total mappings.
+    ///
+    /// Returns the bit-vector work consumed. The window around each
+    /// candidate spans `read_len + 2δ` bases, the standard slack for up to
+    /// δ indels on either side.
+    pub fn verify(
+        &self,
+        read: &[u8],
+        strand: Strand,
+        candidates: &[u32],
+        limit: usize,
+        out: &mut Vec<Mapping>,
+    ) -> u64 {
+        let mut work = 0u64;
+        let n = self.reference.len();
+        for &diag in candidates {
+            if out.len() >= limit {
+                break;
+            }
+            let start = (diag as usize).saturating_sub(self.delta as usize);
+            let end = (diag as usize + read.len() + self.delta as usize).min(n);
+            if start >= end {
+                continue;
+            }
+            let window = &self.reference[start..end];
+            let (hit, cost) = verify_counting(read, window, self.delta);
+            work += cost.word_updates;
+            if let Some(v) = hit {
+                out.push(Mapping {
+                    position: diag,
+                    strand,
+                    distance: v.distance,
+                });
+            }
+        }
+        work
+    }
+}
+
+impl VerifyEngine<'_> {
+    /// Verifies diagonal *bands* (SWIFT-style counting filters emit a band
+    /// start rather than an exact diagonal): the window spans the whole
+    /// band plus the usual δ slack, and the reported position is derived
+    /// from the alignment's end (accurate to ±distance ≤ δ).
+    ///
+    /// Returns the bit-vector work consumed.
+    pub fn verify_banded(
+        &self,
+        read: &[u8],
+        strand: Strand,
+        band_starts: &[u32],
+        band: usize,
+        limit: usize,
+        out: &mut Vec<Mapping>,
+    ) -> u64 {
+        let mut work = 0u64;
+        let n = self.reference.len();
+        let delta = self.delta as usize;
+        for &band_start in band_starts {
+            if out.len() >= limit {
+                break;
+            }
+            let start = (band_start as usize).saturating_sub(delta);
+            let end = (band_start as usize + band + read.len() + delta).min(n);
+            if start >= end {
+                continue;
+            }
+            let window = &self.reference[start..end];
+            let (hit, cost) = verify_counting(read, window, self.delta);
+            work += cost.word_updates;
+            if let Some(v) = hit {
+                let position = (start + v.end).saturating_sub(read.len()) as u32;
+                out.push(Mapping {
+                    position,
+                    strand,
+                    distance: v.distance,
+                });
+            }
+        }
+        work
+    }
+}
+
+/// Prepares the forward and reverse-complement code vectors of a read —
+/// every mapper maps both strands.
+pub fn strand_codes(read: &DnaSeq) -> [(Strand, Vec<u8>); 2] {
+    [
+        (Strand::Forward, read.to_codes()),
+        (Strand::Reverse, read.reverse_complement().to_codes()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repute_genome::synth::ReferenceBuilder;
+
+    #[test]
+    fn candidate_merging() {
+        let mut set = CandidateSet::new();
+        set.add(100, 0);
+        set.add(103, 0);
+        set.add(200, 0);
+        set.add(100, 0);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.into_merged(5), vec![100, 200]);
+    }
+
+    #[test]
+    fn candidate_merge_zero_keeps_distinct() {
+        let mut set = CandidateSet::new();
+        set.add(10, 0);
+        set.add(11, 0);
+        assert_eq!(set.into_merged(0), vec![10, 11]);
+    }
+
+    #[test]
+    fn diagonal_clamps_at_zero() {
+        let mut set = CandidateSet::new();
+        set.add(3, 10); // seed hit near the reference start
+        assert_eq!(set.into_merged(0), vec![0]);
+    }
+
+    #[test]
+    fn verify_accepts_true_location_and_rejects_noise() {
+        let reference = ReferenceBuilder::new(10_000).seed(23).build();
+        let codes = reference.to_codes();
+        let read = reference.subseq(4000..4100).to_codes();
+        let engine = VerifyEngine::new(&codes, 3);
+        let mut out = Vec::new();
+        let work = engine.verify(&read, Strand::Forward, &[4000, 9000], 100, &mut out);
+        assert!(work > 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].position, 4000);
+        assert_eq!(out[0].distance, 0);
+    }
+
+    #[test]
+    fn verify_respects_limit() {
+        let reference = ReferenceBuilder::new(5_000).seed(24).build();
+        let codes = reference.to_codes();
+        let read = reference.subseq(100..180).to_codes();
+        let engine = VerifyEngine::new(&codes, 80); // absurd budget: everything passes
+        let mut out = Vec::new();
+        engine.verify(&read, Strand::Forward, &[0, 50, 100, 150], 2, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn window_clamps_at_reference_edges() {
+        let reference = ReferenceBuilder::new(300).seed(25).build();
+        let codes = reference.to_codes();
+        let read = reference.subseq(250..300).to_codes();
+        let engine = VerifyEngine::new(&codes, 2);
+        let mut out = Vec::new();
+        engine.verify(&read, Strand::Forward, &[250, 290], 10, &mut out);
+        assert!(out.iter().any(|m| m.position == 250));
+    }
+
+    #[test]
+    fn strand_codes_produces_both_orientations() {
+        let read: DnaSeq = "ACGT".parse().unwrap();
+        let [fwd, rev] = strand_codes(&read);
+        assert_eq!(fwd.0, Strand::Forward);
+        assert_eq!(fwd.1, vec![0, 1, 2, 3]);
+        assert_eq!(rev.0, Strand::Reverse);
+        assert_eq!(rev.1, vec![0, 1, 2, 3]); // ACGT is its own RC
+    }
+}

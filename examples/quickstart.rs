@@ -1,0 +1,58 @@
+//! Quickstart: index a reference, map reads, print the mappings.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use repute_core::{ReputeConfig, ReputeMapper};
+use repute_genome::reads::{ErrorProfile, ReadSimulator};
+use repute_genome::synth::ReferenceBuilder;
+use repute_mappers::{IndexedReference, Mapper};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A reference genome. Real users load a FASTA via
+    //    `repute_genome::fasta`; here we synthesise a chr21-like sequence.
+    println!("building a 1 Mbp synthetic reference…");
+    let reference = ReferenceBuilder::new(1_000_000).seed(42).build();
+
+    // 2. Sequencing reads. Real users load FASTQ via
+    //    `repute_genome::fastq`; here we simulate an Illumina-like run.
+    let reads = ReadSimulator::new(100, 10)
+        .profile(ErrorProfile::err012100())
+        .seed(7)
+        .simulate(&reference);
+
+    // 3. Preprocess once (FM-Index + suffix array, §II-A of the paper).
+    println!("indexing…");
+    let indexed = Arc::new(IndexedReference::build(reference));
+
+    // 4. Configure REPUTE: error budget δ=5, minimum k-mer length 12,
+    //    first 100 locations per read.
+    let config = ReputeConfig::new(5, 12)?.with_max_locations(100);
+    let mapper = ReputeMapper::new(indexed, config);
+
+    // 5. Map.
+    println!("mapping {} reads…\n", reads.len());
+    for read in &reads {
+        let out = mapper.map_read(&read.seq);
+        let truth = read
+            .origin
+            .map(|o| format!("truth: {}{}", o.strand.symbol(), o.position))
+            .unwrap_or_else(|| "truth: unmappable".into());
+        println!(
+            "read {:>2} ({truth}): {} location(s), {} candidates verified",
+            read.id,
+            out.mappings.len(),
+            out.candidates
+        );
+        for m in out.mappings.iter().take(3) {
+            println!("    {}{:>8}  distance {}", m.strand.symbol(), m.position, m.distance);
+        }
+        if out.mappings.len() > 3 {
+            println!("    … and {} more", out.mappings.len() - 3);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! Differential testing: every mapper against a brute-force DP scan.
+//!
+//! The brute-force oracle runs the full semi-global DP of `repute-align`
+//! across the *entire* reference, collecting every end position within
+//! the error budget — no index, no filtration, no heuristics. Each mapper
+//! is then checked in both directions:
+//!
+//! * **sensitivity** — every oracle hit cluster is reported by the
+//!   full-sensitivity mappers (pigeonhole guarantee);
+//! * **soundness** — every reported mapping corresponds to an oracle hit
+//!   (no mapper invents locations).
+
+use std::sync::Arc;
+
+use repute_core::{ReputeConfig, ReputeMapper};
+use repute_genome::reads::{ErrorProfile, ReadSimulator};
+use repute_genome::synth::{ReferenceBuilder, RepeatFamily};
+use repute_genome::{DnaSeq, Strand};
+use repute_mappers::{
+    coral::CoralLike, hobbes3::Hobbes3Like, razers3::Razers3Like, IndexedReference, Mapper,
+};
+
+/// All end positions (exclusive) where `read` aligns semi-globally within
+/// `delta`, collapsed to cluster representatives (local minima).
+fn oracle_ends(read: &[u8], reference: &[u8], delta: u32) -> Vec<(usize, u32)> {
+    let m = read.len();
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut cur = vec![0u32; m + 1];
+    let mut hits: Vec<(usize, u32)> = Vec::new();
+    for j in 1..=reference.len() {
+        cur[0] = 0;
+        for i in 1..=m {
+            let sub = prev[i - 1] + u32::from(read[i - 1] != reference[j - 1]);
+            cur[i] = sub.min(prev[i] + 1).min(cur[i - 1] + 1);
+        }
+        if cur[m] <= delta {
+            hits.push((j, cur[m]));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // Collapse runs of nearby ends (one alignment produces a plateau of
+    // qualifying ends) to the best end of each run.
+    let mut clusters: Vec<(usize, u32)> = Vec::new();
+    for (end, dist) in hits {
+        match clusters.last_mut() {
+            Some((last_end, last_dist)) if end - *last_end <= 2 * delta as usize + 2 => {
+                if dist < *last_dist {
+                    *last_dist = dist;
+                }
+                *last_end = end;
+            }
+            _ => clusters.push((end, dist)),
+        }
+    }
+    clusters
+}
+
+struct Oracle {
+    /// `(strand, cluster end, best distance)` per hit cluster.
+    hits: Vec<(Strand, usize, u32)>,
+}
+
+fn oracle(read: &DnaSeq, reference: &[u8], delta: u32) -> Oracle {
+    let mut hits = Vec::new();
+    for (strand, codes) in [
+        (Strand::Forward, read.to_codes()),
+        (Strand::Reverse, read.reverse_complement().to_codes()),
+    ] {
+        for (end, dist) in oracle_ends(&codes, reference, delta) {
+            hits.push((strand, end, dist));
+        }
+    }
+    Oracle { hits }
+}
+
+fn workload() -> (Arc<IndexedReference>, Vec<repute_genome::reads::SimRead>) {
+    // Small but repeat-rich, so multi-mapping reads exercise the mappers.
+    let reference = ReferenceBuilder::new(60_000)
+        .seed(7001)
+        .repeat_families(vec![
+            RepeatFamily { unit_len: 200, copies: 30, divergence: 0.02 },
+            RepeatFamily { unit_len: 60, copies: 40, divergence: 0.01 },
+        ])
+        .build();
+    let reads = ReadSimulator::new(90, 25)
+        .profile(ErrorProfile::err012100())
+        .unmappable_fraction(0.08)
+        .seed(7002)
+        .simulate(&reference);
+    (Arc::new(IndexedReference::build(reference)), reads)
+}
+
+/// Matching slack between a mapper's reported start and an oracle end:
+/// start ≈ end − read_len, both sides accurate to ±δ.
+fn matches_oracle(
+    oracle: &Oracle,
+    read_len: usize,
+    strand: Strand,
+    position: u32,
+    delta: u32,
+) -> bool {
+    let slack = 2 * delta as usize + 2;
+    oracle.hits.iter().any(|&(s, end, _)| {
+        s == strand && (position as usize + read_len).abs_diff(end) <= slack
+    })
+}
+
+#[test]
+fn no_mapper_invents_locations() {
+    let (indexed, reads) = workload();
+    let delta = 4u32;
+    let mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(Razers3Like::new(Arc::clone(&indexed), delta)),
+        Box::new(Hobbes3Like::new(Arc::clone(&indexed), delta)),
+        Box::new(CoralLike::new(Arc::clone(&indexed), delta)),
+        Box::new(ReputeMapper::new(
+            Arc::clone(&indexed),
+            ReputeConfig::new(delta, 12).expect("valid"),
+        )),
+    ];
+    for read in &reads {
+        let oracle = oracle(&read.seq, indexed.codes(), delta);
+        for mapper in &mappers {
+            for m in mapper.map_read(&read.seq).mappings {
+                assert!(
+                    m.distance <= delta,
+                    "{} reported distance {} > δ",
+                    mapper.name(),
+                    m.distance
+                );
+                assert!(
+                    matches_oracle(&oracle, read.seq.len(), m.strand, m.position, delta),
+                    "{} invented {:?} for read {} (oracle has {} hits)",
+                    mapper.name(),
+                    m,
+                    read.id,
+                    oracle.hits.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_sensitivity_mappers_find_every_oracle_cluster() {
+    let (indexed, reads) = workload();
+    let delta = 3u32;
+    // Unlimited output slots so the caps cannot hide a cluster.
+    let mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(Razers3Like::new(Arc::clone(&indexed), delta).with_max_locations(100_000)),
+        Box::new(Hobbes3Like::new(Arc::clone(&indexed), delta).with_max_locations(100_000)),
+        Box::new(CoralLike::new(Arc::clone(&indexed), delta).with_max_locations(100_000)),
+        Box::new(ReputeMapper::new(
+            Arc::clone(&indexed),
+            ReputeConfig::new(delta, 12)
+                .expect("valid")
+                .with_max_locations(100_000),
+        )),
+    ];
+    let slack = 2 * delta as usize + 2;
+    for read in &reads {
+        let oracle = oracle(&read.seq, indexed.codes(), delta);
+        for mapper in &mappers {
+            let mappings = mapper.map_read(&read.seq).mappings;
+            for &(strand, end, dist) in &oracle.hits {
+                let found = mappings.iter().any(|m| {
+                    m.strand == strand
+                        && (m.position as usize + read.seq.len()).abs_diff(end) <= slack
+                });
+                assert!(
+                    found,
+                    "{} missed oracle hit (strand {strand}, end {end}, distance {dist}) \
+                     for read {}; reported {} mappings",
+                    mapper.name(),
+                    read.id,
+                    mappings.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_sanity_on_planted_matches() {
+    // The oracle itself must find a planted exact and a planted 2-error
+    // occurrence, and nothing in random noise.
+    let reference = ReferenceBuilder::new(5_000).seed(7003).build();
+    let codes = reference.to_codes();
+    let read = reference.subseq(1_000..1_080);
+    let oracle = oracle(&read, &codes, 2);
+    assert!(
+        oracle
+            .hits
+            .iter()
+            .any(|&(s, end, d)| s == Strand::Forward && end.abs_diff(1_080) <= 6 && d == 0),
+        "planted exact match missed: {:?}",
+        oracle.hits
+    );
+
+    // Mutate two bases: still found, distance ≤ 2.
+    let mut mutated = read.to_codes();
+    mutated[10] ^= 1;
+    mutated[60] ^= 2;
+    let mutated = DnaSeq::from_codes(&mutated).unwrap();
+    let oracle = self::oracle(&mutated, &codes, 2);
+    assert!(oracle
+        .hits
+        .iter()
+        .any(|&(s, end, d)| s == Strand::Forward && end.abs_diff(1_080) <= 6 && d <= 2));
+}

@@ -1,0 +1,212 @@
+//! Property-based tests over the core substrates and invariants.
+
+use proptest::prelude::*;
+
+use repute_align::{banded, block, dp, myers, verify};
+use repute_filter::freq::FreqTable;
+use repute_filter::oss::{OssParams, OssSolver};
+use repute_genome::DnaSeq;
+use repute_index::{BiFmIndex, FmIndex, SuffixArray};
+
+fn codes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dnaseq_round_trips_through_string(v in codes(0..300)) {
+        let seq = DnaSeq::from_codes(&v).expect("valid codes");
+        let text = seq.to_string();
+        let back: DnaSeq = text.parse().expect("parseable");
+        prop_assert_eq!(back, seq);
+    }
+
+    #[test]
+    fn reverse_complement_is_involution(v in codes(0..200)) {
+        let seq = DnaSeq::from_codes(&v).expect("valid codes");
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn complement_preserves_gc(v in codes(1..200)) {
+        let seq = DnaSeq::from_codes(&v).expect("valid codes");
+        let gc = seq.gc_content();
+        prop_assert!((seq.reverse_complement().gc_content() - gc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suffix_array_is_sorted_permutation(v in codes(1..400)) {
+        let sa = SuffixArray::from_codes(&v);
+        let mut seen = vec![false; v.len()];
+        for &p in sa.positions() {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        for w in sa.positions().windows(2) {
+            prop_assert!(v[w[0] as usize..] < v[w[1] as usize..]);
+        }
+    }
+
+    #[test]
+    fn fm_count_matches_naive(text in codes(1..400), start in 0usize..350, len in 1usize..12) {
+        prop_assume!(start + len <= text.len());
+        let pattern = text[start..start + len].to_vec();
+        let seq = DnaSeq::from_codes(&text).expect("valid codes");
+        let fm = FmIndex::build(&seq);
+        let naive = text.windows(len).filter(|w| **w == pattern[..]).count() as u32;
+        prop_assert_eq!(fm.count(&pattern), naive);
+    }
+
+    #[test]
+    fn fm_locate_positions_really_match(text in codes(30..300), start in 0usize..280, len in 6usize..14) {
+        prop_assume!(start + len <= text.len());
+        let pattern = text[start..start + len].to_vec();
+        let seq = DnaSeq::from_codes(&text).expect("valid codes");
+        let fm = FmIndex::build(&seq);
+        if let Some(interval) = fm.interval(&pattern) {
+            for p in fm.locate(interval, usize::MAX) {
+                prop_assert_eq!(&text[p as usize..p as usize + len], &pattern[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn myers_agrees_with_dp(pattern in codes(1..64), text in codes(0..100)) {
+        let expected = dp::semi_global(&pattern, &text).expect("non-empty pattern");
+        let masks = myers::PatternMasks::new(&pattern);
+        let got = myers::search(&masks, &text, pattern.len() as u32).expect("within m");
+        prop_assert_eq!(got.distance, expected.distance);
+        prop_assert_eq!(got.end, expected.end);
+    }
+
+    #[test]
+    fn blocked_myers_agrees_with_dp(pattern in codes(64..200), text in codes(0..250)) {
+        let expected = dp::semi_global(&pattern, &text).expect("non-empty pattern");
+        let masks = block::BlockMasks::new(&pattern);
+        let got = block::search(&masks, &text, pattern.len() as u32).expect("within m");
+        prop_assert_eq!(got.distance, expected.distance);
+        prop_assert_eq!(got.end, expected.end);
+    }
+
+    #[test]
+    fn bidirectional_extension_matches_plain_backward_search(
+        text in codes(20..250),
+        start in 0usize..230,
+        len in 1usize..14,
+        grow_right in proptest::collection::vec(any::<bool>(), 14),
+    ) {
+        prop_assume!(start + len <= text.len());
+        let pattern = text[start..start + len].to_vec();
+        let seq = DnaSeq::from_codes(&text).expect("valid codes");
+        let bi = BiFmIndex::build(&seq);
+        // Grow the pattern in an arbitrary left/right order.
+        let mut lo = len / 2;
+        let mut hi = lo;
+        let mut iv = bi.init();
+        let mut flips = grow_right.iter().copied().cycle();
+        while hi - lo < len {
+            if (lo > 0 && flips.next().unwrap_or(false)) || hi == len {
+                lo -= 1;
+                iv = bi.extend_left(iv, pattern[lo]);
+            } else {
+                iv = bi.extend_right(iv, pattern[hi]);
+                hi += 1;
+            }
+        }
+        prop_assert_eq!(Some(iv.fwd), bi.forward().interval(&pattern));
+        prop_assert_eq!(iv.fwd.width(), iv.rev.width());
+    }
+
+    #[test]
+    fn banded_distance_agrees_with_full_dp(a in codes(0..80), b in codes(0..80), k in 0u32..12) {
+        let exact = dp::edit_distance(&a, &b);
+        let got = banded::banded_distance(&a, &b, k);
+        if exact <= k {
+            prop_assert_eq!(got, Some(exact));
+        } else {
+            prop_assert_eq!(got, None);
+        }
+    }
+
+    #[test]
+    fn verify_is_monotone_in_budget(read in codes(20..120), window in codes(0..200), k in 0u32..8) {
+        let tight = verify(&read, &window, k);
+        let loose = verify(&read, &window, k + 3);
+        if let Some(t) = tight {
+            let l = loose.expect("loosening cannot lose a hit");
+            prop_assert!(l.distance <= t.distance);
+        }
+    }
+
+    #[test]
+    fn edit_distance_triangle_inequality(a in codes(0..60), b in codes(0..60), c in codes(0..60)) {
+        let ab = dp::edit_distance(&a, &b);
+        let bc = dp::edit_distance(&b, &c);
+        let ac = dp::edit_distance(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn cigar_traceback_is_consistent(pattern in codes(1..60), text in codes(1..90)) {
+        let aln = dp::semi_global_with_cigar(&pattern, &text).expect("non-empty");
+        prop_assert_eq!(aln.cigar.edit_distance(), aln.distance);
+        prop_assert_eq!(aln.cigar.pattern_len(), pattern.len());
+        prop_assert_eq!(aln.cigar.text_len(), aln.end - aln.start);
+        // Traceback distance equals the scan distance.
+        let scan = dp::semi_global(&pattern, &text).expect("non-empty");
+        prop_assert_eq!(aln.distance, scan.distance);
+    }
+}
+
+proptest! {
+    // The DP optimality property is more expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn oss_partition_is_valid_and_no_worse_than_random_partitions(
+        text in codes(2000..6000),
+        off in 0usize..1500,
+        cut_seed in any::<u64>(),
+    ) {
+        let delta = 3u32;
+        let s_min = 10usize;
+        let n = 80usize;
+        prop_assume!(off + n <= text.len());
+        let seq = DnaSeq::from_codes(&text).expect("valid codes");
+        let fm = FmIndex::build(&seq);
+        let read = &text[off..off + n];
+        let params = OssParams::new(delta, s_min).expect("valid");
+        let table = FreqTable::build(&fm, read, &params);
+        let outcome = OssSolver::new(params).select(read, &table);
+        prop_assert!(outcome.selection.is_valid_partition(n, s_min));
+
+        // Compare against a pseudo-random valid partition derived from
+        // cut_seed: the DP result must be at least as good.
+        let mut cuts = vec![0usize];
+        let mut rng = cut_seed;
+        let mut cursor = 0usize;
+        for remaining in (1..=delta as usize).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let max_cut = n - s_min * remaining;
+            let min_cut = cursor + s_min;
+            let span = max_cut - min_cut + 1;
+            let cut = min_cut + (rng >> 33) as usize % span;
+            cuts.push(cut);
+            cursor = cut;
+        }
+        cuts.push(n);
+        let random_total: u64 = cuts
+            .windows(2)
+            .map(|w| u64::from(table.count(w[0], w[1])))
+            .sum();
+        prop_assert!(
+            outcome.selection.total_candidates() <= random_total,
+            "DP {} worse than random partition {}",
+            outcome.selection.total_candidates(),
+            random_total
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Read-length flexibility: "REPUTE is tailored to map short reads of
+//! length 100-150, even though the algorithm does not impose any such
+//! restrictions per se" (§IV). These tests hold the library to the
+//! stronger claim: lengths well outside the paper's range must work.
+
+use std::sync::Arc;
+
+use repute_core::{ReputeConfig, ReputeMapper};
+use repute_genome::reads::{ErrorProfile, ReadSimulator};
+use repute_genome::synth::ReferenceBuilder;
+use repute_mappers::{IndexedReference, Mapper};
+
+fn indexed() -> Arc<IndexedReference> {
+    Arc::new(IndexedReference::build(
+        ReferenceBuilder::new(200_000).seed(8001).build(),
+    ))
+}
+
+#[test]
+fn maps_short_36bp_reads() {
+    // Old-generation Illumina length; δ+1 seeds of S_min must still fit.
+    let indexed = indexed();
+    let mapper = ReputeMapper::new(
+        Arc::clone(&indexed),
+        ReputeConfig::new(2, 12).expect("valid"),
+    );
+    let reads = ReadSimulator::new(36, 30).seed(8002).simulate(indexed.seq());
+    for read in &reads {
+        let origin = read.origin.expect("genomic");
+        let out = mapper.map_read(&read.seq);
+        assert!(
+            out.mappings.iter().any(|m| {
+                m.strand == origin.strand
+                    && (m.position as i64 - origin.position as i64).abs() <= 2
+            }),
+            "36 bp read {} lost",
+            read.id
+        );
+    }
+}
+
+#[test]
+fn maps_long_250bp_reads_with_errors() {
+    // Beyond the paper's range: four 64-bit verification blocks.
+    let indexed = indexed();
+    let delta = 8u32;
+    let mapper = ReputeMapper::new(
+        Arc::clone(&indexed),
+        ReputeConfig::new(delta, 20).expect("valid"),
+    );
+    let reads = ReadSimulator::new(250, 25)
+        .profile(ErrorProfile::srr826460())
+        .seed(8003)
+        .simulate(indexed.seq());
+    for read in &reads {
+        let origin = read.origin.expect("genomic");
+        if origin.edits > delta {
+            continue;
+        }
+        let out = mapper.map_read(&read.seq);
+        assert!(
+            out.mappings.iter().any(|m| {
+                m.strand == origin.strand
+                    && (m.position as i64 - origin.position as i64).abs() <= delta as i64
+            }),
+            "250 bp read {} ({} edits) lost",
+            read.id,
+            origin.edits
+        );
+    }
+}
+
+#[test]
+fn maps_1kb_reads() {
+    // Stress: a small-genome long-read setting (16 blocks per column).
+    let indexed = indexed();
+    let mapper = ReputeMapper::new(
+        Arc::clone(&indexed),
+        ReputeConfig::new(10, 30).expect("valid"),
+    );
+    let reads = ReadSimulator::new(1_000, 5)
+        .profile(ErrorProfile::perfect())
+        .seed(8004)
+        .simulate(indexed.seq());
+    for read in &reads {
+        let origin = read.origin.expect("genomic");
+        let out = mapper.map_read(&read.seq);
+        assert!(
+            out.mappings
+                .iter()
+                .any(|m| m.strand == origin.strand && m.position.abs_diff(origin.position as u32) <= 10),
+            "1 kb read {} lost",
+            read.id
+        );
+    }
+}
+
+#[test]
+fn infeasible_configurations_yield_empty_not_panic() {
+    let indexed = indexed();
+    // 36 bp cannot host 8 seeds of 12: every read maps nowhere, cleanly.
+    let mapper = ReputeMapper::new(
+        Arc::clone(&indexed),
+        ReputeConfig::new(7, 12).expect("valid"),
+    );
+    let read = indexed.seq().subseq(100..136);
+    let out = mapper.map_read(&read);
+    assert!(out.mappings.is_empty());
+    assert_eq!(out.work, 0);
+}
