@@ -77,8 +77,7 @@ pub fn banded_distance(pattern: &[u8], text: &[u8], k: u32) -> Option<u32> {
 mod tests {
     use super::*;
     use crate::dp::edit_distance;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     #[test]
     fn basics() {

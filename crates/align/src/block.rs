@@ -189,8 +189,7 @@ pub fn search(masks: &BlockMasks, text: &[u8], max_distance: u32) -> Option<Bloc
 mod tests {
     use super::*;
     use crate::dp;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     #[test]
     fn matches_single_word_behaviour_for_short_patterns() {

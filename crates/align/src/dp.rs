@@ -127,13 +127,25 @@ pub fn semi_global_with_cigar(pattern: &[u8], text: &[u8]) -> Option<Alignment> 
     let (mut i, mut j) = (m, end);
     while i > 0 {
         let here = dp[i * width + j];
-        let diag = if j > 0 { Some(dp[(i - 1) * width + (j - 1)]) } else { None };
+        let diag = if j > 0 {
+            Some(dp[(i - 1) * width + (j - 1)])
+        } else {
+            None
+        };
         let up = dp[(i - 1) * width + j];
-        let left = if j > 0 { Some(dp[i * width + (j - 1)]) } else { None };
+        let left = if j > 0 {
+            Some(dp[i * width + (j - 1)])
+        } else {
+            None
+        };
         if let Some(d) = diag {
             let matched = pattern[i - 1] == text[j - 1];
             if here == d + u32::from(!matched) {
-                ops.push(if matched { CigarOp::Match } else { CigarOp::Mismatch });
+                ops.push(if matched {
+                    CigarOp::Match
+                } else {
+                    CigarOp::Mismatch
+                });
                 i -= 1;
                 j -= 1;
                 continue;

@@ -112,8 +112,7 @@ pub fn affine_distance(a: &[u8], b: &[u8], penalties: AffinePenalties) -> u32 {
 mod tests {
     use super::*;
     use crate::dp::edit_distance;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     /// Exhaustive recursion over edit scripts (exponential; tiny inputs
     /// only). `in_gap`: 0 = none, 1 = gap in b (consuming a), 2 = gap in
@@ -122,19 +121,33 @@ mod tests {
         match (a.is_empty(), b.is_empty()) {
             (true, true) => 0,
             (false, true) => {
-                let first = if in_gap == 1 { p.gap_extend } else { p.gap_open + p.gap_extend };
+                let first = if in_gap == 1 {
+                    p.gap_extend
+                } else {
+                    p.gap_open + p.gap_extend
+                };
                 first + (a.len() as u32 - 1) * p.gap_extend
             }
             (true, false) => {
-                let first = if in_gap == 2 { p.gap_extend } else { p.gap_open + p.gap_extend };
+                let first = if in_gap == 2 {
+                    p.gap_extend
+                } else {
+                    p.gap_open + p.gap_extend
+                };
                 first + (b.len() as u32 - 1) * p.gap_extend
             }
             (false, false) => {
                 let sub = u32::from(a[0] != b[0]) * p.mismatch + brute(&a[1..], &b[1..], p, 0);
-                let del = if in_gap == 1 { p.gap_extend } else { p.gap_open + p.gap_extend }
-                    + brute(&a[1..], b, p, 1);
-                let ins = if in_gap == 2 { p.gap_extend } else { p.gap_open + p.gap_extend }
-                    + brute(a, &b[1..], p, 2);
+                let del = if in_gap == 1 {
+                    p.gap_extend
+                } else {
+                    p.gap_open + p.gap_extend
+                } + brute(&a[1..], b, p, 1);
+                let ins = if in_gap == 2 {
+                    p.gap_extend
+                } else {
+                    p.gap_open + p.gap_extend
+                } + brute(a, &b[1..], p, 2);
                 sub.min(del).min(ins)
             }
         }
@@ -146,7 +159,11 @@ mod tests {
         let schemes = [
             AffinePenalties::bwa_like(),
             AffinePenalties::unit(),
-            AffinePenalties { mismatch: 2, gap_open: 3, gap_extend: 2 },
+            AffinePenalties {
+                mismatch: 2,
+                gap_open: 3,
+                gap_extend: 2,
+            },
         ];
         for _ in 0..120 {
             let m = rng.gen_range(0..7usize);
@@ -191,7 +208,10 @@ mod tests {
     fn empty_inputs() {
         let p = AffinePenalties::bwa_like();
         assert_eq!(affine_distance(&[], &[], p), 0);
-        assert_eq!(affine_distance(&[1, 1], &[], p), p.gap_open + 2 * p.gap_extend);
+        assert_eq!(
+            affine_distance(&[1, 1], &[], p),
+            p.gap_open + 2 * p.gap_extend
+        );
         assert_eq!(affine_distance(&[], &[2], p), p.gap_open + p.gap_extend);
     }
 

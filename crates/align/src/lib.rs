@@ -39,4 +39,4 @@ pub mod myers;
 mod verify;
 
 pub use cigar::{Cigar, CigarOp};
-pub use verify::{verify, verify_counting, Verification, VerifyCost};
+pub use verify::{verify, verify_counting, verify_metered, Verification, VerifyCost};

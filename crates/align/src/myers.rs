@@ -133,12 +133,28 @@ pub fn distance(pattern: &[u8], text: &[u8], max_distance: u32) -> Option<u32> {
     search(&masks, text, max_distance).map(|h| h.distance)
 }
 
+/// Like [`search`], recording the scan into a [`repute_obs::MapMetrics`]
+/// record: one verification, one bit-vector word update per text column
+/// (the single-word kernel advances exactly one word per character), and a
+/// hit when an occurrence within `max_distance` exists.
+pub fn search_metered(
+    masks: &PatternMasks,
+    text: &[u8],
+    max_distance: u32,
+    metrics: &mut repute_obs::MapMetrics,
+) -> Option<MyersHit> {
+    metrics.verifications += 1;
+    metrics.word_updates += text.len() as u64;
+    let hit = search(masks, text, max_distance);
+    metrics.hits += u64::from(hit.is_some());
+    hit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dp;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     #[test]
     fn exact_match_inside_text() {

@@ -72,22 +72,39 @@ pub fn verify_counting(
             word_updates: (window.len() * masks.blocks()) as u64,
         };
         let mut work = BlockWork::default();
-        let hit = block::search_with(&masks, window, max_distance, &mut work).map(|h| {
-            Verification {
+        let hit =
+            block::search_with(&masks, window, max_distance, &mut work).map(|h| Verification {
                 distance: h.distance,
                 end: h.end,
-            }
-        });
+            });
         (hit, cost)
     }
+}
+
+/// Like [`verify`], recording the call into a [`repute_obs::MapMetrics`]
+/// record: one verification, the bit-vector word updates performed, and a
+/// hit when the window passes. This is the instrumented entry point the
+/// mapping pipeline threads its per-read telemetry through; the counts it
+/// adds are exactly what [`verify_counting`] reports, so metered and
+/// unmetered callers see identical work accounting.
+pub fn verify_metered(
+    read: &[u8],
+    window: &[u8],
+    max_distance: u32,
+    metrics: &mut repute_obs::MapMetrics,
+) -> Option<Verification> {
+    let (hit, cost) = verify_counting(read, window, max_distance);
+    metrics.verifications += 1;
+    metrics.word_updates += cost.word_updates;
+    metrics.hits += u64::from(hit.is_some());
+    hit
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dp;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     #[test]
     fn dispatches_by_length_and_agrees_with_dp() {
@@ -124,5 +141,24 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_read_rejected() {
         let _ = verify(&[], &[0, 1], 1);
+    }
+
+    #[test]
+    fn metered_agrees_with_counting() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut metrics = repute_obs::MapMetrics::new();
+        let mut expected_words = 0u64;
+        let mut expected_hits = 0u64;
+        for m in [40usize, 100] {
+            let read: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4)).collect();
+            let window: Vec<u8> = (0..m + 20).map(|_| rng.gen_range(0..4)).collect();
+            let (hit, cost) = verify_counting(&read, &window, 8);
+            expected_words += cost.word_updates;
+            expected_hits += u64::from(hit.is_some());
+            assert_eq!(verify_metered(&read, &window, 8, &mut metrics), hit);
+        }
+        assert_eq!(metrics.verifications, 2);
+        assert_eq!(metrics.word_updates, expected_words);
+        assert_eq!(metrics.hits, expected_hits);
     }
 }

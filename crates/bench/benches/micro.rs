@@ -1,14 +1,22 @@
-//! Criterion microbenches for the core data structures and kernels.
+//! Microbenches for the core data structures and kernels.
 //!
 //! These complement the table/figure binaries: where those reproduce the
 //! paper's system-level results, these pin down the per-component costs
 //! (index construction, backward search, bit-vector verification, and the
 //! three filtration strategies including the exploration-space ablation).
+//!
+//! The harness is hand-rolled on `std::time::Instant` because the build
+//! must work offline (no criterion). Two modes:
+//!
+//! * default (also what `cargo test` exercises): a smoke run — tiny
+//!   reference, one iteration per bench — that only proves everything
+//!   still executes;
+//! * `REPUTE_BENCH=full cargo bench -p repute-bench`: the measured run at
+//!   paper scale (400 kb reference, calibrated iteration counts).
 
-use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
 use repute_align::{banded, block, myers};
 use repute_core::{ReputeConfig, ReputeMapper};
@@ -23,127 +31,158 @@ use repute_index::{FmIndex, QGramIndex, SuffixArray};
 use repute_mappers::coral::CoralLike;
 use repute_mappers::{IndexedReference, Mapper};
 
-const REF_LEN: usize = 400_000;
-
-fn reference() -> DnaSeq {
-    ReferenceBuilder::new(REF_LEN).seed(0xBE).build()
+struct Harness {
+    full: bool,
 }
 
-fn bench_index_build(c: &mut Criterion) {
-    let reference = reference();
-    let mut group = c.benchmark_group("index_build");
-    group.sample_size(10);
-    group.bench_function("suffix_array_sais_400k", |b| {
-        b.iter(|| SuffixArray::build(black_box(&reference)))
-    });
-    group.bench_function("fm_index_400k", |b| {
-        b.iter(|| FmIndex::build(black_box(&reference)))
-    });
-    group.bench_function("qgram_index_q10_400k", |b| {
-        b.iter(|| QGramIndex::build(black_box(&reference), 10))
-    });
-    group.finish();
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            full: std::env::var("REPUTE_BENCH").is_ok_and(|v| v == "full"),
+        }
+    }
+
+    fn ref_len(&self) -> usize {
+        if self.full {
+            400_000
+        } else {
+            40_000
+        }
+    }
+
+    fn iters(&self, full_iters: u32) -> u32 {
+        if self.full {
+            full_iters
+        } else {
+            1
+        }
+    }
+
+    /// Times `f` over `iters` iterations and prints ns/iter.
+    fn bench<R>(&self, name: &str, full_iters: u32, mut f: impl FnMut() -> R) {
+        let iters = self.iters(full_iters);
+        // One warmup iteration keeps cold-cache noise out of full runs.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed.as_nanos() / u128::from(iters.max(1));
+        println!("{name:<44} {per_iter:>12} ns/iter   ({iters} iters)");
+    }
 }
 
-fn bench_fm_queries(c: &mut Criterion) {
-    let reference = reference();
+fn reference(h: &Harness) -> DnaSeq {
+    ReferenceBuilder::new(h.ref_len()).seed(0xBE).build()
+}
+
+fn bench_index_build(h: &Harness) {
+    let reference = reference(h);
+    h.bench("index_build/suffix_array_sais", 5, || {
+        SuffixArray::build(black_box(&reference))
+    });
+    h.bench("index_build/fm_index", 5, || {
+        FmIndex::build(black_box(&reference))
+    });
+    h.bench("index_build/qgram_index_q10", 5, || {
+        QGramIndex::build(black_box(&reference), 10)
+    });
+}
+
+fn bench_fm_queries(h: &Harness) {
+    let reference = reference(h);
     let fm = FmIndex::build(&reference);
     let codes = reference.to_codes();
     let pattern = &codes[1000..1020];
-    let mut group = c.benchmark_group("fm_queries");
-    group.bench_function("count_20mer", |b| {
-        b.iter(|| fm.count(black_box(pattern)))
+    h.bench("fm_queries/count_20mer", 10_000, || {
+        fm.count(black_box(pattern))
     });
     let interval = fm.interval(&codes[1000..1012]).unwrap();
-    group.bench_function("locate_12mer_all", |b| {
-        b.iter(|| fm.locate(black_box(interval), usize::MAX))
+    h.bench("fm_queries/locate_12mer_all", 1_000, || {
+        fm.locate(black_box(interval), usize::MAX)
     });
-    group.finish();
 }
 
-fn bench_verification(c: &mut Criterion) {
-    let reference = reference();
+fn bench_verification(h: &Harness) {
+    let reference = reference(h);
     let codes = reference.to_codes();
     let read64 = &codes[5000..5064];
     let read150 = &codes[5000..5150];
     let window64 = &codes[4995..5075];
     let window150 = &codes[4995..5161];
-    let mut group = c.benchmark_group("verification");
-    group.bench_function("myers64_window80", |b| {
-        let masks = myers::PatternMasks::new(read64);
-        b.iter(|| myers::search(black_box(&masks), black_box(window64), 5))
+    let masks64 = myers::PatternMasks::new(read64);
+    h.bench("verification/myers64_window80", 10_000, || {
+        myers::search(black_box(&masks64), black_box(window64), 5)
     });
-    group.bench_function("myers_blocked150_window166", |b| {
-        let masks = block::BlockMasks::new(read150);
-        let mut work = block::BlockWork::default();
-        b.iter(|| block::search_with(black_box(&masks), black_box(window150), 7, &mut work))
+    let masks150 = block::BlockMasks::new(read150);
+    let mut work = block::BlockWork::default();
+    h.bench("verification/myers_blocked150_window166", 10_000, || {
+        block::search_with(black_box(&masks150), black_box(window150), 7, &mut work)
     });
     // The §II-A claim check: Myers vs the classic Ukkonen band.
-    group.bench_function("ukkonen_banded150_k7", |b| {
-        let target = &codes[5000..5150];
-        b.iter(|| banded::banded_distance(black_box(read150), black_box(target), 7))
+    let target = &codes[5000..5150];
+    h.bench("verification/ukkonen_banded150_k7", 1_000, || {
+        banded::banded_distance(black_box(read150), black_box(target), 7)
     });
-    group.finish();
 }
 
-fn bench_filtration(c: &mut Criterion) {
-    let reference = reference();
+fn bench_filtration(h: &Harness) {
+    let reference = reference(h);
     let fm = FmIndex::build(&reference);
     let read = reference.subseq(9000..9100).to_codes();
     let params = OssParams::new(5, 12).unwrap();
     let full = params.exploration(Exploration::Full);
-    let mut group = c.benchmark_group("filtration_n100_d5");
-    group.bench_function("freq_table", |b| {
-        b.iter(|| FreqTable::build(&fm, black_box(&read), &params))
+    h.bench("filtration_n100_d5/freq_table", 1_000, || {
+        FreqTable::build(&fm, black_box(&read), &params)
     });
     let table = FreqTable::build(&fm, &read, &params);
-    group.bench_function("oss_dp_restricted", |b| {
-        let solver = OssSolver::new(params);
-        b.iter(|| solver.select(black_box(&read), &table))
+    let solver = OssSolver::new(params);
+    h.bench("filtration_n100_d5/oss_dp_restricted", 1_000, || {
+        solver.select(black_box(&read), &table)
     });
+    h.bench(
+        "filtration_n100_d5/freq_table_full_exploration",
+        200,
+        || FreqTable::build(&fm, black_box(&read), &full),
+    );
     let full_table = FreqTable::build(&fm, &read, &full);
-    group.bench_function("freq_table_full_exploration", |b| {
-        b.iter(|| FreqTable::build(&fm, black_box(&read), &full))
+    let full_solver = OssSolver::new(full);
+    h.bench("filtration_n100_d5/oss_dp_full_exploration", 200, || {
+        full_solver.select(black_box(&read), &full_table)
     });
-    group.bench_function("oss_dp_full_exploration", |b| {
-        let solver = OssSolver::new(full);
-        b.iter(|| solver.select(black_box(&read), &full_table))
+    let greedy = GreedySelector::new(5, 12);
+    h.bench("filtration_n100_d5/greedy_serial", 1_000, || {
+        greedy.select(black_box(&read), &fm)
     });
-    group.bench_function("greedy_serial", |b| {
-        let selector = GreedySelector::new(5, 12);
-        b.iter(|| selector.select(black_box(&read), &fm))
+    let uniform = UniformSelector::new(5);
+    h.bench("filtration_n100_d5/uniform", 1_000, || {
+        uniform.select(black_box(&read), &fm)
     });
-    group.bench_function("uniform", |b| {
-        let selector = UniformSelector::new(5);
-        b.iter(|| selector.select(black_box(&read), &fm))
+    let sparse = repute_filter::sparse::SparseSolver::new(params);
+    let sparse_table = FreqTable::build(&fm, &read, sparse.params());
+    h.bench("filtration_n100_d5/oss_sparse", 1_000, || {
+        sparse.select(black_box(&read), &sparse_table)
     });
-    group.bench_function("oss_sparse", |b| {
-        let solver = repute_filter::sparse::SparseSolver::new(params);
-        let table = FreqTable::build(&fm, &read, solver.params());
-        b.iter(|| solver.select(black_box(&read), &table))
-    });
-    group.finish();
 }
 
-fn bench_affine(c: &mut Criterion) {
+fn bench_affine(h: &Harness) {
     // Gotoh affine-gap vs unit-cost kernels at read scale.
-    let reference = reference();
+    let reference = reference(h);
     let codes = reference.to_codes();
     let a = &codes[7000..7100];
     let b_seq = &codes[7003..7103];
-    let mut group = c.benchmark_group("affine_gap_n100");
-    group.bench_function("gotoh_bwa_penalties", |bch| {
-        let p = repute_align::gotoh::AffinePenalties::bwa_like();
-        bch.iter(|| repute_align::gotoh::affine_distance(black_box(a), black_box(b_seq), p))
+    let p = repute_align::gotoh::AffinePenalties::bwa_like();
+    h.bench("affine_gap_n100/gotoh_bwa_penalties", 1_000, || {
+        repute_align::gotoh::affine_distance(black_box(a), black_box(b_seq), p)
     });
-    group.bench_function("unit_edit_distance", |bch| {
-        bch.iter(|| repute_align::dp::edit_distance(black_box(a), black_box(b_seq)))
+    h.bench("affine_gap_n100/unit_edit_distance", 1_000, || {
+        repute_align::dp::edit_distance(black_box(a), black_box(b_seq))
     });
-    group.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let indexed = Arc::new(IndexedReference::build(reference()));
+fn bench_end_to_end(h: &Harness) {
+    let indexed = Arc::new(IndexedReference::build(reference(h)));
     let reads: Vec<DnaSeq> = ReadSimulator::new(100, 64)
         .profile(ErrorProfile::err012100())
         .seed(0xE2E)
@@ -153,34 +192,26 @@ fn bench_end_to_end(c: &mut Criterion) {
         .collect();
     let repute = ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(5, 12).unwrap());
     let coral = CoralLike::new(Arc::clone(&indexed), 5);
-    let mut group = c.benchmark_group("map_read_n100_d5");
-    group.sample_size(20);
     let mut cycle = reads.iter().cycle();
-    group.bench_function("repute", |b| {
-        b.iter_batched(
-            || cycle.next().unwrap().clone(),
-            |read| repute.map_read(black_box(&read)),
-            BatchSize::SmallInput,
-        )
+    h.bench("map_read_n100_d5/repute", 200, || {
+        repute.map_read(black_box(cycle.next().unwrap()))
     });
     let mut cycle = reads.iter().cycle();
-    group.bench_function("coral", |b| {
-        b.iter_batched(
-            || cycle.next().unwrap().clone(),
-            |read| coral.map_read(black_box(&read)),
-            BatchSize::SmallInput,
-        )
+    h.bench("map_read_n100_d5/coral", 200, || {
+        coral.map_read(black_box(cycle.next().unwrap()))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_index_build,
-    bench_fm_queries,
-    bench_verification,
-    bench_filtration,
-    bench_affine,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    println!(
+        "repute micro benches — mode: {} (set REPUTE_BENCH=full for paper scale)",
+        if h.full { "full" } else { "smoke" }
+    );
+    bench_index_build(&h);
+    bench_fm_queries(&h);
+    bench_verification(&h);
+    bench_filtration(&h);
+    bench_affine(&h);
+    bench_end_to_end(&h);
+}

@@ -65,8 +65,7 @@ fn main() {
             fc += f.stats.dp_cells;
             rb = rb.max(r.stats.peak_bytes);
             fb = fb.max(f.stats.peak_bytes);
-            identical &=
-                r.selection.total_candidates() <= f.selection.total_candidates() + 16;
+            identical &= r.selection.total_candidates() <= f.selection.total_candidates() + 16;
         }
         let reads_n = reads.len() as u64;
         println!(
@@ -85,7 +84,10 @@ fn main() {
     // 1b. OSS divider-scan optimisations (early termination + early
     // leave), which the paper retains from the Optimal Seed Solver.
     println!("\n[1b] OSS early divider termination (mean DP cells per read, 200 reads)");
-    println!("{:>12} | {:>12} | {:>12} | {:>8}", "(n, δ)", "with", "without", "saving");
+    println!(
+        "{:>12} | {:>12} | {:>12} | {:>8}",
+        "(n, δ)", "with", "without", "saving"
+    );
     println!("{}", "-".repeat(54));
     for &(n, delta) in &PAPER_GRID {
         let s_min = s_min_for(n, delta);
@@ -159,7 +161,9 @@ fn main() {
     );
     println!("{}", "-".repeat(60));
     for sa_sample in [4usize, 16, 32, 64, 128] {
-        let fm = FmIndex::builder().sa_sample(sa_sample).build(w.indexed.seq());
+        let fm = FmIndex::builder()
+            .sa_sample(sa_sample)
+            .build(w.indexed.seq());
         let fp = fm.footprint();
         // Expected LF walk length is sa_sample / 2.
         println!(
@@ -201,8 +205,13 @@ fn main() {
                     profiles::cortex_a53_cluster().scaled(f),
                 ],
             );
-            let run = map_on_platform(&mapper, &platform, &platform.even_shares(reads.len()), &reads)
-                .expect("valid shares");
+            let run = map_on_platform(
+                &mapper,
+                &platform,
+                &platform.even_shares(reads.len()),
+                &reads,
+            )
+            .expect("valid shares");
             let idle_energy = 3.5 * run.simulated_seconds;
             println!(
                 "{:>9}% | {:>10.3} | {:>12.3} | {:>12.3} | {:>12.3}",

@@ -31,7 +31,10 @@ fn print_partition(label: &str, selection: &SeedSelection) {
             seed.count
         );
     }
-    println!("  total candidate locations: {}", selection.total_candidates());
+    println!(
+        "  total candidate locations: {}",
+        selection.total_candidates()
+    );
 }
 
 fn main() {
@@ -73,8 +76,8 @@ fn main() {
         &outcome.selection,
     );
 
-    let gain = uniform.total_candidates() as f64
-        / outcome.selection.total_candidates().max(1) as f64;
+    let gain =
+        uniform.total_candidates() as f64 / outcome.selection.total_candidates().max(1) as f64;
     println!(
         "\ncandidate reduction vs uniform: {gain:.2}× \
          (the quantity the vertical dividers of the paper's Fig. 1 minimise)"

@@ -37,9 +37,18 @@ fn main() {
         let per_gpu = total / 2 * step / steps; // up to all reads on GPUs
         let cpu = total - 2 * per_gpu;
         let shares = vec![
-            Share { device: 0, items: cpu },
-            Share { device: 1, items: per_gpu },
-            Share { device: 2, items: per_gpu },
+            Share {
+                device: 0,
+                items: cpu,
+            },
+            Share {
+                device: 1,
+                items: per_gpu,
+            },
+            Share {
+                device: 2,
+                items: per_gpu,
+            },
         ];
         let run = map_on_platform(&mapper, &platform, &shares, &reads)
             .expect("share arithmetic covers all reads");

@@ -25,9 +25,18 @@ fn main() {
     let per_gpu = total * 9 / 100;
     let cpu = total - 2 * per_gpu;
     let shares = vec![
-        Share { device: 0, items: cpu },
-        Share { device: 1, items: per_gpu },
-        Share { device: 2, items: per_gpu },
+        Share {
+            device: 0,
+            items: cpu,
+        },
+        Share {
+            device: 1,
+            items: per_gpu,
+        },
+        Share {
+            device: 2,
+            items: per_gpu,
+        },
     ];
 
     println!(

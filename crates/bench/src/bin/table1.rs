@@ -8,14 +8,16 @@
 
 use std::sync::Arc;
 
-use repute_bench::harness::{gold_standard, grid_columns, match_tolerance, run_cell, AccuracyMethod, PAPER_GRID};
+use repute_bench::harness::{
+    gold_standard, grid_columns, match_tolerance, run_cell, AccuracyMethod, PAPER_GRID,
+};
 use repute_bench::workload::{s_min_for, Scale, Workload};
 use repute_core::{ReputeConfig, ReputeMapper};
 use repute_eval::{Table, TableRow};
 use repute_hetsim::profiles;
 use repute_mappers::{
-    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like,
-    razers3::Razers3Like, yara::YaraLike, Mapper,
+    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like, razers3::Razers3Like,
+    yara::YaraLike, Mapper,
 };
 
 fn main() {
@@ -30,7 +32,15 @@ fn main() {
         "System 1, CPU only — T(s) simulated / A(%) all-locations vs RazerS3 gold".to_string(),
         grid_columns(),
     );
-    let mapper_names = ["RazerS3", "Hobbes3", "Yara", "BWA-MEM", "GEM", "CORAL-cpu", "REPUTE-cpu"];
+    let mapper_names = [
+        "RazerS3",
+        "Hobbes3",
+        "Yara",
+        "BWA-MEM",
+        "GEM",
+        "CORAL-cpu",
+        "REPUTE-cpu",
+    ];
     let mut rows: Vec<TableRow> = mapper_names
         .iter()
         .map(|name| TableRow {
@@ -78,6 +88,7 @@ fn main() {
                 AccuracyMethod::AllLocations,
                 match_tolerance(delta),
             );
+            outcome.export_if_requested(&format!("table1 {} n={n} δ={delta}", row.mapper));
             if is_bwamem {
                 bwamem_cache.push((n, outcome.result));
             }

@@ -8,14 +8,16 @@
 
 use std::sync::Arc;
 
-use repute_bench::harness::{gold_standard, grid_columns, match_tolerance, run_cell, AccuracyMethod, PAPER_GRID};
+use repute_bench::harness::{
+    gold_standard, grid_columns, match_tolerance, run_cell, AccuracyMethod, PAPER_GRID,
+};
 use repute_bench::workload::{s_min_for, s_min_options, Scale, Workload};
 use repute_core::{ReputeConfig, ReputeMapper};
 use repute_eval::{Table, TableRow};
 use repute_hetsim::profiles;
 use repute_mappers::{
-    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like,
-    razers3::Razers3Like, yara::YaraLike, Mapper,
+    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like, razers3::Razers3Like,
+    yara::YaraLike, Mapper,
 };
 
 fn main() {
@@ -32,7 +34,13 @@ fn main() {
         grid_columns(),
     );
     let mapper_names = [
-        "RazerS3", "Hobbes3", "Yara", "BWA-MEM", "GEM", "CORAL-all", "REPUTE-all",
+        "RazerS3",
+        "Hobbes3",
+        "Yara",
+        "BWA-MEM",
+        "GEM",
+        "CORAL-all",
+        "REPUTE-all",
     ];
     let mut rows: Vec<TableRow> = mapper_names
         .iter()
@@ -52,9 +60,18 @@ fn main() {
         let s_min = s_min_for(n, delta);
 
         let mappers: Vec<(Box<dyn Mapper>, bool)> = vec![
-            (Box::new(Razers3Like::new(Arc::clone(&w.indexed), delta)), false),
-            (Box::new(Hobbes3Like::new(Arc::clone(&w.indexed), delta)), false),
-            (Box::new(YaraLike::new(Arc::clone(&w.indexed), delta)), false),
+            (
+                Box::new(Razers3Like::new(Arc::clone(&w.indexed), delta)),
+                false,
+            ),
+            (
+                Box::new(Hobbes3Like::new(Arc::clone(&w.indexed), delta)),
+                false,
+            ),
+            (
+                Box::new(YaraLike::new(Arc::clone(&w.indexed), delta)),
+                false,
+            ),
             (Box::new(BwaMemLike::new(Arc::clone(&w.indexed))), false),
             (Box::new(GemLike::new(Arc::clone(&w.indexed), delta)), false),
             (
@@ -116,6 +133,7 @@ fn main() {
                     match_tolerance(delta),
                 )
             };
+            outcome.export_if_requested(&format!("table2 {} n={n} δ={delta}", row.mapper));
             if is_bwamem {
                 bwamem_cache.push((n, outcome.result));
             }

@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
-use repute_bench::harness::{gold_standard, grid_columns, match_tolerance, run_cell, AccuracyMethod, PAPER_GRID};
+use repute_bench::harness::{
+    gold_standard, grid_columns, match_tolerance, run_cell, AccuracyMethod, PAPER_GRID,
+};
 use repute_bench::workload::{s_min_for, Scale, Workload};
 use repute_core::{ReputeConfig, ReputeMapper};
 use repute_eval::{Table, TableRow};
@@ -47,8 +49,14 @@ fn main() {
         let s_min = s_min_for(n, delta);
 
         let mappers: Vec<(Box<dyn Mapper>, bool)> = vec![
-            (Box::new(Razers3Like::new(Arc::clone(&w.indexed), delta)), false),
-            (Box::new(Hobbes3Like::new(Arc::clone(&w.indexed), delta)), false),
+            (
+                Box::new(Razers3Like::new(Arc::clone(&w.indexed), delta)),
+                false,
+            ),
+            (
+                Box::new(Hobbes3Like::new(Arc::clone(&w.indexed), delta)),
+                false,
+            ),
             (
                 Box::new(CoralLike::new(Arc::clone(&w.indexed), delta).with_s_min(s_min)),
                 true,
@@ -62,7 +70,11 @@ fn main() {
             ),
         ];
         for (row, (mapper, multi)) in rows.iter_mut().zip(&mappers) {
-            let shares = if *multi { both.as_slice() } else { big_only.as_slice() };
+            let shares = if *multi {
+                both.as_slice()
+            } else {
+                big_only.as_slice()
+            };
             let outcome = run_cell(
                 mapper.as_ref(),
                 &reads,
@@ -72,6 +84,7 @@ fn main() {
                 AccuracyMethod::AnyBest,
                 match_tolerance(delta),
             );
+            outcome.export_if_requested(&format!("table3 {} n={n} δ={delta}", row.mapper));
             row.cells.push(Some(outcome.result));
         }
     }

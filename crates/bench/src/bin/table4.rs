@@ -12,9 +12,9 @@ use std::sync::Arc;
 use repute_bench::harness::{gold_standard, match_tolerance, run_cell, AccuracyMethod};
 use repute_bench::workload::{s_min_for, s_min_options, Scale, Workload};
 use repute_core::{ReputeConfig, ReputeMapper};
+use repute_hetsim::profiles;
 use repute_hetsim::{Platform, Share};
 use repute_mappers::{coral::CoralLike, hobbes3::Hobbes3Like, razers3::Razers3Like, Mapper};
-use repute_hetsim::profiles;
 
 struct EnergyRow {
     name: String,
@@ -43,6 +43,7 @@ fn measure(
         AccuracyMethod::AnyBest,
         match_tolerance(delta),
     );
+    outcome.export_if_requested(&format!("table4 {name} n={n} δ={delta}"));
     EnergyRow {
         name: name.to_string(),
         power_w: outcome.energy.average_power_w,
@@ -53,7 +54,10 @@ fn measure(
 
 fn print_rows(header: &str, rows: &[EnergyRow]) {
     println!("\n{header}");
-    println!("{:<14} | {:>8} | {:>10} | {:>8}", "Mapper", "P(W)", "E(J)", "T(s)");
+    println!(
+        "{:<14} | {:>8} | {:>10} | {:>8}",
+        "Mapper", "P(W)", "E(J)", "T(s)"
+    );
     println!("{}", "-".repeat(50));
     for r in rows {
         println!(
@@ -102,7 +106,15 @@ fn main() {
             measure("CORAL-CPU", &coral, &w, n, delta, &sys1_cpu, &cpu_share),
             measure("CORAL-all", &coral, &w, n, delta, &sys1_all, &all_share),
             measure("REPUTE-CPU", &repute, &w, n, delta, &sys1_cpu, &cpu_share),
-            measure("REPUTE-all", &repute_all, &w, n, delta, &sys1_all, &all_share),
+            measure(
+                "REPUTE-all",
+                &repute_all,
+                &w,
+                n,
+                delta,
+                &sys1_all,
+                &all_share,
+            ),
         ];
         print_rows(
             &format!("System 1 — 160 W idle — (n={n}, δ={delta})"),

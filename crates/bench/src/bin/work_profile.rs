@@ -23,11 +23,20 @@ fn main() {
         );
         let coral = CoralLike::new(Arc::clone(&w.indexed), delta).with_s_min(s_min);
         let razers = Razers3Like::new(Arc::clone(&w.indexed), delta);
-        println!("\n(n={n}, δ={delta}, s_min={s_min}) over {} reads:", reads.len());
+        println!(
+            "\n(n={n}, δ={delta}, s_min={s_min}) over {} reads:",
+            reads.len()
+        );
         for (name, outs) in [
-            ("REPUTE", reads.iter().map(|r| repute.map_read(r)).collect::<Vec<_>>()),
+            (
+                "REPUTE",
+                reads.iter().map(|r| repute.map_read(r)).collect::<Vec<_>>(),
+            ),
             ("CORAL", reads.iter().map(|r| coral.map_read(r)).collect()),
-            ("RazerS3", reads.iter().map(|r| razers.map_read(r)).collect()),
+            (
+                "RazerS3",
+                reads.iter().map(|r| razers.map_read(r)).collect(),
+            ),
         ] {
             let total_work: u64 = outs.iter().map(|o| o.work).sum();
             let total_cand: u64 = outs.iter().map(|o| o.candidates).sum();

@@ -2,13 +2,15 @@
 
 use std::sync::Arc;
 
-use repute_core::{map_on_platform, MappingRun};
+use repute_core::{map_on_platform_with_metrics, MappingRun};
 use repute_eval::accuracy::{all_locations_accuracy, any_best_accuracy, GoldStandard};
 use repute_eval::CellResult;
 use repute_genome::DnaSeq;
 use repute_hetsim::{EnergyReport, Platform, Share};
 use repute_mappers::razers3::Razers3Like;
 use repute_mappers::{IndexedReference, Mapper, Mapping};
+use repute_obs::json::JsonObject;
+use repute_obs::{MapMetrics, RunReport};
 
 /// Which of the paper's accuracy methodologies a cell is scored with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,51 @@ pub struct CellOutcome {
     pub energy: EnergyReport,
     /// Total substrate work of the run.
     pub work: u64,
+    /// Per-read pipeline telemetry, index-aligned with `outputs`.
+    pub metrics: Vec<MapMetrics>,
+    /// Run-level roll-up: counters, device timelines, energy summary.
+    pub report: RunReport,
+}
+
+impl CellOutcome {
+    /// Writes the cell's full telemetry as JSON-lines: one `read` record
+    /// per read followed by the [`RunReport`] records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_json_lines<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        for (id, m) in self.metrics.iter().enumerate() {
+            writeln!(out, "{}", m.to_json_line(id as u64))?;
+        }
+        self.report.write_json_lines(out)
+    }
+
+    /// Appends this cell's telemetry to the file named by the
+    /// `REPUTE_METRICS_OUT` environment variable, prefixed with a `cell`
+    /// record carrying `label`. A no-op when the variable is unset; export
+    /// failures are reported to stderr, never fatal to the benchmark.
+    pub fn export_if_requested(&self, label: &str) {
+        let Ok(path) = std::env::var("REPUTE_METRICS_OUT") else {
+            return;
+        };
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|file| {
+                let mut out = std::io::BufWriter::new(file);
+                let mut obj = JsonObject::new();
+                obj.str_field("type", "cell");
+                obj.str_field("label", label);
+                use std::io::Write as _;
+                writeln!(out, "{}", obj.finish())?;
+                self.write_json_lines(&mut out)
+            });
+        if let Err(err) = result {
+            eprintln!("warning: metrics export to {path} failed: {err}");
+        }
+    }
 }
 
 /// Builds the §III-A gold standard: the RazerS3-style all-mapper with its
@@ -63,8 +110,10 @@ pub fn run_cell(
     method: AccuracyMethod,
     tolerance: u32,
 ) -> CellOutcome {
-    let run: MappingRun =
-        map_on_platform(&mapper, platform, shares, reads).expect("harness-built shares are valid");
+    let (run, metrics): (MappingRun, Vec<MapMetrics>) =
+        map_on_platform_with_metrics(&mapper, platform, shares, reads)
+            .expect("harness-built shares are valid");
+    let report = run.report(platform, &metrics);
     let outputs: Vec<Vec<Mapping>> = run.outputs.iter().map(|o| o.mappings.clone()).collect();
     let accuracy_pct = match method {
         AccuracyMethod::AllLocations => all_locations_accuracy(gold, &outputs, tolerance),
@@ -78,6 +127,8 @@ pub fn run_cell(
         outputs,
         energy: run.energy,
         work: run.total_work(),
+        metrics,
+        report,
     }
 }
 
@@ -90,7 +141,8 @@ pub fn match_tolerance(delta: u32) -> u32 {
 }
 
 /// The standard per-table cell grid of the paper: `(read_len, δ)` pairs.
-pub const PAPER_GRID: [(usize, u32); 6] = [(100, 3), (100, 4), (100, 5), (150, 5), (150, 6), (150, 7)];
+pub const PAPER_GRID: [(usize, u32); 6] =
+    [(100, 3), (100, 4), (100, 5), (150, 5), (150, 6), (150, 7)];
 
 /// Column labels for [`PAPER_GRID`].
 pub fn grid_columns() -> Vec<String> {
@@ -112,10 +164,7 @@ mod tests {
         let w = Workload::generate(Scale::tiny());
         let reads = w.read_seqs(100);
         let gold = gold_standard(&w.indexed, 3, &reads);
-        let mapper = ReputeMapper::new(
-            Arc::clone(&w.indexed),
-            ReputeConfig::new(3, 15).unwrap(),
-        );
+        let mapper = ReputeMapper::new(Arc::clone(&w.indexed), ReputeConfig::new(3, 15).unwrap());
         let platform = profiles::system1_cpu_only();
         let outcome = run_cell(
             &mapper,
@@ -126,9 +175,65 @@ mod tests {
             AccuracyMethod::AnyBest,
             3,
         );
-        assert!(outcome.result.accuracy_pct > 95.0, "{}", outcome.result.accuracy_pct);
+        assert!(
+            outcome.result.accuracy_pct > 95.0,
+            "{}",
+            outcome.result.accuracy_pct
+        );
         assert!(outcome.result.time_s > 0.0);
         assert!(outcome.work > 0);
+    }
+
+    #[test]
+    fn cell_outcome_carries_consistent_telemetry() {
+        use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
+        use repute_obs::json::{field, parse_flat_object};
+
+        let w = Workload::generate(Scale::tiny());
+        let reads: Vec<_> = w.read_seqs(100).into_iter().take(60).collect();
+        let gold = gold_standard(&w.indexed, 3, &reads);
+        let mapper = ReputeMapper::new(Arc::clone(&w.indexed), ReputeConfig::new(3, 15).unwrap());
+        let platform = profiles::system1();
+        let shares = repute_core::balanced_shares(&mapper, &platform, 100, reads.len());
+        let outcome = run_cell(
+            &mapper,
+            &reads,
+            &platform,
+            &shares,
+            &gold,
+            AccuracyMethod::AnyBest,
+            3,
+        );
+        assert_eq!(outcome.metrics.len(), reads.len());
+        assert_eq!(outcome.report.reads, reads.len() as u64);
+        // The per-read records decompose the run's work scalar exactly.
+        let decomposed: u64 = outcome
+            .metrics
+            .iter()
+            .map(|m| m.work_units(EXTEND_COST, DP_CELL_COST, LOCATE_COST))
+            .sum();
+        assert_eq!(decomposed, outcome.work);
+        // The report's energy summary mirrors the run's EnergyReport.
+        let summary = outcome.report.energy.expect("platform run has energy");
+        assert!((summary.energy_j - outcome.energy.energy_j).abs() < 1e-9);
+        assert!((summary.mapping_seconds - outcome.energy.mapping_seconds).abs() < 1e-12);
+        // The JSON-lines export parses back: one read record per read,
+        // then the run-report records.
+        let mut buf = Vec::new();
+        outcome.write_json_lines(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut read_lines = 0u64;
+        let mut saw_event = false;
+        for line in text.lines() {
+            let fields = parse_flat_object(line).expect("line parses");
+            match field(&fields, "type").unwrap().as_str().unwrap() {
+                "read" => read_lines += 1,
+                "event" => saw_event = true,
+                _ => {}
+            }
+        }
+        assert_eq!(read_lines, reads.len() as u64);
+        assert!(saw_event, "device timelines must export kernel events");
     }
 
     #[test]

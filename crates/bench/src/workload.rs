@@ -84,17 +84,37 @@ impl Workload {
             .seed(0xC21)
             .repeat_families(vec![
                 // Old, diverged interspersed repeats (Alu/LINE-like).
-                RepeatFamily { unit_len: 300, copies: (len / 1_100).max(1), divergence: 0.12 },
-                RepeatFamily { unit_len: 2_000, copies: (len / 12_000).max(1), divergence: 0.18 },
+                RepeatFamily {
+                    unit_len: 300,
+                    copies: (len / 1_100).max(1),
+                    divergence: 0.12,
+                },
+                RepeatFamily {
+                    unit_len: 2_000,
+                    copies: (len / 12_000).max(1),
+                    divergence: 0.18,
+                },
                 // Young subfamilies: nearly identical copies. The short
                 // SINE/MIR-like family matters most for the comparison:
                 // its units are shorter than a read, so every read that
                 // touches a copy has unique flanks — the regime where
                 // global seed placement (the DP) beats serial per-section
                 // selection.
-                RepeatFamily { unit_len: 300, copies: (len / 2_600).max(1), divergence: 0.015 },
-                RepeatFamily { unit_len: 80, copies: (len / 1_200).max(1), divergence: 0.01 },
-                RepeatFamily { unit_len: 1_500, copies: (len / 40_000).max(1), divergence: 0.008 },
+                RepeatFamily {
+                    unit_len: 300,
+                    copies: (len / 2_600).max(1),
+                    divergence: 0.015,
+                },
+                RepeatFamily {
+                    unit_len: 80,
+                    copies: (len / 1_200).max(1),
+                    divergence: 0.01,
+                },
+                RepeatFamily {
+                    unit_len: 1_500,
+                    copies: (len / 40_000).max(1),
+                    divergence: 0.008,
+                },
             ])
             .build();
         let reads_100 = ReadSimulator::new(100, scale.reads_per_set)
@@ -182,7 +202,10 @@ mod tests {
         for (n, deltas) in [(100usize, [3u32, 4, 5]), (150, [5, 6, 7])] {
             for d in deltas {
                 let s = s_min_for(n, d);
-                assert!(s * (d as usize + 1) <= n, "infeasible s_min {s} for ({n}, {d})");
+                assert!(
+                    s * (d as usize + 1) <= n,
+                    "infeasible s_min {s} for ({n}, {d})"
+                );
                 assert!(s >= 10);
             }
         }
@@ -221,7 +244,10 @@ mod tests {
                 sorted.dedup();
                 assert_eq!(sorted, options);
                 for s in options {
-                    assert!(s * (d as usize + 1) <= n, "infeasible option {s} for ({n}, {d})");
+                    assert!(
+                        s * (d as usize + 1) <= n,
+                        "infeasible option {s} for ({n}, {d})"
+                    );
                 }
             }
         }

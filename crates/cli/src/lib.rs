@@ -18,15 +18,16 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::sync::Arc;
 
-use repute_core::{map_on_platform, ReputeConfig, ReputeMapper};
+use repute_core::{map_on_platform_with_metrics, ReputeConfig, ReputeMapper};
 use repute_eval::sam;
 use repute_genome::fasta::{read_fasta, AmbiguityPolicy};
 use repute_genome::fastq::FastqReader;
 use repute_mappers::multiref::ReferenceSet;
 use repute_mappers::{
-    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like,
-    razers3::Razers3Like, yara::YaraLike, Mapper,
+    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like, razers3::Razers3Like,
+    yara::YaraLike, Mapper,
 };
+use repute_obs::{MapMetrics, RunReport, StageTimer};
 
 /// Which mapping strategy `repute map` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,6 +93,11 @@ pub struct MapOptions {
     /// Simulated platform to report time/energy for (`system1`,
     /// `system1-cpu`, `hikey970`); `None` skips the simulation report.
     pub platform: Option<String>,
+    /// Path the telemetry JSON-lines are written to; `None` disables the
+    /// export.
+    pub metrics_out: Option<String>,
+    /// Per-read trace lines and the full run report on stderr.
+    pub verbose: bool,
 }
 
 impl Default for MapOptions {
@@ -107,6 +113,8 @@ impl Default for MapOptions {
             cigar: false,
             mapper: MapperChoice::default(),
             platform: None,
+            metrics_out: None,
+            verbose: false,
         }
     }
 }
@@ -143,6 +151,7 @@ USAGE:
     repute index    --reference <ref.fa> --output <ref.rpx>
     repute simulate --out-dir <dir> [--length N] [--reads N] [--read-len N]
                     [--seed N] [--profile err012100|srr826460|perfect]
+    repute stats    <metrics.jsonl>
 
 MAP OPTIONS:
     --reference <path>       FASTA reference (multi-record supported)
@@ -157,6 +166,10 @@ MAP OPTIONS:
                              gem | bwa-mem [default: repute]
     --platform <name>        also report simulated time/energy on
                              system1 | system1-cpu | hikey970
+    --metrics-out <path>     write per-read and run-level telemetry as
+                             JSON-lines (inspect with `repute stats`)
+    -v, --verbose, --trace   per-read trace lines and the full run report
+                             on stderr
     --help                   print this text";
 
 /// Parses `repute map` arguments (everything after the subcommand).
@@ -165,7 +178,9 @@ MAP OPTIONS:
 ///
 /// Returns [`ParseArgsError`] for unknown flags, missing values, or
 /// missing required options.
-pub fn parse_map_args<I: IntoIterator<Item = String>>(args: I) -> Result<MapOptions, ParseArgsError> {
+pub fn parse_map_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<MapOptions, ParseArgsError> {
     let mut opts = MapOptions::default();
     let mut args = args.into_iter();
     let mut have_reference = false;
@@ -210,6 +225,8 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(args: I) -> Result<MapOpti
             "--cigar" => opts.cigar = true,
             "--mapper" => opts.mapper = value("--mapper")?.parse()?,
             "--platform" => opts.platform = Some(value("--platform")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "-v" | "--verbose" | "--trace" => opts.verbose = true,
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
             other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
         }
@@ -405,8 +422,8 @@ pub fn run_simulate(opts: &SimulateOptions) -> Result<(), Box<dyn Error>> {
 
 fn load_reference_set(opts: &MapOptions) -> Result<ReferenceSet, Box<dyn Error>> {
     if let Some(index_path) = &opts.index {
-        let file = File::open(index_path)
-            .map_err(|e| format!("cannot open index {index_path:?}: {e}"))?;
+        let file =
+            File::open(index_path).map_err(|e| format!("cannot open index {index_path:?}: {e}"))?;
         eprintln!("loading prebuilt index {index_path:?}…");
         return Ok(ReferenceSet::read_from(BufReader::new(file))?);
     }
@@ -434,8 +451,8 @@ pub fn run_index(opts: &IndexOptions) -> Result<(), Box<dyn Error>> {
         reference: opts.reference.clone(),
         ..MapOptions::default()
     })?;
-    let out = File::create(&opts.output)
-        .map_err(|e| format!("cannot create {:?}: {e}", opts.output))?;
+    let out =
+        File::create(&opts.output).map_err(|e| format!("cannot create {:?}: {e}", opts.output))?;
     set.write_to(BufWriter::new(out))?;
     eprintln!(
         "wrote index for {} record(s) to {:?}",
@@ -453,7 +470,11 @@ pub fn run_index(opts: &IndexOptions) -> Result<(), Box<dyn Error>> {
 ///
 /// Propagates I/O, format and configuration errors.
 pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
+    let run_started = std::time::Instant::now();
+    let mut timer = StageTimer::new();
+    timer.start("load");
     let set = load_reference_set(opts)?;
+    timer.stop();
     let names: Vec<&str> = set.records().iter().map(|(n, _)| n.as_str()).collect();
     let header: Vec<(&str, usize)> = set
         .records()
@@ -501,20 +522,49 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
     let mut reads_mapped = 0usize;
     let mut total_mappings = 0usize;
     let mut per_read_for_stats: Vec<Vec<repute_mappers::Mapping>> = Vec::new();
+    let mut per_read_metrics: Vec<MapMetrics> = Vec::new();
+    timer.start("map");
     for record in FastqReader::new(BufReader::new(reads_file)) {
         let record = record?;
+        let mut read_metrics = MapMetrics::new();
         let (raw, cigar) = if opts.cigar {
-            let (_, detailed) = repute.map_read_with_cigars(&record.seq);
+            // The CIGAR path only backfills the coarse counters
+            // observable from its output (the traceback re-runs the
+            // kernel internally, so full metering would double-count).
+            let (out, detailed) = repute.map_read_with_cigars(&record.seq);
+            read_metrics.candidates_merged += out.candidates;
+            read_metrics.hits += out.mappings.len() as u64;
             let raw: Vec<_> = detailed.iter().map(|d| d.mapping).collect();
             let cigar = detailed.into_iter().next().map(|d| d.cigar);
             (raw, cigar)
         } else {
             let mappings = match &baseline {
-                Some(mapper) => mapper.map_read(&record.seq).mappings,
-                None => repute.map_read(&record.seq).mappings,
+                Some(mapper) => {
+                    mapper
+                        .map_read_metered(&record.seq, &mut read_metrics)
+                        .mappings
+                }
+                None => {
+                    repute
+                        .map_read_metered(&record.seq, &mut read_metrics)
+                        .mappings
+                }
             };
             (mappings, None)
         };
+        if opts.verbose {
+            eprintln!(
+                "trace {}: {} mappings | {} seeds | {} candidates ({} raw) | {} DP cells | {} word updates",
+                record.id,
+                raw.len(),
+                read_metrics.seeds_selected,
+                read_metrics.candidates_merged,
+                read_metrics.candidates_raw,
+                read_metrics.dp_cells,
+                read_metrics.word_updates,
+            );
+        }
+        per_read_metrics.push(read_metrics);
         let resolved = set.resolve_mappings(record.seq.len(), &raw);
         if !resolved.is_empty() {
             reads_mapped += 1;
@@ -540,25 +590,47 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
         )?;
     }
     out.flush()?;
-    let stats = repute_eval::stats::MappingStats::collect(
-        per_read_for_stats.iter().map(|v| v.as_slice()),
-    );
+    timer.stop();
+    let stats =
+        repute_eval::stats::MappingStats::collect(per_read_for_stats.iter().map(|v| v.as_slice()));
     eprint!("{stats}");
 
-    if let Some(platform_name) = &opts.platform {
-        report_platform_simulation(platform_name, opts, &repute, baseline.as_deref())?;
+    let sim = match &opts.platform {
+        Some(platform_name) => {
+            timer.start("simulate");
+            let sim = simulate_platform(platform_name, opts, &repute, baseline.as_deref());
+            timer.stop();
+            Some(sim?)
+        }
+        None => None,
+    };
+    if opts.verbose {
+        if let Some((report, _)) = &sim {
+            eprint!("{}", report.render());
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        write_metrics_file(
+            path,
+            timer.stages(),
+            run_started.elapsed().as_secs_f64(),
+            &per_read_metrics,
+            sim,
+        )?;
+        eprintln!("wrote telemetry to {path:?} (inspect with `repute stats`)");
     }
     Ok((reads_mapped, total_mappings))
 }
 
-/// Re-runs the mapping through the heterogeneous platform simulator and
-/// prints the §III-D style time/energy summary.
-fn report_platform_simulation(
+/// Re-runs the mapping through the heterogeneous platform simulator,
+/// prints the §III-D style time/energy summary, and returns the run-level
+/// report with the per-read records of the simulated run.
+fn simulate_platform(
     platform_name: &str,
     opts: &MapOptions,
     repute: &ReputeMapper,
     baseline: Option<&dyn Mapper>,
-) -> Result<(), Box<dyn Error>> {
+) -> Result<(RunReport, Vec<MapMetrics>), Box<dyn Error>> {
     use repute_hetsim::profiles;
     let platform = match platform_name {
         "system1" => profiles::system1(),
@@ -573,9 +645,9 @@ fn report_platform_simulation(
         reads.push(record?.seq);
     }
     let shares = platform.even_shares(reads.len());
-    let run = match baseline {
-        Some(mapper) => map_on_platform(&mapper, &platform, &shares, &reads)?,
-        None => map_on_platform(repute, &platform, &shares, &reads)?,
+    let (run, metrics) = match baseline {
+        Some(mapper) => map_on_platform_with_metrics(&mapper, &platform, &shares, &reads)?,
+        None => map_on_platform_with_metrics(repute, &platform, &shares, &reads)?,
     };
     eprintln!(
         "simulated on {}: {:.3} s | {:.1} W avg | {:.3} J above idle",
@@ -584,6 +656,218 @@ fn report_platform_simulation(
         run.energy.average_power_w,
         run.energy.energy_j
     );
+    Ok((run.report(&platform, &metrics), metrics))
+}
+
+/// Writes the telemetry JSON-lines file: one `read` record per read, then
+/// the [`RunReport`] records. With a platform simulation the report and
+/// per-read records come from the simulated run (which carries device
+/// timelines and energy); otherwise they are rolled up from the host
+/// mapping pass.
+fn write_metrics_file(
+    path: &str,
+    stages: &[(String, f64, u64)],
+    wall_seconds: f64,
+    host_metrics: &[MapMetrics],
+    sim: Option<(RunReport, Vec<MapMetrics>)>,
+) -> Result<(), Box<dyn Error>> {
+    let (mut report, per_read) = match sim {
+        Some((report, metrics)) => (report, metrics),
+        None => {
+            let mut report = RunReport {
+                reads: host_metrics.len() as u64,
+                ..RunReport::default()
+            };
+            for m in host_metrics {
+                report.totals.merge(m);
+            }
+            (report, host_metrics.to_vec())
+        }
+    };
+    report.stages = stages.to_vec();
+    report.wall_seconds = wall_seconds;
+    let file =
+        File::create(path).map_err(|e| format!("cannot create metrics file {path:?}: {e}"))?;
+    let mut out = BufWriter::new(file);
+    for (id, m) in per_read.iter().enumerate() {
+        writeln!(out, "{}", m.to_json_line(id as u64))?;
+    }
+    report.write_json_lines(&mut out)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Parsed command-line options for `repute stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsOptions {
+    /// Path to a telemetry JSON-lines file written by `--metrics-out` (or
+    /// the bench harness's `REPUTE_METRICS_OUT`).
+    pub input: String,
+}
+
+/// Parses `repute stats` arguments: exactly one file path.
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown flags or a missing/duplicate
+/// path.
+pub fn parse_stats_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<StatsOptions, ParseArgsError> {
+    let mut input: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
+            other if other.starts_with('-') => {
+                return Err(ParseArgsError::new(format!("unknown option {other:?}")))
+            }
+            path => {
+                if input.is_some() {
+                    return Err(ParseArgsError::new("stats expects exactly one file"));
+                }
+                input = Some(path.to_string());
+            }
+        }
+    }
+    input
+        .map(|input| StatsOptions { input })
+        .ok_or_else(|| ParseArgsError::new("stats expects a metrics JSON-lines file"))
+}
+
+/// Pretty-prints a telemetry JSON-lines stream (the inverse of
+/// `--metrics-out`): per-read records are rolled up into totals, run /
+/// stage / device / event / energy records are rendered in file order.
+///
+/// # Errors
+///
+/// Returns an error naming the first line that fails to parse.
+pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
+    use repute_obs::json::{field, parse_flat_object, JsonValue};
+    use std::fmt::Write as _;
+
+    let get_str = |fields: &[(String, JsonValue)], key: &str| -> String {
+        field(fields, key)
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let get_f64 =
+        |fields: &[(String, JsonValue)], key: &str| field(fields, key).and_then(JsonValue::as_f64);
+    let get_u64 =
+        |fields: &[(String, JsonValue)], key: &str| field(fields, key).and_then(JsonValue::as_u64);
+
+    let mut reads = 0u64;
+    let mut sums: Vec<(String, u64)> = Vec::new();
+    let mut body = String::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_flat_object(line)
+            .ok_or_else(|| format!("line {}: not a flat JSON object", idx + 1))?;
+        let kind = get_str(&fields, "type");
+        match kind.as_str() {
+            "read" => {
+                reads += 1;
+                for (key, value) in &fields {
+                    if key == "type" || key == "id" {
+                        continue;
+                    }
+                    if let Some(n) = value.as_u64() {
+                        match sums.iter_mut().find(|(name, _)| name == key) {
+                            Some((_, sum)) => *sum += n,
+                            None => sums.push((key.clone(), n)),
+                        }
+                    }
+                }
+            }
+            "cell" => {
+                let _ = writeln!(body, "cell {}", get_str(&fields, "label"));
+            }
+            "run" => {
+                let _ = writeln!(
+                    body,
+                    "run: {} reads | simulated {:.6} s | wall {:.3} s",
+                    get_u64(&fields, "reads").unwrap_or(0),
+                    get_f64(&fields, "simulated_seconds").unwrap_or(0.0),
+                    get_f64(&fields, "wall_seconds").unwrap_or(0.0),
+                );
+            }
+            "stage" => {
+                let _ = writeln!(
+                    body,
+                    "  stage {:<24} {:>10.6} s  x{}",
+                    get_str(&fields, "path"),
+                    get_f64(&fields, "seconds").unwrap_or(0.0),
+                    get_u64(&fields, "count").unwrap_or(0),
+                );
+            }
+            "device" => {
+                let _ = writeln!(
+                    body,
+                    "  device {:<20} {:>3} launches | busy {:.6} s | util {:>5.1}%",
+                    get_str(&fields, "device"),
+                    get_u64(&fields, "launches").unwrap_or(0),
+                    get_f64(&fields, "busy_seconds").unwrap_or(0.0),
+                    get_f64(&fields, "utilization").unwrap_or(0.0) * 100.0,
+                );
+            }
+            "event" => {
+                let _ = writeln!(
+                    body,
+                    "    {:<14} {:>8} items | queued {:.6} start {:.6} end {:.6}",
+                    get_str(&fields, "label"),
+                    get_u64(&fields, "items").unwrap_or(0),
+                    get_f64(&fields, "queued_s").unwrap_or(0.0),
+                    get_f64(&fields, "start_s").unwrap_or(0.0),
+                    get_f64(&fields, "end_s").unwrap_or(0.0),
+                );
+            }
+            "energy" => {
+                let _ = writeln!(
+                    body,
+                    "  energy: {:.3} J above idle | avg {:.1} W (idle {:.1} W) over {:.6} s",
+                    get_f64(&fields, "energy_j").unwrap_or(0.0),
+                    get_f64(&fields, "average_power_w").unwrap_or(0.0),
+                    get_f64(&fields, "idle_power_w").unwrap_or(0.0),
+                    get_f64(&fields, "mapping_seconds").unwrap_or(0.0),
+                );
+            }
+            other => {
+                let _ = writeln!(body, "({other} record)");
+            }
+        }
+    }
+
+    let mut out = String::new();
+    if reads > 0 {
+        let _ = writeln!(out, "{reads} read records; totals:");
+        for (name, sum) in &sums {
+            let _ = writeln!(
+                out,
+                "  {name:<18} {sum:>12}  ({:.1}/read)",
+                *sum as f64 / reads as f64
+            );
+        }
+    }
+    out.push_str(&body);
+    if out.is_empty() {
+        out.push_str("no telemetry records\n");
+    }
+    Ok(out)
+}
+
+/// Runs `repute stats`: pretty-prints a saved telemetry file to stdout.
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed-line errors from
+/// [`render_stats`].
+pub fn run_stats(opts: &StatsOptions) -> Result<(), Box<dyn Error>> {
+    let text = std::fs::read_to_string(&opts.input)
+        .map_err(|e| format!("cannot read {:?}: {e}", opts.input))?;
+    print!("{}", render_stats(&text)?);
     Ok(())
 }
 
@@ -648,12 +932,7 @@ mod tests {
         let out_path = dir.join("out.sam");
 
         let mut f = Vec::new();
-        write_fasta(
-            &mut f,
-            &[FastaRecord::new("chrT", reference.clone())],
-            70,
-        )
-        .unwrap();
+        write_fasta(&mut f, &[FastaRecord::new("chrT", reference.clone())], 70).unwrap();
         std::fs::write(&ref_path, f).unwrap();
 
         let reads: Vec<FastqRecord> = (0..5)
@@ -681,6 +960,8 @@ mod tests {
             cigar: true,
             mapper: MapperChoice::Repute,
             platform: None,
+            metrics_out: None,
+            verbose: false,
         };
         let (mapped, mappings) = run_map(&opts).unwrap();
         assert_eq!(mapped, 5);
@@ -760,7 +1041,10 @@ mod tests {
         let line_a = sam.lines().find(|l| l.starts_with("fromA\t")).unwrap();
         assert!(line_a.contains("\tchrA\t"), "{line_a}");
         let line_b = sam.lines().find(|l| l.starts_with("fromB\t")).unwrap();
-        assert!(line_b.contains("\tchrB\t5001\t") || line_b.contains("\tchrB\t"), "{line_b}");
+        assert!(
+            line_b.contains("\tchrB\t5001\t") || line_b.contains("\tchrB\t"),
+            "{line_b}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -827,7 +1111,9 @@ mod tests {
         assert_eq!(opts.mapper, MapperChoice::BwaMem);
         assert!(parse_map_args(args("--reference r.fa --reads q.fq --mapper nope")).is_err());
         // --cigar only works with the repute mapper.
-        assert!(parse_map_args(args("--reference r.fa --reads q.fq --mapper gem --cigar")).is_err());
+        assert!(
+            parse_map_args(args("--reference r.fa --reads q.fq --mapper gem --cigar")).is_err()
+        );
     }
 
     #[test]
@@ -835,6 +1121,115 @@ mod tests {
         let opts =
             parse_map_args(args("--reference r.fa --reads q.fq --platform hikey970")).unwrap();
         assert_eq!(opts.platform.as_deref(), Some("hikey970"));
+    }
+
+    #[test]
+    fn metrics_and_verbose_flags_parse() {
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --metrics-out m.jsonl -v",
+        ))
+        .unwrap();
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.jsonl"));
+        assert!(opts.verbose);
+        for alias in ["--verbose", "--trace"] {
+            let opts =
+                parse_map_args(args(&format!("--reference r.fa --reads q.fq {alias}"))).unwrap();
+            assert!(opts.verbose, "{alias} should enable verbose");
+        }
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn stats_args_validation() {
+        assert_eq!(
+            parse_stats_args(args("m.jsonl")).unwrap(),
+            StatsOptions {
+                input: "m.jsonl".into()
+            }
+        );
+        assert!(parse_stats_args(args("")).is_err());
+        assert!(parse_stats_args(args("a.jsonl b.jsonl")).is_err());
+        assert!(parse_stats_args(args("--wat m.jsonl")).is_err());
+    }
+
+    #[test]
+    fn render_stats_rejects_malformed_lines() {
+        assert!(render_stats("not json\n").is_err());
+        assert_eq!(render_stats("").unwrap(), "no telemetry records\n");
+    }
+
+    #[test]
+    fn metrics_out_round_trips_through_stats() {
+        let dir = std::env::temp_dir().join("repute-cli-metrics-test");
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 15,
+            read_len: 100,
+            seed: 19,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let metrics_path = dir.join("metrics.jsonl");
+        let opts = parse_map_args(
+            format!(
+                "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                 --output {dir_s}/out.sam --platform system1 --metrics-out {}",
+                metrics_path.display()
+            )
+            .split_whitespace()
+            .map(String::from),
+        )
+        .unwrap();
+        run_map(&opts).unwrap();
+
+        // Every line parses as a flat JSON object and the record mix is
+        // what the acceptance criteria call for: per-read counters,
+        // per-device timelines with queued/start/end, and energy.
+        use repute_obs::json::{field, parse_flat_object};
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        let mut read_lines = 0;
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let fields = parse_flat_object(line).expect("line parses");
+            let kind = field(&fields, "type")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            if kind == "read" {
+                read_lines += 1;
+                assert!(field(&fields, "word_updates").unwrap().as_u64().is_some());
+            }
+            if kind == "event" {
+                let queued = field(&fields, "queued_s").unwrap().as_f64().unwrap();
+                let start = field(&fields, "start_s").unwrap().as_f64().unwrap();
+                let end = field(&fields, "end_s").unwrap().as_f64().unwrap();
+                assert!(queued <= start && start <= end);
+            }
+            kinds.push(kind);
+        }
+        assert_eq!(read_lines, 15);
+        for expected in ["run", "stage", "device", "event", "energy"] {
+            assert!(kinds.iter().any(|k| k == expected), "missing {expected}");
+        }
+
+        // `repute stats` renders the same file.
+        let rendered = render_stats(&text).unwrap();
+        for needle in [
+            "15 read records",
+            "word_updates",
+            "device",
+            "energy:",
+            "stage",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle:?} in:\n{rendered}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -47,6 +47,19 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("stats") => match repute_cli::parse_stats_args(args) {
+            Ok(opts) => match repute_cli::run_stats(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("--help") | Some("-h") | None => {
             println!("{}", repute_cli::USAGE);
             ExitCode::SUCCESS

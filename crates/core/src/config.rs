@@ -128,9 +128,16 @@ mod tests {
     fn kernel_footprint_shrinks_with_s_min() {
         // The §IV mechanism: larger S_min → smaller DP tables → smaller
         // kernel → better GPU occupancy.
-        let small = ReputeConfig::new(4, 12).unwrap().kernel_footprint_bytes(100);
-        let large = ReputeConfig::new(4, 20).unwrap().kernel_footprint_bytes(100);
-        assert!(large < small, "footprint: s_min 12 → {small}, s_min 20 → {large}");
+        let small = ReputeConfig::new(4, 12)
+            .unwrap()
+            .kernel_footprint_bytes(100);
+        let large = ReputeConfig::new(4, 20)
+            .unwrap()
+            .kernel_footprint_bytes(100);
+        assert!(
+            large < small,
+            "footprint: s_min 12 → {small}, s_min 20 → {large}"
+        );
         // Infeasible read: DP contributes 0; the column (31 intervals of
         // 8 bytes), one Myers block (16), the packed read (10) and the
         // fixed slack (64) remain.

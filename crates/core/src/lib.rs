@@ -51,5 +51,7 @@ mod paired;
 
 pub use config::ReputeConfig;
 pub use mapper::{CigarMapping, ReputeMapper};
-pub use multi_device::{balanced_shares, map_on_platform, BatchPlan, MappingRun};
+pub use multi_device::{
+    balanced_shares, map_on_platform, map_on_platform_with_metrics, BatchPlan, MappingRun,
+};
 pub use paired::{PairMapping, PairOutcome, PairedMapper};

@@ -5,9 +5,8 @@ use std::sync::Arc;
 use repute_filter::freq::FreqTable;
 use repute_filter::oss::OssSolver;
 use repute_genome::DnaSeq;
-use repute_mappers::{
-    CandidateSet, IndexedReference, MapOutput, Mapper, VerifyEngine,
-};
+use repute_mappers::{CandidateSet, IndexedReference, MapOutput, Mapper, VerifyEngine};
+use repute_obs::MapMetrics;
 
 use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
 
@@ -57,6 +56,14 @@ impl Mapper for ReputeMapper {
     }
 
     fn map_read(&self, read: &DnaSeq) -> MapOutput {
+        // One code path: the unmetered entry point runs the instrumented
+        // kernel with a scratch record, so telemetry can never drift from
+        // the work the mapper actually performs.
+        let mut scratch = MapMetrics::new();
+        self.map_read_metered(read, &mut scratch)
+    }
+
+    fn map_read_metered(&self, read: &DnaSeq, metrics: &mut MapMetrics) -> MapOutput {
         let fm = self.indexed.fm();
         let engine = VerifyEngine::new(self.indexed.codes(), self.config.delta());
         let solver = OssSolver::new(*self.config.oss_params());
@@ -75,15 +82,19 @@ impl Mapper for ReputeMapper {
             // Filtration: frequency table + DP partition (the paper's
             // §II-B kernel).
             let table = FreqTable::build(fm, &codes, self.config.oss_params());
+            table.record_metrics(metrics);
             let outcome = solver.select(&codes, &table);
-            out.work += outcome.stats.extend_ops * EXTEND_COST
-                + outcome.stats.dp_cells * DP_CELL_COST;
+            outcome.record_metrics(metrics);
+            out.work +=
+                outcome.stats.extend_ops * EXTEND_COST + outcome.stats.dp_cells * DP_CELL_COST;
             // Candidate generation from the optimal seeds.
             let mut candidates = CandidateSet::new();
             for seed in &outcome.selection.seeds {
                 if let Some(interval) = seed.interval {
                     let positions = fm.locate(interval, PER_SEED_LOCATE_CAP);
                     out.work += positions.len() as u64 * LOCATE_COST;
+                    metrics.fm_locate_ops += positions.len() as u64;
+                    metrics.candidates_raw += positions.len() as u64;
                     for pos in positions {
                         // Capped seeds anchor their interval at a suffix.
                         candidates.add(pos, seed.anchor);
@@ -92,13 +103,15 @@ impl Mapper for ReputeMapper {
             }
             let merged = candidates.into_merged(self.config.delta());
             out.candidates += merged.len() as u64;
+            metrics.candidates_merged += merged.len() as u64;
             // Verification (first-n output slots).
-            out.work += engine.verify(
+            out.work += engine.verify_metered(
                 &codes,
                 strand,
                 &merged,
                 self.config.max_locations(),
                 &mut out.mappings,
+                metrics,
             );
             if out.mappings.len() >= self.config.max_locations() {
                 break;
@@ -211,6 +224,32 @@ mod tests {
                 read.id,
                 origin.edits
             );
+        }
+    }
+
+    #[test]
+    fn metered_mapping_decomposes_work_exactly() {
+        let m = mapper(5, 12);
+        let reads = ReadSimulator::new(100, 20)
+            .profile(ErrorProfile::err012100())
+            .seed(313)
+            .simulate(m.indexed().seq());
+        for read in &reads {
+            let mut metrics = MapMetrics::new();
+            let out = m.map_read_metered(&read.seq, &mut metrics);
+            // Same mappings as the unmetered path (it is the same path).
+            assert_eq!(out.mappings, m.map_read(&read.seq).mappings);
+            // The per-read record decomposes the work scalar exactly.
+            assert_eq!(
+                metrics.work_units(EXTEND_COST, DP_CELL_COST, LOCATE_COST),
+                out.work,
+                "read {}",
+                read.id
+            );
+            assert_eq!(metrics.hits, out.mappings.len() as u64);
+            assert_eq!(metrics.candidates_merged, out.candidates);
+            assert!(metrics.candidates_raw >= metrics.candidates_merged);
+            assert!(metrics.seeds_selected > 0);
         }
     }
 

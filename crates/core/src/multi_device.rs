@@ -10,10 +10,11 @@
 
 use repute_genome::DnaSeq;
 use repute_hetsim::{
-    run_kernel, Buffer, DeviceProfile, DeviceRun, EnergyReport, FnKernel, LaunchError, Platform,
-    PlatformRun, Share,
+    Buffer, CommandQueue, DeviceProfile, DeviceRun, EnergyReport, Event, FnKernel, LaunchError,
+    Platform, PlatformRun, Share,
 };
 use repute_mappers::{MapOutput, Mapper};
+use repute_obs::{DeviceTimeline, EnergySummary, KernelEvent, MapMetrics, RunReport};
 
 /// How a device share is split into kernel launches.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,11 @@ pub struct MappingRun {
     pub outputs: Vec<MapOutput>,
     /// Per-device accounting (one entry per share, batches folded in).
     pub device_runs: Vec<DeviceRun>,
+    /// OpenCL-style profiling events per share, parallel to
+    /// `device_runs`: one [`Event`] per kernel launch (batch), carrying
+    /// the queued/submitted/start/end timestamps of that share's command
+    /// queue.
+    pub timelines: Vec<Vec<Event>>,
     /// Simulated completion time: slowest device, batches sequential.
     pub simulated_seconds: f64,
     /// Wall-clock seconds the host spent.
@@ -83,6 +89,57 @@ impl MappingRun {
     /// Total substrate work across all devices.
     pub fn total_work(&self) -> u64 {
         self.device_runs.iter().map(|r| r.work).sum()
+    }
+
+    /// Rolls the run up into a run-level [`RunReport`]: per-read metric
+    /// totals, one kernel timeline per share, and the §III-D energy
+    /// measurement folded into the report's energy summary.
+    ///
+    /// `per_read` is the metric record of every read in read order, as
+    /// returned by [`map_on_platform_with_metrics`]; pass an empty slice
+    /// when only the device timelines matter.
+    pub fn report(&self, platform: &Platform, per_read: &[MapMetrics]) -> RunReport {
+        let mut totals = MapMetrics::new();
+        for m in per_read {
+            totals.merge(m);
+        }
+        let devices = self
+            .device_runs
+            .iter()
+            .zip(&self.timelines)
+            .map(|(dr, events)| {
+                let profile = &platform.devices()[dr.device];
+                DeviceTimeline {
+                    device: format!("{} [{}]", profile.name(), profile.kind().as_str()),
+                    events: events
+                        .iter()
+                        .map(|e| KernelEvent {
+                            label: e.label.clone(),
+                            items: e.items as u64,
+                            work: e.work,
+                            queued_seconds: e.queued_seconds,
+                            submitted_seconds: e.submitted_seconds,
+                            start_seconds: e.start_seconds,
+                            end_seconds: e.end_seconds,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        RunReport {
+            reads: per_read.len() as u64,
+            totals,
+            stages: Vec::new(),
+            devices,
+            simulated_seconds: self.simulated_seconds,
+            wall_seconds: self.wall_seconds,
+            energy: Some(EnergySummary {
+                mapping_seconds: self.energy.mapping_seconds,
+                average_power_w: self.energy.average_power_w,
+                idle_power_w: platform.idle_power_w(),
+                energy_j: self.energy.energy_j,
+            }),
+        }
     }
 }
 
@@ -137,6 +194,28 @@ pub fn map_on_platform<M: Mapper>(
     shares: &[Share],
     reads: &[DnaSeq],
 ) -> Result<MappingRun, LaunchError> {
+    map_on_platform_with_metrics(mapper, platform, shares, reads).map(|(run, _)| run)
+}
+
+/// Like [`map_on_platform`], additionally returning the per-read
+/// [`MapMetrics`] record of every read (in read order) — the input to
+/// [`MappingRun::report`].
+///
+/// The unmetered entry point delegates here, so both share one launch
+/// path; the per-read records are plain stack `Copy` structs filled by
+/// [`Mapper::map_read_metered`], which for baseline mappers falls back to
+/// the coarse counters observable from [`MapOutput`].
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] under the same conditions as
+/// [`map_on_platform`].
+pub fn map_on_platform_with_metrics<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    shares: &[Share],
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
     let covered: usize = shares.iter().map(|s| s.items).sum();
     if covered != reads.len() {
         return Err(LaunchError::from_message(format!(
@@ -162,36 +241,42 @@ pub fn map_on_platform<M: Mapper>(
     let max_read_len = reads.iter().map(DnaSeq::len).max().unwrap_or(0);
     let private_bytes = mapper.kernel_private_bytes(max_read_len);
     let mut outputs: Vec<MapOutput> = Vec::with_capacity(reads.len());
+    let mut metrics: Vec<MapMetrics> = Vec::with_capacity(reads.len());
     let mut device_runs: Vec<DeviceRun> = Vec::with_capacity(shares.len());
-    let mut offset = 0usize;
-    for share in shares {
+    let mut timelines: Vec<Vec<Event>> = Vec::with_capacity(shares.len());
+    for (share_idx, share) in shares.iter().enumerate() {
+        let offset: usize = shares[..share_idx].iter().map(|s| s.items).sum();
         let device = &platform.devices()[share.device];
         let plan = BatchPlan::plan(device, share.items, bytes_per_read);
-        let mut share_work = 0u64;
-        let mut share_seconds = 0.0f64;
+        // An in-order command queue per share: each batch is one enqueue,
+        // leaving an OpenCL-style profiling event with all four
+        // timestamps. With zero launch overhead batches run back to back,
+        // exactly the previous accounting.
+        let mut queue = CommandQueue::new(device);
         let mut batch_offset = offset;
-        for &batch in plan.batches() {
+        for (batch_idx, &batch) in plan.batches().iter().enumerate() {
             let reads_slice = &reads[batch_offset..batch_offset + batch];
             let kernel = FnKernel::new(|i: usize| {
-                let out = mapper.map_read(&reads_slice[i]);
+                let mut m = MapMetrics::new();
+                let out = mapper.map_read_metered(&reads_slice[i], &mut m);
                 let work = out.work;
-                (out, work)
+                ((out, m), work)
             })
             .with_private_bytes(private_bytes);
-            let run = run_kernel(device, batch, &kernel);
-            outputs.extend(run.outputs);
-            share_work += run.work;
-            // Batches on one device run back to back.
-            share_seconds += run.simulated_seconds;
+            let label = format!("d{}-batch-{}", share.device, batch_idx);
+            for (out, m) in queue.enqueue(label, batch, &kernel) {
+                outputs.push(out);
+                metrics.push(m);
+            }
             batch_offset += batch;
         }
         device_runs.push(DeviceRun {
             device: share.device,
             items: share.items,
-            work: share_work,
-            simulated_seconds: share_seconds,
+            work: queue.total_work(),
+            simulated_seconds: queue.finish_seconds(),
         });
-        offset += share.items;
+        timelines.push(queue.into_events());
     }
     let simulated_seconds = device_runs
         .iter()
@@ -208,13 +293,15 @@ pub fn map_on_platform<M: Mapper>(
         };
         platform.measure_energy(&shadow)
     };
-    Ok(MappingRun {
+    let run = MappingRun {
         outputs,
         device_runs,
+        timelines,
         simulated_seconds,
         wall_seconds,
         energy,
-    })
+    };
+    Ok((run, metrics))
 }
 
 #[cfg(test)]
@@ -247,9 +334,18 @@ mod tests {
         let (mapper, reads) = setup();
         let platform = profiles::system1();
         let shares = vec![
-            Share { device: 0, items: 10 },
-            Share { device: 1, items: 8 },
-            Share { device: 2, items: 6 },
+            Share {
+                device: 0,
+                items: 10,
+            },
+            Share {
+                device: 1,
+                items: 8,
+            },
+            Share {
+                device: 2,
+                items: 6,
+            },
         ];
         let run = map_on_platform(&mapper, &platform, &shares, &reads).unwrap();
         assert_eq!(run.outputs.len(), 24);
@@ -262,12 +358,79 @@ mod tests {
     }
 
     #[test]
+    fn metered_run_produces_timelines_and_consistent_report() {
+        use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
+
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let shares = vec![
+            Share {
+                device: 0,
+                items: 10,
+            },
+            Share {
+                device: 1,
+                items: 8,
+            },
+            Share {
+                device: 2,
+                items: 6,
+            },
+        ];
+        let (run, metrics) =
+            map_on_platform_with_metrics(&mapper, &platform, &shares, &reads).unwrap();
+        assert_eq!(metrics.len(), reads.len());
+        assert_eq!(run.timelines.len(), shares.len());
+        // Every per-read record decomposes that read's work scalar.
+        for (m, out) in metrics.iter().zip(&run.outputs) {
+            assert_eq!(
+                m.work_units(EXTEND_COST, DP_CELL_COST, LOCATE_COST),
+                out.work
+            );
+        }
+        // Timeline invariants: ordered timestamps, and (with zero launch
+        // overhead) busy time and work adding up to the share accounting.
+        for (dr, events) in run.device_runs.iter().zip(&run.timelines) {
+            assert!(!events.is_empty());
+            for e in events {
+                assert!(e.queued_seconds <= e.submitted_seconds);
+                assert!(e.submitted_seconds <= e.start_seconds);
+                assert!(e.start_seconds <= e.end_seconds);
+            }
+            let busy: f64 = events.iter().map(Event::duration_seconds).sum();
+            assert!((busy - dr.simulated_seconds).abs() < 1e-12);
+            assert_eq!(events.iter().map(|e| e.work).sum::<u64>(), dr.work);
+        }
+        // The roll-up folds totals and energy consistently.
+        let report = run.report(&platform, &metrics);
+        assert_eq!(report.reads, reads.len() as u64);
+        assert_eq!(report.devices.len(), shares.len());
+        let mut totals = repute_obs::MapMetrics::new();
+        for m in &metrics {
+            totals.merge(m);
+        }
+        assert_eq!(report.totals, totals);
+        let energy = report.energy.expect("platform run carries energy");
+        let from_power = (energy.average_power_w - energy.idle_power_w) * energy.mapping_seconds;
+        assert!(
+            (energy.energy_j - from_power).abs() <= 1e-9 * energy.energy_j.max(1.0),
+            "energy summary broke the (P - P_idle) x T identity"
+        );
+    }
+
+    #[test]
     fn share_coverage_is_validated() {
         let (mapper, reads) = setup();
         let platform = profiles::system1();
-        let bad = vec![Share { device: 0, items: 5 }];
+        let bad = vec![Share {
+            device: 0,
+            items: 5,
+        }];
         assert!(map_on_platform(&mapper, &platform, &bad, &reads).is_err());
-        let bad_dev = vec![Share { device: 7, items: 24 }];
+        let bad_dev = vec![Share {
+            device: 7,
+            items: 24,
+        }];
         assert!(map_on_platform(&mapper, &platform, &bad_dev, &reads).is_err());
     }
 
@@ -305,13 +468,15 @@ mod tests {
             .collect();
         let indexed = Arc::new(IndexedReference::build(reference));
         // Small S_min → heavy kernel → reduced GPU occupancy.
-        let mapper = ReputeMapper::new(
-            Arc::clone(&indexed),
-            ReputeConfig::new(4, 12).unwrap(),
-        );
+        let mapper = ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(4, 12).unwrap());
         let platform = profiles::system1();
-        let even = map_on_platform(&mapper, &platform, &platform.even_shares(reads.len()), &reads)
-            .expect("valid");
+        let even = map_on_platform(
+            &mapper,
+            &platform,
+            &platform.even_shares(reads.len()),
+            &reads,
+        )
+        .expect("valid");
         let balanced = balanced_shares(&mapper, &platform, 100, reads.len());
         assert_eq!(balanced.iter().map(|s| s.items).sum::<usize>(), reads.len());
         let run = map_on_platform(&mapper, &platform, &balanced, &reads).expect("valid");
@@ -324,7 +489,10 @@ mod tests {
             even.simulated_seconds
         );
         // It assigns the GPUs less than the nominal-throughput split does.
-        let even_gpu: usize = platform.even_shares(reads.len())[1..].iter().map(|s| s.items).sum();
+        let even_gpu: usize = platform.even_shares(reads.len())[1..]
+            .iter()
+            .map(|s| s.items)
+            .sum();
         let balanced_gpu: usize = balanced[1..].iter().map(|s| s.items).sum();
         assert!(balanced_gpu <= even_gpu, "{balanced_gpu} > {even_gpu}");
     }
@@ -345,10 +513,8 @@ mod tests {
         let gpu_only = Platform::new("gpu", 10.0, vec![profiles::gtx590()]);
 
         let seconds_per_work = |s_min: usize| -> f64 {
-            let mapper = ReputeMapper::new(
-                Arc::clone(&indexed),
-                ReputeConfig::new(4, s_min).unwrap(),
-            );
+            let mapper =
+                ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(4, s_min).unwrap());
             let run = map_on_platform(
                 &mapper,
                 &gpu_only,
@@ -368,10 +534,8 @@ mod tests {
         // The CPU is occupancy-insensitive: identical seconds per unit.
         let cpu_only = profiles::system1_cpu_only();
         let cpu_seconds_per_work = |s_min: usize| -> f64 {
-            let mapper = ReputeMapper::new(
-                Arc::clone(&indexed),
-                ReputeConfig::new(4, s_min).unwrap(),
-            );
+            let mapper =
+                ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(4, s_min).unwrap());
             let run = map_on_platform(
                 &mapper,
                 &cpu_only,

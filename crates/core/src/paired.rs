@@ -103,8 +103,21 @@ impl<M: Mapper> PairedMapper<M> {
 
     /// Maps both mates and resolves concordant pairings.
     pub fn map_pair(&self, first: &DnaSeq, second: &DnaSeq) -> PairOutcome {
-        let a: MapOutput = self.inner.map_read(first);
-        let b: MapOutput = self.inner.map_read(second);
+        let mut scratch = repute_obs::MapMetrics::new();
+        self.map_pair_metered(first, second, &mut scratch)
+    }
+
+    /// Like [`PairedMapper::map_pair`], folding both mates' per-stage
+    /// telemetry into one shared `metrics` record (a pair is one unit of
+    /// work in run-level reports).
+    pub fn map_pair_metered(
+        &self,
+        first: &DnaSeq,
+        second: &DnaSeq,
+        metrics: &mut repute_obs::MapMetrics,
+    ) -> PairOutcome {
+        let a: MapOutput = self.inner.map_read_metered(first, metrics);
+        let b: MapOutput = self.inner.map_read_metered(second, metrics);
         let mut pairs = Vec::new();
         for &m1 in &a.mappings {
             for &m2 in &b.mappings {
@@ -129,13 +142,7 @@ impl<M: Mapper> PairedMapper<M> {
 
     /// FR concordance: the forward mate must lie left of the reverse
     /// mate, and the outer distance must fall inside the window.
-    fn concordant_insert(
-        &self,
-        m1: Mapping,
-        len1: usize,
-        m2: Mapping,
-        len2: usize,
-    ) -> Option<u32> {
+    fn concordant_insert(&self, m1: Mapping, len1: usize, m2: Mapping, len2: usize) -> Option<u32> {
         let (fwd, fwd_len, rev, rev_len) = match (m1.strand, m2.strand) {
             (Strand::Forward, Strand::Reverse) => (m1, len1, m2, len2),
             (Strand::Reverse, Strand::Forward) => (m2, len2, m1, len1),
@@ -176,11 +183,7 @@ mod tests {
         )
     }
 
-    fn pair_from(
-        mapper: &ReputeMapper,
-        start: usize,
-        insert: usize,
-    ) -> (DnaSeq, DnaSeq) {
+    fn pair_from(mapper: &ReputeMapper, start: usize, insert: usize) -> (DnaSeq, DnaSeq) {
         let reference = mapper.indexed().seq();
         let first = reference.subseq(start..start + 100);
         let second = reference
@@ -274,5 +277,22 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_window_rejected() {
         let _ = PairedMapper::new(mapper(), 500, 100);
+    }
+
+    #[test]
+    fn metered_pairing_counts_both_mates() {
+        let single = mapper();
+        let paired = PairedMapper::new(single, 250, 500);
+        let (first, second) = pair_from(paired.inner(), 40_000, 380);
+        let mut a = repute_obs::MapMetrics::new();
+        let mut b = repute_obs::MapMetrics::new();
+        paired.inner().map_read_metered(&first, &mut a);
+        paired.inner().map_read_metered(&second, &mut b);
+        let mut pair = repute_obs::MapMetrics::new();
+        let outcome = paired.map_pair_metered(&first, &second, &mut pair);
+        assert!(matches!(outcome, PairOutcome::Paired(_)));
+        let mut expected = a;
+        expected.merge(&b);
+        assert_eq!(pair, expected, "pair record must equal the mates' sum");
     }
 }

@@ -1,0 +1,146 @@
+//! End-to-end observability smoke test (the PR's acceptance scenario):
+//! map a read set over a small reference, once per read on the host and
+//! once through the simulated platform, and check that the telemetry
+//! layer agrees with the mapper's own work accounting at every level —
+//! per read, per device timeline, and in the exported JSON-lines.
+
+use std::sync::Arc;
+
+use repute_core::{map_on_platform_with_metrics, ReputeConfig, ReputeMapper};
+use repute_genome::reads::{ErrorProfile, ReadSimulator};
+use repute_genome::synth::ReferenceBuilder;
+use repute_hetsim::profiles;
+use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
+use repute_mappers::{IndexedReference, Mapper};
+use repute_obs::json::{field, parse_flat_object};
+use repute_obs::MapMetrics;
+
+#[test]
+fn per_read_metrics_decompose_work_on_10kb_reference() {
+    let reference = ReferenceBuilder::new(10_000).seed(77).build();
+    let indexed = Arc::new(IndexedReference::build(reference));
+    let mapper = ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(4, 12).unwrap());
+    let reads = ReadSimulator::new(100, 30)
+        .profile(ErrorProfile::err012100())
+        .seed(404)
+        .simulate(indexed.seq());
+
+    let mut totals = MapMetrics::new();
+    let mut total_work = 0u64;
+    for read in &reads {
+        let mut m = MapMetrics::new();
+        let out = mapper.map_read_metered(&read.seq, &mut m);
+        // The per-read record decomposes the work scalar exactly:
+        // work = extend·EXTEND + dp_cells·DP + locate·LOCATE + word_updates.
+        assert_eq!(
+            m.work_units(EXTEND_COST, DP_CELL_COST, LOCATE_COST),
+            out.work,
+            "read {}",
+            read.id
+        );
+        assert_eq!(m.hits, out.mappings.len() as u64, "read {}", read.id);
+        assert_eq!(m.candidates_merged, out.candidates, "read {}", read.id);
+        totals.merge(&m);
+        total_work += out.work;
+    }
+    assert!(totals.seeds_selected > 0);
+    assert!(totals.fm_extend_ops > 0);
+    assert!(totals.verifications >= totals.hits);
+    assert_eq!(
+        totals.work_units(EXTEND_COST, DP_CELL_COST, LOCATE_COST),
+        total_work,
+        "totals must decompose the summed work identically"
+    );
+}
+
+#[test]
+fn platform_run_exports_consistent_json_lines() {
+    let reference = ReferenceBuilder::new(10_000).seed(78).build();
+    let indexed = Arc::new(IndexedReference::build(reference));
+    let mapper = ReputeMapper::new(Arc::clone(&indexed), ReputeConfig::new(4, 12).unwrap());
+    let reads: Vec<_> = ReadSimulator::new(100, 24)
+        .profile(ErrorProfile::err012100())
+        .seed(405)
+        .simulate(indexed.seq())
+        .into_iter()
+        .map(|r| r.seq)
+        .collect();
+
+    let platform = profiles::system1();
+    let shares = platform.even_shares(reads.len());
+    let (run, metrics) = map_on_platform_with_metrics(&mapper, &platform, &shares, &reads).unwrap();
+    assert_eq!(metrics.len(), reads.len());
+    let report = run.report(&platform, &metrics);
+
+    // Fold the report through the JSON-lines export and parse it back.
+    let mut buf = Vec::new();
+    report.write_json_lines(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+
+    let mut totals_from_json = MapMetrics::new();
+    let mut event_work = 0u64;
+    let mut saw_energy = false;
+    for line in text.lines() {
+        let fields = parse_flat_object(line).expect("every exported line parses");
+        match field(&fields, "type").unwrap().as_str().unwrap() {
+            "run" => {
+                assert_eq!(
+                    field(&fields, "reads").unwrap().as_u64().unwrap(),
+                    reads.len() as u64
+                );
+                for (name, _) in MapMetrics::new().fields() {
+                    let value = field(&fields, name)
+                        .unwrap_or_else(|| panic!("run record lacks {name}"))
+                        .as_u64()
+                        .unwrap();
+                    match name {
+                        "seeds_selected" => totals_from_json.seeds_selected = value,
+                        "fm_extend_ops" => totals_from_json.fm_extend_ops = value,
+                        "fm_locate_ops" => totals_from_json.fm_locate_ops = value,
+                        "candidates_raw" => totals_from_json.candidates_raw = value,
+                        "candidates_merged" => totals_from_json.candidates_merged = value,
+                        "dp_cells" => totals_from_json.dp_cells = value,
+                        "verifications" => totals_from_json.verifications = value,
+                        "word_updates" => totals_from_json.word_updates = value,
+                        "hits" => totals_from_json.hits = value,
+                        other => panic!("unexpected metric field {other}"),
+                    }
+                }
+            }
+            "event" => {
+                let queued = field(&fields, "queued_s").unwrap().as_f64().unwrap();
+                let start = field(&fields, "start_s").unwrap().as_f64().unwrap();
+                let end = field(&fields, "end_s").unwrap().as_f64().unwrap();
+                assert!(queued <= start && start <= end, "event timestamps ordered");
+                event_work += field(&fields, "work").unwrap().as_u64().unwrap();
+            }
+            "energy" => {
+                saw_energy = true;
+                // §III-D identity: energy = (avg − idle) × time.
+                let t = field(&fields, "mapping_seconds").unwrap().as_f64().unwrap();
+                let avg = field(&fields, "average_power_w").unwrap().as_f64().unwrap();
+                let idle = field(&fields, "idle_power_w").unwrap().as_f64().unwrap();
+                let e = field(&fields, "energy_j").unwrap().as_f64().unwrap();
+                assert!(
+                    (e - (avg - idle) * t).abs() <= 1e-9 * e.abs().max(1.0),
+                    "energy identity violated: {e} vs ({avg} - {idle}) * {t}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_energy, "platform run must export an energy record");
+
+    // The run record's totals equal the sum of the per-read records, and
+    // the per-device event work sums to the mapper's work accounting.
+    let mut expected = MapMetrics::new();
+    for m in &metrics {
+        expected.merge(m);
+    }
+    assert_eq!(totals_from_json, expected);
+    assert_eq!(event_work, run.total_work());
+    assert_eq!(
+        expected.work_units(EXTEND_COST, DP_CELL_COST, LOCATE_COST),
+        run.total_work()
+    );
+}

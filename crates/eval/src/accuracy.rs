@@ -167,7 +167,11 @@ pub fn all_best_accuracy(gold: &GoldStandard, results: &[Vec<Mapping>], toleranc
             continue;
         }
         mapped += 1;
-        let best = gold_maps.iter().map(|m| m.distance).min().expect("non-empty");
+        let best = gold_maps
+            .iter()
+            .map(|m| m.distance)
+            .min()
+            .expect("non-empty");
         let all = gold_maps
             .iter()
             .filter(|g| g.distance == best)
@@ -240,7 +244,10 @@ mod tests {
     fn any_best_requires_only_one_best_location() {
         let gold = gold_two_reads();
         // Read 0's best stratum is distance 0 at position 100.
-        let results = vec![vec![m(101, Strand::Forward, 0)], vec![m(42, Strand::Reverse, 0)]];
+        let results = vec![
+            vec![m(101, Strand::Forward, 0)],
+            vec![m(42, Strand::Reverse, 0)],
+        ];
         assert_eq!(any_best_accuracy(&gold, &results, 2), 100.0);
         // Matching only a suboptimal location does not count.
         let sub = vec![vec![m(500, Strand::Forward, 2)], vec![]];

@@ -83,7 +83,11 @@ impl CoverageMap {
     ///
     /// Panics if `position >= len`.
     pub fn depth(&mut self, position: usize) -> u32 {
-        assert!(position < self.len, "position {position} out of range {}", self.len);
+        assert!(
+            position < self.len,
+            "position {position} out of range {}",
+            self.len
+        );
         self.depths()[position]
     }
 
@@ -93,7 +97,11 @@ impl CoverageMap {
     ///
     /// Panics if the interval exceeds the reference.
     pub fn mean_depth(&mut self, range: std::ops::Range<usize>) -> f64 {
-        assert!(range.end <= self.len, "range {range:?} out of bounds {}", self.len);
+        assert!(
+            range.end <= self.len,
+            "range {range:?} out of bounds {}",
+            self.len
+        );
         if range.is_empty() {
             return 0.0;
         }
@@ -108,7 +116,11 @@ impl CoverageMap {
     ///
     /// Panics if the interval exceeds the reference.
     pub fn breadth(&mut self, range: std::ops::Range<usize>, min_depth: u32) -> f64 {
-        assert!(range.end <= self.len, "range {range:?} out of bounds {}", self.len);
+        assert!(
+            range.end <= self.len,
+            "range {range:?} out of bounds {}",
+            self.len
+        );
         if range.is_empty() {
             return 0.0;
         }

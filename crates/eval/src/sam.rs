@@ -136,7 +136,10 @@ pub fn write_resolved_record<W: Write>(
     cigar: Option<&Cigar>,
 ) -> Result<(), GenomeError> {
     if mappings.is_empty() {
-        writeln!(out, "{read_name}\t{FLAG_UNMAPPED}\t*\t0\t0\t*\t*\t0\t0\t{seq}\t*")?;
+        writeln!(
+            out,
+            "{read_name}\t{FLAG_UNMAPPED}\t*\t0\t0\t*\t*\t0\t0\t{seq}\t*"
+        )?;
         return Ok(());
     }
     for (i, m) in mappings.iter().enumerate() {

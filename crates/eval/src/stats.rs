@@ -132,12 +132,7 @@ mod tests {
 
     #[test]
     fn collects_counts_and_histogram() {
-        let per_read = [
-            vec![m(0), m(2), m(2)],
-            vec![],
-            vec![m(1)],
-            vec![m(5)],
-        ];
+        let per_read = [vec![m(0), m(2), m(2)], vec![], vec![m(1)], vec![m(5)]];
         let stats = MappingStats::collect(per_read.iter().map(|v| v.as_slice()));
         assert_eq!(stats.reads, 4);
         assert_eq!(stats.mapped_reads, 3);

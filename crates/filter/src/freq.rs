@@ -150,6 +150,13 @@ impl FreqTable {
         self.extend_ops
     }
 
+    /// Records the table's index work into a per-read metric record. The
+    /// DP solver's `SelectionOutcome` records the DP-side counters; between
+    /// the two every filtration operation is counted exactly once.
+    pub fn record_metrics(&self, metrics: &mut repute_obs::MapMetrics) {
+        metrics.fm_extend_ops += self.extend_ops;
+    }
+
     /// Occurrence count of the seed `read[start..end]`.
     ///
     /// # Panics

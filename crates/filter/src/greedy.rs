@@ -211,7 +211,9 @@ mod tests {
         let (reference, fm) = setup();
         let read = reference.subseq(4000..4100).to_codes();
         let (tight, _) = GreedySelector::new(5, 12).threshold(0).select(&read, &fm);
-        let (loose, _) = GreedySelector::new(5, 12).threshold(1000).select(&read, &fm);
+        let (loose, _) = GreedySelector::new(5, 12)
+            .threshold(1000)
+            .select(&read, &fm);
         // A loose threshold stops at s_min immediately: all but the last
         // seed have exactly s_min bases.
         assert!(loose.seeds[1..].iter().all(|s| s.len == 12));

@@ -40,8 +40,8 @@ pub mod freq;
 pub mod greedy;
 pub mod oss;
 pub mod pigeonhole;
+mod seed;
 pub mod segmented;
 pub mod sparse;
-mod seed;
 
 pub use seed::{Seed, SeedSelection, SeedSelector, SelectionStats};

@@ -81,7 +81,11 @@ impl OssParams {
             });
         }
         let seeds = delta as usize + 1;
-        if s_min.checked_mul(seeds).filter(|&v| v <= u16::MAX as usize).is_none() {
+        if s_min
+            .checked_mul(seeds)
+            .filter(|&v| v <= u16::MAX as usize)
+            .is_none()
+        {
             return Err(InvalidParamsError {
                 message: format!("s_min {s_min} × {seeds} seeds exceeds the u16 position range"),
             });
@@ -218,6 +222,19 @@ pub struct SelectionOutcome {
     pub selection: SeedSelection,
     /// Substrate work and memory spent choosing it.
     pub stats: SelectionStats,
+}
+
+impl SelectionOutcome {
+    /// Records the DP-side work into a per-read metric record: the cells
+    /// the solver filled and the seeds it chose. The FM extensions in
+    /// `stats.extend_ops` are deliberately *not* added here — they belong
+    /// to the [`FreqTable`](crate::freq::FreqTable) that performed them
+    /// (see [`crate::freq::FreqTable::record_metrics`]), and counting them
+    /// in both places would double-book the filtration stage.
+    pub fn record_metrics(&self, metrics: &mut repute_obs::MapMetrics) {
+        metrics.dp_cells += self.stats.dp_cells;
+        metrics.seeds_selected += self.selection.seeds.len() as u64;
+    }
 }
 
 /// Step-by-step record of one DP run, for the paper's Fig. 2.
@@ -377,7 +394,8 @@ impl OssSolver {
                         .collect(),
                 );
             }
-            let live = opt.len() * 4 + prev_opt.len() * 4
+            let live = opt.len() * 4
+                + prev_opt.len() * 4
                 + dividers.iter().map(|(_, v)| v.len() * 2).sum::<usize>()
                 + div.len() * 2;
             peak_bytes = peak_bytes.max(live);
@@ -544,9 +562,14 @@ mod tests {
         // model; with the full table's deeper columns the cost models can
         // differ only by capped-seed approximation, so the candidate
         // totals stay close.
-        let (ca, cb) = (a.selection.total_candidates(), b.selection.total_candidates());
-        assert!(ca <= cb.saturating_mul(2) + 8 && cb <= ca.saturating_mul(2) + 8,
-                "restricted {ca} vs full {cb} diverged");
+        let (ca, cb) = (
+            a.selection.total_candidates(),
+            b.selection.total_candidates(),
+        );
+        assert!(
+            ca <= cb.saturating_mul(2) + 8 && cb <= ca.saturating_mul(2) + 8,
+            "restricted {ca} vs full {cb} diverged"
+        );
     }
 
     #[test]
@@ -647,7 +670,10 @@ mod tests {
         for w in trace.dividers.windows(2) {
             assert!(w[0] < w[1]);
         }
-        let seed_cuts: Vec<usize> = outcome.selection.seeds[1..].iter().map(|s| s.start).collect();
+        let seed_cuts: Vec<usize> = outcome.selection.seeds[1..]
+            .iter()
+            .map(|s| s.start)
+            .collect();
         assert_eq!(trace.dividers, seed_cuts);
     }
 

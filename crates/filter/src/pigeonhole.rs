@@ -28,7 +28,10 @@ use crate::seed::{Seed, SeedSelection, SelectionStats};
 /// ```
 pub fn uniform_partition(read_len: usize, parts: usize) -> Vec<(usize, usize)> {
     assert!(parts > 0, "parts must be positive");
-    assert!(parts <= read_len, "cannot split {read_len} bases into {parts} parts");
+    assert!(
+        parts <= read_len,
+        "cannot split {read_len} bases into {parts} parts"
+    );
     let base = read_len / parts;
     let extra = read_len % parts;
     let mut out = Vec::with_capacity(parts);

@@ -173,7 +173,11 @@ mod tests {
         let sections = crate::pigeonhole::uniform_partition(100, 6);
         for (seed, (start, len)) in selection.seeds.iter().zip(sections) {
             assert!(seed.start >= start, "seed {seed:?} escapes its section");
-            assert_eq!(seed.end(), start + len, "seed must anchor at the section end");
+            assert_eq!(
+                seed.end(),
+                start + len,
+                "seed must anchor at the section end"
+            );
             assert!(seed.len >= 12 || seed.count == 0);
         }
     }

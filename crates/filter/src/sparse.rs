@@ -119,9 +119,7 @@ impl SparseSolver {
                     if left >= best {
                         continue;
                     }
-                    let cost = left
-                        .saturating_add(table.count(pl - len, pl))
-                        .min(COST_CAP);
+                    let cost = left.saturating_add(table.count(pl - len, pl)).min(COST_CAP);
                     if cost < best {
                         best = cost;
                         best_len = len as u16;
@@ -208,7 +206,9 @@ mod tests {
     #[test]
     fn seeds_are_disjoint_ordered_and_long_enough() {
         let (reference, fm) = setup();
-        let full = OssParams::new(5, 12).unwrap().exploration(Exploration::Full);
+        let full = OssParams::new(5, 12)
+            .unwrap()
+            .exploration(Exploration::Full);
         let solver = SparseSolver::new(full);
         for off in (0..40_000).step_by(3301) {
             let read = reference.subseq(off..off + 100).to_codes();
@@ -217,7 +217,10 @@ mod tests {
             let seeds = &outcome.selection.seeds;
             assert_eq!(seeds.len(), 6);
             for w in seeds.windows(2) {
-                assert!(w[0].end() <= w[1].start, "overlap at offset {off}: {seeds:?}");
+                assert!(
+                    w[0].end() <= w[1].start,
+                    "overlap at offset {off}: {seeds:?}"
+                );
             }
             assert!(seeds.iter().all(|s| s.len >= 12));
             assert!(seeds.last().unwrap().end() <= 100);
@@ -253,7 +256,9 @@ mod tests {
         // every seed in the unique half, paying (near) zero candidates.
         let (reference, fm) = setup();
         let codes = reference.to_codes();
-        let full = OssParams::new(3, 10).unwrap().exploration(Exploration::Full);
+        let full = OssParams::new(3, 10)
+            .unwrap()
+            .exploration(Exploration::Full);
         // Find a read whose left half is very repetitive.
         for off in (0..60_000).step_by(509) {
             let read = &codes[off..off + 100];
@@ -280,7 +285,9 @@ mod tests {
     #[should_panic(expected = "cannot host")]
     fn infeasible_read_rejected() {
         let (reference, fm) = setup();
-        let full = OssParams::new(7, 15).unwrap().exploration(Exploration::Full);
+        let full = OssParams::new(7, 15)
+            .unwrap()
+            .exploration(Exploration::Full);
         let read = reference.subseq(0..100).to_codes();
         let table = FreqTable::build(&fm, &read, &full);
         let _ = SparseSolver::new(full).select(&read, &table);

@@ -193,7 +193,12 @@ mod tests {
 
     #[test]
     fn chars_round_trip_case_insensitive() {
-        for (c, b) in [('a', Base::A), ('C', Base::C), ('g', Base::G), ('T', Base::T)] {
+        for (c, b) in [
+            ('a', Base::A),
+            ('C', Base::C),
+            ('g', Base::G),
+            ('T', Base::T),
+        ] {
             assert_eq!(Base::from_char(c).unwrap(), b);
         }
         assert_eq!(Base::G.to_char(), 'G');

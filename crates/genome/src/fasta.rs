@@ -7,8 +7,7 @@
 
 use std::io::{BufRead, Write};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::alphabet::Base;
 use crate::error::GenomeError;
@@ -147,24 +146,19 @@ impl<R: BufRead> FastaReader<R> {
                     for c in l.chars().filter(|c| !c.is_whitespace()) {
                         match Base::from_char(c) {
                             Ok(b) => seq.push(b),
-                            Err(_) if c.is_ascii_alphabetic() || c == '-' => {
-                                match self.policy {
-                                    AmbiguityPolicy::Reject => {
-                                        return Err(GenomeError::Format {
-                                            line: self.line,
-                                            message: format!(
-                                                "ambiguous base {c:?} (policy: reject)"
-                                            ),
-                                        })
-                                    }
-                                    AmbiguityPolicy::Skip => {}
-                                    AmbiguityPolicy::Randomize(_) => {
-                                        let code =
-                                            rng.as_mut().expect("rng set").gen_range(0..4u8);
-                                        seq.push(Base::from_code(code));
-                                    }
+                            Err(_) if c.is_ascii_alphabetic() || c == '-' => match self.policy {
+                                AmbiguityPolicy::Reject => {
+                                    return Err(GenomeError::Format {
+                                        line: self.line,
+                                        message: format!("ambiguous base {c:?} (policy: reject)"),
+                                    })
                                 }
-                            }
+                                AmbiguityPolicy::Skip => {}
+                                AmbiguityPolicy::Randomize(_) => {
+                                    let code = rng.as_mut().expect("rng set").gen_range(0..4u8);
+                                    seq.push(Base::from_code(code));
+                                }
+                            },
                             Err(_) => {
                                 return Err(GenomeError::Format {
                                     line: self.line,
@@ -182,7 +176,11 @@ impl<R: BufRead> FastaReader<R> {
                 message: format!("record {id:?} has an empty sequence"),
             });
         }
-        Ok(Some(FastaRecord { id, description, seq }))
+        Ok(Some(FastaRecord {
+            id,
+            description,
+            seq,
+        }))
     }
 }
 

@@ -46,7 +46,11 @@ impl FastqRecord {
         if self.quality.is_empty() {
             return 0.0;
         }
-        let sum: u64 = self.quality.iter().map(|&q| u64::from(q - QUALITY_MIN)).sum();
+        let sum: u64 = self
+            .quality
+            .iter()
+            .map(|&q| u64::from(q - QUALITY_MIN))
+            .sum();
         sum as f64 / self.quality.len() as f64
     }
 }

@@ -82,19 +82,19 @@ impl IupacCode {
     /// The concrete bases this code admits, in code order.
     pub fn bases(self) -> impl Iterator<Item = Base> {
         let mask = self.mask;
-        Base::ALL.into_iter().filter(move |b| mask & (1 << b.code()) != 0)
+        Base::ALL
+            .into_iter()
+            .filter(move |b| mask & (1 << b.code()) != 0)
     }
 
     /// Number of concrete bases admitted (1–4).
     pub fn degeneracy(self) -> u32 {
-        u32::from(self.mask.count_ones())
+        self.mask.count_ones()
     }
 
     /// Returns the concrete base if the code is unambiguous.
     pub fn to_base(self) -> Option<Base> {
-        (self.degeneracy() == 1).then(|| {
-            Base::from_code(self.mask.trailing_zeros() as u8)
-        })
+        (self.degeneracy() == 1).then(|| Base::from_code(self.mask.trailing_zeros() as u8))
     }
 
     /// The complement code (complements every admitted base; e.g. the
@@ -201,7 +201,14 @@ mod tests {
 
     #[test]
     fn complements() {
-        let pairs = [('A', 'T'), ('R', 'Y'), ('S', 'S'), ('W', 'W'), ('B', 'V'), ('N', 'N')];
+        let pairs = [
+            ('A', 'T'),
+            ('R', 'Y'),
+            ('S', 'S'),
+            ('W', 'W'),
+            ('B', 'V'),
+            ('N', 'N'),
+        ];
         for (c, comp) in pairs {
             assert_eq!(
                 IupacCode::from_char(c).unwrap().complement().to_char(),

@@ -37,6 +37,7 @@ pub mod fasta;
 pub mod fastq;
 pub mod iupac;
 pub mod reads;
+pub mod rng;
 pub mod synth;
 
 pub use alphabet::{Base, Strand};

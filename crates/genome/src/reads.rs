@@ -7,8 +7,7 @@
 //! exact ground truth the paper could only approximate with a RazerS3 gold
 //! standard.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use crate::alphabet::{Base, Strand};
 use crate::seq::DnaSeq;
@@ -284,7 +283,8 @@ impl ReadSimulator {
             } else if roll < self.profile.insertion + self.profile.deletion {
                 t += 1; // skip a template base
                 edits += 1;
-            } else if roll < self.profile.insertion + self.profile.deletion + self.profile.substitution
+            } else if roll
+                < self.profile.insertion + self.profile.deletion + self.profile.substitution
             {
                 let original = template.base(t);
                 let substitute = loop {
@@ -369,7 +369,10 @@ mod tests {
             .iter()
             .filter(|r| r.origin.map(|o| o.strand) == Some(Strand::Forward))
             .count();
-        assert!(forward > 50 && forward < 150, "strand balance off: {forward}/200");
+        assert!(
+            forward > 50 && forward < 150,
+            "strand balance off: {forward}/200"
+        );
     }
 
     #[test]
@@ -424,11 +427,9 @@ mod tests {
             assert_eq!(record.seq, read.seq, "sequences must match simulate()");
             assert_eq!(*origin, read.origin);
             assert_eq!(record.quality.len(), 100);
-            assert!(record
-                .quality
-                .iter()
-                .all(|&q| (crate::fastq::QUALITY_MIN..=crate::fastq::QUALITY_MIN + 60)
-                    .contains(&q)));
+            assert!(record.quality.iter().all(|&q| (crate::fastq::QUALITY_MIN
+                ..=crate::fastq::QUALITY_MIN + 60)
+                .contains(&q)));
         }
         // Qualities degrade toward the 3' end on average.
         let mean_at = |range: std::ops::Range<usize>| -> f64 {

@@ -105,7 +105,11 @@ impl DnaSeq {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn base(&self, index: usize) -> Base {
-        assert!(index < self.len, "base index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "base index {index} out of range {}",
+            self.len
+        );
         Base::from_code(self.code(index))
     }
 
@@ -116,14 +120,21 @@ impl DnaSeq {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn code(&self, index: usize) -> u8 {
-        assert!(index < self.len, "code index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "code index {index} out of range {}",
+            self.len
+        );
         let (word, shift) = (index / BASES_PER_WORD, (index % BASES_PER_WORD) * 2);
         ((self.words[word] >> shift) & 0b11) as u8
     }
 
     /// Iterates over the bases.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { seq: self, index: 0 }
+        Iter {
+            seq: self,
+            index: 0,
+        }
     }
 
     /// Unpacks the sequence into a vector of 2-bit codes.
@@ -140,8 +151,11 @@ impl DnaSeq {
     ///
     /// Panics if the range is out of bounds or decreasing.
     pub fn subseq(&self, range: Range<usize>) -> DnaSeq {
-        assert!(range.start <= range.end && range.end <= self.len,
-            "subseq range {range:?} out of bounds for length {}", self.len);
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "subseq range {range:?} out of bounds for length {}",
+            self.len
+        );
         let mut out = DnaSeq::with_capacity(range.len());
         for i in range {
             out.push(self.base(i));
@@ -163,7 +177,10 @@ impl DnaSeq {
         if self.is_empty() {
             return 0.0;
         }
-        let gc = self.iter().filter(|b| matches!(b, Base::C | Base::G)).count();
+        let gc = self
+            .iter()
+            .filter(|b| matches!(b, Base::C | Base::G))
+            .count();
         gc as f64 / self.len as f64
     }
 

@@ -14,11 +14,12 @@
 //! 3. tandem repeats (microsatellite-like), which create locally extreme
 //!    seed frequencies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::alphabet::Base;
 use crate::seq::DnaSeq;
+
+// Callers historically reached the generator through this module; keep the
+// path alive alongside the canonical `crate::rng`.
+pub use crate::rng::{SampleRange, SampleUniform, Standard, StdRng};
 
 /// Description of one interspersed repeat family to inject.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,7 +116,10 @@ impl ReferenceBuilder {
     ///
     /// Panics if `fraction` is outside `[0, 0.5]`.
     pub fn tandem_fraction(mut self, fraction: f64) -> ReferenceBuilder {
-        assert!((0.0..=0.5).contains(&fraction), "tandem fraction out of range");
+        assert!(
+            (0.0..=0.5).contains(&fraction),
+            "tandem fraction out of range"
+        );
         self.tandem_fraction = fraction;
         self
     }
@@ -212,7 +216,9 @@ impl ReferenceBuilder {
 /// repeat-free control in tests and ablations.
 pub fn random_sequence(len: usize, seed: u64) -> DnaSeq {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| Base::from_code(rng.gen_range(0..4))).collect()
+    (0..len)
+        .map(|_| Base::from_code(rng.gen_range(0..4)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,10 +1,8 @@
 //! Device profiles: the compute/memory/power description of one OpenCL
 //! device.
 
-use serde::{Deserialize, Serialize};
-
 /// What kind of silicon a device models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// A general-purpose CPU.
     Cpu,
@@ -16,6 +14,18 @@ pub enum DeviceKind {
     LittleCluster,
 }
 
+impl DeviceKind {
+    /// Stable lower-case name used by telemetry exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviceKind::Cpu => "cpu",
+            DeviceKind::Gpu => "gpu",
+            DeviceKind::BigCluster => "big",
+            DeviceKind::LittleCluster => "little",
+        }
+    }
+}
+
 /// The static description of one simulated device.
 ///
 /// `throughput` is calibrated in *work units per second*, where one work
@@ -23,7 +33,7 @@ pub enum DeviceKind {
 /// left-extension, a DP cell, or a 64-cell bit-vector word update — these
 /// are deliberately comparable integer-dominated operations, which is the
 /// paper's argument for why simple embedded cores suit genomics, §I).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     name: String,
     kind: DeviceKind,

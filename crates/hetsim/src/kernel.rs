@@ -105,7 +105,11 @@ pub struct KernelRun<O> {
 ///
 /// Execution is real (host threads, one per device compute unit, capped by
 /// host parallelism); time and energy are simulated from the work counts.
-pub fn run_kernel<K: Kernel>(device: &DeviceProfile, items: usize, kernel: &K) -> KernelRun<K::Output> {
+pub fn run_kernel<K: Kernel>(
+    device: &DeviceProfile,
+    items: usize,
+    kernel: &K,
+) -> KernelRun<K::Output> {
     let start = Instant::now();
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads = device.compute_units().min(host_threads).min(items.max(1));
@@ -122,11 +126,11 @@ pub fn run_kernel<K: Kernel>(device: &DeviceProfile, items: usize, kernel: &K) -
         }
     } else {
         let counter = AtomicUsize::new(0);
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let counter = &counter;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local: Vec<(usize, K::Output)> = Vec::new();
                         let mut local_work = 0u64;
                         loop {
@@ -148,8 +152,7 @@ pub fn run_kernel<K: Kernel>(device: &DeviceProfile, items: usize, kernel: &K) -
                 .into_iter()
                 .map(|h| h.join().expect("kernel worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("kernel scope panicked");
+        });
         for (local, local_work) in results {
             work += local_work;
             for (index, out) in local {

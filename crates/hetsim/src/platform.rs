@@ -112,7 +112,11 @@ impl Platform {
     /// # Panics
     ///
     /// Panics if `devices` is empty or `idle_power_w` is negative.
-    pub fn new(name: impl Into<String>, idle_power_w: f64, devices: Vec<DeviceProfile>) -> Platform {
+    pub fn new(
+        name: impl Into<String>,
+        idle_power_w: f64,
+        devices: Vec<DeviceProfile>,
+    ) -> Platform {
         assert!(!devices.is_empty(), "platform needs at least one device");
         assert!(idle_power_w >= 0.0, "idle power cannot be negative");
         Platform {
@@ -162,7 +166,10 @@ impl Platform {
     ///
     /// Panics if `device` is out of range.
     pub fn single_device_share(&self, device: usize, items: usize) -> Vec<Share> {
-        assert!(device < self.devices.len(), "device index {device} out of range");
+        assert!(
+            device < self.devices.len(),
+            "device index {device} out of range"
+        );
         vec![Share { device, items }]
     }
 
@@ -204,7 +211,10 @@ impl Platform {
             let device = &self.devices[share.device];
             let base = offset;
             // Shift the item index so the kernel sees global indices.
-            let shifted = ShiftedKernel { inner: kernel, base };
+            let shifted = ShiftedKernel {
+                inner: kernel,
+                base,
+            };
             let run = run_kernel(device, share.items, &shifted);
             outputs.extend(run.outputs);
             device_runs.push(DeviceRun {
@@ -262,9 +272,18 @@ mod tests {
         let platform = profiles::system1();
         let kernel = FnKernel::new(|i: usize| (i, 1));
         let shares = vec![
-            Share { device: 0, items: 30 },
-            Share { device: 1, items: 50 },
-            Share { device: 2, items: 20 },
+            Share {
+                device: 0,
+                items: 30,
+            },
+            Share {
+                device: 1,
+                items: 50,
+            },
+            Share {
+                device: 2,
+                items: 20,
+            },
         ];
         let run = platform.launch(&shares, &kernel).unwrap();
         let expected: Vec<usize> = (0..100).collect();
@@ -286,8 +305,14 @@ mod tests {
 
         // Splitting with the CPU strictly improves completion time.
         let shares = vec![
-            Share { device: 0, items: 70 },
-            Share { device: 1, items: 30 },
+            Share {
+                device: 0,
+                items: 70,
+            },
+            Share {
+                device: 1,
+                items: 30,
+            },
         ];
         let split = platform.launch(&shares, &kernel).unwrap();
         assert!(split.simulated_seconds < run.simulated_seconds);
@@ -306,8 +331,14 @@ mod tests {
         let platform = profiles::system1();
         let kernel = FnKernel::new(|_| ((), 1_000_000));
         let shares = vec![
-            Share { device: 0, items: 50 },
-            Share { device: 1, items: 50 },
+            Share {
+                device: 0,
+                items: 50,
+            },
+            Share {
+                device: 1,
+                items: 50,
+            },
         ];
         let run = platform.launch(&shares, &kernel).unwrap();
         let util = run.device_utilization();
@@ -340,7 +371,10 @@ mod tests {
         let platform = profiles::system2_hikey970();
         let kernel = FnKernel::new(|i: usize| (i, 1));
         assert!(platform.launch(&[], &kernel).is_err());
-        let bad = vec![Share { device: 9, items: 1 }];
+        let bad = vec![Share {
+            device: 9,
+            items: 1,
+        }];
         let err = platform.launch(&bad, &kernel).unwrap_err();
         assert!(err.to_string().contains("out of range"));
     }

@@ -2,10 +2,14 @@
 //!
 //! The paper measures "the average power consumption during the mapping
 //! process and subtract[s] it with the idle power", then multiplies by the
-//! mapping time to obtain energy. The simulator reproduces the same
-//! arithmetic: during a run of duration `T` (the bottleneck device's
-//! time), device `d` is busy for its own simulated time drawing its active
-//! power; averaging over `T` gives the meter reading above idle.
+//! mapping time to obtain energy: `E = (P − P_idle) × T`. The simulator
+//! reproduces the same arithmetic from the device side: during a run of
+//! duration `T` (the bottleneck device's time), device `d` is busy for its
+//! own simulated time `t_d` drawing its active power `P_d`, so the
+//! above-idle energy is `E = Σ_d P_d × t_d` and the meter would read
+//! `P = P_idle + E / T` on average. Substituting one into the other gives
+//! back the paper's formula exactly — `(P − P_idle) × T = E` — an identity
+//! the tests assert.
 
 use crate::platform::{Platform, PlatformRun};
 
@@ -15,10 +19,12 @@ pub struct EnergyReport {
     /// Mapping time in seconds (simulated completion time).
     pub mapping_seconds: f64,
     /// Average total power at the wall during mapping, in watts
-    /// (idle + busy devices), the paper's `P(W)` column.
+    /// (idle + busy devices), the paper's `P(W)` column:
+    /// `P = P_idle + Σ_d P_d × t_d / T`.
     pub average_power_w: f64,
     /// Energy above idle over the mapping, in joules — the paper's `E(J)`
-    /// column: `(P − P_idle) × T`.
+    /// column. Computed as busy-device energy `Σ_d P_d × t_d`, which by
+    /// construction equals `(average_power_w − P_idle) × mapping_seconds`.
     pub energy_j: f64,
 }
 
@@ -50,7 +56,7 @@ impl EnergyReport {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::kernel::FnKernel;
     use crate::platform::Share;
     use crate::profiles;
@@ -79,9 +85,18 @@ mod tests {
             .launch(&platform.single_device_share(0, 200), &kernel)
             .unwrap();
         let shares = vec![
-            Share { device: 0, items: 100 },
-            Share { device: 1, items: 50 },
-            Share { device: 2, items: 50 },
+            Share {
+                device: 0,
+                items: 100,
+            },
+            Share {
+                device: 1,
+                items: 50,
+            },
+            Share {
+                device: 2,
+                items: 50,
+            },
         ];
         let all = platform.launch(&shares, &kernel).unwrap();
         let e_cpu = platform.measure_energy(&cpu_only);
@@ -106,7 +121,62 @@ mod tests {
         // The paper's headline: an order of magnitude or more energy
         // saving on the embedded SoC despite longer mapping time.
         assert!(h.mapping_seconds > w.mapping_seconds);
-        assert!(w.energy_j / h.energy_j > 10.0, "ratio {}", w.energy_j / h.energy_j);
+        assert!(
+            w.energy_j / h.energy_j > 10.0,
+            "ratio {}",
+            w.energy_j / h.energy_j
+        );
+    }
+
+    #[test]
+    fn energy_identity_holds_on_heterogeneous_runs() {
+        // §III-D identity: E(J) == (P(W) − P_idle) × T(s), for any
+        // distribution, including ones that leave devices partly idle.
+        for (platform, shares) in [
+            (
+                profiles::system1(),
+                vec![
+                    Share {
+                        device: 0,
+                        items: 37,
+                    },
+                    Share {
+                        device: 1,
+                        items: 11,
+                    },
+                    Share {
+                        device: 2,
+                        items: 52,
+                    },
+                ],
+            ),
+            (
+                profiles::system2_hikey970(),
+                vec![
+                    Share {
+                        device: 0,
+                        items: 80,
+                    },
+                    Share {
+                        device: 1,
+                        items: 20,
+                    },
+                ],
+            ),
+        ] {
+            let kernel = FnKernel::new(|i: usize| ((), 1_000_000 + 10_000 * i as u64));
+            let run = platform.launch(&shares, &kernel).unwrap();
+            let report = platform.measure_energy(&run);
+            let from_power =
+                (report.average_power_w - platform.idle_power_w()) * report.mapping_seconds;
+            assert!(
+                (report.energy_j - from_power).abs() <= 1e-9 * report.energy_j.max(1.0),
+                "{}: energy_j {} != (P - P_idle) x T {}",
+                platform.name(),
+                report.energy_j,
+                from_power
+            );
+        }
     }
 
     #[test]

@@ -1,17 +1,26 @@
 //! In-order command queues with profiling events.
 //!
 //! OpenCL hosts drive each device through a command queue and read
-//! per-kernel timing from profiling events (`CL_PROFILING_COMMAND_START` /
-//! `_END`). This module models that: kernels enqueued on a
-//! [`CommandQueue`] run back-to-back on the device's simulated timeline —
-//! the mechanism behind REPUTE's "run the kernel multiple times with
-//! smaller read sets" when a batch exceeds the quarter-RAM buffer cap
-//! (§III/§IV) — and every launch leaves an [`Event`] for inspection.
+//! per-kernel timing from profiling events (`clGetEventProfilingInfo`
+//! with `CL_PROFILING_COMMAND_QUEUED` / `_SUBMIT` / `_START` / `_END`).
+//! This module models that: kernels enqueued on a [`CommandQueue`] run
+//! back-to-back on the device's simulated timeline — the mechanism behind
+//! REPUTE's "run the kernel multiple times with smaller read sets" when a
+//! batch exceeds the quarter-RAM buffer cap (§III/§IV) — and every launch
+//! leaves an [`Event`] carrying all four timestamps.
+//!
+//! The host-side model: the host enqueues commands back-to-back, each
+//! costing [`CommandQueue::launch_overhead_seconds`] to queue and again to
+//! submit to the device (both default to zero — an infinitely fast host —
+//! so `queued == submitted == start` unless an overhead is configured);
+//! execution then starts as soon as the device is free. The invariant
+//! `queued ≤ submitted ≤ start ≤ end` always holds.
 
 use crate::device::DeviceProfile;
 use crate::kernel::{run_kernel, Kernel};
 
-/// Profiling record of one enqueued kernel.
+/// Profiling record of one enqueued kernel, mirroring the four OpenCL
+/// event timestamps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Caller-supplied label.
@@ -20,9 +29,17 @@ pub struct Event {
     pub items: usize,
     /// Work units the launch consumed.
     pub work: u64,
-    /// Simulated queue time at which the kernel started.
+    /// Host time the command entered the queue
+    /// (`CL_PROFILING_COMMAND_QUEUED`).
+    pub queued_seconds: f64,
+    /// Time the command was handed to the device
+    /// (`CL_PROFILING_COMMAND_SUBMIT`).
+    pub submitted_seconds: f64,
+    /// Simulated queue time at which the kernel started
+    /// (`CL_PROFILING_COMMAND_START`).
     pub start_seconds: f64,
-    /// Simulated queue time at which the kernel finished.
+    /// Simulated queue time at which the kernel finished
+    /// (`CL_PROFILING_COMMAND_END`).
     pub end_seconds: f64,
 }
 
@@ -30,6 +47,12 @@ impl Event {
     /// Simulated duration of the kernel.
     pub fn duration_seconds(&self) -> f64 {
         self.end_seconds - self.start_seconds
+    }
+
+    /// Time between enqueue and execution start (host overhead plus
+    /// waiting for the device to drain earlier commands).
+    pub fn queue_wait_seconds(&self) -> f64 {
+        self.start_seconds - self.queued_seconds
     }
 }
 
@@ -50,12 +73,17 @@ impl Event {
 /// // In-order semantics: batch-2 starts exactly when batch-1 ends.
 /// let events = queue.events();
 /// assert_eq!(events[1].start_seconds, events[0].end_seconds);
+/// // OpenCL timestamp ordering holds for every event.
+/// assert!(events[1].queued_seconds <= events[1].submitted_seconds);
+/// assert!(events[1].submitted_seconds <= events[1].start_seconds);
 /// ```
 #[derive(Debug)]
 pub struct CommandQueue<'d> {
     device: &'d DeviceProfile,
     events: Vec<Event>,
     clock_seconds: f64,
+    host_clock_seconds: f64,
+    launch_overhead_seconds: f64,
 }
 
 impl<'d> CommandQueue<'d> {
@@ -65,7 +93,24 @@ impl<'d> CommandQueue<'d> {
             device,
             events: Vec::new(),
             clock_seconds: 0.0,
+            host_clock_seconds: 0.0,
+            launch_overhead_seconds: 0.0,
         }
+    }
+
+    /// Sets the simulated host cost of queueing one command (charged once
+    /// between `queued` and `submitted`). Real OpenCL launches cost a few
+    /// microseconds; the default of zero keeps the simple back-to-back
+    /// timeline.
+    pub fn with_launch_overhead(mut self, seconds: f64) -> CommandQueue<'d> {
+        assert!(seconds >= 0.0, "launch overhead must be non-negative");
+        self.launch_overhead_seconds = seconds;
+        self
+    }
+
+    /// The configured per-launch host overhead.
+    pub fn launch_overhead_seconds(&self) -> f64 {
+        self.launch_overhead_seconds
     }
 
     /// The device this queue drives.
@@ -74,8 +119,9 @@ impl<'d> CommandQueue<'d> {
     }
 
     /// Enqueues and executes a kernel over `items` work-items, returning
-    /// its outputs. The kernel occupies the device from the current queue
-    /// clock until its simulated completion.
+    /// its outputs. The kernel occupies the device from the later of the
+    /// current queue clock and its submission time until its simulated
+    /// completion.
     pub fn enqueue<K: Kernel>(
         &mut self,
         label: impl Into<String>,
@@ -83,12 +129,17 @@ impl<'d> CommandQueue<'d> {
         kernel: &K,
     ) -> Vec<K::Output> {
         let run = run_kernel(self.device, items, kernel);
-        let start_seconds = self.clock_seconds;
+        let queued_seconds = self.host_clock_seconds;
+        let submitted_seconds = queued_seconds + self.launch_overhead_seconds;
+        self.host_clock_seconds = submitted_seconds;
+        let start_seconds = submitted_seconds.max(self.clock_seconds);
         let end_seconds = start_seconds + run.simulated_seconds;
         self.events.push(Event {
             label: label.into(),
             items,
             work: run.work,
+            queued_seconds,
+            submitted_seconds,
             start_seconds,
             end_seconds,
         });
@@ -101,6 +152,11 @@ impl<'d> CommandQueue<'d> {
         &self.events
     }
 
+    /// Consumes the queue, returning its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
     /// The queue's simulated completion time (`clFinish` analogue).
     pub fn finish_seconds(&self) -> f64 {
         self.clock_seconds
@@ -109,6 +165,22 @@ impl<'d> CommandQueue<'d> {
     /// Total work enqueued so far.
     pub fn total_work(&self) -> u64 {
         self.events.iter().map(|e| e.work).sum()
+    }
+
+    /// Seconds the device spent executing kernels (excludes idle gaps
+    /// while waiting for submissions).
+    pub fn busy_seconds(&self) -> f64 {
+        self.events.iter().map(Event::duration_seconds).sum()
+    }
+
+    /// Busy fraction of the device up to `finish_seconds()`; 1.0 for an
+    /// empty queue's degenerate case is avoided by returning 0.0.
+    pub fn utilization(&self) -> f64 {
+        if self.clock_seconds <= 0.0 {
+            0.0
+        } else {
+            self.busy_seconds() / self.clock_seconds
+        }
     }
 
     /// Renders a one-line-per-event timeline (a text Gantt chart), useful
@@ -159,6 +231,46 @@ mod tests {
         let total: f64 = events.iter().map(Event::duration_seconds).sum();
         assert!((queue.finish_seconds() - total).abs() < 1e-12);
         assert_eq!(queue.total_work(), 35_000_000);
+        // With no host overhead the device never idles.
+        assert!((queue.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_timestamps_are_ordered() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        let kernel = FnKernel::new(|_| ((), 1_000_000u64));
+        queue.enqueue("a", 10, &kernel);
+        queue.enqueue("b", 10, &kernel);
+        for event in queue.events() {
+            assert!(event.queued_seconds <= event.submitted_seconds);
+            assert!(event.submitted_seconds <= event.start_seconds);
+            assert!(event.start_seconds <= event.end_seconds);
+        }
+        // Second command was queued while the first still ran: it waits.
+        assert!(queue.events()[1].queue_wait_seconds() > 0.0);
+    }
+
+    #[test]
+    fn launch_overhead_delays_submission_and_opens_idle_gaps() {
+        let cpu = profiles::intel_i7_2600();
+        let overhead = 1.0;
+        let mut queue = CommandQueue::new(&cpu).with_launch_overhead(overhead);
+        // ~0.23 s of work per launch at the i7's throughput: shorter than
+        // the (deliberately huge) launch overhead, so the device idles
+        // between kernels.
+        let kernel = FnKernel::new(|_| ((), 100_000_000u64));
+        queue.enqueue("a", 4, &kernel);
+        queue.enqueue("b", 4, &kernel);
+        let events = queue.events();
+        assert_eq!(events[0].queued_seconds, 0.0);
+        assert_eq!(events[0].submitted_seconds, overhead);
+        assert_eq!(events[0].start_seconds, overhead);
+        assert_eq!(events[1].queued_seconds, overhead);
+        assert_eq!(events[1].submitted_seconds, 2.0 * overhead);
+        assert!(events[1].start_seconds >= events[0].end_seconds);
+        assert!(queue.utilization() < 1.0);
+        assert!(queue.busy_seconds() < queue.finish_seconds());
     }
 
     #[test]
@@ -204,5 +316,6 @@ mod tests {
         assert_eq!(queue.finish_seconds(), 0.0);
         assert!(queue.events().is_empty());
         assert!(queue.timeline().is_empty());
+        assert_eq!(queue.utilization(), 0.0);
     }
 }

@@ -222,7 +222,10 @@ impl BiFmIndex {
                 if next.is_empty() {
                     break;
                 }
-                if curr.last().is_none_or(|&(_, last)| next.width() != last.width()) {
+                if curr
+                    .last()
+                    .is_none_or(|&(_, last)| next.width() != last.width())
+                {
                     curr.push((e + 1, next));
                 } else {
                     curr.last_mut().expect("non-empty").0 = e + 1;
@@ -278,8 +281,7 @@ impl BiFmIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
     use repute_genome::synth::ReferenceBuilder;
 
     fn naive_count(text: &[u8], pattern: &[u8]) -> u32 {
@@ -289,7 +291,9 @@ mod tests {
         if pattern.len() > text.len() {
             return 0;
         }
-        text.windows(pattern.len()).filter(|w| *w == pattern).count() as u32
+        text.windows(pattern.len())
+            .filter(|w| *w == pattern)
+            .count() as u32
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl RankBitVec {
     /// Panics if `index >= self.len()`.
     #[inline]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -95,7 +99,11 @@ impl RankBitVec {
     /// Panics if `pos > self.len()`.
     #[inline]
     pub fn rank1(&self, pos: usize) -> usize {
-        assert!(pos <= self.len, "rank position {pos} out of range {}", self.len);
+        assert!(
+            pos <= self.len,
+            "rank position {pos} out of range {}",
+            self.len
+        );
         let word = pos / WORD_BITS;
         // `pos == len` on a word boundary lands one past the last block;
         // clamp to the final checkpoint and scan the remaining words.

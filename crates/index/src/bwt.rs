@@ -126,8 +126,7 @@ pub fn inverse(bwt: &Bwt) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     #[test]
     fn empty_text() {
@@ -148,7 +147,16 @@ mod tests {
         // "ACGT" codes 0,1,2,3; sentinel-terminated rotations sorted:
         // $ACGT -> T, ACGT$ -> $, CGT$A -> A, GT$AC -> C, T$ACG -> G
         let bwt = transform(&[0, 1, 2, 3]);
-        assert_eq!(bwt.symbols, vec![to_symbol(3), SENTINEL, to_symbol(0), to_symbol(1), to_symbol(2)]);
+        assert_eq!(
+            bwt.symbols,
+            vec![
+                to_symbol(3),
+                SENTINEL,
+                to_symbol(0),
+                to_symbol(1),
+                to_symbol(2)
+            ]
+        );
         assert_eq!(bwt.sentinel_row, 1);
     }
 

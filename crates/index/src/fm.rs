@@ -313,7 +313,10 @@ impl FmIndex {
     /// Panics if `row` is the sentinel row 0 (which has no text position)
     /// or out of range.
     pub fn position_of_row(&self, row: u32) -> u32 {
-        assert!(row > 0 && (row as usize) < self.bwt.len(), "row {row} has no text position");
+        assert!(
+            row > 0 && (row as usize) < self.bwt.len(),
+            "row {row} has no text position"
+        );
         let mut row = row;
         let mut steps = 0u32;
         loop {
@@ -433,7 +436,8 @@ impl FmIndex {
             input.read_exact(&mut b4)?;
             *slot = u32::from_le_bytes(b4);
         }
-        if marked.windows(2).any(|w| w[0] >= w[1]) || marked.last().is_some_and(|&r| r as usize >= bwt_len)
+        if marked.windows(2).any(|w| w[0] >= w[1])
+            || marked.last().is_some_and(|&r| r as usize >= bwt_len)
         {
             return Err(bad("sampled rows must be strictly increasing and in range"));
         }
@@ -499,15 +503,20 @@ impl FmIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
     use repute_genome::synth::ReferenceBuilder;
 
     fn naive_count(text: &[u8], pattern: &[u8]) -> u32 {
         if pattern.is_empty() || pattern.len() > text.len() {
-            return if pattern.is_empty() { text.len() as u32 + 1 } else { 0 };
+            return if pattern.is_empty() {
+                text.len() as u32 + 1
+            } else {
+                0
+            };
         }
-        text.windows(pattern.len()).filter(|w| *w == pattern).count() as u32
+        text.windows(pattern.len())
+            .filter(|w| *w == pattern)
+            .count() as u32
     }
 
     fn naive_positions(text: &[u8], pattern: &[u8]) -> Vec<u32> {
@@ -567,7 +576,11 @@ mod tests {
                     let interval = fm.interval(pattern).expect("pattern occurs");
                     let mut got = fm.locate(interval, usize::MAX);
                     got.sort_unstable();
-                    assert_eq!(got, naive_positions(&codes, pattern), "sa_sample {sa_sample}");
+                    assert_eq!(
+                        got,
+                        naive_positions(&codes, pattern),
+                        "sa_sample {sa_sample}"
+                    );
                 }
             }
         }
@@ -629,7 +642,10 @@ mod tests {
             let pattern = &codes[start..start + 20];
             let interval = fm.interval(pattern).expect("present");
             let positions = fm.locate(interval, usize::MAX);
-            assert!(positions.contains(&(start as u32)), "missing origin {start}");
+            assert!(
+                positions.contains(&(start as u32)),
+                "missing origin {start}"
+            );
         }
     }
 
@@ -637,7 +653,10 @@ mod tests {
     fn serialisation_round_trips_and_answers_identically() {
         let reference = ReferenceBuilder::new(30_000).seed(88).build();
         let codes = reference.to_codes();
-        let fm = FmIndex::builder().sa_sample(8).occ_sample(64).build(&reference);
+        let fm = FmIndex::builder()
+            .sa_sample(8)
+            .occ_sample(64)
+            .build(&reference);
         let mut buf = Vec::new();
         fm.write_to(&mut buf).unwrap();
         let back = FmIndex::read_from(buf.as_slice()).unwrap();

@@ -109,8 +109,7 @@ impl LcpArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
     use repute_genome::synth::{random_sequence, ReferenceBuilder};
     use repute_genome::DnaSeq;
 
@@ -130,7 +129,11 @@ mod tests {
             for i in 1..len {
                 let a = sa.positions()[i - 1] as usize;
                 let b = sa.positions()[i] as usize;
-                assert_eq!(lcp.lcp()[i], naive_lcp(&codes[a..], &codes[b..]), "rank {i}");
+                assert_eq!(
+                    lcp.lcp()[i],
+                    naive_lcp(&codes[a..], &codes[b..]),
+                    "rank {i}"
+                );
             }
         }
     }

@@ -39,7 +39,7 @@ mod suffix_array;
 
 pub use bifm::{BiFmIndex, BiInterval, Smem};
 pub use bitvec::RankBitVec;
-pub use lcp::LcpArray;
 pub use fm::{FmFootprint, FmIndex, Interval};
+pub use lcp::LcpArray;
 pub use qgram::QGramIndex;
 pub use suffix_array::SuffixArray;

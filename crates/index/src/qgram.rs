@@ -88,7 +88,13 @@ impl QGramIndex {
     }
 
     fn hash(&self, gram: &[u8]) -> usize {
-        assert_eq!(gram.len(), self.q, "gram length {} != q {}", gram.len(), self.q);
+        assert_eq!(
+            gram.len(),
+            self.q,
+            "gram length {} != q {}",
+            gram.len(),
+            self.q
+        );
         let mut h = 0usize;
         for &c in gram {
             assert!(c <= 3, "base code {c} out of range");
@@ -127,8 +133,7 @@ impl QGramIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     #[test]
     fn finds_all_positions() {

@@ -230,14 +230,17 @@ fn lms_substring_eq(s: &[u32], is_s: &[bool], a: usize, b: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use repute_genome::rng::StdRng;
 
     fn check(text: &str) {
         let seq: DnaSeq = text.parse().unwrap();
         let codes = seq.to_codes();
         let sa = SuffixArray::build(&seq);
-        assert_eq!(sa.positions(), naive_suffix_array(&codes).as_slice(), "text {text:?}");
+        assert_eq!(
+            sa.positions(),
+            naive_suffix_array(&codes).as_slice(),
+            "text {text:?}"
+        );
     }
 
     #[test]
@@ -277,7 +280,9 @@ mod tests {
 
     #[test]
     fn is_a_permutation_on_larger_text() {
-        let reference = repute_genome::synth::ReferenceBuilder::new(50_000).seed(4).build();
+        let reference = repute_genome::synth::ReferenceBuilder::new(50_000)
+            .seed(4)
+            .build();
         let sa = SuffixArray::build(&reference);
         let mut seen = vec![false; reference.len()];
         for &p in sa.positions() {
@@ -289,7 +294,9 @@ mod tests {
 
     #[test]
     fn suffixes_are_sorted_on_larger_text() {
-        let reference = repute_genome::synth::ReferenceBuilder::new(20_000).seed(5).build();
+        let reference = repute_genome::synth::ReferenceBuilder::new(20_000)
+            .seed(5)
+            .build();
         let codes = reference.to_codes();
         let sa = SuffixArray::build(&reference);
         for w in sa.positions().windows(2) {

@@ -88,9 +88,7 @@ impl BruteForceMapper {
             let d = cur[m];
             if d <= self.delta {
                 run_best = Some(match run_best {
-                    Some((end, best)) if j - end <= merge_gap => {
-                        (j, best.min(d))
-                    }
+                    Some((end, best)) if j - end <= merge_gap => (j, best.min(d)),
                     Some((end, best)) => {
                         // Previous run closed: emit it.
                         out.push(Mapping {

@@ -171,6 +171,20 @@ pub trait Mapper: Sync {
     /// Maps one read against both strands of the reference.
     fn map_read(&self, read: &DnaSeq) -> MapOutput;
 
+    /// Maps one read, recording per-stage telemetry into `metrics`.
+    ///
+    /// The default implementation runs [`Mapper::map_read`] and backfills
+    /// the coarse counters observable from its output — candidate windows
+    /// verified and accepted hits — so every baseline participates in
+    /// run-level reports. Mappers with instrumented internals (REPUTE)
+    /// override this with the full per-stage decomposition.
+    fn map_read_metered(&self, read: &DnaSeq, metrics: &mut repute_obs::MapMetrics) -> MapOutput {
+        let out = self.map_read(read);
+        metrics.candidates_merged += out.candidates;
+        metrics.hits += out.mappings.len() as u64;
+        out
+    }
+
     /// The output-slot limit per read (the *first-n* restriction of §III).
     fn max_locations(&self) -> usize;
 
@@ -192,6 +206,10 @@ impl<M: Mapper + ?Sized> Mapper for &M {
 
     fn map_read(&self, read: &DnaSeq) -> MapOutput {
         (**self).map_read(read)
+    }
+
+    fn map_read_metered(&self, read: &DnaSeq, metrics: &mut repute_obs::MapMetrics) -> MapOutput {
+        (**self).map_read_metered(read, metrics)
     }
 
     fn max_locations(&self) -> usize {

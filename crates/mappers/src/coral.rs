@@ -124,7 +124,13 @@ impl Mapper for CoralLike {
             }
             let merged = candidates.into_merged(self.delta);
             out.candidates += merged.len() as u64;
-            out.work += engine.verify(&codes, strand, &merged, self.max_locations, &mut out.mappings);
+            out.work += engine.verify(
+                &codes,
+                strand,
+                &merged,
+                self.max_locations,
+                &mut out.mappings,
+            );
             if out.mappings.len() >= self.max_locations {
                 break;
             }
@@ -176,7 +182,10 @@ mod tests {
         let mapper = CoralLike::new(Arc::clone(&indexed), 7).with_s_min(15);
         let read = indexed.seq().subseq(9000..9150);
         let out = mapper.map_read(&read);
-        assert!(out.mappings.iter().any(|m| m.position == 9000 && m.distance == 0));
+        assert!(out
+            .mappings
+            .iter()
+            .any(|m| m.position == 9000 && m.distance == 0));
     }
 
     #[test]

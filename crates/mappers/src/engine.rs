@@ -6,8 +6,9 @@
 //! flow — and its work accounting — so the mappers differ only in *how
 //! they choose seeds*, which is exactly the axis the paper compares.
 
-use repute_align::verify_counting;
+use repute_align::{verify_counting, verify_metered};
 use repute_genome::{DnaSeq, Strand};
+use repute_obs::MapMetrics;
 
 use crate::common::Mapping;
 
@@ -103,6 +104,23 @@ impl<'a> VerifyEngine<'a> {
         limit: usize,
         out: &mut Vec<Mapping>,
     ) -> u64 {
+        let mut scratch = MapMetrics::new();
+        self.verify_metered(read, strand, candidates, limit, out, &mut scratch)
+    }
+
+    /// Like [`VerifyEngine::verify`], additionally recording one
+    /// verification, its word updates, and any accepted hit per candidate
+    /// into `metrics`. Returns the same work value `verify` would, so
+    /// metered callers keep the exact `MapOutput.work` arithmetic.
+    pub fn verify_metered(
+        &self,
+        read: &[u8],
+        strand: Strand,
+        candidates: &[u32],
+        limit: usize,
+        out: &mut Vec<Mapping>,
+        metrics: &mut MapMetrics,
+    ) -> u64 {
         let mut work = 0u64;
         let n = self.reference.len();
         for &diag in candidates {
@@ -115,8 +133,9 @@ impl<'a> VerifyEngine<'a> {
                 continue;
             }
             let window = &self.reference[start..end];
-            let (hit, cost) = verify_counting(read, window, self.delta);
-            work += cost.word_updates;
+            let words_before = metrics.word_updates;
+            let hit = verify_metered(read, window, self.delta, metrics);
+            work += metrics.word_updates - words_before;
             if let Some(v) = hit {
                 out.push(Mapping {
                     position: diag,
@@ -225,6 +244,32 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].position, 4000);
         assert_eq!(out[0].distance, 0);
+    }
+
+    #[test]
+    fn metered_verify_matches_unmetered() {
+        let reference = ReferenceBuilder::new(10_000).seed(23).build();
+        let codes = reference.to_codes();
+        let read = reference.subseq(4000..4100).to_codes();
+        let engine = VerifyEngine::new(&codes, 3);
+        let candidates = [4000u32, 6000, 9000];
+        let mut plain = Vec::new();
+        let work = engine.verify(&read, Strand::Forward, &candidates, 100, &mut plain);
+        let mut metered = Vec::new();
+        let mut metrics = MapMetrics::new();
+        let metered_work = engine.verify_metered(
+            &read,
+            Strand::Forward,
+            &candidates,
+            100,
+            &mut metered,
+            &mut metrics,
+        );
+        assert_eq!(plain, metered);
+        assert_eq!(work, metered_work);
+        assert_eq!(metrics.word_updates, work);
+        assert_eq!(metrics.verifications, candidates.len() as u64);
+        assert_eq!(metrics.hits, plain.len() as u64);
     }
 
     #[test]

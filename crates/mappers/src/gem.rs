@@ -150,8 +150,7 @@ mod tests {
             eligible += 1;
             let out = mapper.map_read(&read.seq);
             if out.mappings.iter().any(|m| {
-                m.strand == origin.strand
-                    && (m.position as i64 - origin.position as i64).abs() <= 4
+                m.strand == origin.strand && (m.position as i64 - origin.position as i64).abs() <= 4
             }) {
                 found += 1;
             }

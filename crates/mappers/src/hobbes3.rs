@@ -152,7 +152,13 @@ impl Mapper for Hobbes3Like {
             }
             let merged = candidates.into_merged(self.delta);
             out.candidates += merged.len() as u64;
-            out.work += engine.verify(&codes, strand, &merged, self.max_locations, &mut out.mappings);
+            out.work += engine.verify(
+                &codes,
+                strand,
+                &merged,
+                self.max_locations,
+                &mut out.mappings,
+            );
             if out.mappings.len() >= self.max_locations {
                 break;
             }
@@ -214,8 +220,7 @@ mod tests {
             eligible += 1;
             let out = mapper.map_read(&read.seq);
             if out.mappings.iter().any(|m| {
-                m.strand == origin.strand
-                    && (m.position as i64 - origin.position as i64).abs() <= 5
+                m.strand == origin.strand && (m.position as i64 - origin.position as i64).abs() <= 5
             }) {
                 found += 1;
             }

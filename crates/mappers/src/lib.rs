@@ -28,10 +28,10 @@ mod engine;
 
 pub mod brute;
 pub mod bwamem;
-pub mod multiref;
 pub mod coral;
 pub mod gem;
 pub mod hobbes3;
+pub mod multiref;
 pub mod razers3;
 pub mod yara;
 

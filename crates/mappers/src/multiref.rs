@@ -64,9 +64,15 @@ impl ReferenceSet {
     /// Panics if `records` is empty, any sequence is empty, or the total
     /// length exceeds `u32` positions.
     pub fn build(records: Vec<(String, DnaSeq)>) -> ReferenceSet {
-        assert!(!records.is_empty(), "reference set needs at least one record");
+        assert!(
+            !records.is_empty(),
+            "reference set needs at least one record"
+        );
         let total: usize = records.iter().map(|(_, s)| s.len()).sum();
-        assert!(total < u32::MAX as usize, "reference set exceeds u32 positions");
+        assert!(
+            total < u32::MAX as usize,
+            "reference set exceeds u32 positions"
+        );
         let mut concat = DnaSeq::with_capacity(total);
         let mut offsets = Vec::with_capacity(records.len() + 1);
         let mut meta = Vec::with_capacity(records.len());
@@ -224,9 +230,18 @@ mod tests {
 
     fn set() -> ReferenceSet {
         ReferenceSet::build(vec![
-            ("chrA".into(), ReferenceBuilder::new(30_000).seed(301).build()),
-            ("chrB".into(), ReferenceBuilder::new(20_000).seed(302).build()),
-            ("chrC".into(), ReferenceBuilder::new(10_000).seed(303).build()),
+            (
+                "chrA".into(),
+                ReferenceBuilder::new(30_000).seed(301).build(),
+            ),
+            (
+                "chrB".into(),
+                ReferenceBuilder::new(20_000).seed(302).build(),
+            ),
+            (
+                "chrC".into(),
+                ReferenceBuilder::new(10_000).seed(303).build(),
+            ),
         ])
     }
 

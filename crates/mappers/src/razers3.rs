@@ -133,7 +133,7 @@ impl Mapper for Razers3Like {
             }
             votes.sort_unstable();
             out.work += votes.len() as u64 / 4; // sort pass
-            // Bands with ≥ τ votes become candidates.
+                                                // Bands with ≥ τ votes become candidates.
             let mut candidates: Vec<u32> = Vec::new();
             let mut run_start = 0usize;
             for i in 1..=votes.len() {

@@ -99,7 +99,9 @@ impl YaraLike {
         // One substitution at position i: exact suffix seed[i+1..], a
         // substituted base, then exact prefix seed[..i].
         for i in (0..k).rev() {
-            let Some(tail) = suffix_iv[i + 1] else { continue };
+            let Some(tail) = suffix_iv[i + 1] else {
+                continue;
+            };
             for b in 0..4u8 {
                 if b == seed[i] {
                     continue;
@@ -244,8 +246,7 @@ mod tests {
             eligible += 1;
             let out = mapper.map_read(&read.seq);
             if out.mappings.iter().any(|m| {
-                m.strand == origin.strand
-                    && (m.position as i64 - origin.position as i64).abs() <= 5
+                m.strand == origin.strand && (m.position as i64 - origin.position as i64).abs() <= 5
             }) {
                 found += 1;
             }

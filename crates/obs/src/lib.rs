@@ -1,0 +1,39 @@
+//! Observability substrate for the REPUTE reproduction.
+//!
+//! The paper's evaluation is built from per-stage measurements: candidate
+//! location counts out of the DP filtration (§III-B), verification work
+//! (§III-C), per-device kernel times, and power-meter energy readings
+//! (§III-D). OpenCL exposes the device side of this through event
+//! profiling (`clGetEventProfilingInfo` with `CL_PROFILING_COMMAND_QUEUED`
+//! / `SUBMIT` / `START` / `END`); this crate is the software analogue for
+//! the whole pipeline:
+//!
+//! * [`Counter`], [`Histogram`] (log2-bucketed), and [`StageTimer`] —
+//!   cheap primitives behind the [`MetricsSink`] trait, whose no-op
+//!   implementation ([`NoopSink`]) keeps the hot path allocation-free
+//!   when telemetry is disabled,
+//! * [`MapMetrics`] — the per-read record (seeds, FM occ/locate ops,
+//!   candidates pre/post merge, DP cells, verifications, hits) threaded
+//!   through filtration, verification, and the mapper core,
+//! * [`RunReport`] — a run-level roll-up folding in per-device kernel
+//!   timelines and the energy summary, exportable as a human-readable
+//!   table or hand-rolled JSON-lines (no serde),
+//! * [`json`] — the minimal JSON writer/scanner the exports are built on.
+//!
+//! Everything here is std-only by design: the build environment has no
+//! registry access, and the hot-path cost model (one branch on
+//! [`MetricsSink::enabled`]) must stay trivially auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod map_metrics;
+mod metrics;
+mod report;
+
+pub use map_metrics::MapMetrics;
+pub use metrics::{
+    Collected, CollectingSink, Counter, Histogram, MetricsSink, NoopSink, StageTimer,
+};
+pub use report::{DeviceTimeline, EnergySummary, KernelEvent, RunReport};

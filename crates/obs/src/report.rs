@@ -1,0 +1,323 @@
+//! Run-level telemetry roll-up and its export formats.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::json::JsonObject;
+use crate::map_metrics::MapMetrics;
+
+/// One simulated kernel launch with OpenCL-style event timestamps.
+///
+/// The four timestamps mirror `clGetEventProfilingInfo`:
+/// `CL_PROFILING_COMMAND_QUEUED` (host enqueued the command), `SUBMIT`
+/// (driver handed it to the device), `START` and `END` (device
+/// execution). Invariant: `queued ≤ submitted ≤ start ≤ end`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelEvent {
+    /// Human-readable launch label (e.g. `"batch-0"`).
+    pub label: String,
+    /// Work-items in the launch.
+    pub items: u64,
+    /// Abstract work units the launch performed.
+    pub work: u64,
+    /// Simulated seconds when the host enqueued the command.
+    pub queued_seconds: f64,
+    /// Simulated seconds when the command reached the device queue.
+    pub submitted_seconds: f64,
+    /// Simulated seconds when the device began executing.
+    pub start_seconds: f64,
+    /// Simulated seconds when the device finished.
+    pub end_seconds: f64,
+}
+
+impl KernelEvent {
+    /// Device execution time (`end − start`).
+    pub fn duration_seconds(&self) -> f64 {
+        self.end_seconds - self.start_seconds
+    }
+
+    /// Time spent waiting between enqueue and execution start.
+    pub fn queue_wait_seconds(&self) -> f64 {
+        self.start_seconds - self.queued_seconds
+    }
+}
+
+/// Kernel timeline of one device over a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeviceTimeline {
+    /// Device name (e.g. `"intel-hd-620"`).
+    pub device: String,
+    /// Launches in execution order.
+    pub events: Vec<KernelEvent>,
+}
+
+impl DeviceTimeline {
+    /// Seconds the device spent executing kernels.
+    pub fn busy_seconds(&self) -> f64 {
+        self.events.iter().map(KernelEvent::duration_seconds).sum()
+    }
+
+    /// End of the last event (0.0 with no events).
+    pub fn span_seconds(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.end_seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// Busy fraction of this device relative to `run_seconds` (the
+    /// run-level makespan); 0.0 for an idle device or empty run.
+    pub fn utilization(&self, run_seconds: f64) -> f64 {
+        if run_seconds <= 0.0 {
+            0.0
+        } else {
+            self.busy_seconds() / run_seconds
+        }
+    }
+}
+
+/// Energy summary mirroring `repute-hetsim`'s `EnergyReport` (§III-D):
+/// `energy_j = (average_power_w − idle_power_w) × mapping_seconds`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergySummary {
+    /// Simulated makespan of the mapping run.
+    pub mapping_seconds: f64,
+    /// Mean platform draw over the run, idle floor included.
+    pub average_power_w: f64,
+    /// The platform's idle floor.
+    pub idle_power_w: f64,
+    /// Active (above-idle) energy in joules.
+    pub energy_j: f64,
+}
+
+/// Everything measured over one mapping run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Reads mapped.
+    pub reads: u64,
+    /// Sum of per-read [`MapMetrics`].
+    pub totals: MapMetrics,
+    /// `(path, seconds, activations)` from a [`crate::StageTimer`].
+    pub stages: Vec<(String, f64, u64)>,
+    /// Per-device kernel timelines.
+    pub devices: Vec<DeviceTimeline>,
+    /// Run makespan in simulated seconds (max over devices).
+    pub simulated_seconds: f64,
+    /// Host wall-clock seconds actually spent.
+    pub wall_seconds: f64,
+    /// Energy summary, when the run was simulated on a platform.
+    pub energy: Option<EnergySummary>,
+}
+
+impl RunReport {
+    /// Renders the human-readable report table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "run report: {} reads", self.reads);
+        let _ = writeln!(
+            out,
+            "  simulated {:.6} s | wall {:.3} s",
+            self.simulated_seconds, self.wall_seconds
+        );
+        let _ = writeln!(out, "  pipeline counters (totals across reads):");
+        for (name, value) in self.totals.fields() {
+            let per_read = if self.reads > 0 {
+                value as f64 / self.reads as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "    {name:<18} {value:>12}  ({per_read:.1}/read)");
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "  stages:");
+            for (path, secs, count) in &self.stages {
+                let _ = writeln!(out, "    {path:<24} {secs:>10.6} s  x{count}");
+            }
+        }
+        if !self.devices.is_empty() {
+            let _ = writeln!(out, "  devices:");
+            for dev in &self.devices {
+                let _ = writeln!(
+                    out,
+                    "    {:<16} {:>3} launches | busy {:.6} s | util {:>5.1}%",
+                    dev.device,
+                    dev.events.len(),
+                    dev.busy_seconds(),
+                    dev.utilization(self.simulated_seconds) * 100.0
+                );
+                for ev in &dev.events {
+                    let _ = writeln!(
+                        out,
+                        "      {:<12} {:>8} items | queued {:.6} start {:.6} end {:.6}",
+                        ev.label, ev.items, ev.queued_seconds, ev.start_seconds, ev.end_seconds
+                    );
+                }
+            }
+        }
+        if let Some(e) = &self.energy {
+            let _ = writeln!(
+                out,
+                "  energy: {:.3} J above idle | avg {:.1} W (idle {:.1} W) over {:.6} s",
+                e.energy_j, e.average_power_w, e.idle_power_w, e.mapping_seconds
+            );
+        }
+        out
+    }
+
+    /// Writes the report as JSON-lines: one `run` record, then `stage`,
+    /// `device`, `event`, and `energy` records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_json_lines<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        let mut run = JsonObject::new();
+        run.str_field("type", "run");
+        run.u64_field("reads", self.reads);
+        run.f64_field("simulated_seconds", self.simulated_seconds);
+        run.f64_field("wall_seconds", self.wall_seconds);
+        self.totals.write_fields(&mut run);
+        writeln!(out, "{}", run.finish())?;
+
+        for (path, secs, count) in &self.stages {
+            let mut obj = JsonObject::new();
+            obj.str_field("type", "stage");
+            obj.str_field("path", path);
+            obj.f64_field("seconds", *secs);
+            obj.u64_field("count", *count);
+            writeln!(out, "{}", obj.finish())?;
+        }
+        for dev in &self.devices {
+            let mut obj = JsonObject::new();
+            obj.str_field("type", "device");
+            obj.str_field("device", &dev.device);
+            obj.u64_field("launches", dev.events.len() as u64);
+            obj.f64_field("busy_seconds", dev.busy_seconds());
+            obj.f64_field("utilization", dev.utilization(self.simulated_seconds));
+            writeln!(out, "{}", obj.finish())?;
+            for ev in &dev.events {
+                let mut obj = JsonObject::new();
+                obj.str_field("type", "event");
+                obj.str_field("device", &dev.device);
+                obj.str_field("label", &ev.label);
+                obj.u64_field("items", ev.items);
+                obj.u64_field("work", ev.work);
+                obj.f64_field("queued_s", ev.queued_seconds);
+                obj.f64_field("submitted_s", ev.submitted_seconds);
+                obj.f64_field("start_s", ev.start_seconds);
+                obj.f64_field("end_s", ev.end_seconds);
+                writeln!(out, "{}", obj.finish())?;
+            }
+        }
+        if let Some(e) = &self.energy {
+            let mut obj = JsonObject::new();
+            obj.str_field("type", "energy");
+            obj.f64_field("mapping_seconds", e.mapping_seconds);
+            obj.f64_field("average_power_w", e.average_power_w);
+            obj.f64_field("idle_power_w", e.idle_power_w);
+            obj.f64_field("energy_j", e.energy_j);
+            writeln!(out, "{}", obj.finish())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{field, parse_flat_object};
+
+    fn sample() -> RunReport {
+        RunReport {
+            reads: 2,
+            totals: MapMetrics {
+                seeds_selected: 6,
+                hits: 2,
+                ..MapMetrics::new()
+            },
+            stages: vec![("map".into(), 0.5, 2)],
+            devices: vec![DeviceTimeline {
+                device: "cpu".into(),
+                events: vec![
+                    KernelEvent {
+                        label: "batch-0".into(),
+                        items: 10,
+                        work: 100,
+                        queued_seconds: 0.0,
+                        submitted_seconds: 0.0,
+                        start_seconds: 0.0,
+                        end_seconds: 1.0,
+                    },
+                    KernelEvent {
+                        label: "batch-1".into(),
+                        items: 10,
+                        work: 100,
+                        queued_seconds: 0.0,
+                        submitted_seconds: 0.0,
+                        start_seconds: 1.0,
+                        end_seconds: 2.0,
+                    },
+                ],
+            }],
+            simulated_seconds: 2.5,
+            wall_seconds: 0.01,
+            energy: Some(EnergySummary {
+                mapping_seconds: 2.5,
+                average_power_w: 4.0,
+                idle_power_w: 2.0,
+                energy_j: 5.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn timeline_accounting() {
+        let report = sample();
+        let dev = &report.devices[0];
+        assert_eq!(dev.busy_seconds(), 2.0);
+        assert_eq!(dev.span_seconds(), 2.0);
+        assert_eq!(dev.utilization(report.simulated_seconds), 0.8);
+        assert_eq!(dev.events[1].queue_wait_seconds(), 1.0);
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let text = sample().render();
+        for needle in [
+            "2 reads",
+            "seeds_selected",
+            "batch-1",
+            "util",
+            "J above idle",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let mut buf = Vec::new();
+        sample().write_json_lines(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut types = Vec::new();
+        for line in text.lines() {
+            let fields = parse_flat_object(line).expect("every line parses");
+            types.push(
+                field(&fields, "type")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_string(),
+            );
+            if types.last().map(String::as_str) == Some("event") {
+                let start = field(&fields, "start_s").unwrap().as_f64().unwrap();
+                let end = field(&fields, "end_s").unwrap().as_f64().unwrap();
+                assert!(end >= start);
+            }
+        }
+        assert_eq!(
+            types,
+            vec!["run", "stage", "device", "event", "event", "energy"]
+        );
+    }
+}

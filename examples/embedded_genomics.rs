@@ -44,9 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let h_run = map_on_platform(&mapper, &hikey, &hikey.even_shares(reads.len()), &reads)?;
 
-    println!("\n{:<26} | {:>10} | {:>8} | {:>10}", "platform", "T(s) sim", "P(W)", "E(J)");
+    println!(
+        "\n{:<26} | {:>10} | {:>8} | {:>10}",
+        "platform", "T(s) sim", "P(W)", "E(J)"
+    );
     println!("{}", "-".repeat(64));
-    for (name, run) in [("workstation (i7-2600)", &w_run), ("HiKey970 (A73+A53)", &h_run)] {
+    for (name, run) in [
+        ("workstation (i7-2600)", &w_run),
+        ("HiKey970 (A73+A53)", &h_run),
+    ] {
         println!(
             "{:<26} | {:>10.4} | {:>8.1} | {:>10.3}",
             name, run.simulated_seconds, run.energy.average_power_w, run.energy.energy_j

@@ -24,9 +24,18 @@ use repute_mappers::Mapping;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building a 3-gene panel…");
     let genes = vec![
-        ("BRCA1-like".to_string(), ReferenceBuilder::new(80_000).seed(31).build()),
-        ("TP53-like".to_string(), ReferenceBuilder::new(20_000).seed(32).build()),
-        ("CFTR-like".to_string(), ReferenceBuilder::new(250_000).seed(33).build()),
+        (
+            "BRCA1-like".to_string(),
+            ReferenceBuilder::new(80_000).seed(31).build(),
+        ),
+        (
+            "TP53-like".to_string(),
+            ReferenceBuilder::new(20_000).seed(32).build(),
+        ),
+        (
+            "CFTR-like".to_string(),
+            ReferenceBuilder::new(250_000).seed(33).build(),
+        ),
     ];
     let set = ReferenceSet::build(genes);
 
@@ -46,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let platform = profiles::system2_hikey970();
     println!("mapping {} reads on {}…", reads.len(), platform.name());
-    let run = map_on_platform(&mapper, &platform, &platform.even_shares(reads.len()), &reads)?;
+    let run = map_on_platform(
+        &mapper,
+        &platform,
+        &platform.even_shares(reads.len()),
+        &reads,
+    )?;
 
     // Per-gene coverage from resolved mappings (primary location only).
     let mut tracks: Vec<CoverageMap> = set

@@ -47,9 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let per_gpu = (total as f64 * gpu_fraction / 2.0) as usize;
         let cpu = total - 2 * per_gpu;
         let shares = vec![
-            Share { device: 0, items: cpu },
-            Share { device: 1, items: per_gpu },
-            Share { device: 2, items: per_gpu },
+            Share {
+                device: 0,
+                items: cpu,
+            },
+            Share {
+                device: 1,
+                items: per_gpu,
+            },
+            Share {
+                device: 2,
+                items: per_gpu,
+            },
         ];
         let run = map_on_platform(&mapper, &platform, &shares, &reads)?;
         println!(

@@ -48,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.candidates
         );
         for m in out.mappings.iter().take(3) {
-            println!("    {}{:>8}  distance {}", m.strand.symbol(), m.position, m.distance);
+            println!(
+                "    {}{:>8}  distance {}",
+                m.strand.symbol(),
+                m.position,
+                m.distance
+            );
         }
         if out.mappings.len() > 3 {
             println!("    … and {} more", out.mappings.len() - 3);

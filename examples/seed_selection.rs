@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for read in &reads {
         let codes = read.seq.to_codes();
-        println!("read {} (origin {:?}):", read.id, read.origin.map(|o| o.position));
+        println!(
+            "read {} (origin {:?}):",
+            read.id,
+            read.origin.map(|o| o.position)
+        );
         let (uniform, _) = UniformSelector::new(delta).select(&codes, &fm);
         show("  uniform (RazerS3)", &uniform);
         let (segmented, _) = SegmentedSelector::new(delta, s_min).select(&codes, &fm);

@@ -6,8 +6,8 @@ use repute_core::{ReputeConfig, ReputeMapper};
 use repute_genome::reads::{ErrorProfile, ReadSimulator, SimRead};
 use repute_genome::synth::ReferenceBuilder;
 use repute_mappers::{
-    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like,
-    razers3::Razers3Like, yara::YaraLike, IndexedReference, Mapper,
+    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like, razers3::Razers3Like,
+    yara::YaraLike, IndexedReference, Mapper,
 };
 
 fn workload() -> (Arc<IndexedReference>, Vec<SimRead>) {
@@ -22,8 +22,7 @@ fn workload() -> (Arc<IndexedReference>, Vec<SimRead>) {
 fn origin_found(mapper: &dyn Mapper, read: &SimRead, tolerance: i64) -> bool {
     let origin = read.origin.expect("genomic read");
     mapper.map_read(&read.seq).mappings.iter().any(|m| {
-        m.strand == origin.strand
-            && (m.position as i64 - origin.position as i64).abs() <= tolerance
+        m.strand == origin.strand && (m.position as i64 - origin.position as i64).abs() <= tolerance
     })
 }
 

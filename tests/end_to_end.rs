@@ -96,8 +96,13 @@ fn platform_run_equals_serial_run_and_produces_sam() {
     );
     let reads: Vec<_> = sim_reads.iter().map(|r| r.seq.clone()).collect();
     let platform = profiles::system1();
-    let run = map_on_platform(&mapper, &platform, &platform.even_shares(reads.len()), &reads)
-        .expect("valid shares");
+    let run = map_on_platform(
+        &mapper,
+        &platform,
+        &platform.even_shares(reads.len()),
+        &reads,
+    )
+    .expect("valid shares");
     // Distribution must not change results.
     for (read, out) in reads.iter().zip(&run.outputs) {
         assert_eq!(mapper.map_read(read).mappings, out.mappings);
@@ -124,6 +129,10 @@ fn platform_run_equals_serial_run_and_produces_sam() {
     // Every read appears exactly once or more (unmapped reads emit a
     // FLAG 4 line).
     for sim in &sim_reads {
-        assert!(text.contains(&format!("r{}\t", sim.id)), "read {} missing", sim.id);
+        assert!(
+            text.contains(&format!("r{}\t", sim.id)),
+            "read {} missing",
+            sim.id
+        );
     }
 }

@@ -33,8 +33,14 @@ fn results_are_invariant_under_distribution() {
         platform.single_device_share(0, reads.len()),
         platform.even_shares(reads.len()),
         vec![
-            Share { device: 1, items: reads.len() / 2 },
-            Share { device: 2, items: reads.len() - reads.len() / 2 },
+            Share {
+                device: 1,
+                items: reads.len() / 2,
+            },
+            Share {
+                device: 2,
+                items: reads.len() - reads.len() / 2,
+            },
         ],
     ];
     let baseline: Vec<_> = reads.iter().map(|r| mapper.map_read(r).mappings).collect();
@@ -52,9 +58,18 @@ fn fig3_shape_cpu_only_and_gpu_only_are_both_slower_than_a_split() {
     let total = reads.len();
     let time_for = |per_gpu: usize| {
         let shares = vec![
-            Share { device: 0, items: total - 2 * per_gpu },
-            Share { device: 1, items: per_gpu },
-            Share { device: 2, items: per_gpu },
+            Share {
+                device: 0,
+                items: total - 2 * per_gpu,
+            },
+            Share {
+                device: 1,
+                items: per_gpu,
+            },
+            Share {
+                device: 2,
+                items: per_gpu,
+            },
         ];
         map_on_platform(&mapper, &platform, &shares, &reads)
             .expect("valid shares")
@@ -81,10 +96,15 @@ fn table4_shape_heterogeneous_draws_more_power_hikey_uses_less_energy() {
         &reads,
     )
     .expect("valid");
-    let all = map_on_platform(&mapper, &sys1_all, &sys1_all.even_shares(reads.len()), &reads)
-        .expect("valid");
-    let hikey = map_on_platform(&mapper, &sys2, &sys2.even_shares(reads.len()), &reads)
-        .expect("valid");
+    let all = map_on_platform(
+        &mapper,
+        &sys1_all,
+        &sys1_all.even_shares(reads.len()),
+        &reads,
+    )
+    .expect("valid");
+    let hikey =
+        map_on_platform(&mapper, &sys2, &sys2.even_shares(reads.len()), &reads).expect("valid");
 
     // §IV: REPUTE-all uses more power but less time than REPUTE-cpu.
     assert!(all.energy.average_power_w > cpu.energy.average_power_w);
@@ -101,8 +121,13 @@ fn work_conservation_across_devices() {
     let (mapper, reads) = workload();
     let platform = profiles::system1();
     let serial: u64 = reads.iter().map(|r| mapper.map_read(r).work).sum();
-    let run = map_on_platform(&mapper, &platform, &platform.even_shares(reads.len()), &reads)
-        .expect("valid");
+    let run = map_on_platform(
+        &mapper,
+        &platform,
+        &platform.even_shares(reads.len()),
+        &reads,
+    )
+    .expect("valid");
     assert_eq!(run.total_work(), serial, "work must be conserved");
     // Per-device work sums to the total.
     let per_device: u64 = run.device_runs.iter().map(|d| d.work).sum();

@@ -1,3 +1,9 @@
+#![cfg(feature = "proptest")]
+//! NOTE: gated behind the non-default `proptest` feature because the
+//! external `proptest` crate cannot be resolved in the offline build
+//! environment. Enabling the feature additionally requires restoring a
+//! `proptest` dev-dependency where registry access exists.
+
 //! Property-based tests over the core substrates and invariants.
 
 use proptest::prelude::*;

@@ -24,14 +24,15 @@ fn maps_short_36bp_reads() {
         Arc::clone(&indexed),
         ReputeConfig::new(2, 12).expect("valid"),
     );
-    let reads = ReadSimulator::new(36, 30).seed(8002).simulate(indexed.seq());
+    let reads = ReadSimulator::new(36, 30)
+        .seed(8002)
+        .simulate(indexed.seq());
     for read in &reads {
         let origin = read.origin.expect("genomic");
         let out = mapper.map_read(&read.seq);
         assert!(
             out.mappings.iter().any(|m| {
-                m.strand == origin.strand
-                    && (m.position as i64 - origin.position as i64).abs() <= 2
+                m.strand == origin.strand && (m.position as i64 - origin.position as i64).abs() <= 2
             }),
             "36 bp read {} lost",
             read.id
@@ -88,7 +89,8 @@ fn maps_1kb_reads() {
         assert!(
             out.mappings
                 .iter()
-                .any(|m| m.strand == origin.strand && m.position.abs_diff(origin.position as u32) <= 10),
+                .any(|m| m.strand == origin.strand
+                    && m.position.abs_diff(origin.position as u32) <= 10),
             "1 kb read {} lost",
             read.id
         );

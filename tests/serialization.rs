@@ -26,7 +26,8 @@ fn fm_index_file_round_trip() {
     let codes = reference.to_codes();
     let fm = FmIndex::builder().sa_sample(8).build(&reference);
     let path = dir.join("ref.fm");
-    fm.write_to(BufWriter::new(File::create(&path).expect("create"))).expect("write");
+    fm.write_to(BufWriter::new(File::create(&path).expect("create")))
+        .expect("write");
     let back = FmIndex::read_from(BufReader::new(File::open(&path).expect("open"))).expect("read");
     for start in (0..79_000).step_by(1_111) {
         let pattern = &codes[start..start + 17];
@@ -39,11 +40,18 @@ fn fm_index_file_round_trip() {
 fn mapping_through_a_saved_reference_set_is_identical() {
     let dir = temp_dir("set");
     let set = ReferenceSet::build(vec![
-        ("chrA".into(), ReferenceBuilder::new(60_000).seed(9002).build()),
-        ("chrB".into(), ReferenceBuilder::new(30_000).seed(9003).build()),
+        (
+            "chrA".into(),
+            ReferenceBuilder::new(60_000).seed(9002).build(),
+        ),
+        (
+            "chrB".into(),
+            ReferenceBuilder::new(30_000).seed(9003).build(),
+        ),
     ]);
     let path = dir.join("set.rpx");
-    set.write_to(BufWriter::new(File::create(&path).expect("create"))).expect("write");
+    set.write_to(BufWriter::new(File::create(&path).expect("create")))
+        .expect("write");
     let restored =
         ReferenceSet::read_from(BufReader::new(File::open(&path).expect("open"))).expect("read");
 
