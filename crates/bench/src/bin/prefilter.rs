@@ -1,0 +1,152 @@
+//! Pre-alignment filter ablation: `--prefilter {none,shd,qgram,both}`
+//! over the standard workload, plus the adversarial-corpus canary.
+//!
+//! Three checks, all enforced (nonzero exit on failure, so CI can run
+//! this at tiny scale):
+//!
+//! 1. **Output invariance** — every mode reports exactly the mappings
+//!    the unfiltered pipeline reports (the zero-false-negative contract,
+//!    end to end).
+//! 2. **Verification saving** — `both` reduces the total Myers
+//!    `word_updates` of the run, as reported in `CellOutcome` metrics.
+//! 3. **Rejection power** — the SHD filter rejects a nonzero fraction
+//!    of the checked-in adversarial corpus (shared with the prefilter
+//!    crate's regression tests); 0% means the filter silently became a
+//!    no-op.
+
+use std::sync::Arc;
+
+use repute_bench::harness::{gold_standard, match_tolerance, run_cell, AccuracyMethod};
+use repute_bench::workload::{s_min_for, Scale, Workload};
+use repute_core::{ReputeConfig, ReputeMapper};
+use repute_hetsim::profiles;
+use repute_obs::MapMetrics;
+use repute_prefilter::{PrefilterMode, ShdFilter};
+
+const CORPUS: &str = include_str!("../../../prefilter/tests/corpus/adversarial.txt");
+
+fn corpus_codes(s: &str) -> Vec<u8> {
+    s.bytes()
+        .map(|b| match b {
+            b'A' => 0u8,
+            b'C' => 1,
+            b'G' => 2,
+            b'T' => 3,
+            other => panic!("bad corpus base {:?}", other as char),
+        })
+        .collect()
+}
+
+/// SHD rejection rate over the adversarial corpus's unverifiable
+/// entries, as `(rejected, negatives)`.
+fn corpus_shd_rejections() -> (u32, u32) {
+    let shd = ShdFilter::new();
+    let mut negatives = 0u32;
+    let mut rejected = 0u32;
+    for line in CORPUS
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let mut parts = line.split('\t');
+        let _name = parts.next().expect("name");
+        let delta: u32 = parts.next().expect("delta").parse().expect("delta int");
+        let read = corpus_codes(parts.next().expect("read"));
+        let window = corpus_codes(parts.next().expect("window"));
+        if repute_align::verify(&read, &window, delta).is_some() {
+            continue;
+        }
+        negatives += 1;
+        if !shd.examine_codes(&read, &window, delta).accept {
+            rejected += 1;
+        }
+    }
+    (rejected, negatives)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Pre-alignment filter ablation — SHD + q-gram bins");
+    println!("{}", scale.describe());
+    println!("generating workload…");
+    let w = Workload::generate(scale);
+    let (n, delta) = (100usize, 5u32);
+    let reads = w.read_seqs(n);
+    let gold = gold_standard(&w.indexed, delta, &reads);
+    let platform = profiles::system1_cpu_only();
+    let shares = platform.single_device_share(0, reads.len());
+    let base = ReputeConfig::new(delta, s_min_for(n, delta)).expect("valid config");
+
+    println!("\n[1] mode sweep (n={n}, δ={delta}, {} reads)", reads.len());
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>10} | {:>10} | {:>9} | {:>10}",
+        "mode", "word upd", "filter words", "tested", "rejected", "false acc", "sim T(s)"
+    );
+    println!("{}", "-".repeat(88));
+    let mut failures = 0u32;
+    let mut baseline: Option<(Vec<Vec<repute_mappers::Mapping>>, u64)> = None;
+    let mut both_word_updates = None;
+    for mode in PrefilterMode::ALL {
+        let mapper = ReputeMapper::new(Arc::clone(&w.indexed), base.with_prefilter(mode));
+        let outcome = run_cell(
+            &mapper,
+            &reads,
+            &platform,
+            &shares,
+            &gold,
+            AccuracyMethod::AnyBest,
+            match_tolerance(delta),
+        );
+        let mut totals = MapMetrics::new();
+        for m in &outcome.metrics {
+            totals.merge(m);
+        }
+        println!(
+            "{:>8} | {:>12} | {:>12} | {:>10} | {:>10} | {:>9} | {:>10.4}",
+            mode.to_string(),
+            totals.word_updates,
+            totals.prefilter_words,
+            totals.prefilter_tested,
+            totals.prefilter_rejected,
+            totals.prefilter_false_accepts,
+            outcome.result.time_s,
+        );
+        outcome.export_if_requested(&format!("prefilter-{mode}"));
+        match &baseline {
+            None => baseline = Some((outcome.outputs.clone(), totals.word_updates)),
+            Some((gold_outputs, _)) => {
+                if &outcome.outputs != gold_outputs {
+                    eprintln!("FAIL: mode {mode} changed mapping output (false negatives!)");
+                    failures += 1;
+                }
+            }
+        }
+        if mode == PrefilterMode::Both {
+            both_word_updates = Some(totals.word_updates);
+        }
+    }
+    let none_words = baseline.expect("mode sweep ran").1;
+    let both_words = both_word_updates.expect("mode sweep ran");
+    println!("\n[2] verification saving: word_updates {none_words} (none) → {both_words} (both)");
+    if both_words >= none_words {
+        eprintln!("FAIL: --prefilter both did not reduce Myers word updates");
+        failures += 1;
+    } else {
+        println!(
+            "saved {:.1}% of Myers word updates",
+            (none_words - both_words) as f64 / none_words as f64 * 100.0
+        );
+    }
+
+    let (rejected, negatives) = corpus_shd_rejections();
+    println!("\n[3] adversarial corpus: SHD rejected {rejected}/{negatives} unverifiable entries");
+    if rejected == 0 {
+        eprintln!("FAIL: SHD rejection rate on the adversarial corpus is 0 — filter is a no-op");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall prefilter ablation checks passed");
+}

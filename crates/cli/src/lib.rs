@@ -28,6 +28,7 @@ use repute_mappers::{
     yara::YaraLike, Mapper,
 };
 use repute_obs::{MapMetrics, RunReport, StageTimer};
+use repute_prefilter::{qgram, PrefilterMode};
 
 /// Which mapping strategy `repute map` runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,6 +91,13 @@ pub struct MapOptions {
     pub cigar: bool,
     /// Which mapping strategy to run.
     pub mapper: MapperChoice,
+    /// Pre-alignment filter stage of the repute mapper (sound: changes
+    /// cost only, never output).
+    pub prefilter: PrefilterMode,
+    /// Q-gram length of the bin prefilter.
+    pub prefilter_q: usize,
+    /// Reference bin width (bases) of the bin prefilter.
+    pub prefilter_bin: usize,
     /// Simulated platform to report time/energy for (`system1`,
     /// `system1-cpu`, `hikey970`); `None` skips the simulation report.
     pub platform: Option<String>,
@@ -112,6 +120,9 @@ impl Default for MapOptions {
             output: None,
             cigar: false,
             mapper: MapperChoice::default(),
+            prefilter: PrefilterMode::None,
+            prefilter_q: qgram::DEFAULT_Q,
+            prefilter_bin: qgram::DEFAULT_BIN_WIDTH,
             platform: None,
             metrics_out: None,
             verbose: false,
@@ -164,6 +175,13 @@ MAP OPTIONS:
     --cigar                  compute CIGAR strings (repute mapper only)
     --mapper <name>          repute | coral | razers3 | hobbes3 | yara |
                              gem | bwa-mem [default: repute]
+    --prefilter <mode>       pre-alignment filtration before Myers
+                             verification (repute mapper only):
+                             none | shd | qgram | both [default: none]
+    --prefilter-q <n>        q-gram length of the bin prefilter
+                             [default: 5, max 8]
+    --prefilter-bin <n>      reference bin width (bases) of the bin
+                             prefilter [default: 512]
     --platform <name>        also report simulated time/energy on
                              system1 | system1-cpu | hikey970
     --metrics-out <path>     write per-read and run-level telemetry as
@@ -224,6 +242,30 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
             "--output" => opts.output = Some(value("--output")?),
             "--cigar" => opts.cigar = true,
             "--mapper" => opts.mapper = value("--mapper")?.parse()?,
+            "--prefilter" => {
+                opts.prefilter = value("--prefilter")?
+                    .parse()
+                    .map_err(|e| ParseArgsError::new(format!("--prefilter: {e}")))?;
+            }
+            "--prefilter-q" => {
+                opts.prefilter_q = value("--prefilter-q")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--prefilter-q expects an integer"))?;
+                if opts.prefilter_q == 0 || opts.prefilter_q > qgram::MAX_Q {
+                    return Err(ParseArgsError::new(format!(
+                        "--prefilter-q must be in 1..={}",
+                        qgram::MAX_Q
+                    )));
+                }
+            }
+            "--prefilter-bin" => {
+                opts.prefilter_bin = value("--prefilter-bin")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--prefilter-bin expects an integer"))?;
+                if opts.prefilter_bin == 0 {
+                    return Err(ParseArgsError::new("--prefilter-bin must be positive"));
+                }
+            }
             "--platform" => opts.platform = Some(value("--platform")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "-v" | "--verbose" | "--trace" => opts.verbose = true,
@@ -233,6 +275,11 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
     }
     if opts.cigar && opts.mapper != MapperChoice::Repute {
         return Err(ParseArgsError::new("--cigar requires the repute mapper"));
+    }
+    if opts.prefilter != PrefilterMode::None && opts.mapper != MapperChoice::Repute {
+        return Err(ParseArgsError::new(
+            "--prefilter requires the repute mapper",
+        ));
     }
     if !have_reference {
         return Err(ParseArgsError::new("--reference or --index is required"));
@@ -481,7 +528,10 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
         .iter()
         .map(|(n, l)| (n.as_str(), *l))
         .collect();
-    let config = ReputeConfig::new(opts.delta, opts.s_min)?.with_max_locations(opts.max_locations);
+    let config = ReputeConfig::new(opts.delta, opts.s_min)?
+        .with_max_locations(opts.max_locations)
+        .with_prefilter(opts.prefilter)
+        .with_prefilter_qgram(opts.prefilter_q, opts.prefilter_bin);
     let repute = ReputeMapper::new(Arc::clone(set.indexed()), config);
     let baseline: Option<Box<dyn Mapper>> = match opts.mapper {
         MapperChoice::Repute => None,
@@ -850,6 +900,23 @@ pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
                 *sum as f64 / reads as f64
             );
         }
+        // Derived prefilter summary. Older telemetry files predate the
+        // prefilter counters; their sums simply lack the fields and the
+        // summary is skipped.
+        let sum_of = |name: &str| sums.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v);
+        let tested = sum_of("prefilter_tested");
+        if tested > 0 {
+            let rejected = sum_of("prefilter_rejected");
+            let accepted = tested.saturating_sub(rejected);
+            let false_accepts = sum_of("prefilter_false_accepts");
+            let _ = writeln!(
+                out,
+                "  prefilter: {rejected}/{tested} candidates rejected ({:.1}%), \
+                 {false_accepts} false accepts ({:.1}% of accepts)",
+                rejected as f64 / tested as f64 * 100.0,
+                false_accepts as f64 / (accepted.max(1)) as f64 * 100.0,
+            );
+        }
     }
     out.push_str(&body);
     if out.is_empty() {
@@ -959,6 +1026,9 @@ mod tests {
             output: Some(out_path.to_string_lossy().into_owned()),
             cigar: true,
             mapper: MapperChoice::Repute,
+            prefilter: PrefilterMode::None,
+            prefilter_q: qgram::DEFAULT_Q,
+            prefilter_bin: qgram::DEFAULT_BIN_WIDTH,
             platform: None,
             metrics_out: None,
             verbose: false,
@@ -1114,6 +1184,80 @@ mod tests {
         assert!(
             parse_map_args(args("--reference r.fa --reads q.fq --mapper gem --cigar")).is_err()
         );
+    }
+
+    #[test]
+    fn prefilter_flags_parse_and_validate() {
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --prefilter both --prefilter-q 4 --prefilter-bin 256",
+        ))
+        .unwrap();
+        assert_eq!(opts.prefilter, PrefilterMode::Both);
+        assert_eq!(opts.prefilter_q, 4);
+        assert_eq!(opts.prefilter_bin, 256);
+        // Defaults: filtration off, crate-default q-gram parameters.
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq")).unwrap();
+        assert_eq!(opts.prefilter, PrefilterMode::None);
+        assert_eq!(opts.prefilter_q, qgram::DEFAULT_Q);
+        assert_eq!(opts.prefilter_bin, qgram::DEFAULT_BIN_WIDTH);
+        // Bad mode, out-of-range q, zero bin width.
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --prefilter fast")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --prefilter-q 9")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --prefilter-bin 0")).is_err());
+        // The prefilter stage lives inside the repute pipeline only.
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --mapper coral --prefilter shd"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn prefiltered_map_run_matches_plain_and_reports_counters() {
+        let dir = std::env::temp_dir().join("repute-cli-prefilter-test");
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 20,
+            read_len: 100,
+            seed: 23,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let run = |extra: &str, sam: &str, metrics: &str| {
+            let opts = parse_map_args(
+                format!(
+                    "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                     --output {dir_s}/{sam} --metrics-out {dir_s}/{metrics} {extra}"
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap();
+            run_map(&opts).unwrap()
+        };
+        let plain = run("", "plain.sam", "plain.jsonl");
+        let filtered = run("--prefilter both", "filtered.sam", "filtered.jsonl");
+        // Sound filtration: identical SAM output, reduced verification.
+        assert_eq!(plain, filtered);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("plain.sam")).unwrap(),
+            std::fs::read_to_string(dir.join("filtered.sam")).unwrap()
+        );
+        let rendered =
+            render_stats(&std::fs::read_to_string(dir.join("filtered.jsonl")).unwrap()).unwrap();
+        assert!(
+            rendered.contains("prefilter:") && rendered.contains("candidates rejected"),
+            "missing prefilter summary in:\n{rendered}"
+        );
+        // The unfiltered run's telemetry renders without the summary —
+        // and so do pre-prefilter files, which simply lack the fields.
+        let plain_rendered =
+            render_stats(&std::fs::read_to_string(dir.join("plain.jsonl")).unwrap()).unwrap();
+        assert!(!plain_rendered.contains("prefilter:"));
+        let legacy = "{\"type\":\"read\",\"id\":0,\"word_updates\":7,\"hits\":1}\n";
+        assert!(render_stats(legacy).unwrap().contains("word_updates"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

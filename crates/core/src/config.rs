@@ -1,6 +1,7 @@
 //! REPUTE configuration.
 
 use repute_filter::oss::{Exploration, InvalidParamsError, OssParams};
+use repute_prefilter::{qgram, PrefilterMode};
 
 /// Configuration of a [`crate::ReputeMapper`].
 ///
@@ -20,6 +21,9 @@ use repute_filter::oss::{Exploration, InvalidParamsError, OssParams};
 pub struct ReputeConfig {
     oss: OssParams,
     max_locations: usize,
+    prefilter: PrefilterMode,
+    prefilter_q: usize,
+    prefilter_bin_width: usize,
 }
 
 impl ReputeConfig {
@@ -35,6 +39,9 @@ impl ReputeConfig {
         Ok(ReputeConfig {
             oss: OssParams::new(delta, s_min)?,
             max_locations: 1000,
+            prefilter: PrefilterMode::None,
+            prefilter_q: qgram::DEFAULT_Q,
+            prefilter_bin_width: qgram::DEFAULT_BIN_WIDTH,
         })
     }
 
@@ -55,6 +62,59 @@ impl ReputeConfig {
     pub fn with_exploration(mut self, exploration: Exploration) -> ReputeConfig {
         self.oss = self.oss.exploration(exploration);
         self
+    }
+
+    /// Selects the pre-alignment filter stage (see
+    /// [`repute_prefilter::PrefilterMode`]); the default is
+    /// [`PrefilterMode::None`]. Filters are sound, so this changes
+    /// mapping cost only, never mapping output.
+    pub fn with_prefilter(mut self, mode: PrefilterMode) -> ReputeConfig {
+        self.prefilter = mode;
+        self
+    }
+
+    /// Overrides the q-gram bin filter's parameters (gram length `q`
+    /// and reference bin width in bases). Only consulted when the
+    /// prefilter mode uses q-gram bins; non-default values make the
+    /// mapper build its own bins instead of sharing the index's.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of
+    /// [`repute_prefilter::QgramBins::build`]: `q` outside
+    /// `1..=`[`qgram::MAX_Q`] or a zero bin width.
+    pub fn with_prefilter_qgram(mut self, q: usize, bin_width: usize) -> ReputeConfig {
+        assert!(
+            (1..=qgram::MAX_Q).contains(&q),
+            "prefilter q must be in 1..={}",
+            qgram::MAX_Q
+        );
+        assert!(bin_width > 0, "prefilter bin width must be positive");
+        self.prefilter_q = q;
+        self.prefilter_bin_width = bin_width;
+        self
+    }
+
+    /// The selected pre-alignment filter mode.
+    pub fn prefilter(&self) -> PrefilterMode {
+        self.prefilter
+    }
+
+    /// The q-gram length of the bin filter.
+    pub fn prefilter_q(&self) -> usize {
+        self.prefilter_q
+    }
+
+    /// The reference bin width (bases) of the bin filter.
+    pub fn prefilter_bin_width(&self) -> usize {
+        self.prefilter_bin_width
+    }
+
+    /// `true` when the q-gram bin parameters match the prefilter
+    /// crate's defaults — i.e. the bins prebuilt by
+    /// [`repute_mappers::IndexedReference`] can be shared as-is.
+    pub fn prefilter_uses_default_bins(&self) -> bool {
+        self.prefilter_q == qgram::DEFAULT_Q && self.prefilter_bin_width == qgram::DEFAULT_BIN_WIDTH
     }
 
     /// The error budget δ.
@@ -157,5 +217,25 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_limit_rejected() {
         let _ = ReputeConfig::new(3, 12).unwrap().with_max_locations(0);
+    }
+
+    #[test]
+    fn prefilter_knobs_default_off_and_round_trip() {
+        let config = ReputeConfig::new(5, 12).unwrap();
+        assert_eq!(config.prefilter(), PrefilterMode::None);
+        assert!(config.prefilter_uses_default_bins());
+        let tuned = config
+            .with_prefilter(PrefilterMode::Both)
+            .with_prefilter_qgram(4, 128);
+        assert_eq!(tuned.prefilter(), PrefilterMode::Both);
+        assert_eq!(tuned.prefilter_q(), 4);
+        assert_eq!(tuned.prefilter_bin_width(), 128);
+        assert!(!tuned.prefilter_uses_default_bins());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_rejected() {
+        let _ = ReputeConfig::new(3, 12).unwrap().with_prefilter_qgram(5, 0);
     }
 }

@@ -7,6 +7,7 @@ use repute_filter::oss::OssSolver;
 use repute_genome::DnaSeq;
 use repute_mappers::{CandidateSet, IndexedReference, MapOutput, Mapper, VerifyEngine};
 use repute_obs::MapMetrics;
+use repute_prefilter::{Chain, PrefilterMode, QgramBins, QgramFilter, ShdFilter};
 
 use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
 
@@ -23,12 +24,31 @@ use crate::config::ReputeConfig;
 pub struct ReputeMapper {
     indexed: Arc<IndexedReference>,
     config: ReputeConfig,
+    /// Q-gram bins for non-default prefilter parameters; `None` means
+    /// the mode doesn't probe bins or the index's shared default bins
+    /// serve.
+    custom_bins: Option<QgramBins>,
 }
 
 impl ReputeMapper {
-    /// Creates a mapper over a preprocessed reference.
+    /// Creates a mapper over a preprocessed reference. When the
+    /// configuration enables the q-gram prefilter with non-default
+    /// parameters, the bins are built here — once, at setup time, like
+    /// the rest of the index.
     pub fn new(indexed: Arc<IndexedReference>, config: ReputeConfig) -> ReputeMapper {
-        ReputeMapper { indexed, config }
+        let custom_bins =
+            (config.prefilter().uses_qgram() && !config.prefilter_uses_default_bins()).then(|| {
+                QgramBins::build(
+                    indexed.codes(),
+                    config.prefilter_q(),
+                    config.prefilter_bin_width(),
+                )
+            });
+        ReputeMapper {
+            indexed,
+            config,
+            custom_bins,
+        }
     }
 
     /// The mapper's configuration.
@@ -39,6 +59,14 @@ impl ReputeMapper {
     /// The preprocessed reference this mapper maps against.
     pub fn indexed(&self) -> &Arc<IndexedReference> {
         &self.indexed
+    }
+
+    /// The q-gram bins the prefilter probes (custom if configured,
+    /// otherwise the index's shared defaults).
+    fn prefilter_bins(&self) -> &QgramBins {
+        self.custom_bins
+            .as_ref()
+            .unwrap_or_else(|| self.indexed.prefilter_bins())
     }
 }
 
@@ -65,7 +93,22 @@ impl Mapper for ReputeMapper {
 
     fn map_read_metered(&self, read: &DnaSeq, metrics: &mut MapMetrics) -> MapOutput {
         let fm = self.indexed.fm();
+        // Pre-alignment filtration stage (sound: affects cost, never
+        // output). The chain runs the q-gram bins first — they are far
+        // cheaper per candidate than the SHD mask pipeline.
+        let shd = ShdFilter::new();
+        let qgram = QgramFilter::new(self.prefilter_bins());
+        let chain;
         let engine = VerifyEngine::new(self.indexed.codes(), self.config.delta());
+        let engine = match self.config.prefilter() {
+            PrefilterMode::None => engine,
+            PrefilterMode::Shd => engine.with_prefilter(&shd),
+            PrefilterMode::Qgram => engine.with_prefilter(&qgram),
+            PrefilterMode::Both => {
+                chain = Chain::new(vec![&qgram, &shd]);
+                engine.with_prefilter(&chain)
+            }
+        };
         let solver = OssSolver::new(*self.config.oss_params());
         let mut out = MapOutput::default();
         let strands = [
@@ -101,7 +144,7 @@ impl Mapper for ReputeMapper {
                     }
                 }
             }
-            let merged = candidates.into_merged(self.config.delta());
+            let merged = candidates.into_merged(CandidateSet::merge_gap(self.config.delta()));
             out.candidates += merged.len() as u64;
             metrics.candidates_merged += merged.len() as u64;
             // Verification (first-n output slots).
@@ -313,6 +356,95 @@ mod tests {
             .find(|d| d.mapping.position == 30_000)
             .expect("origin reported");
         assert_eq!(exact.cigar.to_string(), "100=");
+    }
+
+    #[test]
+    fn prefilter_modes_preserve_output_and_cut_verification() {
+        // The subsystem's contract, end to end: every prefilter mode
+        // reports exactly the mappings the unfiltered pipeline reports
+        // (zero false negatives), while `both` measurably reduces the
+        // Myers word updates spent on junk candidates.
+        let indexed = indexed();
+        let base = ReputeConfig::new(5, 12).unwrap();
+        let reads = ReadSimulator::new(100, 40)
+            .profile(ErrorProfile::srr826460())
+            .seed(151)
+            .simulate(indexed.seq());
+        let plain = ReputeMapper::new(Arc::clone(&indexed), base);
+        let mut per_mode = Vec::new();
+        for mode in PrefilterMode::ALL {
+            let mapper = ReputeMapper::new(Arc::clone(&indexed), base.with_prefilter(mode));
+            let mut totals = MapMetrics::new();
+            for read in &reads {
+                let mut m = MapMetrics::new();
+                let out = mapper.map_read_metered(&read.seq, &mut m);
+                assert_eq!(
+                    out.mappings,
+                    plain.map_read(&read.seq).mappings,
+                    "mode {mode} changed mappings of read {}",
+                    read.id
+                );
+                // The work identity holds with the filter stage charged.
+                assert_eq!(
+                    m.work_units(EXTEND_COST, DP_CELL_COST, LOCATE_COST),
+                    out.work,
+                    "mode {mode}, read {}",
+                    read.id
+                );
+                totals.merge(&m);
+            }
+            if mode == PrefilterMode::None {
+                assert_eq!(totals.prefilter_tested, 0);
+                assert_eq!(totals.prefilter_words, 0);
+            } else {
+                assert_eq!(totals.prefilter_tested, totals.candidates_merged);
+                assert_eq!(
+                    totals.verifications,
+                    totals.prefilter_tested - totals.prefilter_rejected
+                );
+                assert!(totals.prefilter_words > 0);
+            }
+            per_mode.push((mode, totals));
+        }
+        let none = per_mode[0].1;
+        let both = per_mode[3].1;
+        assert!(
+            both.word_updates < none.word_updates,
+            "prefilter 'both' must cut word updates: {} vs {}",
+            both.word_updates,
+            none.word_updates
+        );
+        assert!(both.prefilter_rejected > 0, "no candidate was rejected");
+    }
+
+    #[test]
+    fn custom_qgram_parameters_build_private_bins() {
+        let indexed = indexed();
+        let config = ReputeConfig::new(5, 12)
+            .unwrap()
+            .with_prefilter(PrefilterMode::Qgram)
+            .with_prefilter_qgram(4, 128);
+        let mapper = ReputeMapper::new(Arc::clone(&indexed), config);
+        assert_eq!(mapper.prefilter_bins().q(), 4);
+        assert_eq!(mapper.prefilter_bins().bin_width(), 128);
+        // Default parameters share the index's prebuilt bins.
+        let default = ReputeMapper::new(
+            Arc::clone(&indexed),
+            ReputeConfig::new(5, 12)
+                .unwrap()
+                .with_prefilter(PrefilterMode::Qgram),
+        );
+        assert!(std::ptr::eq(
+            default.prefilter_bins(),
+            indexed.prefilter_bins()
+        ));
+        // And the custom mapper still maps correctly.
+        let read = indexed.seq().subseq(10_000..10_100);
+        assert!(mapper
+            .map_read(&read)
+            .mappings
+            .iter()
+            .any(|h| h.position == 10_000));
     }
 
     #[test]

@@ -100,6 +100,12 @@ fn platform_run_exports_consistent_json_lines() {
                         "candidates_raw" => totals_from_json.candidates_raw = value,
                         "candidates_merged" => totals_from_json.candidates_merged = value,
                         "dp_cells" => totals_from_json.dp_cells = value,
+                        "prefilter_tested" => totals_from_json.prefilter_tested = value,
+                        "prefilter_rejected" => totals_from_json.prefilter_rejected = value,
+                        "prefilter_false_accepts" => {
+                            totals_from_json.prefilter_false_accepts = value
+                        }
+                        "prefilter_words" => totals_from_json.prefilter_words = value,
                         "verifications" => totals_from_json.verifications = value,
                         "word_updates" => totals_from_json.word_updates = value,
                         "hits" => totals_from_json.hits = value,

@@ -8,7 +8,11 @@
 //!
 //! * kernels execute every work-item on real host threads and **count the
 //!   algorithmic work they perform** (FM-Index extensions, DP cells,
-//!   bit-vector word updates);
+//!   bit-vector word updates — and, when the mapper enables it,
+//!   pre-alignment filter word operations, which share the Myers
+//!   word-update currency so filter cost and saved verification cost
+//!   subtract meaningfully on a device timeline; see
+//!   `tests/prefilter_calibration.rs` for the calibration check);
 //! * [`DeviceProfile`]s convert work counts into simulated seconds via a
 //!   per-device throughput, and into joules via a per-device active power;
 //! * [`Platform::launch`] reproduces OpenCL's task-parallel multi-device

@@ -1,0 +1,146 @@
+//! Calibration of the pre-alignment filter's kernel cost against the
+//! platform simulator's time model.
+//!
+//! The prefilter crate reports its work in the same currency the Myers
+//! verifier charges to `MapOutput.work` — one unit ≈ one 64-lane word
+//! operation — so [`DeviceProfile::seconds_for`] converts both without
+//! any special-casing. This test checks the calibration holds up on a
+//! junk-heavy workload: the device seconds spent filtering must be
+//! *less* than the device seconds of verification the rejections save,
+//! on every profiled device class. If a filter change breaks that
+//! inequality, enabling the filter would slow the simulated platform
+//! down and the calibration (not just the tuning) is wrong.
+
+use repute_align::verify_counting;
+use repute_genome::rng::StdRng;
+use repute_genome::synth::ReferenceBuilder;
+use repute_hetsim::{profiles, DeviceProfile};
+use repute_prefilter::{Candidate, Chain, PreFilter, QgramBins, QgramFilter, ShdFilter};
+
+const DELTA: u32 = 5;
+const READ_LEN: usize = 100;
+
+struct Workload {
+    codes: Vec<u8>,
+    bins: QgramBins,
+    /// (read, window_start, is_planted)
+    cases: Vec<(Vec<u8>, usize, bool)>,
+}
+
+fn workload() -> Workload {
+    let reference = ReferenceBuilder::new(16_384).seed(0xCAFE).build();
+    let codes = reference.to_codes();
+    let bins = QgramBins::build_default(&codes);
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    let mut cases = Vec::new();
+    // Junk-heavy mix, like the candidate stream of a repetitive
+    // reference: 8 random reads per planted one.
+    for i in 0..180 {
+        let start = rng.gen_range(0..codes.len() - READ_LEN - 2 * DELTA as usize);
+        if i % 9 == 0 {
+            let mut read =
+                codes[start + DELTA as usize..start + DELTA as usize + READ_LEN].to_vec();
+            for _ in 0..rng.gen_range(0..=DELTA) {
+                let p = rng.gen_range(0..read.len());
+                read[p] = (read[p] + rng.gen_range(1..4u8)) % 4;
+            }
+            cases.push((read, start, true));
+        } else {
+            let read: Vec<u8> = (0..READ_LEN).map(|_| rng.gen_range(0..4u8)).collect();
+            cases.push((read, start, false));
+        }
+    }
+    Workload { codes, bins, cases }
+}
+
+/// Runs the chained filter over the workload, returning
+/// `(filter_words_spent, verify_words_saved, true_candidates_rejected)`.
+fn run_filtered(w: &Workload) -> (u64, u64, u64) {
+    let shd = ShdFilter::new();
+    let qgram = QgramFilter::new(&w.bins);
+    let chain = Chain::new(vec![&qgram, &shd]);
+    let mut spent = 0u64;
+    let mut saved = 0u64;
+    let mut true_rejects = 0u64;
+    for (read, start, planted) in &w.cases {
+        let end = (*start + read.len() + 2 * DELTA as usize).min(w.codes.len());
+        let window = &w.codes[*start..end];
+        let verdict = chain.examine(&Candidate {
+            read,
+            window,
+            window_start: *start,
+            delta: DELTA,
+        });
+        spent += verdict.cost_words;
+        let (hit, cost) = verify_counting(read, window, DELTA);
+        if !verdict.accept {
+            saved += cost.word_updates;
+            if hit.is_some() {
+                true_rejects += 1;
+            }
+        }
+        if *planted {
+            assert!(hit.is_some(), "planted case must verify");
+        }
+    }
+    (spent, saved, true_rejects)
+}
+
+fn every_device() -> Vec<DeviceProfile> {
+    vec![
+        profiles::intel_i7_2600(),
+        profiles::gtx590(),
+        profiles::cortex_a73_cluster(),
+        profiles::cortex_a53_cluster(),
+    ]
+}
+
+#[test]
+fn filter_seconds_stay_below_saved_verification_seconds() {
+    let w = workload();
+    let (spent, saved, true_rejects) = run_filtered(&w);
+    assert_eq!(true_rejects, 0, "soundness: a verifiable case was rejected");
+    assert!(saved > 0, "junk workload produced no rejections");
+    for device in every_device() {
+        let filter_s = device.seconds_for(spent);
+        let saved_s = device.seconds_for(saved);
+        assert!(
+            filter_s < saved_s,
+            "{}: filtering costs {filter_s:.9} s but only saves {saved_s:.9} s",
+            device.name()
+        );
+    }
+}
+
+#[test]
+fn net_kernel_time_improves_with_filtration() {
+    // End-to-end on one device: total simulated kernel seconds of
+    // (filter + surviving verifications) vs (verify everything).
+    let w = workload();
+    let shd = ShdFilter::new();
+    let qgram = QgramFilter::new(&w.bins);
+    let chain = Chain::new(vec![&qgram, &shd]);
+    let mut unfiltered_words = 0u64;
+    let mut filtered_words = 0u64;
+    for (read, start, _) in &w.cases {
+        let end = (*start + read.len() + 2 * DELTA as usize).min(w.codes.len());
+        let window = &w.codes[*start..end];
+        let (_, cost) = verify_counting(read, window, DELTA);
+        unfiltered_words += cost.word_updates;
+        let verdict = chain.examine(&Candidate {
+            read,
+            window,
+            window_start: *start,
+            delta: DELTA,
+        });
+        filtered_words += verdict.cost_words;
+        if verdict.accept {
+            filtered_words += cost.word_updates;
+        }
+    }
+    let gpu = profiles::gtx590();
+    assert!(
+        gpu.seconds_for(filtered_words) < gpu.seconds_for(unfiltered_words),
+        "filtered pipeline must be cheaper: {filtered_words} vs {unfiltered_words} words"
+    );
+}

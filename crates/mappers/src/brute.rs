@@ -74,9 +74,15 @@ impl BruteForceMapper {
         let m = codes.len();
         let mut prev: Vec<u32> = (0..=m as u32).collect();
         let mut cur = vec![0u32; m + 1];
-        // Track the best distance within the current qualifying run.
-        let mut run_best: Option<(usize, u32)> = None; // (end, distance)
-        let merge_gap = 2 * self.delta as usize + 2;
+        // Track the best (end, distance) within the current qualifying run.
+        let mut run_best: Option<(usize, u32)> = None;
+        // Output *hit clustering*, not candidate merging: qualifying DP
+        // end columns within 2δ+2 of each other describe the same
+        // alignment site (one site's end columns span ≤ 2δ, plus one
+        // column of slack on each side), so they collapse into a single
+        // reported hit. Distinct from `CandidateSet::merge_gap`, which
+        // dedupes seed diagonals *before* verification.
+        let cluster_gap = 2 * self.delta as usize + 2;
         let mut work = 0u64;
         for j in 1..=reference.len() {
             cur[0] = 0;
@@ -88,7 +94,7 @@ impl BruteForceMapper {
             let d = cur[m];
             if d <= self.delta {
                 run_best = Some(match run_best {
-                    Some((end, best)) if j - end <= merge_gap => (j, best.min(d)),
+                    Some((end, best)) if j - end <= cluster_gap => (j, best.min(d)),
                     Some((end, best)) => {
                         // Previous run closed: emit it.
                         out.push(Mapping {

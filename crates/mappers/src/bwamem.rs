@@ -102,7 +102,7 @@ impl Mapper for BwaMemLike {
                     candidates.add(pos, smem.start);
                 }
             }
-            let merged = candidates.into_merged(budget);
+            let merged = candidates.into_merged(CandidateSet::merge_gap(budget));
             out.candidates += merged.len() as u64;
             out.work += engine.verify(&codes, strand, &merged, usize::MAX, &mut all);
         }

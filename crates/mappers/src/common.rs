@@ -43,6 +43,7 @@ pub struct IndexedReference {
     codes: Vec<u8>,
     fm: repute_index::FmIndex,
     qgram: repute_index::QGramIndex,
+    prefilter_bins: repute_prefilter::QgramBins,
 }
 
 impl IndexedReference {
@@ -66,11 +67,13 @@ impl IndexedReference {
         // trade leans toward speed here (the ablation bench sweeps it).
         let fm = repute_index::FmIndex::builder().sa_sample(8).build(&seq);
         let qgram = repute_index::QGramIndex::build(&seq, q);
+        let prefilter_bins = repute_prefilter::QgramBins::build_default(&codes);
         IndexedReference {
             seq,
             codes,
             fm,
             qgram,
+            prefilter_bins,
         }
     }
 
@@ -92,6 +95,13 @@ impl IndexedReference {
     /// The q-gram hash index over the reference.
     pub fn qgram(&self) -> &repute_index::QGramIndex {
         &self.qgram
+    }
+
+    /// The pre-alignment q-gram existence bins (GRIM-style), built with
+    /// the prefilter crate's defaults. Mappers configured with custom
+    /// prefilter parameters build their own bins from [`Self::codes`].
+    pub fn prefilter_bins(&self) -> &repute_prefilter::QgramBins {
+        &self.prefilter_bins
     }
 
     /// Reference length in bases.
@@ -151,11 +161,13 @@ impl IndexedReference {
         }
         let codes = seq.to_codes();
         let qgram = repute_index::QGramIndex::build(&seq, q);
+        let prefilter_bins = repute_prefilter::QgramBins::build_default(&codes);
         Ok(IndexedReference {
             seq,
             codes,
             fm,
             qgram,
+            prefilter_bins,
         })
     }
 }

@@ -9,6 +9,7 @@
 use repute_align::{verify_counting, verify_metered};
 use repute_genome::{DnaSeq, Strand};
 use repute_obs::MapMetrics;
+use repute_prefilter::{Candidate, PreFilter};
 
 use crate::common::Mapping;
 
@@ -56,8 +57,27 @@ impl CandidateSet {
         self.diagonals.is_empty()
     }
 
-    /// Sorts and merges candidates closer than `merge_distance`, returning
-    /// the surviving diagonals.
+    /// The canonical candidate merge gap for error budget δ.
+    ///
+    /// Two seed hits belong to the *same* alignment exactly when their
+    /// implied read-start diagonals differ by no more than the indel
+    /// slack, which is bounded by δ — so merging with gap δ dedupes
+    /// same-alignment jitter without ever collapsing two genuinely
+    /// distinct alignment sites (whose windows each still get
+    /// verified). Every mapper routes its merge distance through this
+    /// policy; do not confuse it with output *hit clustering* (e.g.
+    /// the brute-force oracle groups qualifying alignment end columns
+    /// with a wider `2δ+2` gap, which operates on reported positions,
+    /// not candidate diagonals).
+    pub fn merge_gap(delta: u32) -> u32 {
+        delta
+    }
+
+    /// Sorts and merges candidates closer than `merge_distance` —
+    /// normally [`CandidateSet::merge_gap`] of the mapper's δ —
+    /// returning the surviving diagonals (the first diagonal of each
+    /// cluster represents it, and its verification window's ±δ slack
+    /// covers the jitter the merge absorbed).
     pub fn into_merged(mut self, merge_distance: u32) -> Vec<u32> {
         self.diagonals.sort_unstable();
         let mut out: Vec<u32> = Vec::with_capacity(self.diagonals.len());
@@ -76,13 +96,29 @@ impl CandidateSet {
 pub struct VerifyEngine<'a> {
     reference: &'a [u8],
     delta: u32,
+    prefilter: Option<&'a dyn PreFilter>,
 }
 
 impl<'a> VerifyEngine<'a> {
     /// Creates an engine over the reference's 2-bit codes with error
-    /// budget δ.
+    /// budget δ and no pre-alignment filter.
     pub fn new(reference: &'a [u8], delta: u32) -> VerifyEngine<'a> {
-        VerifyEngine { reference, delta }
+        VerifyEngine {
+            reference,
+            delta,
+            prefilter: None,
+        }
+    }
+
+    /// Installs a pre-alignment filter: candidate windows it rejects
+    /// skip Myers verification entirely. The filter must be sound
+    /// (zero false negatives — see [`repute_prefilter::PreFilter`]),
+    /// so installed filters change mapping *cost*, never mapping
+    /// *output*. Filter work and outcomes are recorded in the
+    /// `prefilter_*` counters of [`MapMetrics`].
+    pub fn with_prefilter(mut self, filter: &'a dyn PreFilter) -> VerifyEngine<'a> {
+        self.prefilter = Some(filter);
+        self
     }
 
     /// The error budget δ.
@@ -133,6 +169,25 @@ impl<'a> VerifyEngine<'a> {
                 continue;
             }
             let window = &self.reference[start..end];
+            let mut filtered = false;
+            if let Some(filter) = self.prefilter {
+                let verdict = filter.examine(&Candidate {
+                    read,
+                    window,
+                    window_start: start,
+                    delta: self.delta,
+                });
+                metrics.prefilter_tested += 1;
+                metrics.prefilter_words += verdict.cost_words;
+                work += verdict.cost_words;
+                if !verdict.accept {
+                    // Sound filters only reject unverifiable windows:
+                    // every rejection is a true reject.
+                    metrics.prefilter_rejected += 1;
+                    continue;
+                }
+                filtered = true;
+            }
             let words_before = metrics.word_updates;
             let hit = verify_metered(read, window, self.delta, metrics);
             work += metrics.word_updates - words_before;
@@ -142,6 +197,8 @@ impl<'a> VerifyEngine<'a> {
                     strand,
                     distance: v.distance,
                 });
+            } else if filtered {
+                metrics.prefilter_false_accepts += 1;
             }
         }
         work

@@ -150,7 +150,7 @@ impl Mapper for Hobbes3Like {
                 }
                 out.work += u64::from(qgram.count(gram)); // position-list scan
             }
-            let merged = candidates.into_merged(self.delta);
+            let merged = candidates.into_merged(CandidateSet::merge_gap(self.delta));
             out.candidates += merged.len() as u64;
             out.work += engine.verify(
                 &codes,

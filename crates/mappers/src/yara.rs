@@ -162,7 +162,7 @@ impl Mapper for YaraLike {
                     }
                 }
             }
-            let merged = candidates.into_merged(self.delta);
+            let merged = candidates.into_merged(CandidateSet::merge_gap(self.delta));
             out.candidates += merged.len() as u64;
             out.work += engine.verify(&codes, strand, &merged, usize::MAX, &mut all);
         }

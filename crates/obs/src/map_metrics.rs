@@ -28,6 +28,19 @@ pub struct MapMetrics {
     pub candidates_merged: u64,
     /// Dynamic-programming cells filled by the optimal seed solver.
     pub dp_cells: u64,
+    /// Candidate windows examined by the pre-alignment filter stage
+    /// (0 when no prefilter is configured).
+    pub prefilter_tested: u64,
+    /// Candidate windows the prefilter rejected. Filters are sound
+    /// (zero false negatives), so every rejection is a true reject —
+    /// a verification that would have found nothing.
+    pub prefilter_rejected: u64,
+    /// Prefilter-accepted windows that verification then rejected:
+    /// the filter's false accepts (its only failure mode).
+    pub prefilter_false_accepts: u64,
+    /// Word operations spent inside prefilters, in the same currency
+    /// as `word_updates`; charged to `MapOutput.work` at unit cost.
+    pub prefilter_words: u64,
     /// Myers bit-vector verification calls (one per candidate window
     /// scanned).
     pub verifications: u64,
@@ -53,13 +66,17 @@ impl MapMetrics {
         self.candidates_raw += other.candidates_raw;
         self.candidates_merged += other.candidates_merged;
         self.dp_cells += other.dp_cells;
+        self.prefilter_tested += other.prefilter_tested;
+        self.prefilter_rejected += other.prefilter_rejected;
+        self.prefilter_false_accepts += other.prefilter_false_accepts;
+        self.prefilter_words += other.prefilter_words;
         self.verifications += other.verifications;
         self.word_updates += other.word_updates;
         self.hits += other.hits;
     }
 
     /// Field names and values in declaration order, for generic export.
-    pub fn fields(&self) -> [(&'static str, u64); 9] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("seeds_selected", self.seeds_selected),
             ("fm_extend_ops", self.fm_extend_ops),
@@ -67,6 +84,10 @@ impl MapMetrics {
             ("candidates_raw", self.candidates_raw),
             ("candidates_merged", self.candidates_merged),
             ("dp_cells", self.dp_cells),
+            ("prefilter_tested", self.prefilter_tested),
+            ("prefilter_rejected", self.prefilter_rejected),
+            ("prefilter_false_accepts", self.prefilter_false_accepts),
+            ("prefilter_words", self.prefilter_words),
             ("verifications", self.verifications),
             ("word_updates", self.word_updates),
             ("hits", self.hits),
@@ -75,12 +96,14 @@ impl MapMetrics {
 
     /// Reconstructs the `MapOutput.work` scalar from this record given the
     /// stage costs used by the mapper (`extend_cost`, `dp_cell_cost`,
-    /// `locate_cost`; word updates are charged at unit cost).
+    /// `locate_cost`; word updates and prefilter words are charged at
+    /// unit cost — they share the bit-parallel word-op currency).
     pub fn work_units(&self, extend_cost: u64, dp_cell_cost: u64, locate_cost: u64) -> u64 {
         self.fm_extend_ops * extend_cost
             + self.dp_cells * dp_cell_cost
             + self.fm_locate_ops * locate_cost
             + self.word_updates
+            + self.prefilter_words
     }
 
     /// Serialises the record into `obj` as flat numeric fields.
@@ -129,9 +152,30 @@ mod tests {
             dp_cells: 3,
             fm_locate_ops: 4,
             word_updates: 5,
+            prefilter_words: 6,
             ..MapMetrics::new()
         };
-        assert_eq!(m.work_units(24, 2, 96), 2 * 24 + 3 * 2 + 4 * 96 + 5);
+        assert_eq!(m.work_units(24, 2, 96), 2 * 24 + 3 * 2 + 4 * 96 + 5 + 6);
+    }
+
+    #[test]
+    fn prefilter_counters_merge_and_export() {
+        let mut a = MapMetrics::new();
+        let b = MapMetrics {
+            prefilter_tested: 10,
+            prefilter_rejected: 7,
+            prefilter_false_accepts: 2,
+            prefilter_words: 40,
+            ..MapMetrics::new()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.prefilter_tested, 20);
+        assert_eq!(a.prefilter_rejected, 14);
+        let fields = a.fields();
+        assert!(fields.contains(&("prefilter_false_accepts", 4)));
+        assert!(fields.contains(&("prefilter_words", 80)));
+        assert!(a.to_json_line(1).contains("\"prefilter_rejected\":14"));
     }
 
     #[test]

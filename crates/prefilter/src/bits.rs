@@ -1,0 +1,192 @@
+//! Fixed-width bit-mask arithmetic over `&mut [u64]` scratch words.
+//!
+//! The SHD filter manipulates masks of one bit per read base. Reads are
+//! a few hundred bases, so masks span a handful of words; every helper
+//! here is a straight-line loop the compiler unrolls — no allocation,
+//! no per-bit work. Bit `i` of a mask lives in word `i / 64`, position
+//! `i % 64` (LSB-first, matching the Myers verifier's convention).
+
+/// Shifts `mask` left by one bit (towards higher read positions),
+/// writing into `out`. Bit 0 of the result is `carry_in` (the value
+/// conceptually at position −1).
+pub fn shl1(mask: &[u64], out: &mut [u64], carry_in: bool) {
+    debug_assert_eq!(mask.len(), out.len());
+    let mut carry = u64::from(carry_in);
+    for (o, &w) in out.iter_mut().zip(mask) {
+        *o = (w << 1) | carry;
+        carry = w >> 63;
+    }
+}
+
+/// Shifts `mask` right by one bit (towards lower read positions),
+/// writing into `out`. The top bit of the result is `carry_in` (the
+/// value conceptually at position `len`).
+pub fn shr1(mask: &[u64], out: &mut [u64], carry_in: bool) {
+    debug_assert_eq!(mask.len(), out.len());
+    let mut carry = u64::from(carry_in) << 63;
+    for (o, &w) in out.iter_mut().zip(mask).rev() {
+        *o = (w >> 1) | carry;
+        carry = w << 63;
+    }
+}
+
+/// Zeroes every bit at position `len` and above (the padding bits of
+/// the last word).
+pub fn clear_tail(mask: &mut [u64], len: usize) {
+    let tail = len % 64;
+    if tail != 0 {
+        if let Some(last) = mask.last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
+}
+
+/// Population count across all words.
+pub fn popcount(mask: &[u64]) -> u32 {
+    mask.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Number of maximal runs of consecutive 1-bits in the first `len` bits
+/// (a run starts wherever a 1 has a 0 — or the mask boundary — below it).
+pub fn count_runs(mask: &[u64], len: usize) -> u32 {
+    let mut runs = 0u32;
+    let mut prev_top = 0u64; // bit `w*64 - 1`, seen from word w
+    for (w, &word) in mask.iter().enumerate() {
+        if w * 64 >= len {
+            break;
+        }
+        let mut m = word;
+        let tail = len - w * 64;
+        if tail < 64 {
+            m &= (1u64 << tail) - 1;
+        }
+        // Run starts: 1-bits whose predecessor bit is 0.
+        let starts = m & !((m << 1) | prev_top);
+        runs += starts.count_ones();
+        prev_top = word >> 63;
+    }
+    runs
+}
+
+/// Sound lower bound on the edits a ≤ δ alignment needs to explain the
+/// surviving 1-bits of an amended-AND mask: each maximal 1-run of
+/// length `ℓ` contributes `max(1, ⌈(ℓ−2)/3⌉)`.
+///
+/// Why: every surviving 1 is an edit position or part of an amended
+/// match segment of ≤ 2 bases (longer segments survive amendment as
+/// 0s). An edit therefore extends a run by at most 3 bits — itself
+/// plus one adjacent short segment — so `ℓ ≤ 2 + 3e`; and a run with
+/// no edit at all can only be a lone boundary segment of ≤ 2 bits,
+/// which still claims the adjacent (read-position-free) deletion
+/// uniquely, hence the floor of 1. Callers must special-case reads
+/// shorter than the amendment cutoff, where a 0-edit whole-read run
+/// can be amended.
+pub fn streak_edit_bound(mask: &[u64], len: usize) -> u64 {
+    let mut bound = 0u64;
+    let mut run = 0usize;
+    for i in 0..len {
+        if mask[i / 64] >> (i % 64) & 1 != 0 {
+            run += 1;
+        } else if run > 0 {
+            bound += run_cost(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        bound += run_cost(run);
+    }
+    bound
+}
+
+fn run_cost(len: usize) -> u64 {
+    if len <= 2 {
+        1
+    } else {
+        ((len - 2) as u64).div_ceil(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_to_words(bits: &[u8]) -> Vec<u64> {
+        let mut words = vec![0u64; bits.len().div_ceil(64).max(1)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b != 0 {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn shl1_carries_across_words() {
+        let mask = vec![1u64 << 63, 0];
+        let mut out = vec![0u64; 2];
+        shl1(&mask, &mut out, true);
+        assert_eq!(out, vec![1, 1]);
+    }
+
+    #[test]
+    fn shr1_carries_across_words() {
+        let mask = vec![0u64, 1];
+        let mut out = vec![0u64; 2];
+        shr1(&mask, &mut out, true);
+        assert_eq!(out, vec![1u64 << 63, 1u64 << 63]);
+    }
+
+    #[test]
+    fn clear_tail_zeroes_padding_only() {
+        let mut mask = vec![u64::MAX, u64::MAX];
+        clear_tail(&mut mask, 70);
+        assert_eq!(mask, vec![u64::MAX, (1u64 << 6) - 1]);
+        let mut exact = vec![u64::MAX];
+        clear_tail(&mut exact, 64); // multiple of 64: nothing to clear
+        assert_eq!(exact, vec![u64::MAX]);
+    }
+
+    #[test]
+    fn count_runs_counts_maximal_streaks() {
+        // 1101110001 → runs {0,1}, {3,4,5}, {9}
+        let words = bits_to_words(&[1, 1, 0, 1, 1, 1, 0, 0, 0, 1]);
+        assert_eq!(count_runs(&words, 10), 3);
+        assert_eq!(popcount(&words), 6);
+    }
+
+    #[test]
+    fn count_runs_spans_word_boundary() {
+        // A single run crossing bits 62..=65 must count once.
+        let words = bits_to_words(
+            &(0..70)
+                .map(|i| u8::from((62..=65).contains(&i)))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(count_runs(&words, 70), 1);
+    }
+
+    #[test]
+    fn streak_edit_bound_charges_per_run() {
+        // Runs: {0,1} (len 2 → 1), {5..=12} (len 8 → 2)
+        let bits: Vec<u8> = (0..20)
+            .map(|i| u8::from(i < 2 || (5..=12).contains(&i)))
+            .collect();
+        let words = bits_to_words(&bits);
+        assert_eq!(streak_edit_bound(&words, 20), 3);
+        assert_eq!(streak_edit_bound(&words, 1), 1);
+        assert_eq!(streak_edit_bound(&[0u64], 20), 0);
+        // len-5 run → 1 edit, len-6 → 2: the 2+3e breakpoints.
+        let five = bits_to_words(&[1, 1, 1, 1, 1, 0]);
+        assert_eq!(streak_edit_bound(&five, 6), 1);
+        let six = bits_to_words(&[1, 1, 1, 1, 1, 1, 0]);
+        assert_eq!(streak_edit_bound(&six, 7), 2);
+    }
+
+    #[test]
+    fn count_runs_respects_len() {
+        let words = vec![u64::MAX; 2];
+        assert_eq!(count_runs(&words, 128), 1);
+        assert_eq!(count_runs(&words, 10), 1);
+        assert_eq!(count_runs(&words, 0), 0);
+    }
+}

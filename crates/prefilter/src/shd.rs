@@ -1,0 +1,355 @@
+//! Shifted Hamming Distance pre-alignment filter (GateKeeper-style).
+//!
+//! GateKeeper (Alser et al.) rejects candidate windows in FPGA logic by
+//! building Hamming masks of the read against the window at every
+//! diagonal shift a ≤ δ-edit alignment could use, *amending* short
+//! match runs (which are overwhelmingly coincidental), ANDing the
+//! masks, and thresholding what survives. This module is the portable
+//! bit-parallel reformulation: masks are `u64` words, one bit per read
+//! base (1 = mismatch), and all mask arithmetic runs through
+//! [`crate::bits`].
+//!
+//! # Deviations from the hardware formulation — and why
+//!
+//! The issue sketch (and GateKeeper itself, which assumes an
+//! equal-length window) prescribes **2δ+1** shifts and rejection when
+//! the surviving **mismatch count** exceeds δ. Both parts are unsound
+//! against this pipeline's verifier and are adjusted here:
+//!
+//! * **Shift range.** `VerifyEngine` windows carry δ bases of slack on
+//!   *both* sides (`window = read + 2δ`), and `repute_align::verify` is
+//!   semi-global over that window. A read base `i` may therefore align
+//!   at window offset `i + s` for any `s ∈ [−δ, wlen − m + δ]` — that
+//!   is **4δ+1** shifts for the standard window, collapsing to
+//!   GateKeeper's 2δ+1 exactly when `wlen == m`. Using fewer shifts
+//!   rejects genuinely verifiable alignments near the window edges.
+//! * **Acceptance rule.** Counting surviving 1s and comparing against δ
+//!   admits false negatives: δ clustered substitutions spaced two apart
+//!   leave length-1 match runs between them, amendment flips those to
+//!   mismatches, and the count lands near 2δ > δ. Instead we convert
+//!   the surviving 1-bits into a provable *lower bound on the edits any
+//!   alignment must spend* and reject only when that bound exceeds δ.
+//!   In a true ≤ δ-edit alignment every surviving 1 is an edit position
+//!   (substitution/insertion) or part of an amended match segment of at
+//!   most 2 bases (longer segments survive amendment); one edit can
+//!   therefore extend a maximal 1-streak by at most 3 bits, so a streak
+//!   of length ℓ witnesses `max(1, ⌈(ℓ−2)/3⌉)` edits, streaks claim
+//!   disjoint edits (two segments split only by a deletion stay
+//!   adjacent, hence in one streak), and the per-streak sum
+//!   ([`crate::bits::streak_edit_bound`]) never exceeds the alignment's
+//!   true edit count. The randomized and corpus tests in `tests/`
+//!   check this against the verifier oracle.
+//!
+//! A cheap sound shortcut runs first: if the surviving mismatch
+//! *popcount* is already ≤ δ the candidate is accepted without the
+//! streak scan (the bound charges at most 1 per surviving bit).
+
+use crate::bits::{clear_tail, popcount, shl1, shr1, streak_edit_bound};
+use crate::{Candidate, PreFilter, Verdict};
+
+/// The SHD filter. Stateless aside from its amendment knob; build once
+/// and share freely across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ShdFilter {
+    amend_below: usize,
+}
+
+impl Default for ShdFilter {
+    fn default() -> ShdFilter {
+        ShdFilter::new()
+    }
+}
+
+impl ShdFilter {
+    /// Match runs shorter than this many bases are amended to
+    /// mismatches before the AND — GateKeeper's "short streak" cutoff.
+    /// Runs of 1–2 matching bases between random sequences occur with
+    /// probability ~1/4 per base and carry almost no alignment signal.
+    pub const DEFAULT_AMEND_BELOW: usize = 3;
+
+    /// Creates the filter with the default amendment cutoff.
+    pub fn new() -> ShdFilter {
+        ShdFilter {
+            amend_below: Self::DEFAULT_AMEND_BELOW,
+        }
+    }
+
+    /// Overrides the amendment cutoff: match runs shorter than `below`
+    /// bases are treated as mismatches. `below ≤ 1` disables amendment
+    /// (maximum safety margin, minimal rejection power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `below == 0` (a zero-length run cannot exist; use 1 to
+    /// disable amendment).
+    pub fn with_amend_below(mut self, below: usize) -> ShdFilter {
+        assert!(below > 0, "amendment cutoff must be at least 1");
+        self.amend_below = below;
+        self
+    }
+
+    /// Examines raw code slices (the [`PreFilter`] impl delegates
+    /// here). `window` is the exact slice the verifier would align
+    /// against; `delta` its error budget.
+    pub fn examine_codes(&self, read: &[u8], window: &[u8], delta: u32) -> Verdict {
+        let m = read.len();
+        let wlen = window.len();
+        if m < self.amend_below {
+            // Degenerate: amendment could erase a 0-edit whole-read
+            // match run, so the streak bound is not sound here. Reads
+            // this short carry no signal anyway — accept.
+            return Verdict::accept(u64::from(m > 0));
+        }
+        // A semi-global alignment consumes the whole read, so a read
+        // overhanging the window by more than δ needs > δ deletions:
+        // provably unverifiable, reject at unit cost.
+        if m > wlen + delta as usize {
+            return Verdict::reject(1);
+        }
+        let words = m.div_ceil(64);
+        let pad = (words * 64 - m) as u32;
+        let delta_i = delta as isize;
+        // Window offsets a read base can occupy across all ≤ δ-edit
+        // semi-global alignments (see module docs): [−δ, wlen − m + δ].
+        let s_hi = (wlen + delta as usize - m) as isize;
+
+        let mut acc = vec![u64::MAX; words];
+        let mut mask = vec![0u64; words];
+        let mut run_end = vec![0u64; words];
+        let mut scratch = vec![0u64; words];
+        let mut keep = vec![0u64; words];
+        let mut masks_built = 0u64;
+        let mut accepted_early = false;
+        for s in -delta_i..=s_hi {
+            build_shift_mask(read, window, s, &mut mask);
+            amend_short_runs(
+                &mut mask,
+                self.amend_below,
+                &mut run_end,
+                &mut scratch,
+                &mut keep,
+            );
+            for (a, &w) in acc.iter_mut().zip(&mask) {
+                *a &= w;
+            }
+            masks_built += 1;
+            // Sound early accept: popcount only ever shrinks under AND.
+            if popcount(&acc) - pad <= delta {
+                accepted_early = true;
+                break;
+            }
+        }
+        // One pipelined pass (XOR-build, amend, AND, count) per mask
+        // word is charged one unit of the Myers word-update currency —
+        // both are short fixed bundles of 64-lane bitwise ops — plus
+        // one final counting pass.
+        let cost = (masks_built + 1) * words as u64;
+        if accepted_early {
+            return Verdict::accept(cost);
+        }
+        clear_tail(&mut acc, m);
+        if streak_edit_bound(&acc, m) <= u64::from(delta) {
+            Verdict::accept(cost)
+        } else {
+            Verdict::reject(cost)
+        }
+    }
+}
+
+/// Builds the Hamming mask for diagonal shift `s`: bit `i` is set when
+/// `read[i]` mismatches `window[i + s]` or falls outside the window.
+/// Padding bits past the read length are set (mismatch) so they never
+/// masquerade as match runs.
+fn build_shift_mask(read: &[u8], window: &[u8], s: isize, mask: &mut [u64]) {
+    let m = read.len();
+    mask.fill(0);
+    for (i, &base) in read.iter().enumerate() {
+        let j = i as isize + s;
+        let mismatch = j < 0 || j >= window.len() as isize || window[j as usize] != base;
+        if mismatch {
+            mask[i / 64] |= 1 << (i % 64);
+        }
+    }
+    let tail = m % 64;
+    if tail != 0 {
+        if let Some(last) = mask.last_mut() {
+            *last |= !((1u64 << tail) - 1);
+        }
+    }
+}
+
+/// Flips 0-runs (match runs) shorter than `below` bits to 1s, in
+/// place. `below == 1` is a no-op. The classic two-shift trick,
+/// generalised: a 0 survives only if it belongs to a run of ≥ `below`
+/// consecutive 0s.
+fn amend_short_runs(
+    mask: &mut [u64],
+    below: usize,
+    z: &mut [u64],
+    scratch: &mut [u64],
+    keep: &mut [u64],
+) {
+    if below <= 1 {
+        return;
+    }
+    // z = match positions (out-of-read padding is already a mismatch).
+    for (zw, &w) in z.iter_mut().zip(mask.iter()) {
+        *zw = !w;
+    }
+    // keep starts as "ends of runs ≥ below": AND of z shifted up by
+    // 0..below. `scratch` walks the successive shifts of z.
+    keep.copy_from_slice(z);
+    scratch.copy_from_slice(z);
+    for _ in 1..below {
+        let prev: Vec<u64> = scratch.to_vec();
+        shl1(&prev, scratch, false);
+        for (k, &sh) in keep.iter_mut().zip(scratch.iter()) {
+            *k &= sh;
+        }
+    }
+    // Smear run ends back over their `below`-wide tails so `keep`
+    // covers every position of every qualifying run.
+    scratch.copy_from_slice(keep);
+    for _ in 1..below {
+        let prev: Vec<u64> = scratch.to_vec();
+        shr1(&prev, scratch, false);
+        for (k, &sh) in keep.iter_mut().zip(scratch.iter()) {
+            *k |= sh;
+        }
+    }
+    // Matches not kept become mismatches.
+    for (m_w, (&zw, &k)) in mask.iter_mut().zip(z.iter().zip(keep.iter())) {
+        *m_w |= zw & !k;
+    }
+}
+
+impl PreFilter for ShdFilter {
+    fn examine(&self, candidate: &Candidate<'_>) -> Verdict {
+        self.examine_codes(candidate.read, candidate.window, candidate.delta)
+    }
+
+    fn name(&self) -> &'static str {
+        "shd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(read: &[u8], window: &[u8], delta: u32) -> Verdict {
+        ShdFilter::new().examine_codes(read, window, delta)
+    }
+
+    #[test]
+    fn exact_match_is_accepted() {
+        let window: Vec<u8> = (0..110)
+            .map(|i| (i % 4) as u8 ^ (i / 7 % 4) as u8)
+            .collect();
+        let read = window[5..105].to_vec();
+        let v = verdict(&read, &window, 5);
+        assert!(v.accept);
+        assert!(v.cost_words > 0);
+    }
+
+    #[test]
+    fn shifted_exact_match_is_accepted_at_every_offset() {
+        // The read sits at every possible offset of the padded window —
+        // all 4δ+1 diagonals must be covered.
+        let delta = 4u32;
+        let window: Vec<u8> = (0..48).map(|i| ((i * 7 + i / 3) % 4) as u8).collect();
+        let m = window.len() - 2 * delta as usize;
+        for offset in 0..=(2 * delta as usize) {
+            let read = window[offset..offset + m].to_vec();
+            assert!(
+                verdict(&read, &window, delta).accept,
+                "offset {offset} rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn scattered_substitutions_within_delta_are_accepted() {
+        let window: Vec<u8> = (0..140).map(|i| ((i * 5 + 1) % 4) as u8).collect();
+        let mut read = window[5..135].to_vec();
+        for (k, pos) in [10usize, 40, 70, 100, 125].iter().enumerate() {
+            read[*pos] = (read[*pos] + 1 + k as u8 % 3) % 4;
+        }
+        assert!(verdict(&read, &window, 5).accept);
+    }
+
+    #[test]
+    fn clustered_substitutions_within_delta_are_accepted() {
+        // The case that breaks naive popcount-vs-δ thresholds: edits
+        // two apart amend every run between them.
+        let window: Vec<u8> = (0..120).map(|i| ((i * 3 + i / 5) % 4) as u8).collect();
+        let mut read = window[5..115].to_vec();
+        for pos in [50usize, 52, 54, 56, 58] {
+            read[pos] = (read[pos] + 2) % 4;
+        }
+        assert!(verdict(&read, &window, 5).accept);
+    }
+
+    #[test]
+    fn random_junk_is_rejected() {
+        // Deterministic pseudo-random read vs an unrelated window.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let read: Vec<u8> = (0..100).map(|_| (next() & 3) as u8).collect();
+        let window: Vec<u8> = (0..110).map(|_| (next() & 3) as u8).collect();
+        let v = verdict(&read, &window, 5);
+        assert!(!v.accept, "random junk survived SHD");
+    }
+
+    #[test]
+    fn read_overhanging_window_beyond_delta_is_rejected() {
+        let read = vec![0u8; 50];
+        assert!(!verdict(&read, &[0u8; 40], 5).accept);
+        // ...but within δ deletions it must stay (poly-A aligns).
+        assert!(verdict(&read, &[0u8; 46], 5).accept);
+    }
+
+    #[test]
+    fn empty_read_accepted_at_zero_cost() {
+        assert_eq!(verdict(&[], &[0, 1, 2], 3), Verdict::accept(0));
+    }
+
+    #[test]
+    fn delta_zero_accepts_exact_and_rejects_noise() {
+        let window: Vec<u8> = (0..64).map(|i| ((i * 11 + i / 2) % 4) as u8).collect();
+        let read = window.clone();
+        assert!(verdict(&read, &window, 0).accept);
+        let mut noise = read.clone();
+        for i in (0..64).step_by(4) {
+            noise[i] = (noise[i] + 1) % 4;
+        }
+        assert!(!verdict(&noise, &window, 0).accept);
+    }
+
+    #[test]
+    fn amendment_knob_validates() {
+        let f = ShdFilter::new().with_amend_below(1); // amendment off
+        let window: Vec<u8> = (0..80).map(|i| ((i * 13) % 4) as u8).collect();
+        let read = window[2..78].to_vec();
+        assert!(f.examine_codes(&read, &window, 2).accept);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_amendment_cutoff_panics() {
+        let _ = ShdFilter::new().with_amend_below(0);
+    }
+
+    #[test]
+    fn multiword_reads_work() {
+        let window: Vec<u8> = (0..170).map(|i| ((i * 7 + i / 9) % 4) as u8).collect();
+        let mut read = window[10..160].to_vec(); // 150 bases: 3 words
+        read[75] = (read[75] + 1) % 4;
+        assert!(verdict(&read, &window, 5).accept);
+    }
+}

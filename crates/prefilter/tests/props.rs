@@ -1,0 +1,91 @@
+#![cfg(feature = "proptest")]
+//! NOTE: gated behind the non-default `proptest` feature because the
+//! external `proptest` crate cannot be resolved in the offline build
+//! environment. Enabling the feature additionally requires restoring a
+//! `proptest` dev-dependency where registry access exists. The
+//! always-on randomized suite in `zero_false_negatives.rs` covers the
+//! same invariants with the in-repo PRNG.
+
+use proptest::prelude::*;
+
+use repute_align::verify;
+use repute_prefilter::{Candidate, PreFilter, QgramBins, QgramFilter, ShdFilter};
+
+fn codes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Zero false negatives, SHD: whatever the verifier accepts within
+    /// δ, the filter must accept — over arbitrary reads, windows and
+    /// δ ∈ 3..=7.
+    #[test]
+    fn shd_never_rejects_verifiable_windows(
+        read in codes(40..160),
+        window in codes(40..200),
+        delta in 3u32..=7,
+    ) {
+        if verify(&read, &window, delta).is_some() {
+            let verdict = ShdFilter::new().examine_codes(&read, &window, delta);
+            prop_assert!(verdict.accept, "SHD rejected a verifiable window");
+        }
+    }
+
+    /// Zero false negatives, q-gram bins: windows cut from a random
+    /// reference, reads arbitrary.
+    #[test]
+    fn qgram_never_rejects_verifiable_windows(
+        reference in codes(1024..2048),
+        read in codes(40..160),
+        start_frac in 0.0f64..1.0,
+        wlen in 60usize..200,
+        delta in 3u32..=7,
+    ) {
+        let start = ((reference.len() - 1) as f64 * start_frac) as usize;
+        let end = (start + wlen).min(reference.len());
+        let window = &reference[start..end];
+        if verify(&read, window, delta).is_some() {
+            let bins = QgramBins::build_default(&reference);
+            let verdict = QgramFilter::new(&bins).examine(&Candidate {
+                read: &read,
+                window,
+                window_start: start,
+                delta,
+            });
+            prop_assert!(verdict.accept, "q-gram filter rejected a verifiable window");
+        }
+    }
+
+    /// Planted mutants (≤ δ edits applied to the window core) must
+    /// survive both filters — the high-yield true-positive generator.
+    #[test]
+    fn planted_mutants_survive_both_filters(
+        reference in codes(2048..3072),
+        pos_frac in 0.0f64..1.0,
+        m in 70usize..140,
+        delta in 3u32..=7,
+        edit_positions in proptest::collection::vec(0usize..70, 0..7),
+    ) {
+        let slack = delta as usize;
+        let span = m + 2 * slack;
+        prop_assume!(reference.len() > span + 2);
+        let wstart = ((reference.len() - span - 1) as f64 * pos_frac) as usize;
+        let window = &reference[wstart..wstart + span];
+        let mut read = reference[wstart + slack..wstart + slack + m].to_vec();
+        for (k, &p) in edit_positions.iter().take(delta as usize).enumerate() {
+            let i = (p * (k + 1)) % read.len();
+            read[i] = (read[i] + 1) % 4;
+        }
+        prop_assume!(verify(&read, window, delta).is_some());
+        prop_assert!(ShdFilter::new().examine_codes(&read, window, delta).accept);
+        let bins = QgramBins::build_default(&reference);
+        prop_assert!(QgramFilter::new(&bins).examine(&Candidate {
+            read: &read,
+            window,
+            window_start: wstart,
+            delta,
+        }).accept);
+    }
+}
