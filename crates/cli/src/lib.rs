@@ -18,7 +18,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::sync::Arc;
 
-use repute_core::{map_on_platform_with_metrics, ReputeConfig, ReputeMapper};
+use repute_core::{map_scheduled, ReputeConfig, ReputeMapper, Schedule, ScheduleMode};
 use repute_eval::sam;
 use repute_genome::fasta::{read_fasta, AmbiguityPolicy};
 use repute_genome::fastq::FastqReader;
@@ -101,6 +101,10 @@ pub struct MapOptions {
     /// Simulated platform to report time/energy for (`system1`,
     /// `system1-cpu`, `hikey970`); `None` skips the simulation report.
     pub platform: Option<String>,
+    /// Multi-device scheduling policy of the platform simulation.
+    pub schedule: ScheduleMode,
+    /// Host-thread cap of the task-parallel executor (`0` = automatic).
+    pub host_threads: usize,
     /// Path the telemetry JSON-lines are written to; `None` disables the
     /// export.
     pub metrics_out: Option<String>,
@@ -124,6 +128,8 @@ impl Default for MapOptions {
             prefilter_q: qgram::DEFAULT_Q,
             prefilter_bin: qgram::DEFAULT_BIN_WIDTH,
             platform: None,
+            schedule: ScheduleMode::Static,
+            host_threads: 0,
             metrics_out: None,
             verbose: false,
         }
@@ -184,6 +190,13 @@ MAP OPTIONS:
                              prefilter [default: 512]
     --platform <name>        also report simulated time/energy on
                              system1 | system1-cpu | hikey970
+    --schedule <mode>        multi-device scheduling of the platform
+                             simulation: static (fixed per-device shares)
+                             | dynamic (devices greedily pull batches)
+                             [default: static]
+    --host-threads <n>       cap the executor's host threads (1 = the
+                             sequential host of earlier releases)
+                             [default: automatic]
     --metrics-out <path>     write per-read and run-level telemetry as
                              JSON-lines (inspect with `repute stats`)
     -v, --verbose, --trace   per-read trace lines and the full run report
@@ -267,6 +280,22 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
                 }
             }
             "--platform" => opts.platform = Some(value("--platform")?),
+            "--schedule" => {
+                let mode = value("--schedule")?;
+                opts.schedule = ScheduleMode::parse(&mode).ok_or_else(|| {
+                    ParseArgsError::new(format!("unknown schedule {mode:?} (static, dynamic)"))
+                })?;
+            }
+            "--host-threads" => {
+                opts.host_threads = value("--host-threads")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--host-threads expects an integer"))?;
+                if opts.host_threads == 0 {
+                    return Err(ParseArgsError::new(
+                        "--host-threads must be positive (omit the flag for automatic)",
+                    ));
+                }
+            }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "-v" | "--verbose" | "--trace" => opts.verbose = true,
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
@@ -531,7 +560,9 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
     let config = ReputeConfig::new(opts.delta, opts.s_min)?
         .with_max_locations(opts.max_locations)
         .with_prefilter(opts.prefilter)
-        .with_prefilter_qgram(opts.prefilter_q, opts.prefilter_bin);
+        .with_prefilter_qgram(opts.prefilter_q, opts.prefilter_bin)
+        .with_schedule(opts.schedule)
+        .with_host_threads(opts.host_threads);
     let repute = ReputeMapper::new(Arc::clone(set.indexed()), config);
     let baseline: Option<Box<dyn Mapper>> = match opts.mapper {
         MapperChoice::Repute => None,
@@ -694,14 +725,21 @@ fn simulate_platform(
     for record in FastqReader::new(BufReader::new(reads_file)) {
         reads.push(record?.seq);
     }
-    let shares = platform.even_shares(reads.len());
+    // The schedule and host-thread cap travel in the mapper's config
+    // (`--schedule` / `--host-threads`); output is identical across
+    // schedules, only the simulated timeline differs.
+    let config = repute.config();
+    let schedule = Schedule::for_config(config, &platform, reads.len());
     let (run, metrics) = match baseline {
-        Some(mapper) => map_on_platform_with_metrics(&mapper, &platform, &shares, &reads)?,
-        None => map_on_platform_with_metrics(repute, &platform, &shares, &reads)?,
+        Some(mapper) => {
+            map_scheduled(&mapper, &platform, &schedule, config.host_threads(), &reads)?
+        }
+        None => map_scheduled(repute, &platform, &schedule, config.host_threads(), &reads)?,
     };
     eprintln!(
-        "simulated on {}: {:.3} s | {:.1} W avg | {:.3} J above idle",
+        "simulated on {} ({} schedule): {:.3} s | {:.1} W avg | {:.3} J above idle",
         platform.name(),
+        config.schedule(),
         run.simulated_seconds,
         run.energy.average_power_w,
         run.energy.energy_j
@@ -734,7 +772,11 @@ fn write_metrics_file(
             (report, host_metrics.to_vec())
         }
     };
-    report.stages = stages.to_vec();
+    // Host stage clocks first (load/map/simulate), then whatever stage
+    // breakdown the run report derived from the merged metrics.
+    let mut all_stages = stages.to_vec();
+    all_stages.append(&mut report.stages);
+    report.stages = all_stages;
     report.wall_seconds = wall_seconds;
     let file =
         File::create(path).map_err(|e| format!("cannot create metrics file {path:?}: {e}"))?;
@@ -1030,6 +1072,8 @@ mod tests {
             prefilter_q: qgram::DEFAULT_Q,
             prefilter_bin: qgram::DEFAULT_BIN_WIDTH,
             platform: None,
+            schedule: ScheduleMode::Static,
+            host_threads: 0,
             metrics_out: None,
             verbose: false,
         };
@@ -1265,6 +1309,71 @@ mod tests {
         let opts =
             parse_map_args(args("--reference r.fa --reads q.fq --platform hikey970")).unwrap();
         assert_eq!(opts.platform.as_deref(), Some("hikey970"));
+    }
+
+    #[test]
+    fn schedule_flags_parse_and_validate() {
+        // Defaults: static schedule, automatic host threads.
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq")).unwrap();
+        assert_eq!(opts.schedule, ScheduleMode::Static);
+        assert_eq!(opts.host_threads, 0);
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --schedule dynamic --host-threads 3",
+        ))
+        .unwrap();
+        assert_eq!(opts.schedule, ScheduleMode::Dynamic);
+        assert_eq!(opts.host_threads, 3);
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq --schedule static")).unwrap();
+        assert_eq!(opts.schedule, ScheduleMode::Static);
+        // Bad mode, non-integer and zero thread counts.
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --schedule greedy")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --host-threads x")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --host-threads 0")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --schedule")).is_err());
+    }
+
+    #[test]
+    fn dynamic_schedule_run_matches_static_sam_output() {
+        let dir = std::env::temp_dir().join("repute-cli-schedule-test");
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 16,
+            read_len: 100,
+            seed: 29,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let run = |extra: &str, sam: &str| {
+            let opts = parse_map_args(
+                format!(
+                    "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                     --platform system1 --output {dir_s}/{sam} {extra}"
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap();
+            run_map(&opts).unwrap()
+        };
+        let static_counts = run("--schedule static", "static.sam");
+        let dynamic_counts = run("--schedule dynamic --host-threads 2", "dynamic.sam");
+        let sequential_counts = run("--host-threads 1", "sequential.sam");
+        // Schedule and thread count change the simulated timeline only:
+        // the SAM output is byte-identical.
+        assert_eq!(static_counts, dynamic_counts);
+        assert_eq!(static_counts, sequential_counts);
+        let static_sam = std::fs::read_to_string(dir.join("static.sam")).unwrap();
+        assert_eq!(
+            static_sam,
+            std::fs::read_to_string(dir.join("dynamic.sam")).unwrap()
+        );
+        assert_eq!(
+            static_sam,
+            std::fs::read_to_string(dir.join("sequential.sam")).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

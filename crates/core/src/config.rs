@@ -3,6 +3,41 @@
 use repute_filter::oss::{Exploration, InvalidParamsError, OssParams};
 use repute_prefilter::{qgram, PrefilterMode};
 
+/// Scheduling policy of the multi-device executor (see
+/// [`crate::Schedule`] for the full semantics). Both policies produce
+/// byte-identical mapping output; they differ only in how simulated
+/// device time is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// Fixed contiguous per-device shares — the paper's user-specified
+    /// distribution (and this crate's historical behaviour).
+    #[default]
+    Static,
+    /// Devices greedily pull quarter-RAM-capped batches from a shared
+    /// queue, balancing skewed per-read work automatically.
+    Dynamic,
+}
+
+impl ScheduleMode {
+    /// Parses a CLI-style mode name (`static` / `dynamic`).
+    pub fn parse(name: &str) -> Option<ScheduleMode> {
+        match name {
+            "static" => Some(ScheduleMode::Static),
+            "dynamic" => Some(ScheduleMode::Dynamic),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScheduleMode::Static => "static",
+            ScheduleMode::Dynamic => "dynamic",
+        })
+    }
+}
+
 /// Configuration of a [`crate::ReputeMapper`].
 ///
 /// # Example
@@ -24,6 +59,9 @@ pub struct ReputeConfig {
     prefilter: PrefilterMode,
     prefilter_q: usize,
     prefilter_bin_width: usize,
+    schedule: ScheduleMode,
+    dynamic_batch: usize,
+    host_threads: usize,
 }
 
 impl ReputeConfig {
@@ -42,7 +80,50 @@ impl ReputeConfig {
             prefilter: PrefilterMode::None,
             prefilter_q: qgram::DEFAULT_Q,
             prefilter_bin_width: qgram::DEFAULT_BIN_WIDTH,
+            schedule: ScheduleMode::Static,
+            dynamic_batch: 0,
+            host_threads: 0,
         })
+    }
+
+    /// Selects the multi-device scheduling policy; the default is
+    /// [`ScheduleMode::Static`] (the paper's user-specified shares).
+    pub fn with_schedule(mut self, schedule: ScheduleMode) -> ReputeConfig {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Overrides the dynamic scheduler's batch size in reads; `0` (the
+    /// default) sizes batches automatically — see
+    /// [`crate::Schedule::Dynamic`]. Only consulted when the schedule
+    /// mode is dynamic.
+    pub fn with_dynamic_batch(mut self, batch: usize) -> ReputeConfig {
+        self.dynamic_batch = batch;
+        self
+    }
+
+    /// Caps the host threads the executor may use; `0` (the default)
+    /// lets the executor decide — one thread per share in static mode,
+    /// one per host core in dynamic mode. `1` forces the sequential
+    /// host of earlier releases.
+    pub fn with_host_threads(mut self, host_threads: usize) -> ReputeConfig {
+        self.host_threads = host_threads;
+        self
+    }
+
+    /// The selected multi-device scheduling policy.
+    pub fn schedule(&self) -> ScheduleMode {
+        self.schedule
+    }
+
+    /// The dynamic scheduler's batch size (`0` = automatic).
+    pub fn dynamic_batch(&self) -> usize {
+        self.dynamic_batch
+    }
+
+    /// The executor's host-thread cap (`0` = automatic).
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
     }
 
     /// Overrides the *first-n* output-slot limit per read.
@@ -237,5 +318,29 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_width_rejected() {
         let _ = ReputeConfig::new(3, 12).unwrap().with_prefilter_qgram(5, 0);
+    }
+
+    #[test]
+    fn schedule_knobs_default_off_and_round_trip() {
+        let config = ReputeConfig::new(5, 12).unwrap();
+        assert_eq!(config.schedule(), ScheduleMode::Static);
+        assert_eq!(config.dynamic_batch(), 0);
+        assert_eq!(config.host_threads(), 0);
+        let tuned = config
+            .with_schedule(ScheduleMode::Dynamic)
+            .with_dynamic_batch(64)
+            .with_host_threads(2);
+        assert_eq!(tuned.schedule(), ScheduleMode::Dynamic);
+        assert_eq!(tuned.dynamic_batch(), 64);
+        assert_eq!(tuned.host_threads(), 2);
+    }
+
+    #[test]
+    fn schedule_mode_parses_and_displays() {
+        assert_eq!(ScheduleMode::parse("static"), Some(ScheduleMode::Static));
+        assert_eq!(ScheduleMode::parse("dynamic"), Some(ScheduleMode::Dynamic));
+        assert_eq!(ScheduleMode::parse("greedy"), None);
+        assert_eq!(ScheduleMode::Dynamic.to_string(), "dynamic");
+        assert_eq!(ScheduleMode::default(), ScheduleMode::Static);
     }
 }

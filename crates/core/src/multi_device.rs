@@ -3,10 +3,30 @@
 //! "Unlike state-of-the-art mappers, REPUTE distributes the workload on
 //! CPU and GPU, as per user specification, executing the work-items in
 //! task-parallel fashion" (§III-B). This module runs any [`Mapper`] over a
-//! read set with a user-chosen [`Share`] distribution, honouring the
-//! OpenCL 1.2 buffer restrictions: when a device's share needs more output
-//! memory than a quarter of its RAM, the share is split into sequential
-//! batches ("run the kernel multiple times with smaller read sets", §IV).
+//! read set under a [`Schedule`], honouring the OpenCL 1.2 buffer
+//! restrictions: when a device's share needs more output memory than a
+//! quarter of its RAM, the share is split into sequential batches ("run
+//! the kernel multiple times with smaller read sets", §IV).
+//!
+//! Two schedules are supported:
+//!
+//! * [`Schedule::Static`] — the paper's user-specified contiguous share
+//!   per device. Each share's [`CommandQueue`] runs on its own host
+//!   thread (`std::thread::scope`), and outputs/metrics are reassembled
+//!   in exact read order regardless of completion order.
+//! * [`Schedule::Dynamic`] — the read set is carved into quarter-RAM-
+//!   capped batches placed in a shared work queue that devices pull from
+//!   greedily. Device assignment happens in *simulated* time with a
+//!   deterministic event-driven rule (next batch goes to the device that
+//!   frees earliest, ties broken by the lower device index), so
+//!   `simulated_seconds`, timelines and energy are reproducible for any
+//!   `--host-threads` value: batch execution on the host is decoupled
+//!   from the simulated schedule, because a batch's outputs and work
+//!   counts do not depend on which device runs it — only its duration
+//!   does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use repute_genome::DnaSeq;
 use repute_hetsim::{
@@ -15,6 +35,50 @@ use repute_hetsim::{
 };
 use repute_mappers::{MapOutput, Mapper};
 use repute_obs::{DeviceTimeline, EnergySummary, KernelEvent, MapMetrics, RunReport};
+
+use crate::config::{ReputeConfig, ScheduleMode};
+
+/// `host_threads` value meaning "let the executor decide": one thread per
+/// share in static mode, one per host core in dynamic mode.
+pub const AUTO_HOST_THREADS: usize = 0;
+
+/// Batch granularity target of [`Schedule::Dynamic`]'s auto batch size:
+/// enough batches per device for greedy pulling to balance a skewed
+/// workload, without drowning the timeline in micro-launches.
+const DYNAMIC_BATCHES_PER_DEVICE: usize = 8;
+
+/// How the executor distributes reads over the platform's devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Schedule {
+    /// A fixed contiguous run of reads per [`Share`] entry — the paper's
+    /// "as per user specification" distribution. Each share's command
+    /// queue runs on its own host thread.
+    Static(Vec<Share>),
+    /// Reads are carved into quarter-RAM-capped batches that devices pull
+    /// from a shared queue greedily, in a deterministic event-driven
+    /// simulated-time order (earliest-free device first, ties to the
+    /// lower device index).
+    Dynamic {
+        /// Maximum reads per batch. `0` picks automatically: about
+        /// [`DYNAMIC_BATCHES_PER_DEVICE`] batches per device, further
+        /// capped by the smallest device's quarter-RAM output limit.
+        batch: usize,
+    },
+}
+
+impl Schedule {
+    /// The schedule a [`ReputeConfig`] selects for mapping `items` reads
+    /// on `platform`: throughput-proportional static shares, or dynamic
+    /// batching with the configured batch size.
+    pub fn for_config(config: &ReputeConfig, platform: &Platform, items: usize) -> Schedule {
+        match config.schedule() {
+            ScheduleMode::Static => Schedule::Static(platform.even_shares(items)),
+            ScheduleMode::Dynamic => Schedule::Dynamic {
+                batch: config.dynamic_batch(),
+            },
+        }
+    }
+}
 
 /// How a device share is split into kernel launches.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,10 +103,25 @@ impl BatchPlan {
             "one read's output ({bytes_per_item} bytes) exceeds the quarter-RAM cap of {}",
             device.name()
         );
-        let mut batches = Vec::new();
+        BatchPlan::uniform(items, per_launch)
+    }
+
+    /// Plans `items` reads into uniform batches of at most `max_batch`
+    /// (the last batch takes the remainder) — the dynamic scheduler's
+    /// shared work queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` while `items > 0`.
+    pub fn uniform(items: usize, max_batch: usize) -> BatchPlan {
+        if items == 0 {
+            return BatchPlan { batches: vec![] };
+        }
+        assert!(max_batch >= 1, "batch size must be positive");
+        let mut batches = Vec::with_capacity(items.div_ceil(max_batch));
         let mut remaining = items;
         while remaining > 0 {
-            let take = remaining.min(per_launch);
+            let take = remaining.min(max_batch);
             batches.push(take);
             remaining -= take;
         }
@@ -65,12 +144,14 @@ impl BatchPlan {
 pub struct MappingRun {
     /// Per-read outputs, in read order.
     pub outputs: Vec<MapOutput>,
-    /// Per-device accounting (one entry per share, batches folded in).
+    /// Per-device accounting (one entry per share in static mode, one per
+    /// platform device in dynamic mode; batches folded in).
     pub device_runs: Vec<DeviceRun>,
-    /// OpenCL-style profiling events per share, parallel to
-    /// `device_runs`: one [`Event`] per kernel launch (batch), carrying
-    /// the queued/submitted/start/end timestamps of that share's command
-    /// queue.
+    /// OpenCL-style profiling events per entry of `device_runs`: one
+    /// [`Event`] per kernel launch (batch), carrying the
+    /// queued/submitted/start/end timestamps of that device's command
+    /// queue. Dynamic-mode labels carry the global batch index, so every
+    /// batch's device attribution is visible in the timeline.
     pub timelines: Vec<Vec<Event>>,
     /// Simulated completion time: slowest device, batches sequential.
     pub simulated_seconds: f64,
@@ -92,8 +173,10 @@ impl MappingRun {
     }
 
     /// Rolls the run up into a run-level [`RunReport`]: per-read metric
-    /// totals, one kernel timeline per share, and the §III-D energy
-    /// measurement folded into the report's energy summary.
+    /// totals, one kernel timeline per share, the §III-D energy
+    /// measurement folded into the report's energy summary, and per-stage
+    /// totals derived from the merged metrics (see
+    /// [`derive_stages`](MappingRun::derive_stages)).
     ///
     /// `per_read` is the metric record of every read in read order, as
     /// returned by [`map_on_platform_with_metrics`]; pass an empty slice
@@ -103,6 +186,74 @@ impl MappingRun {
         for m in per_read {
             totals.merge(m);
         }
+        let stages =
+            MappingRun::derive_stages(&totals, self.simulated_seconds, per_read.len() as u64);
+        self.build_report(platform, per_read.len() as u64, totals, stages)
+    }
+
+    /// Like [`report`](MappingRun::report), but with caller-supplied
+    /// stage timings (path, seconds, activations) instead of the ones
+    /// derived from the metrics — for hosts that measured their own
+    /// stage clock.
+    pub fn report_with_stages(
+        &self,
+        platform: &Platform,
+        per_read: &[MapMetrics],
+        stages: Vec<(String, f64, u64)>,
+    ) -> RunReport {
+        let mut totals = MapMetrics::new();
+        for m in per_read {
+            totals.merge(m);
+        }
+        self.build_report(platform, per_read.len() as u64, totals, stages)
+    }
+
+    /// Decomposes a run's simulated seconds into per-stage totals using
+    /// the tested work identity `work = fm_extend·EXTEND + dp_cells·DP +
+    /// fm_locate·LOCATE + prefilter_words + word_updates`: the first
+    /// three terms are DP filtration (seed selection and location), then
+    /// the pre-alignment filter, then Myers verification. Counts are the
+    /// stage's activations (reads, candidates tested, verifications).
+    fn derive_stages(
+        totals: &MapMetrics,
+        simulated_seconds: f64,
+        reads: u64,
+    ) -> Vec<(String, f64, u64)> {
+        use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
+
+        let filtration = totals.fm_extend_ops * EXTEND_COST
+            + totals.dp_cells * DP_CELL_COST
+            + totals.fm_locate_ops * LOCATE_COST;
+        let prefilter = totals.prefilter_words;
+        let verification = totals.word_updates;
+        let total = filtration + prefilter + verification;
+        if total == 0 {
+            return Vec::new();
+        }
+        let seconds = |work: u64| simulated_seconds * work as f64 / total as f64;
+        let mut stages = vec![("map/filtration".to_string(), seconds(filtration), reads)];
+        if prefilter > 0 {
+            stages.push((
+                "map/prefilter".to_string(),
+                seconds(prefilter),
+                totals.prefilter_tested,
+            ));
+        }
+        stages.push((
+            "map/verification".to_string(),
+            seconds(verification),
+            totals.verifications,
+        ));
+        stages
+    }
+
+    fn build_report(
+        &self,
+        platform: &Platform,
+        reads: u64,
+        totals: MapMetrics,
+        stages: Vec<(String, f64, u64)>,
+    ) -> RunReport {
         let devices = self
             .device_runs
             .iter()
@@ -127,9 +278,9 @@ impl MappingRun {
             })
             .collect();
         RunReport {
-            reads: per_read.len() as u64,
+            reads,
             totals,
-            stages: Vec::new(),
+            stages,
             devices,
             simulated_seconds: self.simulated_seconds,
             wall_seconds: self.wall_seconds,
@@ -150,7 +301,9 @@ impl MappingRun {
 /// [`Platform::even_shares`] splits by nominal throughput only; for
 /// footprint-heavy kernels (small `S_min`) that overloads the GPUs, which
 /// is why the paper's Fig. 3 sweep and §IV insist the distribution "should
-/// be performed judiciously".
+/// be performed judiciously". The rounding remainder is spread
+/// largest-fraction-first ([`repute_hetsim::apportion`]), so the shares
+/// always sum to `items`.
 pub fn balanced_shares<M: Mapper>(
     mapper: &M,
     platform: &Platform,
@@ -163,31 +316,26 @@ pub fn balanced_shares<M: Mapper>(
         .iter()
         .map(|d| d.throughput() * d.occupancy(footprint))
         .collect();
-    let total: f64 = effective.iter().sum();
-    let mut shares: Vec<Share> = effective
-        .iter()
+    repute_hetsim::apportion(items, &effective)
+        .into_iter()
         .enumerate()
-        .map(|(device, t)| Share {
-            device,
-            items: (items as f64 * t / total) as usize,
-        })
-        .collect();
-    let assigned: usize = shares.iter().map(|s| s.items).sum();
-    shares[0].items += items - assigned;
-    shares
+        .map(|(device, items)| Share { device, items })
+        .collect()
 }
 
 /// Maps `reads` with `mapper`, distributing them over `shares` of
 /// `platform` — the paper's multi-device launch.
 ///
-/// Each share receives a contiguous run of reads. Shares whose output
-/// buffers would exceed the device's quarter-RAM cap are processed in
-/// sequential batches on that device.
+/// Each share receives a contiguous run of reads and executes on its own
+/// host thread. Shares whose output buffers would exceed the device's
+/// quarter-RAM cap are processed in sequential batches on that device.
 ///
 /// # Errors
 ///
-/// Returns [`LaunchError`] if `shares` is empty, references an unknown
-/// device, or does not cover exactly `reads.len()` items.
+/// Returns [`LaunchError`] if `shares` is empty while reads were
+/// supplied, references an unknown device, or does not cover exactly
+/// `reads.len()` items. An empty read set with no shares is a valid
+/// (empty, zero-energy) run.
 pub fn map_on_platform<M: Mapper>(
     mapper: &M,
     platform: &Platform,
@@ -216,14 +364,54 @@ pub fn map_on_platform_with_metrics<M: Mapper>(
     shares: &[Share],
     reads: &[DnaSeq],
 ) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
-    let covered: usize = shares.iter().map(|s| s.items).sum();
-    if covered != reads.len() {
-        return Err(LaunchError::from_message(format!(
-            "shares cover {covered} items but {} reads were supplied",
-            reads.len()
-        )));
+    map_static(mapper, platform, shares, AUTO_HOST_THREADS, reads)
+}
+
+/// Maps `reads` with `mapper` on `platform` under `schedule`, using up to
+/// `host_threads` host threads ([`AUTO_HOST_THREADS`] lets the executor
+/// decide). Mapping output and per-read metrics are identical across
+/// schedules and thread counts; only the simulated schedule (and the
+/// host's wall clock) changes.
+///
+/// # Errors
+///
+/// Returns [`LaunchError`] under the conditions of [`map_on_platform`]
+/// (static schedules), or when a single read's output exceeds the
+/// smallest device's quarter-RAM cap (dynamic schedules).
+pub fn map_scheduled<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    schedule: &Schedule,
+    host_threads: usize,
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
+    match schedule {
+        Schedule::Static(shares) => map_static(mapper, platform, shares, host_threads, reads),
+        Schedule::Dynamic { batch } => map_dynamic(mapper, platform, *batch, host_threads, reads),
     }
+}
+
+/// Per-share result of the static executor, produced on a worker thread.
+struct ShareResult {
+    outputs: Vec<MapOutput>,
+    metrics: Vec<MapMetrics>,
+    device_run: DeviceRun,
+    events: Vec<Event>,
+}
+
+fn map_static<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    shares: &[Share],
+    host_threads: usize,
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
+    // Emptiness is checked before coverage, so an empty distribution is
+    // reported as such — and accepted outright for an empty read set.
     if shares.is_empty() {
+        if reads.is_empty() {
+            return Ok(empty_run(platform));
+        }
         return Err(LaunchError::from_message("no shares supplied"));
     }
     for share in shares {
@@ -235,49 +423,272 @@ pub fn map_on_platform_with_metrics<M: Mapper>(
             )));
         }
     }
+    let covered: usize = shares.iter().map(|s| s.items).sum();
+    if covered != reads.len() {
+        return Err(LaunchError::from_message(format!(
+            "shares cover {covered} items but {} reads were supplied",
+            reads.len()
+        )));
+    }
 
-    let start = std::time::Instant::now();
+    let start = Instant::now();
     let bytes_per_read = mapper.max_locations() * 12;
     let max_read_len = reads.iter().map(DnaSeq::len).max().unwrap_or(0);
     let private_bytes = mapper.kernel_private_bytes(max_read_len);
-    let mut outputs: Vec<MapOutput> = Vec::with_capacity(reads.len());
-    let mut metrics: Vec<MapMetrics> = Vec::with_capacity(reads.len());
-    let mut device_runs: Vec<DeviceRun> = Vec::with_capacity(shares.len());
-    let mut timelines: Vec<Vec<Event>> = Vec::with_capacity(shares.len());
-    for (share_idx, share) in shares.iter().enumerate() {
-        let offset: usize = shares[..share_idx].iter().map(|s| s.items).sum();
-        let device = &platform.devices()[share.device];
-        let plan = BatchPlan::plan(device, share.items, bytes_per_read);
-        // An in-order command queue per share: each batch is one enqueue,
-        // leaving an OpenCL-style profiling event with all four
-        // timestamps. With zero launch overhead batches run back to back,
-        // exactly the previous accounting.
-        let mut queue = CommandQueue::new(device);
-        let mut batch_offset = offset;
-        for (batch_idx, &batch) in plan.batches().iter().enumerate() {
-            let reads_slice = &reads[batch_offset..batch_offset + batch];
-            let kernel = FnKernel::new(|i: usize| {
+
+    // Running prefix sum of share offsets — O(S), not O(S²).
+    let mut offsets = Vec::with_capacity(shares.len());
+    let mut next_offset = 0usize;
+    for share in shares {
+        offsets.push(next_offset);
+        next_offset += share.items;
+    }
+
+    // One job per share: drive that share's in-order command queue. Each
+    // batch is one enqueue, leaving an OpenCL-style profiling event with
+    // all four timestamps; with zero launch overhead batches run back to
+    // back. The queue's simulated clock starts at zero for every share
+    // (kernels "launch simultaneously", §IV), so the simulated schedule
+    // is independent of which host thread runs the share, or when.
+    let results = run_jobs(
+        shares.len(),
+        worker_count(host_threads, shares.len(), shares.len()),
+        |share_idx| {
+            let share = shares[share_idx];
+            let device = &platform.devices()[share.device];
+            let plan = BatchPlan::plan(device, share.items, bytes_per_read);
+            let mut queue = CommandQueue::new(device);
+            let mut outputs = Vec::with_capacity(share.items);
+            let mut metrics = Vec::with_capacity(share.items);
+            let mut batch_offset = offsets[share_idx];
+            for (batch_idx, &batch) in plan.batches().iter().enumerate() {
+                let reads_slice = &reads[batch_offset..batch_offset + batch];
+                let kernel = FnKernel::new(|i: usize| {
+                    let mut m = MapMetrics::new();
+                    let out = mapper.map_read_metered(&reads_slice[i], &mut m);
+                    let work = out.work;
+                    ((out, m), work)
+                })
+                .with_private_bytes(private_bytes);
+                let label = format!("d{}-batch-{}", share.device, batch_idx);
+                for (out, m) in queue.enqueue(label, batch, &kernel) {
+                    outputs.push(out);
+                    metrics.push(m);
+                }
+                batch_offset += batch;
+            }
+            let device_run = DeviceRun {
+                device: share.device,
+                items: share.items,
+                work: queue.total_work(),
+                simulated_seconds: queue.finish_seconds(),
+            };
+            ShareResult {
+                outputs,
+                metrics,
+                device_run,
+                events: queue.into_events(),
+            }
+        },
+    );
+
+    // Reassemble in share order: shares hold contiguous runs of reads, so
+    // concatenating their results restores exact read order regardless of
+    // which thread finished first.
+    let mut outputs = Vec::with_capacity(reads.len());
+    let mut metrics = Vec::with_capacity(reads.len());
+    let mut device_runs = Vec::with_capacity(shares.len());
+    let mut timelines = Vec::with_capacity(shares.len());
+    for r in results {
+        outputs.extend(r.outputs);
+        metrics.extend(r.metrics);
+        device_runs.push(r.device_run);
+        timelines.push(r.events);
+    }
+    Ok(finish_run(
+        platform,
+        start,
+        outputs,
+        metrics,
+        device_runs,
+        timelines,
+    ))
+}
+
+/// Per-batch result of the dynamic executor. Everything here is
+/// device-independent: only a batch's simulated *duration* depends on the
+/// device it is later assigned to.
+struct BatchResult {
+    outputs: Vec<MapOutput>,
+    metrics: Vec<MapMetrics>,
+    work: u64,
+}
+
+fn map_dynamic<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    batch: usize,
+    host_threads: usize,
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
+    if reads.is_empty() {
+        return Ok(empty_run(platform));
+    }
+    let bytes_per_read = mapper.max_locations() * 12;
+    // Any batch must fit every device's quarter-RAM output cap, because
+    // the scheduler is free to place it anywhere.
+    let cap = platform
+        .devices()
+        .iter()
+        .map(|d| Buffer::max_items(d, bytes_per_read))
+        .min()
+        .expect("a platform has at least one device");
+    if cap == 0 {
+        return Err(LaunchError::from_message(format!(
+            "one read's output ({bytes_per_read} bytes) exceeds the quarter-RAM cap of the \
+             smallest device"
+        )));
+    }
+    let auto = reads
+        .len()
+        .div_ceil(DYNAMIC_BATCHES_PER_DEVICE * platform.devices().len())
+        .max(1);
+    let batch_size = if batch == 0 {
+        auto.min(cap)
+    } else {
+        batch.min(cap)
+    };
+    let plan = BatchPlan::uniform(reads.len(), batch_size);
+
+    let start = Instant::now();
+    let max_read_len = reads.iter().map(DnaSeq::len).max().unwrap_or(0);
+    let private_bytes = mapper.kernel_private_bytes(max_read_len);
+    let mut ranges = Vec::with_capacity(plan.launches());
+    let mut next_offset = 0usize;
+    for &b in plan.batches() {
+        ranges.push((next_offset, next_offset + b));
+        next_offset += b;
+    }
+
+    // Phase 1 — execute every batch, in parallel on the host. Outputs,
+    // metrics and work counts are the same whichever device the
+    // scheduler later charges for the batch.
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let results = run_jobs(
+        plan.launches(),
+        worker_count(host_threads, host, plan.launches()),
+        |batch_idx| {
+            let (lo, hi) = ranges[batch_idx];
+            let mut outputs = Vec::with_capacity(hi - lo);
+            let mut metrics = Vec::with_capacity(hi - lo);
+            let mut work = 0u64;
+            for read in &reads[lo..hi] {
                 let mut m = MapMetrics::new();
-                let out = mapper.map_read_metered(&reads_slice[i], &mut m);
-                let work = out.work;
-                ((out, m), work)
-            })
-            .with_private_bytes(private_bytes);
-            let label = format!("d{}-batch-{}", share.device, batch_idx);
-            for (out, m) in queue.enqueue(label, batch, &kernel) {
+                let out = mapper.map_read_metered(read, &mut m);
+                work += out.work;
                 outputs.push(out);
                 metrics.push(m);
             }
-            batch_offset += batch;
+            BatchResult {
+                outputs,
+                metrics,
+                work,
+            }
+        },
+    );
+
+    // Phase 2 — the event-driven simulated-time scheduler, pure
+    // sequential arithmetic over the work counts: batches leave the
+    // shared queue in order, each pulled by the device that frees
+    // earliest (ties to the lower device index). Deterministic for any
+    // host thread count.
+    let n_dev = platform.devices().len();
+    let mut free_at = vec![0.0f64; n_dev];
+    let mut timelines: Vec<Vec<Event>> = vec![Vec::new(); n_dev];
+    let mut items_of = vec![0usize; n_dev];
+    let mut work_of = vec![0u64; n_dev];
+    for (batch_idx, result) in results.iter().enumerate() {
+        let mut dev = 0usize;
+        for d in 1..n_dev {
+            if free_at[d] < free_at[dev] {
+                dev = d;
+            }
         }
-        device_runs.push(DeviceRun {
-            device: share.device,
-            items: share.items,
-            work: queue.total_work(),
-            simulated_seconds: queue.finish_seconds(),
+        let duration =
+            platform.devices()[dev].seconds_for_with_footprint(result.work, private_bytes);
+        let t = free_at[dev];
+        timelines[dev].push(Event {
+            label: format!("d{dev}-batch-{batch_idx}"),
+            items: result.outputs.len(),
+            work: result.work,
+            queued_seconds: t,
+            submitted_seconds: t,
+            start_seconds: t,
+            end_seconds: t + duration,
         });
-        timelines.push(queue.into_events());
+        free_at[dev] = t + duration;
+        items_of[dev] += result.outputs.len();
+        work_of[dev] += result.work;
     }
+    let device_runs: Vec<DeviceRun> = (0..n_dev)
+        .map(|dev| DeviceRun {
+            device: dev,
+            items: items_of[dev],
+            work: work_of[dev],
+            simulated_seconds: free_at[dev],
+        })
+        .collect();
+
+    // Batches are contiguous, in read order: concatenation restores it.
+    let mut outputs = Vec::with_capacity(reads.len());
+    let mut metrics = Vec::with_capacity(reads.len());
+    for r in results {
+        outputs.extend(r.outputs);
+        metrics.extend(r.metrics);
+    }
+    Ok(finish_run(
+        platform,
+        start,
+        outputs,
+        metrics,
+        device_runs,
+        timelines,
+    ))
+}
+
+/// The valid outcome of mapping zero reads: no outputs, no device
+/// activity, a zero-energy (idle-power) report.
+fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
+    let shadow: PlatformRun<()> = PlatformRun {
+        outputs: vec![],
+        device_runs: vec![],
+        simulated_seconds: 0.0,
+        wall_seconds: 0.0,
+    };
+    let energy = platform.measure_energy(&shadow);
+    (
+        MappingRun {
+            outputs: vec![],
+            device_runs: vec![],
+            timelines: vec![],
+            simulated_seconds: 0.0,
+            wall_seconds: 0.0,
+            energy,
+        },
+        vec![],
+    )
+}
+
+/// Folds per-device accounting into a [`MappingRun`]: bottleneck
+/// completion time, host wall clock, §III-D energy.
+fn finish_run(
+    platform: &Platform,
+    start: Instant,
+    outputs: Vec<MapOutput>,
+    metrics: Vec<MapMetrics>,
+    device_runs: Vec<DeviceRun>,
+    timelines: Vec<Vec<Event>>,
+) -> (MappingRun, Vec<MapMetrics>) {
     let simulated_seconds = device_runs
         .iter()
         .map(|r| r.simulated_seconds)
@@ -293,15 +704,76 @@ pub fn map_on_platform_with_metrics<M: Mapper>(
         };
         platform.measure_energy(&shadow)
     };
-    let run = MappingRun {
-        outputs,
-        device_runs,
-        timelines,
-        simulated_seconds,
-        wall_seconds,
-        energy,
+    (
+        MappingRun {
+            outputs,
+            device_runs,
+            timelines,
+            simulated_seconds,
+            wall_seconds,
+            energy,
+        },
+        metrics,
+    )
+}
+
+/// Resolves a `host_threads` request against a job count: `auto` is the
+/// executor's default ([`AUTO_HOST_THREADS`]), and there is never a point
+/// in more workers than jobs.
+fn worker_count(host_threads: usize, auto: usize, jobs: usize) -> usize {
+    let requested = if host_threads == AUTO_HOST_THREADS {
+        auto
+    } else {
+        host_threads
     };
-    Ok((run, metrics))
+    requested.min(jobs).max(1)
+}
+
+/// Runs `job(0..jobs)` on up to `workers` scoped host threads, returning
+/// results in job order regardless of completion order. A single worker
+/// runs inline on the caller's thread — the sequential-host baseline.
+fn run_jobs<R: Send>(jobs: usize, workers: usize, job: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    if workers <= 1 || jobs <= 1 {
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(job(idx));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let collected = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let job = &job;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= jobs {
+                                break;
+                            }
+                            local.push((idx, job(idx)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for local in collected {
+            for (idx, r) in local {
+                slots[idx] = Some(r);
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job completes"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -419,6 +891,41 @@ mod tests {
     }
 
     #[test]
+    fn report_derives_stage_totals_from_metrics() {
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let (run, metrics) = map_on_platform_with_metrics(
+            &mapper,
+            &platform,
+            &platform.even_shares(reads.len()),
+            &reads,
+        )
+        .unwrap();
+        let report = run.report(&platform, &metrics);
+        // Stage timings are no longer dropped: filtration + verification
+        // (no prefilter configured) partition the simulated seconds.
+        assert!(!report.stages.is_empty(), "stages must be derived");
+        let paths: Vec<&str> = report.stages.iter().map(|(p, _, _)| p.as_str()).collect();
+        assert!(paths.contains(&"map/filtration"));
+        assert!(paths.contains(&"map/verification"));
+        assert!(!paths.contains(&"map/prefilter"), "prefilter is off");
+        let stage_sum: f64 = report.stages.iter().map(|(_, s, _)| s).sum();
+        assert!(
+            (stage_sum - run.simulated_seconds).abs() <= 1e-9 * run.simulated_seconds,
+            "stage seconds {stage_sum} must partition simulated {}",
+            run.simulated_seconds
+        );
+        // An explicit stage set overrides the derivation.
+        let custom = run.report_with_stages(
+            &platform,
+            &metrics,
+            vec![("host/total".to_string(), 1.25, 1)],
+        );
+        assert_eq!(custom.stages, vec![("host/total".to_string(), 1.25, 1)]);
+        assert_eq!(custom.totals, report.totals);
+    }
+
+    #[test]
     fn share_coverage_is_validated() {
         let (mapper, reads) = setup();
         let platform = profiles::system1();
@@ -432,6 +939,56 @@ mod tests {
             items: 24,
         }];
         assert!(map_on_platform(&mapper, &platform, &bad_dev, &reads).is_err());
+    }
+
+    #[test]
+    fn empty_shares_with_reads_report_missing_shares() {
+        // Regression: the coverage check used to run first, yielding a
+        // misleading "shares cover 0 items" error.
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let err = map_on_platform(&mapper, &platform, &[], &reads).unwrap_err();
+        assert!(
+            err.to_string().contains("no shares supplied"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn empty_reads_with_empty_shares_yield_empty_run() {
+        let (mapper, _) = setup();
+        let platform = profiles::system1();
+        let (run, metrics) = map_on_platform_with_metrics(&mapper, &platform, &[], &[])
+            .expect("zero reads with zero shares is a valid empty run");
+        assert!(run.outputs.is_empty());
+        assert!(metrics.is_empty());
+        assert_eq!(run.simulated_seconds, 0.0);
+        assert_eq!(run.energy.energy_j, 0.0);
+        assert_eq!(run.energy.average_power_w, platform.idle_power_w());
+        // Dynamic mode accepts the empty read set too.
+        let (dyn_run, dyn_metrics) =
+            map_scheduled(&mapper, &platform, &Schedule::Dynamic { batch: 0 }, 1, &[])
+                .expect("empty dynamic run");
+        assert!(dyn_run.outputs.is_empty() && dyn_metrics.is_empty());
+        assert_eq!(dyn_run.energy.energy_j, 0.0);
+    }
+
+    #[test]
+    fn many_small_shares_preserve_order() {
+        // One read per share, round-robin over devices: exercises the
+        // prefix-sum offsets and the thread pool with jobs ≫ devices.
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let shares: Vec<Share> = (0..reads.len())
+            .map(|i| Share {
+                device: i % 3,
+                items: 1,
+            })
+            .collect();
+        let run = map_on_platform(&mapper, &platform, &shares, &reads).unwrap();
+        for (read, out) in reads.iter().zip(&run.outputs) {
+            assert_eq!(mapper.map_read(read).mappings, out.mappings);
+        }
     }
 
     #[test]
@@ -495,6 +1052,20 @@ mod tests {
             .sum();
         let balanced_gpu: usize = balanced[1..].iter().map(|s| s.items).sum();
         assert!(balanced_gpu <= even_gpu, "{balanced_gpu} > {even_gpu}");
+    }
+
+    #[test]
+    fn balanced_shares_cover_small_and_empty_read_sets() {
+        let (mapper, _) = setup();
+        let platform = profiles::system1();
+        for items in [0usize, 1, 2, 5] {
+            let shares = balanced_shares(&mapper, &platform, 100, items);
+            assert_eq!(
+                shares.iter().map(|s| s.items).sum::<usize>(),
+                items,
+                "shares must sum to {items}"
+            );
+        }
     }
 
     #[test]
@@ -563,6 +1134,20 @@ mod tests {
     }
 
     #[test]
+    fn uniform_batch_plan() {
+        let plan = BatchPlan::uniform(10, 4);
+        assert_eq!(plan.batches(), &[4, 4, 2]);
+        assert_eq!(BatchPlan::uniform(0, 4).launches(), 0);
+        assert_eq!(BatchPlan::uniform(3, 100).batches(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_uniform_batch_rejected() {
+        let _ = BatchPlan::uniform(5, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "quarter-RAM cap")]
     fn impossible_item_rejected() {
         let gpu = profiles::gtx590();
@@ -591,5 +1176,144 @@ mod tests {
         .unwrap();
         assert_eq!(run.outputs.len(), reads.len());
         assert!(run.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn dynamic_schedule_matches_static_output_and_is_deterministic() {
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let (reference_run, reference_metrics) = map_on_platform_with_metrics(
+            &mapper,
+            &platform,
+            &platform.even_shares(reads.len()),
+            &reads,
+        )
+        .unwrap();
+        let mut by_batch: Vec<(usize, f64, Vec<Vec<Event>>)> = Vec::new();
+        for (batch, host_threads) in [(0usize, 0usize), (0, 1), (3, 2), (3, 0), (5, 4)] {
+            let (run, metrics) = map_scheduled(
+                &mapper,
+                &platform,
+                &Schedule::Dynamic { batch },
+                host_threads,
+                &reads,
+            )
+            .unwrap();
+            // Output invariance: mapping output and per-read metrics are
+            // byte-identical to the static run, in read order.
+            assert_eq!(run.outputs.len(), reference_run.outputs.len());
+            for (a, b) in run.outputs.iter().zip(&reference_run.outputs) {
+                assert_eq!(a.mappings, b.mappings);
+            }
+            assert_eq!(metrics, reference_metrics);
+            // One timeline per platform device, back-to-back events.
+            assert_eq!(run.timelines.len(), platform.devices().len());
+            for events in &run.timelines {
+                for pair in events.windows(2) {
+                    assert_eq!(pair[1].start_seconds, pair[0].end_seconds);
+                }
+            }
+            by_batch.push((batch, run.simulated_seconds, run.timelines));
+        }
+        // Determinism: identical batch size ⇒ bit-identical simulated
+        // schedule, whatever the host thread count.
+        assert_eq!(by_batch[0].1, by_batch[1].1);
+        assert_eq!(by_batch[0].2, by_batch[1].2);
+        assert_eq!(by_batch[2].1, by_batch[3].1);
+        assert_eq!(by_batch[2].2, by_batch[3].2);
+    }
+
+    #[test]
+    fn dynamic_schedule_balances_skewed_workloads() {
+        // A deliberately imbalanced read set: the heaviest read repeated
+        // over the first half, the lightest over the second. Static even
+        // shares on two identical devices pin the whole heavy half on
+        // device 0; greedy batch pulling interleaves them.
+        let (mapper, reads) = setup();
+        let per_read_work: Vec<u64> = reads.iter().map(|r| mapper.map_read(r).work).collect();
+        let heavy_idx = (0..reads.len()).max_by_key(|&i| per_read_work[i]).unwrap();
+        let light_idx = (0..reads.len()).min_by_key(|&i| per_read_work[i]).unwrap();
+        assert!(
+            per_read_work[heavy_idx] > per_read_work[light_idx],
+            "workload must have distinct per-read work for this test"
+        );
+        let n = 24usize;
+        let mut skewed: Vec<DnaSeq> = Vec::with_capacity(n);
+        for _ in 0..n / 2 {
+            skewed.push(reads[heavy_idx].clone());
+        }
+        for _ in 0..n / 2 {
+            skewed.push(reads[light_idx].clone());
+        }
+        let duo = Platform::new(
+            "duo",
+            1.0,
+            vec![profiles::intel_i7_2600(), profiles::intel_i7_2600()],
+        );
+        let (static_run, _) = map_scheduled(
+            &mapper,
+            &duo,
+            &Schedule::Static(duo.even_shares(n)),
+            AUTO_HOST_THREADS,
+            &skewed,
+        )
+        .unwrap();
+        let (dynamic_run, _) = map_scheduled(
+            &mapper,
+            &duo,
+            &Schedule::Dynamic { batch: 3 },
+            AUTO_HOST_THREADS,
+            &skewed,
+        )
+        .unwrap();
+        assert!(
+            dynamic_run.simulated_seconds < static_run.simulated_seconds,
+            "dynamic {} must beat static {} on a skewed workload",
+            dynamic_run.simulated_seconds,
+            static_run.simulated_seconds
+        );
+        // Same mapping output despite the different schedule.
+        for (a, b) in dynamic_run.outputs.iter().zip(&static_run.outputs) {
+            assert_eq!(a.mappings, b.mappings);
+        }
+    }
+
+    #[test]
+    fn host_thread_count_does_not_change_static_results() {
+        let (mapper, reads) = setup();
+        let platform = profiles::system1();
+        let schedule = Schedule::Static(platform.even_shares(reads.len()));
+        let (reference_run, reference_metrics) =
+            map_scheduled(&mapper, &platform, &schedule, 1, &reads).unwrap();
+        for host_threads in [2usize, 3, AUTO_HOST_THREADS] {
+            let (run, metrics) =
+                map_scheduled(&mapper, &platform, &schedule, host_threads, &reads).unwrap();
+            for (a, b) in run.outputs.iter().zip(&reference_run.outputs) {
+                assert_eq!(a.mappings, b.mappings);
+            }
+            assert_eq!(metrics, reference_metrics);
+            assert_eq!(run.simulated_seconds, reference_run.simulated_seconds);
+            assert_eq!(run.timelines, reference_run.timelines);
+            assert_eq!(run.energy.energy_j, reference_run.energy.energy_j);
+        }
+    }
+
+    #[test]
+    fn schedule_for_config_follows_the_mode() {
+        let platform = profiles::system1();
+        let config = ReputeConfig::new(3, 15).unwrap();
+        match Schedule::for_config(&config, &platform, 30) {
+            Schedule::Static(shares) => {
+                assert_eq!(shares.iter().map(|s| s.items).sum::<usize>(), 30);
+            }
+            other => panic!("default mode must be static, got {other:?}"),
+        }
+        let dynamic = config
+            .with_schedule(ScheduleMode::Dynamic)
+            .with_dynamic_batch(7);
+        assert_eq!(
+            Schedule::for_config(&dynamic, &platform, 30),
+            Schedule::Dynamic { batch: 7 }
+        );
     }
 }

@@ -50,6 +50,6 @@ mod queue;
 pub use buffer::{AllocError, Buffer};
 pub use device::{DeviceKind, DeviceProfile};
 pub use kernel::{run_kernel, FnKernel, Kernel, KernelRun};
-pub use platform::{DeviceRun, LaunchError, Platform, PlatformRun, Share};
+pub use platform::{apportion, DeviceRun, LaunchError, Platform, PlatformRun, Share};
 pub use power::EnergyReport;
 pub use queue::{CommandQueue, Event};

@@ -16,6 +16,53 @@ use crate::device::DeviceProfile;
 use crate::kernel::{run_kernel, Kernel};
 use crate::power::EnergyReport;
 
+/// Splits `items` into `weights.len()` integer parts proportional to the
+/// weights, using largest-remainder apportionment: every part receives the
+/// floor of its exact quota, and the leftover units go to the parts with
+/// the largest fractional remainders (ties broken by lower index). The
+/// parts always sum to `items` — no device silently swallows or loses the
+/// rounding remainder — and an all-zero weight vector falls back to equal
+/// weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or contains a negative or non-finite
+/// weight.
+pub fn apportion(items: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "apportion needs at least one weight");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "apportion weights must be finite and non-negative"
+    );
+    let equal = vec![1.0; weights.len()];
+    let weights = if weights.iter().sum::<f64>() > 0.0 {
+        weights
+    } else {
+        &equal[..]
+    };
+    let total: f64 = weights.iter().sum();
+    let quotas: Vec<f64> = weights.iter().map(|w| items as f64 * w / total).collect();
+    let mut parts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = parts.iter().sum();
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by(|&a, &b| {
+        let frac = |i: usize| quotas[i] - quotas[i].floor();
+        frac(b)
+            .partial_cmp(&frac(a))
+            .expect("quotas are finite")
+            .then(a.cmp(&b))
+    });
+    for &idx in order.iter().take(items.saturating_sub(assigned)) {
+        parts[idx] += 1;
+    }
+    assert_eq!(
+        parts.iter().sum::<usize>(),
+        items,
+        "apportionment must cover every item exactly once"
+    );
+    parts
+}
+
 /// How many work-items one device receives in a launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Share {
@@ -143,21 +190,16 @@ impl Platform {
 
     /// A distribution that splits `items` across all devices
     /// proportionally to their throughput (a sensible default; Fig. 3 of
-    /// the paper sweeps away from it).
+    /// the paper sweeps away from it). The rounding remainder is spread
+    /// largest-fraction-first (see [`apportion`]), so small read sets
+    /// still reach the fastest devices instead of piling up on device 0.
     pub fn even_shares(&self, items: usize) -> Vec<Share> {
-        let total: f64 = self.devices.iter().map(|d| d.throughput()).sum();
-        let mut shares: Vec<Share> = self
-            .devices
-            .iter()
+        let weights: Vec<f64> = self.devices.iter().map(DeviceProfile::throughput).collect();
+        apportion(items, &weights)
+            .into_iter()
             .enumerate()
-            .map(|(device, d)| Share {
-                device,
-                items: (items as f64 * d.throughput() / total) as usize,
-            })
-            .collect();
-        let assigned: usize = shares.iter().map(|s| s.items).sum();
-        shares[0].items += items - assigned; // remainder to the first device
-        shares
+            .map(|(device, items)| Share { device, items })
+            .collect()
     }
 
     /// A distribution that puts every item on one device.
@@ -363,6 +405,58 @@ mod tests {
             let shares = platform.even_shares(items);
             assert_eq!(shares.iter().map(|s| s.items).sum::<usize>(), items);
             assert_eq!(shares.len(), 3);
+        }
+    }
+
+    #[test]
+    fn apportion_distributes_remainder_largest_fraction_first() {
+        // Quotas 3.75 / 2.5 / 1.25 / 2.5: floors give 3/2/1/2, the two
+        // leftover items go to the largest fractions (index 0, then the
+        // index-1 tie-break between the two .5 fractions).
+        assert_eq!(apportion(10, &[3.0, 2.0, 1.0, 2.0]), vec![4, 3, 1, 2]);
+        // Exact division leaves no remainder to distribute.
+        assert_eq!(apportion(8, &[1.0, 1.0]), vec![4, 4]);
+    }
+
+    #[test]
+    fn apportion_edge_cases_sum_exactly() {
+        // Zero items, fewer items than parts, single part, zero weights.
+        assert_eq!(apportion(0, &[1.0, 2.0, 3.0]), vec![0, 0, 0]);
+        assert_eq!(apportion(7, &[5.0]), vec![7]);
+        assert_eq!(apportion(2, &[0.0, 0.0, 0.0]), vec![1, 1, 0]);
+        for items in 0..20usize {
+            let parts = apportion(items, &[0.3, 7.1, 0.0, 2.6]);
+            assert_eq!(parts.iter().sum::<usize>(), items, "items {items}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn apportion_rejects_empty_weights() {
+        let _ = apportion(3, &[]);
+    }
+
+    #[test]
+    fn small_read_sets_reach_the_fast_devices() {
+        // Two items on system 1 (CPU at 1.0e9, two GPUs at 0.55e9): the
+        // old remainder rule handed both to device 0; largest-fraction
+        // distribution gives one to the CPU and one to the first GPU.
+        let platform = profiles::system1();
+        let shares = platform.even_shares(2);
+        assert_eq!(shares.iter().map(|s| s.items).sum::<usize>(), 2);
+        assert!(
+            shares[0].items < 2,
+            "device 0 must not swallow the whole small read set"
+        );
+    }
+
+    #[test]
+    fn even_shares_on_single_device_platform() {
+        let solo = Platform::new("solo", 1.0, vec![profiles::intel_i7_2600()]);
+        for items in [0usize, 1, 13] {
+            let shares = solo.even_shares(items);
+            assert_eq!(shares.len(), 1);
+            assert_eq!(shares[0].items, items);
         }
     }
 
