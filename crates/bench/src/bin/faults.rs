@@ -1,0 +1,257 @@
+//! Fault-injection ablation: output invariance and graceful degradation
+//! under the deterministic fault model of `repute-hetsim`.
+//!
+//! Four checks, all enforced (nonzero exit on failure, so CI can run
+//! this at tiny scale):
+//!
+//! 1. **Output invariance** — random fault plans with a guaranteed
+//!    survivor (device 0 is never lost), transient storms, degradation,
+//!    and combined plans all report exactly the mappings of the
+//!    fault-free run, in exact read order, across both schedules.
+//! 2. **Graceful degradation** — killing k = 0..3 of the 4 devices at
+//!    t = 0 leaves the output unchanged while the simulated makespan
+//!    grows monotonically (fewer survivors ⇒ no faster): the
+//!    degradation curve printed per schedule.
+//! 3. **Retry accounting** — a transient storm with a sufficient retry
+//!    budget is fully absorbed: every strike is retried, nothing
+//!    migrates, and the counters say so.
+//! 4. **Total loss is typed** — killing every device yields the
+//!    `AllDevicesLost` error naming the full unmapped read range, not a
+//!    panic or silent truncation.
+
+use std::sync::Arc;
+
+use repute_bench::workload::{s_min_for, Scale, Workload};
+use repute_core::{map_scheduled, map_scheduled_with_faults, ReputeConfig, ReputeMapper, Schedule};
+use repute_genome::DnaSeq;
+use repute_hetsim::{profiles, FaultPlan, Platform};
+
+const DEVICES: usize = 4;
+const MAX_RETRIES: usize = 2;
+
+fn quad_platform() -> Platform {
+    Platform::new(
+        "quad-cpu",
+        1.0,
+        (0..DEVICES).map(|_| profiles::intel_i7_2600()).collect(),
+    )
+}
+
+fn mappings_of(run: &repute_core::MappingRun) -> Vec<Vec<repute_mappers::Mapping>> {
+    run.outputs.iter().map(|o| o.mappings.clone()).collect()
+}
+
+fn schedules(platform: &Platform, items: usize) -> Vec<(String, Schedule)> {
+    vec![
+        (
+            "static".into(),
+            Schedule::Static(platform.even_shares(items)),
+        ),
+        ("dynamic".into(), Schedule::Dynamic { batch: 0 }),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fault ablation — output invariance and graceful degradation");
+    println!("{}", scale.describe());
+    println!("generating workload…");
+    let w = Workload::generate(scale);
+    let (n, delta) = (100usize, 5u32);
+    let reads: Vec<DnaSeq> = w.read_seqs(n);
+    let config = ReputeConfig::new(delta, s_min_for(n, delta)).expect("valid config");
+    let mapper = ReputeMapper::new(Arc::clone(&w.indexed), config);
+    let platform = quad_platform();
+    let mut failures = 0u32;
+
+    // [1] Output invariance across fault plans, schedules, and threads.
+    println!(
+        "\n[1] output invariance (n={n}, δ={delta}, {} reads, {DEVICES} devices)",
+        reads.len()
+    );
+    println!(
+        "{:>28} | {:>8} | {:>10} | {:>7} | {:>8}",
+        "plan × schedule", "faults", "sim T(s)", "retries", "output"
+    );
+    println!("{}", "-".repeat(74));
+    for (sched_name, schedule) in schedules(&platform, reads.len()) {
+        let (clean, clean_metrics) = map_scheduled(&mapper, &platform, &schedule, 1, &reads)
+            .expect("fault-free baseline failed");
+        let gold = mappings_of(&clean);
+        let horizon = clean.simulated_seconds.max(1e-6);
+        let mut plans: Vec<(String, FaultPlan)> = vec![
+            (
+                "transient storm".into(),
+                FaultPlan::parse("transient:d0@0x2,transient:d1@0,transient:d2@0x2,transient:d3@0")
+                    .unwrap(),
+            ),
+            (
+                "degrade d1+d3".into(),
+                FaultPlan::new().degrade(1, 0.0, 0.5).degrade(3, 0.0, 0.25),
+            ),
+            (
+                "loss d2 mid-run".into(),
+                FaultPlan::new().loss(2, horizon / 2.0),
+            ),
+            (
+                "combined".into(),
+                FaultPlan::parse(&format!(
+                    "transient:d0@0,slow:d1@0x0.5,loss:d3@{}",
+                    horizon / 4.0
+                ))
+                .unwrap(),
+            ),
+        ];
+        for seed in 0..6u64 {
+            plans.push((
+                format!("random seed {seed}"),
+                FaultPlan::random(seed, DEVICES, horizon),
+            ));
+        }
+        for (plan_name, plan) in &plans {
+            for host_threads in [1usize, 4] {
+                let (run, metrics) = match map_scheduled_with_faults(
+                    &mapper,
+                    &platform,
+                    &schedule,
+                    host_threads,
+                    plan,
+                    MAX_RETRIES,
+                    &reads,
+                ) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("FAIL: {plan_name} × {sched_name} ht={host_threads}: {e}");
+                        failures += 1;
+                        continue;
+                    }
+                };
+                let same = mappings_of(&run) == gold && metrics == clean_metrics;
+                if host_threads == 1 {
+                    let faults: u64 = run.fault_counters.iter().map(|c| c.faults).sum();
+                    let retries: u64 = run.fault_counters.iter().map(|c| c.retries).sum();
+                    println!(
+                        "{:>28} | {:>8} | {:>10.4} | {:>7} | {:>8}",
+                        format!("{plan_name} × {sched_name}"),
+                        faults,
+                        run.simulated_seconds,
+                        retries,
+                        if same { "same" } else { "DIFFERS" }
+                    );
+                }
+                if !same {
+                    eprintln!(
+                        "FAIL: {plan_name} × {sched_name} ht={host_threads} changed the output"
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    // [2] Graceful degradation: kill k of 4 devices at t = 0 and watch
+    // the makespan grow while the output stays put.
+    println!("\n[2] graceful degradation (kill k devices at t=0)");
+    for (sched_name, schedule) in schedules(&platform, reads.len()) {
+        let (clean, _) = map_scheduled(&mapper, &platform, &schedule, 1, &reads).unwrap();
+        let gold = mappings_of(&clean);
+        let mut prev = 0.0f64;
+        println!("  {sched_name}:");
+        for k in 0..DEVICES {
+            // Kill the top-k device indices; device 0 always survives.
+            let mut plan = FaultPlan::new();
+            for dev in (DEVICES - k)..DEVICES {
+                plan = plan.loss(dev, 0.0);
+            }
+            let (run, _) = map_scheduled_with_faults(
+                &mapper,
+                &platform,
+                &schedule,
+                1,
+                &plan,
+                MAX_RETRIES,
+                &reads,
+            )
+            .expect("a survivor remains");
+            let migrated: u64 = run.fault_counters.iter().map(|c| c.migrated_batches).sum();
+            let same = mappings_of(&run) == gold;
+            println!(
+                "    {} dead | {} survivors | sim {:.4} s | {} migrated batch(es) | {}",
+                k,
+                DEVICES - k,
+                run.simulated_seconds,
+                migrated,
+                if same {
+                    "same output"
+                } else {
+                    "OUTPUT DIFFERS"
+                }
+            );
+            if !same {
+                eprintln!("FAIL: {sched_name} with {k} dead devices changed the output");
+                failures += 1;
+            }
+            if run.simulated_seconds + 1e-12 < prev {
+                eprintln!("FAIL: {sched_name}: makespan shrank when killing more devices");
+                failures += 1;
+            }
+            prev = run.simulated_seconds;
+        }
+    }
+
+    // [3] Retry accounting: a storm inside the budget is absorbed
+    // without migration.
+    println!("\n[3] retry accounting (storm within max_retries={MAX_RETRIES})");
+    let schedule = Schedule::Static(platform.even_shares(reads.len()));
+    let storm = FaultPlan::parse("transient:d0@0,transient:d1@0x2,transient:d2@0").unwrap();
+    let (run, _) = map_scheduled_with_faults(
+        &mapper,
+        &platform,
+        &schedule,
+        1,
+        &storm,
+        MAX_RETRIES,
+        &reads,
+    )
+    .expect("storm within budget");
+    let faults: u64 = run.fault_counters.iter().map(|c| c.faults).sum();
+    let retries: u64 = run.fault_counters.iter().map(|c| c.retries).sum();
+    let migrated: u64 = run.fault_counters.iter().map(|c| c.migrated_batches).sum();
+    println!("  {faults} strike(s) | {retries} retried | {migrated} migrated");
+    if faults != 4 || retries != 4 || migrated != 0 {
+        eprintln!("FAIL: expected 4 strikes / 4 retries / 0 migrations");
+        failures += 1;
+    }
+
+    // [4] All devices dead: a typed error naming the unmapped range.
+    println!("\n[4] total loss is a typed partial failure");
+    let mut all_dead = FaultPlan::new();
+    for dev in 0..DEVICES {
+        all_dead = all_dead.loss(dev, 0.0);
+    }
+    match map_scheduled_with_faults(&mapper, &platform, &schedule, 1, &all_dead, 0, &reads) {
+        Err(e) => match e.unmapped_range() {
+            Some(range) if range == (0..reads.len()) => {
+                println!("  {e}");
+            }
+            Some(range) => {
+                eprintln!("FAIL: wrong unmapped range {range:?}");
+                failures += 1;
+            }
+            None => {
+                eprintln!("FAIL: untyped error {e}");
+                failures += 1;
+            }
+        },
+        Ok(_) => {
+            eprintln!("FAIL: mapping succeeded with every device dead");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall fault ablation checks passed");
+}

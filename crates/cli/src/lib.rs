@@ -18,7 +18,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::sync::Arc;
 
-use repute_core::{map_scheduled, ReputeConfig, ReputeMapper, Schedule, ScheduleMode};
+use repute_core::{
+    map_scheduled_with_faults, ReputeConfig, ReputeMapper, Schedule, ScheduleMode,
+    DEFAULT_MAX_RETRIES,
+};
 use repute_eval::sam;
 use repute_genome::fasta::{read_fasta, AmbiguityPolicy};
 use repute_genome::fastq::FastqReader;
@@ -105,6 +108,12 @@ pub struct MapOptions {
     pub schedule: ScheduleMode,
     /// Host-thread cap of the task-parallel executor (`0` = automatic).
     pub host_threads: usize,
+    /// Fault-injection plan for the platform simulation (the
+    /// [`repute_hetsim::FaultPlan`] spec syntax, e.g.
+    /// `"transient:d0@0.1,loss:d2@0.5"`); requires `--platform`.
+    pub fault_plan: Option<String>,
+    /// Transient-fault retry budget per launch of the simulation.
+    pub max_retries: usize,
     /// Path the telemetry JSON-lines are written to; `None` disables the
     /// export.
     pub metrics_out: Option<String>,
@@ -130,6 +139,8 @@ impl Default for MapOptions {
             platform: None,
             schedule: ScheduleMode::Static,
             host_threads: 0,
+            fault_plan: None,
+            max_retries: DEFAULT_MAX_RETRIES,
             metrics_out: None,
             verbose: false,
         }
@@ -197,11 +208,23 @@ MAP OPTIONS:
     --host-threads <n>       cap the executor's host threads (1 = the
                              sequential host of earlier releases)
                              [default: automatic]
+    --fault-plan <spec>      inject faults into the platform simulation
+                             (requires --platform); comma-separated
+                             events: loss:d<dev>@<t> |
+                             transient:d<dev>@<t>[x<count>] |
+                             slow:d<dev>@<t>x<factor>  (times are
+                             simulated seconds)
+    --max-retries <n>        transient-fault retry budget per launch of
+                             the simulation [default: 2]
     --metrics-out <path>     write per-read and run-level telemetry as
                              JSON-lines (inspect with `repute stats`)
     -v, --verbose, --trace   per-read trace lines and the full run report
                              on stderr
-    --help                   print this text";
+    --help                   print this text
+
+STATS OPTIONS:
+    --strict                 error on the first malformed JSON line
+                             instead of skipping it with a warning";
 
 /// Parses `repute map` arguments (everything after the subcommand).
 ///
@@ -296,11 +319,27 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
                     ));
                 }
             }
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                repute_hetsim::FaultPlan::parse(&spec)
+                    .map_err(|e| ParseArgsError::new(format!("--fault-plan: {e}")))?;
+                opts.fault_plan = Some(spec);
+            }
+            "--max-retries" => {
+                opts.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--max-retries expects an integer"))?;
+            }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "-v" | "--verbose" | "--trace" => opts.verbose = true,
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
             other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
         }
+    }
+    if opts.fault_plan.is_some() && opts.platform.is_none() {
+        return Err(ParseArgsError::new(
+            "--fault-plan requires --platform (faults live in the simulation)",
+        ));
     }
     if opts.cigar && opts.mapper != MapperChoice::Repute {
         return Err(ParseArgsError::new("--cigar requires the repute mapper"));
@@ -562,7 +601,8 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
         .with_prefilter(opts.prefilter)
         .with_prefilter_qgram(opts.prefilter_q, opts.prefilter_bin)
         .with_schedule(opts.schedule)
-        .with_host_threads(opts.host_threads);
+        .with_host_threads(opts.host_threads)
+        .with_max_retries(opts.max_retries);
     let repute = ReputeMapper::new(Arc::clone(set.indexed()), config);
     let baseline: Option<Box<dyn Mapper>> = match opts.mapper {
         MapperChoice::Repute => None,
@@ -727,14 +767,37 @@ fn simulate_platform(
     }
     // The schedule and host-thread cap travel in the mapper's config
     // (`--schedule` / `--host-threads`); output is identical across
-    // schedules, only the simulated timeline differs.
+    // schedules, only the simulated timeline differs. A `--fault-plan`
+    // routes through the fault-aware executor: whenever at least one
+    // device survives, the mapping output is still bit-identical.
     let config = repute.config();
     let schedule = Schedule::for_config(config, &platform, reads.len());
-    let (run, metrics) = match baseline {
-        Some(mapper) => {
-            map_scheduled(&mapper, &platform, &schedule, config.host_threads(), &reads)?
+    let plan = match &opts.fault_plan {
+        Some(spec) => {
+            repute_hetsim::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?
         }
-        None => map_scheduled(repute, &platform, &schedule, config.host_threads(), &reads)?,
+        None => repute_hetsim::FaultPlan::new(),
+    };
+    let threads = config.host_threads();
+    let (run, metrics) = match baseline {
+        Some(mapper) => map_scheduled_with_faults(
+            &mapper,
+            &platform,
+            &schedule,
+            threads,
+            &plan,
+            config.max_retries(),
+            &reads,
+        )?,
+        None => map_scheduled_with_faults(
+            repute,
+            &platform,
+            &schedule,
+            threads,
+            &plan,
+            config.max_retries(),
+            &reads,
+        )?,
     };
     eprintln!(
         "simulated on {} ({} schedule): {:.3} s | {:.1} W avg | {:.3} J above idle",
@@ -744,6 +807,15 @@ fn simulate_platform(
         run.energy.average_power_w,
         run.energy.energy_j
     );
+    if !plan.is_empty() {
+        let faults: u64 = run.fault_counters.iter().map(|c| c.faults).sum();
+        let retries: u64 = run.fault_counters.iter().map(|c| c.retries).sum();
+        let migrated: u64 = run.fault_counters.iter().map(|c| c.migrated_batches).sum();
+        eprintln!(
+            "fault injection: {faults} fault(s) struck | {retries} retried launch(es) | \
+             {migrated} migrated batch(es) (output unaffected)"
+        );
+    }
     Ok((run.report(&platform, &metrics), metrics))
 }
 
@@ -795,9 +867,12 @@ pub struct StatsOptions {
     /// Path to a telemetry JSON-lines file written by `--metrics-out` (or
     /// the bench harness's `REPUTE_METRICS_OUT`).
     pub input: String,
+    /// Error on the first malformed line instead of skipping it with a
+    /// warning (the lenient default tolerates truncated or mixed files).
+    pub strict: bool,
 }
 
-/// Parses `repute stats` arguments: exactly one file path.
+/// Parses `repute stats` arguments: one file path plus flags.
 ///
 /// # Errors
 ///
@@ -807,8 +882,10 @@ pub fn parse_stats_args<I: IntoIterator<Item = String>>(
     args: I,
 ) -> Result<StatsOptions, ParseArgsError> {
     let mut input: Option<String> = None;
+    let mut strict = false;
     for arg in args {
         match arg.as_str() {
+            "--strict" => strict = true,
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
             other if other.starts_with('-') => {
                 return Err(ParseArgsError::new(format!("unknown option {other:?}")))
@@ -822,7 +899,7 @@ pub fn parse_stats_args<I: IntoIterator<Item = String>>(
         }
     }
     input
-        .map(|input| StatsOptions { input })
+        .map(|input| StatsOptions { input, strict })
         .ok_or_else(|| ParseArgsError::new("stats expects a metrics JSON-lines file"))
 }
 
@@ -830,10 +907,31 @@ pub fn parse_stats_args<I: IntoIterator<Item = String>>(
 /// `--metrics-out`): per-read records are rolled up into totals, run /
 /// stage / device / event / energy records are rendered in file order.
 ///
+/// Lenient: malformed lines are skipped and counted, with a trailing
+/// `warning: skipped N malformed line(s)` note — telemetry files are
+/// often truncated by interrupted runs or concatenated from several
+/// sources, and the intact records are still worth rendering. Use
+/// [`render_stats_strict`] (CLI: `--strict`) to fail on the first bad
+/// line instead.
+///
+/// # Errors
+///
+/// This lenient form only errors via future I/O-style extensions; today
+/// it always succeeds.
+pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
+    render_stats_inner(text, false)
+}
+
+/// Strict variant of [`render_stats`]: any malformed line is an error.
+///
 /// # Errors
 ///
 /// Returns an error naming the first line that fails to parse.
-pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
+pub fn render_stats_strict(text: &str) -> Result<String, Box<dyn Error>> {
+    render_stats_inner(text, true)
+}
+
+fn render_stats_inner(text: &str, strict: bool) -> Result<String, Box<dyn Error>> {
     use repute_obs::json::{field, parse_flat_object, JsonValue};
     use std::fmt::Write as _;
 
@@ -851,13 +949,22 @@ pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
     let mut reads = 0u64;
     let mut sums: Vec<(String, u64)> = Vec::new();
     let mut body = String::new();
+    let mut skipped = 0u64;
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let fields = parse_flat_object(line)
-            .ok_or_else(|| format!("line {}: not a flat JSON object", idx + 1))?;
+        let fields = match parse_flat_object(line) {
+            Some(fields) => fields,
+            None if strict => {
+                return Err(format!("line {}: not a flat JSON object", idx + 1).into())
+            }
+            None => {
+                skipped += 1;
+                continue;
+            }
+        };
         let kind = get_str(&fields, "type");
         match kind.as_str() {
             "read" => {
@@ -904,6 +1011,15 @@ pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
                     get_f64(&fields, "busy_seconds").unwrap_or(0.0),
                     get_f64(&fields, "utilization").unwrap_or(0.0) * 100.0,
                 );
+                let faults = get_u64(&fields, "faults").unwrap_or(0);
+                let retries = get_u64(&fields, "retries").unwrap_or(0);
+                let migrated = get_u64(&fields, "migrated_batches").unwrap_or(0);
+                if faults > 0 || retries > 0 || migrated > 0 {
+                    let _ = writeln!(
+                        body,
+                        "    faults {faults} | retries {retries} | migrated batches {migrated}",
+                    );
+                }
             }
             "event" => {
                 let _ = writeln!(
@@ -961,8 +1077,11 @@ pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
         }
     }
     out.push_str(&body);
-    if out.is_empty() {
+    if out.is_empty() && skipped == 0 {
         out.push_str("no telemetry records\n");
+    }
+    if skipped > 0 {
+        let _ = writeln!(out, "warning: skipped {skipped} malformed line(s)");
     }
     Ok(out)
 }
@@ -971,12 +1090,17 @@ pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors and malformed-line errors from
-/// [`render_stats`].
+/// Propagates I/O errors and, under `--strict`, malformed-line errors
+/// from [`render_stats_strict`].
 pub fn run_stats(opts: &StatsOptions) -> Result<(), Box<dyn Error>> {
     let text = std::fs::read_to_string(&opts.input)
         .map_err(|e| format!("cannot read {:?}: {e}", opts.input))?;
-    print!("{}", render_stats(&text)?);
+    let rendered = if opts.strict {
+        render_stats_strict(&text)?
+    } else {
+        render_stats(&text)?
+    };
+    print!("{rendered}");
     Ok(())
 }
 
@@ -1074,6 +1198,8 @@ mod tests {
             platform: None,
             schedule: ScheduleMode::Static,
             host_threads: 0,
+            fault_plan: None,
+            max_retries: DEFAULT_MAX_RETRIES,
             metrics_out: None,
             verbose: false,
         };
@@ -1397,7 +1523,15 @@ mod tests {
         assert_eq!(
             parse_stats_args(args("m.jsonl")).unwrap(),
             StatsOptions {
-                input: "m.jsonl".into()
+                input: "m.jsonl".into(),
+                strict: false,
+            }
+        );
+        assert_eq!(
+            parse_stats_args(args("--strict m.jsonl")).unwrap(),
+            StatsOptions {
+                input: "m.jsonl".into(),
+                strict: true,
             }
         );
         assert!(parse_stats_args(args("")).is_err());
@@ -1406,9 +1540,96 @@ mod tests {
     }
 
     #[test]
-    fn render_stats_rejects_malformed_lines() {
-        assert!(render_stats("not json\n").is_err());
+    fn render_stats_is_lenient_by_default_and_strict_on_request() {
+        // Lenient: malformed lines are skipped with a count, intact
+        // records still render.
+        let mixed = "not json\n{\"type\":\"read\",\"id\":0,\"hits\":1}\ngarbage{\n";
+        let rendered = render_stats(mixed).unwrap();
+        assert!(rendered.contains("1 read records"), "{rendered}");
+        assert!(
+            rendered.contains("warning: skipped 2 malformed line(s)"),
+            "{rendered}"
+        );
+        // Only-garbage input: the warning alone, not "no records".
+        let garbage = render_stats("not json\n").unwrap();
+        assert!(garbage.contains("skipped 1 malformed line(s)"), "{garbage}");
+        assert!(!garbage.contains("no telemetry records"));
+        // Strict: the first malformed line is an error naming its number.
+        let err = render_stats_strict(mixed).unwrap_err().to_string();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(render_stats_strict("{\"type\":\"read\",\"id\":0,\"hits\":1}\n").is_ok());
         assert_eq!(render_stats("").unwrap(), "no telemetry records\n");
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 \
+             --fault-plan transient:d0@0.1x2,loss:d1@0.5 --max-retries 4",
+        ))
+        .unwrap();
+        assert_eq!(
+            opts.fault_plan.as_deref(),
+            Some("transient:d0@0.1x2,loss:d1@0.5")
+        );
+        assert_eq!(opts.max_retries, 4);
+        // Defaults.
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq")).unwrap();
+        assert_eq!(opts.fault_plan, None);
+        assert_eq!(opts.max_retries, DEFAULT_MAX_RETRIES);
+        // A fault plan without a platform has nothing to inject into.
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --fault-plan loss:d0@0.1"
+        ))
+        .is_err());
+        // Malformed specs are rejected at parse time, not mid-run.
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --fault-plan loss:x"
+        ))
+        .is_err());
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --max-retries x"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn faulted_platform_run_matches_fault_free_sam_output() {
+        let dir = std::env::temp_dir().join("repute-cli-fault-test");
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 16,
+            read_len: 100,
+            seed: 31,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let run = |extra: &str, sam: &str| {
+            let opts = parse_map_args(
+                format!(
+                    "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                     --platform system1 --output {dir_s}/{sam} {extra}"
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap();
+            run_map(&opts).unwrap()
+        };
+        let clean = run("", "clean.sam");
+        let faulted = run(
+            "--fault-plan transient:d0@0,slow:d1@0x0.5 --max-retries 3",
+            "faulted.sam",
+        );
+        // Faults change the simulated timeline only: SAM is identical.
+        assert_eq!(clean, faulted);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("clean.sam")).unwrap(),
+            std::fs::read_to_string(dir.join("faulted.sam")).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

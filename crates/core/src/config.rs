@@ -62,7 +62,12 @@ pub struct ReputeConfig {
     schedule: ScheduleMode,
     dynamic_batch: usize,
     host_threads: usize,
+    max_retries: usize,
 }
+
+/// Default retry budget for transient kernel-launch faults (see
+/// [`ReputeConfig::with_max_retries`]).
+pub const DEFAULT_MAX_RETRIES: usize = 2;
 
 impl ReputeConfig {
     /// Creates a configuration for `delta` errors with minimum k-mer
@@ -83,7 +88,25 @@ impl ReputeConfig {
             schedule: ScheduleMode::Static,
             dynamic_batch: 0,
             host_threads: 0,
+            max_retries: DEFAULT_MAX_RETRIES,
         })
+    }
+
+    /// Sets the retry budget for transient kernel-launch faults: a launch
+    /// failing transiently is retried after an exponential simulated
+    /// backoff up to this many times before the executor escalates the
+    /// device to a permanent loss and fails its batches over to the
+    /// surviving devices. `0` disables retries (every transient fault
+    /// escalates immediately). Only consulted when a fault plan is
+    /// active. The default is [`DEFAULT_MAX_RETRIES`].
+    pub fn with_max_retries(mut self, max_retries: usize) -> ReputeConfig {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// The transient-fault retry budget.
+    pub fn max_retries(&self) -> usize {
+        self.max_retries
     }
 
     /// Selects the multi-device scheduling policy; the default is
@@ -326,13 +349,16 @@ mod tests {
         assert_eq!(config.schedule(), ScheduleMode::Static);
         assert_eq!(config.dynamic_batch(), 0);
         assert_eq!(config.host_threads(), 0);
+        assert_eq!(config.max_retries(), DEFAULT_MAX_RETRIES);
         let tuned = config
             .with_schedule(ScheduleMode::Dynamic)
             .with_dynamic_batch(64)
-            .with_host_threads(2);
+            .with_host_threads(2)
+            .with_max_retries(5);
         assert_eq!(tuned.schedule(), ScheduleMode::Dynamic);
         assert_eq!(tuned.dynamic_batch(), 64);
         assert_eq!(tuned.host_threads(), 2);
+        assert_eq!(tuned.max_retries(), 5);
     }
 
     #[test]

@@ -49,10 +49,10 @@ mod mapper;
 pub mod multi_device;
 mod paired;
 
-pub use config::{ReputeConfig, ScheduleMode};
+pub use config::{ReputeConfig, ScheduleMode, DEFAULT_MAX_RETRIES};
 pub use mapper::{CigarMapping, ReputeMapper};
 pub use multi_device::{
-    balanced_shares, map_on_platform, map_on_platform_with_metrics, map_scheduled, BatchPlan,
-    MappingRun, Schedule, AUTO_HOST_THREADS,
+    balanced_shares, map_on_platform, map_on_platform_with_metrics, map_scheduled,
+    map_scheduled_with_faults, BatchPlan, MappingRun, Schedule, AUTO_HOST_THREADS,
 };
 pub use paired::{PairMapping, PairOutcome, PairedMapper};

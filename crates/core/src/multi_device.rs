@@ -30,8 +30,8 @@ use std::time::Instant;
 
 use repute_genome::DnaSeq;
 use repute_hetsim::{
-    Buffer, CommandQueue, DeviceProfile, DeviceRun, EnergyReport, Event, FnKernel, LaunchError,
-    Platform, PlatformRun, Share,
+    Buffer, CommandQueue, DeviceProfile, DeviceRun, EnergyReport, Event, FaultCounters, FaultPlan,
+    FnKernel, LaunchError, LaunchErrorKind, Platform, PlatformRun, Share,
 };
 use repute_mappers::{MapOutput, Mapper};
 use repute_obs::{DeviceTimeline, EnergySummary, KernelEvent, MapMetrics, RunReport};
@@ -159,6 +159,9 @@ pub struct MappingRun {
     pub wall_seconds: f64,
     /// §III-D power/energy measurement of the run.
     pub energy: EnergyReport,
+    /// Per-entry fault accounting, parallel to `device_runs` (all zero
+    /// on a fault-free run).
+    pub fault_counters: Vec<FaultCounters>,
 }
 
 impl MappingRun {
@@ -258,8 +261,10 @@ impl MappingRun {
             .device_runs
             .iter()
             .zip(&self.timelines)
-            .map(|(dr, events)| {
+            .enumerate()
+            .map(|(idx, (dr, events))| {
                 let profile = &platform.devices()[dr.device];
+                let counters = self.fault_counters.get(idx).copied().unwrap_or_default();
                 DeviceTimeline {
                     device: format!("{} [{}]", profile.name(), profile.kind().as_str()),
                     events: events
@@ -274,6 +279,9 @@ impl MappingRun {
                             end_seconds: e.end_seconds,
                         })
                         .collect(),
+                    retries: counters.retries,
+                    faults: counters.faults,
+                    migrated_batches: counters.migrated_batches,
                 }
             })
             .collect();
@@ -389,6 +397,331 @@ pub fn map_scheduled<M: Mapper>(
         Schedule::Static(shares) => map_static(mapper, platform, shares, host_threads, reads),
         Schedule::Dynamic { batch } => map_dynamic(mapper, platform, *batch, host_threads, reads),
     }
+}
+
+/// One batch of the fault-aware replay: its contiguous read range and,
+/// under a static schedule, the device the user's distribution assigned
+/// it to (`None` in dynamic mode — the scheduler places it).
+struct FaultBatch {
+    lo: usize,
+    hi: usize,
+    owner: Option<usize>,
+}
+
+/// Like [`map_scheduled`], but executing under a [`FaultPlan`]: transient
+/// launch failures are retried with exponential simulated backoff (up to
+/// `max_retries` per launch — see
+/// [`ReputeConfig::max_retries`](crate::ReputeConfig::max_retries)),
+/// batches owned by a permanently lost device fail over to the surviving
+/// devices by the same deterministic earliest-free replay the dynamic
+/// scheduler uses, and degraded devices simply run slower.
+///
+/// **Output invariance:** whenever at least one device survives, the
+/// returned outputs and per-read metrics are bit-identical to the
+/// fault-free run of the same schedule — reads are host-executed in
+/// deterministic batch order (phase 1) and only the simulated *placement*
+/// of batches reacts to faults (phase 2), so faults can change
+/// `simulated_seconds`, timelines, and energy, never mapping results.
+///
+/// With an empty plan this delegates to [`map_scheduled`] unchanged.
+/// With a non-empty plan, both schedules replay through one fault-armed
+/// [`CommandQueue`] per platform device, so `device_runs`/`timelines`
+/// have one entry per device (as in dynamic mode) rather than one per
+/// share.
+///
+/// # Errors
+///
+/// Everything [`map_scheduled`] returns, plus
+/// [`LaunchErrorKind::AllDevicesLost`] naming the unmapped read range
+/// when no device survives, and an invalid-distribution error when the
+/// plan names a device the platform does not have.
+pub fn map_scheduled_with_faults<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    schedule: &Schedule,
+    host_threads: usize,
+    fault_plan: &FaultPlan,
+    max_retries: usize,
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
+    if fault_plan.is_empty() {
+        return map_scheduled(mapper, platform, schedule, host_threads, reads);
+    }
+    let n_dev = platform.devices().len();
+    if let Some(max_dev) = fault_plan.max_device() {
+        if max_dev >= n_dev {
+            return Err(LaunchError::from_message(format!(
+                "fault plan names device {max_dev} but the platform has only {n_dev} devices"
+            )));
+        }
+    }
+    let start = Instant::now();
+    let bytes_per_read = mapper.max_locations() * 12;
+
+    // Build the global batch list under the schedule's own batching
+    // rules; batches are contiguous and in read order, so concatenating
+    // phase-1 results restores exact read order no matter where phase 2
+    // places them.
+    let mut batches: Vec<FaultBatch> = Vec::new();
+    match schedule {
+        Schedule::Static(shares) => {
+            if shares.is_empty() {
+                if reads.is_empty() {
+                    return Ok(empty_run(platform));
+                }
+                return Err(LaunchError::from_message("no shares supplied"));
+            }
+            for share in shares {
+                if share.device >= n_dev {
+                    return Err(LaunchError::from_message(format!(
+                        "device index {} out of range ({n_dev} devices)",
+                        share.device
+                    )));
+                }
+            }
+            let covered: usize = shares.iter().map(|s| s.items).sum();
+            if covered != reads.len() {
+                return Err(LaunchError::from_message(format!(
+                    "shares cover {covered} items but {} reads were supplied",
+                    reads.len()
+                )));
+            }
+            let mut offset = 0usize;
+            for share in shares {
+                let device = &platform.devices()[share.device];
+                for &b in BatchPlan::plan(device, share.items, bytes_per_read).batches() {
+                    batches.push(FaultBatch {
+                        lo: offset,
+                        hi: offset + b,
+                        owner: Some(share.device),
+                    });
+                    offset += b;
+                }
+            }
+        }
+        Schedule::Dynamic { batch } => {
+            let cap = platform
+                .devices()
+                .iter()
+                .map(|d| Buffer::max_items(d, bytes_per_read))
+                .min()
+                .expect("a platform has at least one device");
+            if cap == 0 && !reads.is_empty() {
+                return Err(LaunchError::from_message(format!(
+                    "one read's output ({bytes_per_read} bytes) exceeds the quarter-RAM cap of \
+                     the smallest device"
+                )));
+            }
+            let auto = reads
+                .len()
+                .div_ceil(DYNAMIC_BATCHES_PER_DEVICE * n_dev)
+                .max(1);
+            let batch_size = if *batch == 0 {
+                auto.min(cap)
+            } else {
+                (*batch).min(cap)
+            };
+            let mut offset = 0usize;
+            for &b in BatchPlan::uniform(reads.len(), batch_size.max(1)).batches() {
+                batches.push(FaultBatch {
+                    lo: offset,
+                    hi: offset + b,
+                    owner: None,
+                });
+                offset += b;
+            }
+        }
+    }
+    if batches.is_empty() {
+        return Ok(empty_run(platform));
+    }
+
+    // Phase 1 — host-execute every batch in parallel. Outputs, metrics
+    // and work counts are device-independent, so faults cannot reach
+    // them; only phase 2's simulated placement reacts to the plan.
+    let max_read_len = reads.iter().map(DnaSeq::len).max().unwrap_or(0);
+    let private_bytes = mapper.kernel_private_bytes(max_read_len);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let results = run_jobs(
+        batches.len(),
+        worker_count(host_threads, host, batches.len()),
+        |batch_idx| {
+            let fb = &batches[batch_idx];
+            let mut outputs = Vec::with_capacity(fb.hi - fb.lo);
+            let mut metrics = Vec::with_capacity(fb.hi - fb.lo);
+            let mut work = 0u64;
+            for read in &reads[fb.lo..fb.hi] {
+                let mut m = MapMetrics::new();
+                let out = mapper.map_read_metered(read, &mut m);
+                work += out.work;
+                outputs.push(out);
+                metrics.push(m);
+            }
+            BatchResult {
+                outputs,
+                metrics,
+                work,
+            }
+        },
+    );
+
+    // Phase 2 — sequential deterministic replay against one fault-armed
+    // command queue per device. The replay kernel recreates each batch's
+    // launch from the phase-1 per-read work counts (no re-execution), so
+    // a healthy device's durations match the fault-free path exactly.
+    let mut state = fault_plan.state(n_dev);
+    let mut queues: Vec<CommandQueue<'_>> = (0..n_dev)
+        .map(|d| {
+            CommandQueue::new(&platform.devices()[d]).with_fault_state(d, state.take_device(d))
+        })
+        .collect();
+    let mut dead = vec![false; n_dev];
+    let enqueue_replay = |queue: &mut CommandQueue<'_>,
+                          label: &str,
+                          fb: &FaultBatch,
+                          result: &BatchResult|
+     -> Result<(), LaunchError> {
+        let outs = &result.outputs;
+        let kernel =
+            FnKernel::new(move |i: usize| ((), outs[i].work)).with_private_bytes(private_bytes);
+        queue
+            .enqueue_with_retries(label, fb.hi - fb.lo, &kernel, max_retries)
+            .map(|_| ())
+    };
+
+    // Primary pass: static batches go to their owning device; dynamic
+    // batches to the earliest-free survivor (ties to the lower index).
+    let mut orphans: Vec<usize> = Vec::new();
+    for (batch_idx, fb) in batches.iter().enumerate() {
+        match fb.owner {
+            Some(dev) => {
+                if dead[dev] {
+                    orphans.push(batch_idx);
+                    continue;
+                }
+                let label = format!("d{dev}-batch-{batch_idx}");
+                match enqueue_replay(&mut queues[dev], &label, fb, &results[batch_idx]) {
+                    Ok(()) => {}
+                    Err(err) if matches!(err.kind(), LaunchErrorKind::DeviceLost { .. }) => {
+                        dead[dev] = true;
+                        orphans.push(batch_idx);
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+            None => {
+                let mut failed_on: Option<usize> = None;
+                loop {
+                    let Some(dev) = earliest_free(&queues, &dead) else {
+                        return Err(LaunchError::all_devices_lost(fb.lo, reads.len()));
+                    };
+                    let label = format!("d{dev}-batch-{batch_idx}");
+                    match enqueue_replay(&mut queues[dev], &label, fb, &results[batch_idx]) {
+                        Ok(()) => {
+                            if let Some(from) = failed_on {
+                                queues[dev].annotate_last(&format!("migrated from d{from}"));
+                                queues[dev].note_migration();
+                            }
+                            break;
+                        }
+                        Err(err) if matches!(err.kind(), LaunchErrorKind::DeviceLost { .. }) => {
+                            dead[dev] = true;
+                            if failed_on.is_none() {
+                                failed_on = Some(dev);
+                            }
+                        }
+                        Err(err) => return Err(err),
+                    }
+                }
+            }
+        }
+    }
+
+    // Failover pass: orphaned static batches are re-queued, in batch
+    // order, to the earliest-free surviving device — the same replay rule
+    // the dynamic scheduler uses, so failover is deterministic too.
+    let mut next_orphan = 0usize;
+    while next_orphan < orphans.len() {
+        let batch_idx = orphans[next_orphan];
+        let fb = &batches[batch_idx];
+        let owner = fb.owner.expect("only static batches are orphaned");
+        let Some(dev) = earliest_free(&queues, &dead) else {
+            let unplaced = &orphans[next_orphan..];
+            let lo = unplaced
+                .iter()
+                .map(|&b| batches[b].lo)
+                .min()
+                .expect("non-empty");
+            let hi = unplaced
+                .iter()
+                .map(|&b| batches[b].hi)
+                .max()
+                .expect("non-empty");
+            return Err(LaunchError::all_devices_lost(lo, hi));
+        };
+        let label = format!("d{dev}-batch-{batch_idx}");
+        match enqueue_replay(&mut queues[dev], &label, fb, &results[batch_idx]) {
+            Ok(()) => {
+                queues[dev].annotate_last(&format!("migrated from d{owner}"));
+                queues[dev].note_migration();
+                next_orphan += 1;
+            }
+            Err(err) if matches!(err.kind(), LaunchErrorKind::DeviceLost { .. }) => {
+                dead[dev] = true;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+
+    // Assemble: concatenation of batch results restores read order; one
+    // device_run/timeline/counter entry per platform device.
+    let mut outputs = Vec::with_capacity(reads.len());
+    let mut metrics = Vec::with_capacity(reads.len());
+    for r in results {
+        outputs.extend(r.outputs);
+        metrics.extend(r.metrics);
+    }
+    let mut device_runs = Vec::with_capacity(n_dev);
+    let mut timelines = Vec::with_capacity(n_dev);
+    let mut fault_counters = Vec::with_capacity(n_dev);
+    for queue in queues {
+        device_runs.push(DeviceRun {
+            device: queue.device_index(),
+            items: queue.events().iter().map(|e| e.items).sum(),
+            work: queue.total_work(),
+            simulated_seconds: queue.finish_seconds(),
+        });
+        fault_counters.push(queue.fault_counters());
+        timelines.push(queue.into_events());
+    }
+    Ok(finish_run_with_faults(
+        platform,
+        start,
+        outputs,
+        metrics,
+        device_runs,
+        timelines,
+        fault_counters,
+    ))
+}
+
+/// The surviving device whose next launch could start earliest (ties to
+/// the lower device index); `None` when every device is dead.
+fn earliest_free(queues: &[CommandQueue<'_>], dead: &[bool]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (d, queue) in queues.iter().enumerate() {
+        if dead[d] {
+            continue;
+        }
+        let better = match best {
+            Some(b) => queue.next_start_seconds() < queues[b].next_start_seconds(),
+            None => true,
+        };
+        if better {
+            best = Some(d);
+        }
+    }
+    best
 }
 
 /// Per-share result of the static executor, produced on a worker thread.
@@ -674,6 +1007,7 @@ fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
             simulated_seconds: 0.0,
             wall_seconds: 0.0,
             energy,
+            fault_counters: vec![],
         },
         vec![],
     )
@@ -688,6 +1022,29 @@ fn finish_run(
     metrics: Vec<MapMetrics>,
     device_runs: Vec<DeviceRun>,
     timelines: Vec<Vec<Event>>,
+) -> (MappingRun, Vec<MapMetrics>) {
+    let zeros = vec![FaultCounters::default(); device_runs.len()];
+    finish_run_with_faults(
+        platform,
+        start,
+        outputs,
+        metrics,
+        device_runs,
+        timelines,
+        zeros,
+    )
+}
+
+/// [`finish_run`] with explicit per-entry fault accounting.
+#[allow(clippy::too_many_arguments)]
+fn finish_run_with_faults(
+    platform: &Platform,
+    start: Instant,
+    outputs: Vec<MapOutput>,
+    metrics: Vec<MapMetrics>,
+    device_runs: Vec<DeviceRun>,
+    timelines: Vec<Vec<Event>>,
+    fault_counters: Vec<FaultCounters>,
 ) -> (MappingRun, Vec<MapMetrics>) {
     let simulated_seconds = device_runs
         .iter()
@@ -712,6 +1069,7 @@ fn finish_run(
             simulated_seconds,
             wall_seconds,
             energy,
+            fault_counters,
         },
         metrics,
     )

@@ -41,6 +41,7 @@
 
 mod buffer;
 mod device;
+mod fault;
 mod kernel;
 mod platform;
 mod power;
@@ -49,7 +50,13 @@ mod queue;
 
 pub use buffer::{AllocError, Buffer};
 pub use device::{DeviceKind, DeviceProfile};
+pub use fault::{
+    DeviceFaultState, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultPlanParseError,
+    FaultState,
+};
 pub use kernel::{run_kernel, FnKernel, Kernel, KernelRun};
-pub use platform::{apportion, DeviceRun, LaunchError, Platform, PlatformRun, Share};
+pub use platform::{
+    apportion, DeviceRun, LaunchError, LaunchErrorKind, Platform, PlatformRun, Share,
+};
 pub use power::EnergyReport;
-pub use queue::{CommandQueue, Event};
+pub use queue::{CommandQueue, Event, BACKOFF_BASE_SECONDS};

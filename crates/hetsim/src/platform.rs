@@ -72,25 +72,109 @@ pub struct Share {
     pub items: usize,
 }
 
-/// Error returned by [`Platform::launch`] for malformed distributions.
+/// Classifies a [`LaunchError`] so callers can react (retry a transient
+/// fault, fail a batch over after a device loss, surface a partial
+/// failure) instead of string-matching messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchErrorKind {
+    /// The launch distribution itself was malformed (empty shares, device
+    /// index out of range, coverage mismatch).
+    InvalidDistribution,
+    /// A transient fault failed this launch at enqueue; retrying the same
+    /// launch may succeed.
+    TransientFault {
+        /// Index of the device that rejected the launch.
+        device: usize,
+    },
+    /// The device is permanently lost; no future launch on it can
+    /// succeed.
+    DeviceLost {
+        /// Index of the lost device.
+        device: usize,
+    },
+    /// Every device died before the run completed.
+    AllDevicesLost {
+        /// Half-open global read range `[lo, hi)` left unmapped.
+        unmapped: (usize, usize),
+    },
+}
+
+/// Error returned by kernel launches: malformed distributions, and (under
+/// an armed fault plan) injected transient failures, device loss, and
+/// whole-platform loss.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LaunchError {
+    kind: LaunchErrorKind,
     message: String,
 }
 
 impl LaunchError {
-    /// Creates a launch error with a caller-supplied message (used by
-    /// higher-level launchers such as `repute-core`'s multi-device runner).
+    /// Creates an [`LaunchErrorKind::InvalidDistribution`] error with a
+    /// caller-supplied message (used by higher-level launchers such as
+    /// `repute-core`'s multi-device runner).
     pub fn from_message(message: impl Into<String>) -> LaunchError {
         LaunchError {
+            kind: LaunchErrorKind::InvalidDistribution,
             message: message.into(),
+        }
+    }
+
+    /// A transient launch failure on `device`.
+    pub fn transient(device: usize) -> LaunchError {
+        LaunchError {
+            kind: LaunchErrorKind::TransientFault { device },
+            message: String::new(),
+        }
+    }
+
+    /// A permanent loss of `device`.
+    pub fn device_lost(device: usize) -> LaunchError {
+        LaunchError {
+            kind: LaunchErrorKind::DeviceLost { device },
+            message: String::new(),
+        }
+    }
+
+    /// The typed partial-failure error: every device died, leaving global
+    /// reads `lo..hi` unmapped.
+    pub fn all_devices_lost(lo: usize, hi: usize) -> LaunchError {
+        LaunchError {
+            kind: LaunchErrorKind::AllDevicesLost { unmapped: (lo, hi) },
+            message: String::new(),
+        }
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &LaunchErrorKind {
+        &self.kind
+    }
+
+    /// For [`LaunchErrorKind::AllDevicesLost`], the half-open read range
+    /// that was never mapped.
+    pub fn unmapped_range(&self) -> Option<std::ops::Range<usize>> {
+        match self.kind {
+            LaunchErrorKind::AllDevicesLost { unmapped: (lo, hi) } => Some(lo..hi),
+            _ => None,
         }
     }
 }
 
 impl fmt::Display for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid launch distribution: {}", self.message)
+        match &self.kind {
+            LaunchErrorKind::InvalidDistribution => {
+                write!(f, "invalid launch distribution: {}", self.message)
+            }
+            LaunchErrorKind::TransientFault { device } => {
+                write!(f, "transient launch failure on device {device}")
+            }
+            LaunchErrorKind::DeviceLost { device } => {
+                write!(f, "device {device} permanently lost")
+            }
+            LaunchErrorKind::AllDevicesLost { unmapped: (lo, hi) } => {
+                write!(f, "all devices lost: reads {lo}..{hi} were not mapped")
+            }
+        }
     }
 }
 
@@ -230,19 +314,15 @@ impl Platform {
         kernel: &K,
     ) -> Result<PlatformRun<K::Output>, LaunchError> {
         if shares.is_empty() {
-            return Err(LaunchError {
-                message: "no shares supplied".into(),
-            });
+            return Err(LaunchError::from_message("no shares supplied"));
         }
         for share in shares {
             if share.device >= self.devices.len() {
-                return Err(LaunchError {
-                    message: format!(
-                        "device index {} out of range ({} devices)",
-                        share.device,
-                        self.devices.len()
-                    ),
-                });
+                return Err(LaunchError::from_message(format!(
+                    "device index {} out of range ({} devices)",
+                    share.device,
+                    self.devices.len()
+                )));
             }
         }
         let start = std::time::Instant::now();

@@ -17,7 +17,15 @@
 //! `queued ≤ submitted ≤ start ≤ end` always holds.
 
 use crate::device::DeviceProfile;
+use crate::fault::{DeviceFaultState, FaultCounters};
 use crate::kernel::{run_kernel, Kernel};
+use crate::platform::{LaunchError, LaunchErrorKind};
+
+/// Base of the exponential simulated backoff between transient-fault
+/// retries: attempt `n` (counted from zero) waits `BASE * 2^n` simulated
+/// seconds before relaunching. Deterministic by construction — no
+/// wall-clock sleeps.
+pub const BACKOFF_BASE_SECONDS: f64 = 1e-3;
 
 /// Profiling record of one enqueued kernel, mirroring the four OpenCL
 /// event timestamps.
@@ -84,6 +92,10 @@ pub struct CommandQueue<'d> {
     clock_seconds: f64,
     host_clock_seconds: f64,
     launch_overhead_seconds: f64,
+    device_index: usize,
+    fault: Option<DeviceFaultState>,
+    counters: FaultCounters,
+    loss_counted: bool,
 }
 
 impl<'d> CommandQueue<'d> {
@@ -95,7 +107,28 @@ impl<'d> CommandQueue<'d> {
             clock_seconds: 0.0,
             host_clock_seconds: 0.0,
             launch_overhead_seconds: 0.0,
+            device_index: 0,
+            fault: None,
+            counters: FaultCounters::default(),
+            loss_counted: false,
         }
+    }
+
+    /// Arms a fault state on this queue: [`try_enqueue`] and
+    /// [`enqueue_with_retries`] consult it at every launch.
+    /// `device_index` identifies the device in the errors this queue
+    /// raises (a bare queue defaults to index 0).
+    ///
+    /// [`try_enqueue`]: CommandQueue::try_enqueue
+    /// [`enqueue_with_retries`]: CommandQueue::enqueue_with_retries
+    pub fn with_fault_state(
+        mut self,
+        device_index: usize,
+        state: DeviceFaultState,
+    ) -> CommandQueue<'d> {
+        self.device_index = device_index;
+        self.fault = Some(state);
+        self
     }
 
     /// Sets the simulated host cost of queueing one command (charged once
@@ -122,18 +155,67 @@ impl<'d> CommandQueue<'d> {
     /// its outputs. The kernel occupies the device from the later of the
     /// current queue clock and its submission time until its simulated
     /// completion.
+    ///
+    /// Infallible: on a queue with no armed fault state this never fails;
+    /// with one armed it panics rather than silently succeed — use
+    /// [`try_enqueue`](CommandQueue::try_enqueue) or
+    /// [`enqueue_with_retries`](CommandQueue::enqueue_with_retries) on
+    /// fault-armed queues.
     pub fn enqueue<K: Kernel>(
         &mut self,
         label: impl Into<String>,
         items: usize,
         kernel: &K,
     ) -> Vec<K::Output> {
-        let run = run_kernel(self.device, items, kernel);
+        assert!(
+            self.fault.is_none(),
+            "enqueue on a fault-armed queue; use try_enqueue / enqueue_with_retries"
+        );
+        self.try_enqueue(label, items, kernel)
+            .expect("launches cannot fail without an armed fault state")
+    }
+
+    /// Enqueues and executes a kernel, consulting the armed fault state
+    /// (if any) at the launch's would-be start time.
+    ///
+    /// Fail-stop is modelled at launch granularity: a permanent loss
+    /// rejects every launch *starting* at or after the loss time (kernels
+    /// already running complete); an armed transient fault consumes
+    /// itself and fails this one launch (the host still pays the launch
+    /// overhead); armed degradations stretch the kernel's simulated
+    /// duration by the composed throughput factor.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchErrorKind::DeviceLost`] or
+    /// [`LaunchErrorKind::TransientFault`] when the fault state says so.
+    pub fn try_enqueue<K: Kernel>(
+        &mut self,
+        label: impl Into<String>,
+        items: usize,
+        kernel: &K,
+    ) -> Result<Vec<K::Output>, LaunchError> {
         let queued_seconds = self.host_clock_seconds;
         let submitted_seconds = queued_seconds + self.launch_overhead_seconds;
-        self.host_clock_seconds = submitted_seconds;
         let start_seconds = submitted_seconds.max(self.clock_seconds);
-        let end_seconds = start_seconds + run.simulated_seconds;
+        if let Some(fault) = &mut self.fault {
+            if fault.is_lost(start_seconds) {
+                return Err(self.loss_error());
+            }
+            if fault.take_transient(start_seconds) {
+                // The failed submission still costs host time.
+                self.host_clock_seconds = submitted_seconds;
+                self.counters.faults += 1;
+                return Err(LaunchError::transient(self.device_index));
+            }
+        }
+        let run = run_kernel(self.device, items, kernel);
+        let factor = self
+            .fault
+            .as_ref()
+            .map_or(1.0, |f| f.throughput_factor(start_seconds));
+        self.host_clock_seconds = submitted_seconds;
+        let end_seconds = start_seconds + run.simulated_seconds / factor;
         self.events.push(Event {
             label: label.into(),
             items,
@@ -144,7 +226,107 @@ impl<'d> CommandQueue<'d> {
             end_seconds,
         });
         self.clock_seconds = end_seconds;
-        run.outputs
+        Ok(run.outputs)
+    }
+
+    /// Enqueues with bounded retry-on-transient: each transient failure
+    /// waits an exponential simulated backoff
+    /// ([`BACKOFF_BASE_SECONDS`]` * 2^attempt`) and relaunches, up to
+    /// `max_retries` retries. A device whose transients outlast the
+    /// budget is escalated to a permanent loss (killed at the current
+    /// queue time) so callers observe a single consistent failure mode.
+    ///
+    /// # Errors
+    ///
+    /// [`LaunchErrorKind::DeviceLost`] when the device is (or becomes)
+    /// permanently lost.
+    pub fn enqueue_with_retries<K: Kernel>(
+        &mut self,
+        label: &str,
+        items: usize,
+        kernel: &K,
+        max_retries: usize,
+    ) -> Result<Vec<K::Output>, LaunchError> {
+        let mut attempt = 0usize;
+        loop {
+            match self.try_enqueue(label, items, kernel) {
+                Ok(outputs) => {
+                    if attempt > 0 {
+                        self.annotate_last(&format!("retry x{attempt}"));
+                    }
+                    return Ok(outputs);
+                }
+                Err(err) => match err.kind() {
+                    LaunchErrorKind::TransientFault { .. } if attempt < max_retries => {
+                        self.counters.retries += 1;
+                        self.wait(BACKOFF_BASE_SECONDS * (1u64 << attempt) as f64);
+                        attempt += 1;
+                    }
+                    LaunchErrorKind::TransientFault { .. } => {
+                        // Retry budget exhausted: escalate to a loss.
+                        let now = self.host_clock_seconds.max(self.clock_seconds);
+                        if let Some(fault) = &mut self.fault {
+                            fault.kill(now);
+                        }
+                        return Err(self.loss_error());
+                    }
+                    _ => return Err(err),
+                },
+            }
+        }
+    }
+
+    /// Advances the host clock by `seconds` of simulated waiting (the
+    /// backoff primitive; also usable to model host-side stalls).
+    pub fn wait(&mut self, seconds: f64) {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "wait must be finite non-negative seconds"
+        );
+        self.host_clock_seconds += seconds;
+    }
+
+    /// Appends ` [note]` to the label of the most recent event —
+    /// fault-annotated timeline entries ("retry x2", "migrated from d1")
+    /// without widening the event schema. No-op on an empty queue.
+    pub fn annotate_last(&mut self, note: &str) {
+        if let Some(event) = self.events.last_mut() {
+            event.label.push_str(" [");
+            event.label.push_str(note);
+            event.label.push(']');
+        }
+    }
+
+    /// Records that this queue absorbed one batch from a dead device.
+    pub fn note_migration(&mut self) {
+        self.counters.migrated_batches += 1;
+    }
+
+    /// Fault accounting of this queue so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// The device index reported in this queue's fault errors.
+    pub fn device_index(&self) -> usize {
+        self.device_index
+    }
+
+    /// `true` when the armed fault state says the device is dead at this
+    /// queue's current time (a queue without fault state is never lost).
+    pub fn is_lost_now(&self) -> bool {
+        let now = self.host_clock_seconds.max(self.clock_seconds);
+        self.fault.as_ref().is_some_and(|f| f.is_lost(now))
+    }
+
+    /// Builds a device-lost error, counting the loss as a fault exactly
+    /// once per queue.
+    fn loss_error(&mut self) -> LaunchError {
+        if !self.loss_counted {
+            self.loss_counted = true;
+            self.counters.faults += 1;
+        }
+        LaunchError::device_lost(self.device_index)
     }
 
     /// Profiling events of every launch so far, in queue order.
@@ -162,6 +344,14 @@ impl<'d> CommandQueue<'d> {
         self.clock_seconds
     }
 
+    /// The earliest simulated time the next launch could start: the later
+    /// of the host clock (plus launch overhead) and the device clock.
+    /// This is the earliest-free key of the dynamic scheduler — it
+    /// accounts for backoff waits, which advance the host clock only.
+    pub fn next_start_seconds(&self) -> f64 {
+        (self.host_clock_seconds + self.launch_overhead_seconds).max(self.clock_seconds)
+    }
+
     /// Total work enqueued so far.
     pub fn total_work(&self) -> u64 {
         self.events.iter().map(|e| e.work).sum()
@@ -170,7 +360,10 @@ impl<'d> CommandQueue<'d> {
     /// Seconds the device spent executing kernels (excludes idle gaps
     /// while waiting for submissions).
     pub fn busy_seconds(&self) -> f64 {
-        self.events.iter().map(Event::duration_seconds).sum()
+        // + 0.0 normalizes the empty sum's -0.0 (std's f64 Sum folds
+        // from the additive identity -0.0): a lost device that never
+        // launched should report plain 0.0.
+        self.events.iter().map(Event::duration_seconds).sum::<f64>() + 0.0
     }
 
     /// Busy fraction of the device up to `finish_seconds()`; 1.0 for an
@@ -185,21 +378,36 @@ impl<'d> CommandQueue<'d> {
 
     /// Renders a one-line-per-event timeline (a text Gantt chart), useful
     /// in examples and debugging output.
+    ///
+    /// Every bar is exactly `width` cells: a zero-duration run (legal
+    /// since zero-reads + zero-shares became a valid empty run) renders
+    /// empty bars instead of dividing by zero, and an event ending
+    /// exactly at the run's total time fills the bar without overflowing
+    /// it.
     pub fn timeline(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let total = self.clock_seconds.max(f64::MIN_POSITIVE);
+        let width = 40usize;
+        let total = self.clock_seconds;
         for event in &self.events {
-            let width = 40usize;
-            let from = (event.start_seconds / total * width as f64) as usize;
-            let to = ((event.end_seconds / total * width as f64) as usize).max(from + 1);
+            let (from, to) = if total <= 0.0 {
+                // Zero-duration run: any division by `total` would yield
+                // NaN coordinates; render an empty bar instead.
+                (0, 0)
+            } else {
+                let from = ((event.start_seconds / total * width as f64) as usize).min(width);
+                let to = ((event.end_seconds / total * width as f64) as usize)
+                    .max(from + 1)
+                    .min(width);
+                (from.min(to), to)
+            };
             let _ = writeln!(
                 out,
                 "{:<12} [{}{}{}] {:.4}s–{:.4}s",
                 event.label,
-                " ".repeat(from.min(width)),
-                "#".repeat((to - from).min(width - from.min(width))),
-                " ".repeat(width.saturating_sub(to)),
+                " ".repeat(from),
+                "#".repeat(to - from),
+                " ".repeat(width - to),
                 event.start_seconds,
                 event.end_seconds
             );
@@ -317,5 +525,173 @@ mod tests {
         assert!(queue.events().is_empty());
         assert!(queue.timeline().is_empty());
         assert_eq!(queue.utilization(), 0.0);
+    }
+
+    /// Regression: a zero-duration run (zero-work kernels keep the clock
+    /// at 0.0) used to divide by `total == 0` producing NaN→`as usize`
+    /// bar coordinates; it must render empty, fixed-width bars.
+    #[test]
+    fn timeline_survives_zero_duration_run() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        let kernel = FnKernel::new(|_| ((), 0u64));
+        queue.enqueue("noop-a", 0, &kernel);
+        queue.enqueue("noop-b", 3, &kernel);
+        assert_eq!(queue.finish_seconds(), 0.0);
+        let text = queue.timeline();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(!line.contains('#'), "zero-duration bars must be empty");
+            let bar = &line[line.find('[').unwrap() + 1..line.find(']').unwrap()];
+            assert_eq!(bar.len(), 40, "bar must keep its fixed width");
+        }
+    }
+
+    /// Regression: a final event ending exactly at `total` could round to
+    /// `to > width` and render a bar longer than the box.
+    #[test]
+    fn timeline_bar_never_exceeds_width() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        let kernel = FnKernel::new(|_| ((), 1_000_000u64));
+        // Three back-to-back launches: the last ends exactly at
+        // finish_seconds(), the case that used to overflow.
+        queue.enqueue("a", 10, &kernel);
+        queue.enqueue("b", 10, &kernel);
+        queue.enqueue("c", 13, &kernel);
+        let last = queue.events().last().unwrap();
+        assert_eq!(last.end_seconds, queue.finish_seconds());
+        for line in queue.timeline().lines() {
+            let bar = &line[line.find('[').unwrap() + 1..line.find(']').unwrap()];
+            assert_eq!(bar.len(), 40, "bar overflowed: {line:?}");
+        }
+    }
+
+    #[test]
+    fn transient_fault_fails_one_launch_then_recovers() {
+        use crate::fault::FaultPlan;
+        let cpu = profiles::intel_i7_2600();
+        let state = FaultPlan::new().transient(1, 0.0).state(2).take_device(1);
+        let mut queue = CommandQueue::new(&cpu).with_fault_state(1, state);
+        let kernel = FnKernel::new(|i: usize| (i, 1_000u64));
+        let err = queue.try_enqueue("x", 4, &kernel).unwrap_err();
+        assert_eq!(err.kind(), &LaunchErrorKind::TransientFault { device: 1 });
+        // The transient is consumed: the retry succeeds.
+        let out = queue.try_enqueue("x", 4, &kernel).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(queue.fault_counters().faults, 1);
+        assert_eq!(queue.events().len(), 1);
+    }
+
+    #[test]
+    fn enqueue_with_retries_recovers_and_annotates() {
+        use crate::fault::FaultPlan;
+        let cpu = profiles::intel_i7_2600();
+        let state = FaultPlan::parse("transient:d0@0x2")
+            .unwrap()
+            .state(1)
+            .take_device(0);
+        let mut queue = CommandQueue::new(&cpu).with_fault_state(0, state);
+        let kernel = FnKernel::new(|i: usize| (i, 1_000u64));
+        let out = queue.enqueue_with_retries("job", 3, &kernel, 3).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+        let counters = queue.fault_counters();
+        assert_eq!(counters.retries, 2);
+        assert_eq!(counters.faults, 2);
+        let event = &queue.events()[0];
+        assert!(event.label.contains("[retry x2]"), "{}", event.label);
+        // Backoffs 1ms + 2ms delayed the successful launch.
+        assert!(event.start_seconds >= 3.0 * BACKOFF_BASE_SECONDS - 1e-12);
+    }
+
+    #[test]
+    fn exhausted_retries_escalate_to_loss() {
+        use crate::fault::FaultPlan;
+        let cpu = profiles::intel_i7_2600();
+        let state = FaultPlan::parse("transient:d2@0x5")
+            .unwrap()
+            .state(3)
+            .take_device(2);
+        let mut queue = CommandQueue::new(&cpu).with_fault_state(2, state);
+        let kernel = FnKernel::new(|_| ((), 1_000u64));
+        let err = queue
+            .enqueue_with_retries("job", 3, &kernel, 1)
+            .unwrap_err();
+        assert_eq!(err.kind(), &LaunchErrorKind::DeviceLost { device: 2 });
+        assert!(queue.is_lost_now());
+        // One retry spent, two transients struck, plus the loss itself.
+        let counters = queue.fault_counters();
+        assert_eq!(counters.retries, 1);
+        assert_eq!(counters.faults, 3);
+        // Future launches stay dead, without recounting the loss.
+        let again = queue
+            .enqueue_with_retries("job", 3, &kernel, 1)
+            .unwrap_err();
+        assert_eq!(again.kind(), &LaunchErrorKind::DeviceLost { device: 2 });
+        assert_eq!(queue.fault_counters().faults, 3);
+    }
+
+    #[test]
+    fn loss_applies_to_launch_starts_only() {
+        use crate::fault::FaultPlan;
+        let cpu = profiles::intel_i7_2600();
+        let kernel = FnKernel::new(|_| ((), 1_000_000u64));
+        // Find how long one launch takes, then arm a loss mid-first-launch.
+        let mut probe = CommandQueue::new(&cpu);
+        probe.enqueue("probe", 10, &kernel);
+        let one = probe.finish_seconds();
+        let state = FaultPlan::new().loss(0, one / 2.0).state(1).take_device(0);
+        let mut queue = CommandQueue::new(&cpu).with_fault_state(0, state);
+        // First launch starts at 0.0 < loss time: it completes (fail-stop
+        // at launch granularity).
+        assert!(queue.try_enqueue("a", 10, &kernel).is_ok());
+        // Second launch would start after the loss: rejected.
+        let err = queue.try_enqueue("b", 10, &kernel).unwrap_err();
+        assert_eq!(err.kind(), &LaunchErrorKind::DeviceLost { device: 0 });
+        assert_eq!(queue.events().len(), 1);
+        assert_eq!(queue.fault_counters().faults, 1);
+    }
+
+    #[test]
+    fn degradation_stretches_simulated_duration() {
+        use crate::fault::FaultPlan;
+        let cpu = profiles::intel_i7_2600();
+        let kernel = FnKernel::new(|_| ((), 1_000_000u64));
+        let mut healthy = CommandQueue::new(&cpu);
+        healthy.enqueue("x", 10, &kernel);
+        let state = FaultPlan::new()
+            .degrade(0, 0.0, 0.5)
+            .state(1)
+            .take_device(0);
+        let mut degraded = CommandQueue::new(&cpu).with_fault_state(0, state);
+        degraded.try_enqueue("x", 10, &kernel).unwrap();
+        let ratio = degraded.finish_seconds() / healthy.finish_seconds();
+        assert!((ratio - 2.0).abs() < 1e-9, "half throughput = double time");
+        // Degradation is not an error and not a counted fault.
+        assert!(degraded.fault_counters().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-armed")]
+    fn infallible_enqueue_rejects_armed_queues() {
+        use crate::fault::FaultPlan;
+        let cpu = profiles::intel_i7_2600();
+        let state = FaultPlan::new().state(1).take_device(0);
+        let mut queue = CommandQueue::new(&cpu).with_fault_state(0, state);
+        let _ = queue.enqueue("x", 1, &FnKernel::new(|_| ((), 1u64)));
+    }
+
+    #[test]
+    fn annotate_and_migration_counters() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        // Annotating an empty queue is a no-op.
+        queue.annotate_last("nothing");
+        queue.enqueue("batch", 2, &FnKernel::new(|_| ((), 1u64)));
+        queue.annotate_last("migrated from d3");
+        assert_eq!(queue.events()[0].label, "batch [migrated from d3]");
+        queue.note_migration();
+        assert_eq!(queue.fault_counters().migrated_batches, 1);
+        assert!(!queue.is_lost_now());
     }
 }

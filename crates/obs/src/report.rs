@@ -55,12 +55,27 @@ pub struct DeviceTimeline {
     pub device: String,
     /// Launches in execution order.
     pub events: Vec<KernelEvent>,
+    /// Launch retries performed after transient faults (0 on a
+    /// fault-free run).
+    pub retries: u64,
+    /// Fault injections that struck this device: transients consumed,
+    /// plus one if the device was permanently lost.
+    pub faults: u64,
+    /// Batches this device absorbed from dead devices (failover).
+    pub migrated_batches: u64,
 }
 
 impl DeviceTimeline {
     /// Seconds the device spent executing kernels.
     pub fn busy_seconds(&self) -> f64 {
-        self.events.iter().map(KernelEvent::duration_seconds).sum()
+        // + 0.0 normalizes the empty sum, which is -0.0 (std's f64 Sum
+        // folds from the additive identity -0.0) — a lost device with no
+        // launches would otherwise report "busy -0.000000 s".
+        self.events
+            .iter()
+            .map(KernelEvent::duration_seconds)
+            .sum::<f64>()
+            + 0.0
     }
 
     /// End of the last event (0.0 with no events).
@@ -151,6 +166,13 @@ impl RunReport {
                     dev.busy_seconds(),
                     dev.utilization(self.simulated_seconds) * 100.0
                 );
+                if dev.faults > 0 || dev.retries > 0 || dev.migrated_batches > 0 {
+                    let _ = writeln!(
+                        out,
+                        "      faults {} | retries {} | migrated batches {}",
+                        dev.faults, dev.retries, dev.migrated_batches
+                    );
+                }
                 for ev in &dev.events {
                     let _ = writeln!(
                         out,
@@ -200,6 +222,9 @@ impl RunReport {
             obj.u64_field("launches", dev.events.len() as u64);
             obj.f64_field("busy_seconds", dev.busy_seconds());
             obj.f64_field("utilization", dev.utilization(self.simulated_seconds));
+            obj.u64_field("retries", dev.retries);
+            obj.u64_field("faults", dev.faults);
+            obj.u64_field("migrated_batches", dev.migrated_batches);
             writeln!(out, "{}", obj.finish())?;
             for ev in &dev.events {
                 let mut obj = JsonObject::new();
@@ -264,6 +289,9 @@ mod tests {
                         end_seconds: 2.0,
                     },
                 ],
+                retries: 1,
+                faults: 2,
+                migrated_batches: 3,
             }],
             simulated_seconds: 2.5,
             wall_seconds: 0.01,
@@ -274,6 +302,14 @@ mod tests {
                 energy_j: 5.0,
             }),
         }
+    }
+
+    #[test]
+    fn empty_timeline_busy_is_positive_zero() {
+        // Dead devices produce empty timelines; their busy time must
+        // serialize as 0.0, not the empty f64 sum's -0.0.
+        let dev = DeviceTimeline::default();
+        assert_eq!(dev.busy_seconds().to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -295,9 +331,15 @@ mod tests {
             "batch-1",
             "util",
             "J above idle",
+            "faults 2 | retries 1 | migrated batches 3",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+        // Fault counters stay silent on a fault-free device.
+        let mut clean = sample();
+        let dev = &mut clean.devices[0];
+        (dev.retries, dev.faults, dev.migrated_batches) = (0, 0, 0);
+        assert!(!clean.render().contains("faults"));
     }
 
     #[test]
