@@ -16,12 +16,17 @@ use std::error::Error;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
 use std::sync::Arc;
 
+use repute_core::journal::Fnv64;
 use repute_core::{
-    map_scheduled_with_faults, ReputeConfig, ReputeMapper, Schedule, ScheduleMode,
-    DEFAULT_MAX_RETRIES,
+    map_resumable, map_scheduled_with_faults, write_atomic, ReputeConfig, ReputeMapper,
+    RunFingerprint, Schedule, ScheduleMode, DEFAULT_MAX_RETRIES,
 };
+use repute_genome::DnaSeq;
+
+pub use repute_core::ReputeError;
 use repute_eval::sam;
 use repute_genome::fasta::{read_fasta, AmbiguityPolicy};
 use repute_genome::fastq::FastqReader;
@@ -119,6 +124,15 @@ pub struct MapOptions {
     pub metrics_out: Option<String>,
     /// Per-read trace lines and the full run report on stderr.
     pub verbose: bool,
+    /// Path of the crash-safe checkpoint journal (requires
+    /// `--platform`); the run commits every finished batch durably and
+    /// can be continued with `--resume` after an interruption.
+    pub checkpoint: Option<String>,
+    /// Replay the completed batches of an existing checkpoint journal
+    /// instead of starting over.
+    pub resume: bool,
+    /// Manifest commit cadence of the checkpointed run, in batches.
+    pub checkpoint_every: usize,
 }
 
 impl Default for MapOptions {
@@ -143,6 +157,9 @@ impl Default for MapOptions {
             max_retries: DEFAULT_MAX_RETRIES,
             metrics_out: None,
             verbose: false,
+            checkpoint: None,
+            resume: false,
+            checkpoint_every: 1,
         }
     }
 }
@@ -212,10 +229,20 @@ MAP OPTIONS:
                              (requires --platform); comma-separated
                              events: loss:d<dev>@<t> |
                              transient:d<dev>@<t>[x<count>] |
-                             slow:d<dev>@<t>x<factor>  (times are
-                             simulated seconds)
+                             slow:d<dev>@<t>x<factor> |
+                             crash:@<t> (host crash; requires
+                             --checkpoint)  (times are simulated seconds)
     --max-retries <n>        transient-fault retry budget per launch of
                              the simulation [default: 2]
+    --checkpoint <path>      crash-safe run journal (requires
+                             --platform): every finished batch is
+                             committed durably; an interrupted run is
+                             continued with --resume, bit-identical to an
+                             uninterrupted one
+    --resume                 replay the completed batches of an existing
+                             checkpoint journal and finish the rest
+    --checkpoint-every <n>   manifest commit cadence of the checkpointed
+                             run, in batches [default: 1]
     --metrics-out <path>     write per-read and run-level telemetry as
                              JSON-lines (inspect with `repute stats`)
     -v, --verbose, --trace   per-read trace lines and the full run report
@@ -224,7 +251,12 @@ MAP OPTIONS:
 
 STATS OPTIONS:
     --strict                 error on the first malformed JSON line
-                             instead of skipping it with a warning";
+                             instead of skipping it with a warning
+
+EXIT CODES:
+    0 success | 2 configuration | 3 input parse | 4 i/o
+    5 journal corrupt | 6 resume mismatch | 7 device loss
+    8 interrupted by a simulated host crash (continue with --resume)";
 
 /// Parses `repute map` arguments (everything after the subcommand).
 ///
@@ -239,6 +271,7 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
     let mut args = args.into_iter();
     let mut have_reference = false;
     let mut have_reads = false;
+    let mut have_checkpoint_every = false;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -331,6 +364,17 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
                     .map_err(|_| ParseArgsError::new("--max-retries expects an integer"))?;
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => opts.resume = true,
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--checkpoint-every expects an integer"))?;
+                if opts.checkpoint_every == 0 {
+                    return Err(ParseArgsError::new("--checkpoint-every must be positive"));
+                }
+                have_checkpoint_every = true;
+            }
             "-v" | "--verbose" | "--trace" => opts.verbose = true,
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
             other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
@@ -340,6 +384,44 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
         return Err(ParseArgsError::new(
             "--fault-plan requires --platform (faults live in the simulation)",
         ));
+    }
+    if opts.checkpoint.is_some() && opts.platform.is_none() {
+        return Err(ParseArgsError::new(
+            "--checkpoint requires --platform (the journal is batch-granular \
+             over the simulated schedule)",
+        ));
+    }
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err(ParseArgsError::new("--resume requires --checkpoint"));
+    }
+    if have_checkpoint_every && opts.checkpoint.is_none() {
+        return Err(ParseArgsError::new(
+            "--checkpoint-every requires --checkpoint",
+        ));
+    }
+    if opts.checkpoint.is_some() && opts.cigar {
+        return Err(ParseArgsError::new(
+            "--cigar is incompatible with --checkpoint (CIGAR traceback is \
+             per-read, the journal is per-batch)",
+        ));
+    }
+    if let Some(spec) = &opts.fault_plan {
+        // The spec already parsed above; re-parse to classify its events.
+        if let Ok(plan) = repute_hetsim::FaultPlan::parse(spec) {
+            if plan.host_crash_at().is_some() && opts.checkpoint.is_none() {
+                return Err(ParseArgsError::new(
+                    "crash:@<t> events require --checkpoint (only a journaled \
+                     run can survive a host crash)",
+                ));
+            }
+            if opts.checkpoint.is_some() && plan.has_device_events() {
+                return Err(ParseArgsError::new(
+                    "checkpointed runs accept crash:@<t> fault events only \
+                     (device faults would make the journaled timeline \
+                     irreproducible)",
+                ));
+            }
+        }
     }
     if opts.cigar && opts.mapper != MapperChoice::Repute {
         return Err(ParseArgsError::new("--cigar requires the repute mapper"));
@@ -481,14 +563,14 @@ pub fn parse_simulate_args<I: IntoIterator<Item = String>>(
 /// # Errors
 ///
 /// Propagates I/O and generation errors.
-pub fn run_simulate(opts: &SimulateOptions) -> Result<(), Box<dyn Error>> {
+pub fn run_simulate(opts: &SimulateOptions) -> Result<(), ReputeError> {
     use repute_genome::fasta::{write_fasta, FastaRecord};
     use repute_genome::fastq::write_fastq;
     use repute_genome::reads::{ErrorProfile, ReadSimulator};
     use repute_genome::synth::ReferenceBuilder;
 
     let dir = std::path::Path::new(&opts.out_dir);
-    std::fs::create_dir_all(dir)?;
+    std::fs::create_dir_all(dir).map_err(|e| ReputeError::io_at(dir, e))?;
     eprintln!("generating a {} bp reference…", opts.length);
     let reference = ReferenceBuilder::new(opts.length).seed(opts.seed).build();
     let profile = match opts.profile.as_str() {
@@ -535,18 +617,26 @@ pub fn run_simulate(opts: &SimulateOptions) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn load_reference_set(opts: &MapOptions) -> Result<ReferenceSet, Box<dyn Error>> {
+fn load_reference_set(opts: &MapOptions) -> Result<ReferenceSet, ReputeError> {
     if let Some(index_path) = &opts.index {
-        let file =
-            File::open(index_path).map_err(|e| format!("cannot open index {index_path:?}: {e}"))?;
+        let path = Path::new(index_path);
+        let file = File::open(path).map_err(|e| ReputeError::io_at(path, e))?;
         eprintln!("loading prebuilt index {index_path:?}…");
-        return Ok(ReferenceSet::read_from(BufReader::new(file))?);
+        return ReferenceSet::read_from(BufReader::new(file)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                ReputeError::InputParse(format!("index {index_path:?}: {e}"))
+            } else {
+                ReputeError::io_at(path, e)
+            }
+        });
     }
-    let file = File::open(&opts.reference)
-        .map_err(|e| format!("cannot open reference {:?}: {e}", opts.reference))?;
+    let path = Path::new(&opts.reference);
+    let file = File::open(path).map_err(|e| ReputeError::io_at(path, e))?;
     let records = read_fasta(BufReader::new(file), AmbiguityPolicy::Randomize(0))?;
     if records.is_empty() {
-        return Err("reference FASTA contains no sequence".into());
+        return Err(ReputeError::InputParse(
+            "reference FASTA contains no sequence".into(),
+        ));
     }
     let total: usize = records.iter().map(|r| r.seq.len()).sum();
     eprintln!("indexing {} record(s), {total} bp…", records.len());
@@ -561,14 +651,15 @@ fn load_reference_set(opts: &MapOptions) -> Result<ReferenceSet, Box<dyn Error>>
 /// # Errors
 ///
 /// Propagates I/O, format and construction errors.
-pub fn run_index(opts: &IndexOptions) -> Result<(), Box<dyn Error>> {
+pub fn run_index(opts: &IndexOptions) -> Result<(), ReputeError> {
     let set = load_reference_set(&MapOptions {
         reference: opts.reference.clone(),
         ..MapOptions::default()
     })?;
-    let out =
-        File::create(&opts.output).map_err(|e| format!("cannot create {:?}: {e}", opts.output))?;
-    set.write_to(BufWriter::new(out))?;
+    let out_path = Path::new(&opts.output);
+    let out = File::create(out_path).map_err(|e| ReputeError::io_at(out_path, e))?;
+    set.write_to(BufWriter::new(out))
+        .map_err(|e| ReputeError::io_at(out_path, e))?;
     eprintln!(
         "wrote index for {} record(s) to {:?}",
         set.records().len(),
@@ -577,34 +668,21 @@ pub fn run_index(opts: &IndexOptions) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-/// Runs `repute map`, writing SAM to the configured output.
-///
-/// Returns `(reads_mapped, mappings_reported)`.
-///
-/// # Errors
-///
-/// Propagates I/O, format and configuration errors.
-pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
-    let run_started = std::time::Instant::now();
-    let mut timer = StageTimer::new();
-    timer.start("load");
-    let set = load_reference_set(opts)?;
-    timer.stop();
-    let names: Vec<&str> = set.records().iter().map(|(n, _)| n.as_str()).collect();
-    let header: Vec<(&str, usize)> = set
-        .records()
-        .iter()
-        .map(|(n, l)| (n.as_str(), *l))
-        .collect();
-    let config = ReputeConfig::new(opts.delta, opts.s_min)?
+/// The mapping configuration an option set selects.
+fn build_config(opts: &MapOptions) -> Result<ReputeConfig, ReputeError> {
+    Ok(ReputeConfig::new(opts.delta, opts.s_min)
+        .map_err(|e| ReputeError::Config(e.to_string()))?
         .with_max_locations(opts.max_locations)
         .with_prefilter(opts.prefilter)
         .with_prefilter_qgram(opts.prefilter_q, opts.prefilter_bin)
         .with_schedule(opts.schedule)
         .with_host_threads(opts.host_threads)
-        .with_max_retries(opts.max_retries);
-    let repute = ReputeMapper::new(Arc::clone(set.indexed()), config);
-    let baseline: Option<Box<dyn Mapper>> = match opts.mapper {
+        .with_max_retries(opts.max_retries))
+}
+
+/// The baseline mapper an option set selects (`None` = repute itself).
+fn build_baseline(opts: &MapOptions, set: &ReferenceSet) -> Option<Box<dyn Mapper>> {
+    match opts.mapper {
         MapperChoice::Repute => None,
         MapperChoice::Coral => Some(Box::new(
             CoralLike::new(Arc::clone(set.indexed()), opts.delta)
@@ -630,14 +708,61 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
         MapperChoice::BwaMem => Some(Box::new(
             BwaMemLike::new(Arc::clone(set.indexed())).with_max_locations(opts.max_locations),
         )),
-    };
+    }
+}
 
-    let reads_file =
-        File::open(&opts.reads).map_err(|e| format!("cannot open reads {:?}: {e}", opts.reads))?;
-    let mut out: Box<dyn Write> = match &opts.output {
-        Some(path) => Box::new(BufWriter::new(File::create(path)?)),
-        None => Box::new(BufWriter::new(std::io::stdout())),
-    };
+/// Routes assembled SAM bytes to their destination: an atomic
+/// write-then-rename for a file path, a plain stream for stdout.
+fn write_sam_output(path: Option<&str>, sam: &[u8]) -> Result<(), ReputeError> {
+    match path {
+        Some(p) => write_atomic(Path::new(p), sam),
+        None => {
+            let mut out = std::io::stdout().lock();
+            out.write_all(sam)?;
+            out.flush()?;
+            Ok(())
+        }
+    }
+}
+
+/// Runs `repute map`, writing SAM to the configured output.
+///
+/// Returns `(reads_mapped, mappings_reported)`.
+///
+/// # Errors
+///
+/// Propagates I/O, format and configuration errors, each carrying the
+/// distinct exit code of its [`ReputeError`] class.
+pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), ReputeError> {
+    if opts.checkpoint.is_some() {
+        return run_map_checkpointed(opts);
+    }
+    // Fail fast on an unknown platform: the simulated replay only runs
+    // after mapping, and a late configuration error must not come after
+    // SAM has already been emitted.
+    if let Some(name) = opts.platform.as_deref() {
+        platform_by_name(name)?;
+    }
+    let run_started = std::time::Instant::now();
+    let mut timer = StageTimer::new();
+    timer.start("load");
+    let set = load_reference_set(opts)?;
+    timer.stop();
+    let names: Vec<&str> = set.records().iter().map(|(n, _)| n.as_str()).collect();
+    let header: Vec<(&str, usize)> = set
+        .records()
+        .iter()
+        .map(|(n, l)| (n.as_str(), *l))
+        .collect();
+    let config = build_config(opts)?;
+    let repute = ReputeMapper::new(Arc::clone(set.indexed()), config);
+    let baseline = build_baseline(opts, &set);
+
+    let reads_path = Path::new(&opts.reads);
+    let reads_file = File::open(reads_path).map_err(|e| ReputeError::io_at(reads_path, e))?;
+    // SAM is assembled in memory and committed in one atomic rename so
+    // an interrupted run never leaves a torn output file behind.
+    let mut out: Vec<u8> = Vec::new();
     sam::write_header_multi(&mut out, &header)?;
 
     let mut reads_mapped = 0usize;
@@ -710,7 +835,7 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
             cigar.as_ref(),
         )?;
     }
-    out.flush()?;
+    write_sam_output(opts.output.as_deref(), &out)?;
     timer.stop();
     let stats =
         repute_eval::stats::MappingStats::collect(per_read_for_stats.iter().map(|v| v.as_slice()));
@@ -743,6 +868,238 @@ pub fn run_map(opts: &MapOptions) -> Result<(usize, usize), Box<dyn Error>> {
     Ok((reads_mapped, total_mappings))
 }
 
+/// Resolves a `--platform` name to its simulated device profile.
+fn platform_by_name(name: &str) -> Result<repute_hetsim::Platform, ReputeError> {
+    use repute_hetsim::profiles;
+    match name {
+        "system1" => Ok(profiles::system1()),
+        "system1-cpu" => Ok(profiles::system1_cpu_only()),
+        "hikey970" => Ok(profiles::system2_hikey970()),
+        other => Err(ReputeError::Config(format!("unknown platform {other:?}"))),
+    }
+}
+
+/// Parses the `--fault-plan` spec (empty plan when absent).
+fn parse_fault_plan(opts: &MapOptions) -> Result<repute_hetsim::FaultPlan, ReputeError> {
+    match &opts.fault_plan {
+        Some(spec) => repute_hetsim::FaultPlan::parse(spec)
+            .map_err(|e| ReputeError::Config(format!("--fault-plan: {e}"))),
+        None => Ok(repute_hetsim::FaultPlan::new()),
+    }
+}
+
+/// The config/workload identity of a checkpointed run.
+///
+/// The config half folds every option that can change mapping output or
+/// batch shape; the workload half folds the reference source bytes, the
+/// indexed record table, and every read id and sequence. A `--resume`
+/// under any difference is refused with [`ReputeError::ResumeMismatch`]
+/// before any mapping work happens (the batch *shape* is fingerprinted
+/// separately by the resumable executor itself).
+fn run_fingerprint(
+    opts: &MapOptions,
+    platform_name: &str,
+    set: &ReferenceSet,
+    ids: &[String],
+    reads: &[DnaSeq],
+) -> Result<RunFingerprint, ReputeError> {
+    let mut cfg = Fnv64::new();
+    cfg.write_u64(u64::from(opts.delta));
+    cfg.write_u64(opts.s_min as u64);
+    cfg.write_u64(opts.max_locations as u64);
+    cfg.write_u64(match opts.prefilter {
+        PrefilterMode::None => 0,
+        PrefilterMode::Shd => 1,
+        PrefilterMode::Qgram => 2,
+        PrefilterMode::Both => 3,
+    });
+    cfg.write_u64(opts.prefilter_q as u64);
+    cfg.write_u64(opts.prefilter_bin as u64);
+    cfg.write_u64(match opts.schedule {
+        ScheduleMode::Static => 0,
+        ScheduleMode::Dynamic => 1,
+    });
+    cfg.write_u64(opts.mapper as u64);
+    cfg.write(platform_name.as_bytes());
+
+    let mut wl = Fnv64::new();
+    let ref_source = opts.index.as_ref().unwrap_or(&opts.reference);
+    let source_path = Path::new(ref_source.as_str());
+    let source_bytes =
+        std::fs::read(source_path).map_err(|e| ReputeError::io_at(source_path, e))?;
+    wl.write(&source_bytes);
+    for (name, len) in set.records() {
+        wl.write(name.as_bytes());
+        wl.write_u64(*len as u64);
+    }
+    wl.write_u64(reads.len() as u64);
+    for (id, seq) in ids.iter().zip(reads) {
+        wl.write(id.as_bytes());
+        wl.write(seq.to_string().as_bytes());
+    }
+    Ok(RunFingerprint::new(cfg.finish(), wl.finish()))
+}
+
+/// Runs `repute map --checkpoint`: the platform simulation goes through
+/// the crash-safe resumable executor, which commits every finished batch
+/// to the journal; SAM and telemetry are then assembled from the
+/// (possibly partially replayed) run, bit-identical to an uninterrupted
+/// `--platform` run.
+fn run_map_checkpointed(opts: &MapOptions) -> Result<(usize, usize), ReputeError> {
+    let journal = opts.checkpoint.as_deref().ok_or_else(|| {
+        ReputeError::Config("checkpointed mapping requires a journal path".into())
+    })?;
+    let platform_name = opts
+        .platform
+        .as_deref()
+        .ok_or_else(|| ReputeError::Config("--checkpoint requires --platform".into()))?;
+    if opts.cigar {
+        return Err(ReputeError::Config(
+            "--cigar is incompatible with --checkpoint (CIGAR traceback is \
+             per-read, the journal is per-batch)"
+                .into(),
+        ));
+    }
+    let platform = platform_by_name(platform_name)?;
+    let run_started = std::time::Instant::now();
+    let mut timer = StageTimer::new();
+    timer.start("load");
+    let set = load_reference_set(opts)?;
+    let reads_path = Path::new(&opts.reads);
+    let reads_file = File::open(reads_path).map_err(|e| ReputeError::io_at(reads_path, e))?;
+    let mut ids: Vec<String> = Vec::new();
+    let mut reads: Vec<DnaSeq> = Vec::new();
+    for record in FastqReader::new(BufReader::new(reads_file)) {
+        let record = record?;
+        ids.push(record.id);
+        reads.push(record.seq);
+    }
+    timer.stop();
+
+    let config = build_config(opts)?;
+    let repute = ReputeMapper::new(Arc::clone(set.indexed()), config);
+    let baseline = build_baseline(opts, &set);
+    let config = repute.config();
+    let schedule = Schedule::for_config(config, &platform, reads.len());
+    let plan = parse_fault_plan(opts)?;
+    if plan.has_device_events() {
+        return Err(ReputeError::Config(
+            "checkpointed runs accept crash:@<t> fault events only (device \
+             faults would make the journaled timeline irreproducible)"
+                .into(),
+        ));
+    }
+
+    let fingerprint = run_fingerprint(opts, platform_name, &set, &ids, &reads)?;
+    let journal_path = Path::new(journal);
+    if journal_path.exists() && !opts.resume {
+        return Err(ReputeError::Config(format!(
+            "checkpoint journal {journal:?} already exists; pass --resume to \
+             continue it, or delete it to start over"
+        )));
+    }
+    if !journal_path.exists() && opts.resume {
+        return Err(ReputeError::Config(format!(
+            "cannot resume: checkpoint journal {journal:?} does not exist"
+        )));
+    }
+
+    timer.start("map");
+    let threads = config.host_threads();
+    let outcome = match baseline.as_deref() {
+        Some(mapper) => map_resumable(
+            &mapper,
+            &platform,
+            &schedule,
+            threads,
+            &plan,
+            journal_path,
+            fingerprint,
+            opts.checkpoint_every,
+            &reads,
+        )?,
+        None => map_resumable(
+            &repute,
+            &platform,
+            &schedule,
+            threads,
+            &plan,
+            journal_path,
+            fingerprint,
+            opts.checkpoint_every,
+            &reads,
+        )?,
+    };
+    timer.stop();
+    eprintln!(
+        "simulated on {} ({} schedule): {:.3} s | {:.1} W avg | {:.3} J above idle",
+        platform.name(),
+        config.schedule(),
+        outcome.run.simulated_seconds,
+        outcome.run.energy.average_power_w,
+        outcome.run.energy.energy_j
+    );
+    if outcome.resumed_batches > 0 {
+        eprintln!(
+            "resumed from checkpoint: {}/{} batch(es) replayed from the journal",
+            outcome.resumed_batches, outcome.total_batches
+        );
+    }
+
+    // Assemble the SAM exactly as the streaming path would have: the
+    // resumable executor returns outputs in read order.
+    let names: Vec<&str> = set.records().iter().map(|(n, _)| n.as_str()).collect();
+    let header: Vec<(&str, usize)> = set
+        .records()
+        .iter()
+        .map(|(n, l)| (n.as_str(), *l))
+        .collect();
+    let mut out: Vec<u8> = Vec::new();
+    sam::write_header_multi(&mut out, &header)?;
+    let mut reads_mapped = 0usize;
+    let mut total_mappings = 0usize;
+    let mut per_read_for_stats: Vec<Vec<repute_mappers::Mapping>> = Vec::new();
+    for ((id, seq), mapped) in ids.iter().zip(&reads).zip(&outcome.run.outputs) {
+        let resolved = set.resolve_mappings(seq.len(), &mapped.mappings);
+        if !resolved.is_empty() {
+            reads_mapped += 1;
+            total_mappings += resolved.len();
+        }
+        per_read_for_stats.push(
+            resolved
+                .iter()
+                .map(|r| repute_mappers::Mapping {
+                    position: r.position,
+                    strand: r.strand,
+                    distance: r.distance,
+                })
+                .collect(),
+        );
+        sam::write_resolved_record(&mut out, &names, id, seq, &resolved, None)?;
+    }
+    write_sam_output(opts.output.as_deref(), &out)?;
+    let stats =
+        repute_eval::stats::MappingStats::collect(per_read_for_stats.iter().map(|v| v.as_slice()));
+    eprint!("{stats}");
+
+    let mut report = outcome.run.report(&platform, &outcome.metrics);
+    report.resumed_batches = outcome.resumed_batches as u64;
+    if opts.verbose {
+        eprint!("{}", report.render());
+    }
+    if let Some(path) = &opts.metrics_out {
+        write_metrics_file(
+            path,
+            timer.stages(),
+            run_started.elapsed().as_secs_f64(),
+            &outcome.metrics,
+            Some((report, outcome.metrics.clone())),
+        )?;
+        eprintln!("wrote telemetry to {path:?} (inspect with `repute stats`)");
+    }
+    Ok((reads_mapped, total_mappings))
+}
+
 /// Re-runs the mapping through the heterogeneous platform simulator,
 /// prints the §III-D style time/energy summary, and returns the run-level
 /// report with the per-read records of the simulated run.
@@ -751,16 +1108,11 @@ fn simulate_platform(
     opts: &MapOptions,
     repute: &ReputeMapper,
     baseline: Option<&dyn Mapper>,
-) -> Result<(RunReport, Vec<MapMetrics>), Box<dyn Error>> {
-    use repute_hetsim::profiles;
-    let platform = match platform_name {
-        "system1" => profiles::system1(),
-        "system1-cpu" => profiles::system1_cpu_only(),
-        "hikey970" => profiles::system2_hikey970(),
-        other => return Err(format!("unknown platform {other:?}").into()),
-    };
+) -> Result<(RunReport, Vec<MapMetrics>), ReputeError> {
+    let platform = platform_by_name(platform_name)?;
     // Reload the reads (the SAM pass consumed the reader).
-    let reads_file = File::open(&opts.reads)?;
+    let reads_path = Path::new(&opts.reads);
+    let reads_file = File::open(reads_path).map_err(|e| ReputeError::io_at(reads_path, e))?;
     let mut reads = Vec::new();
     for record in FastqReader::new(BufReader::new(reads_file)) {
         reads.push(record?.seq);
@@ -772,12 +1124,7 @@ fn simulate_platform(
     // device survives, the mapping output is still bit-identical.
     let config = repute.config();
     let schedule = Schedule::for_config(config, &platform, reads.len());
-    let plan = match &opts.fault_plan {
-        Some(spec) => {
-            repute_hetsim::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?
-        }
-        None => repute_hetsim::FaultPlan::new(),
-    };
+    let plan = parse_fault_plan(opts)?;
     let threads = config.host_threads();
     let (run, metrics) = match baseline {
         Some(mapper) => map_scheduled_with_faults(
@@ -830,7 +1177,7 @@ fn write_metrics_file(
     wall_seconds: f64,
     host_metrics: &[MapMetrics],
     sim: Option<(RunReport, Vec<MapMetrics>)>,
-) -> Result<(), Box<dyn Error>> {
+) -> Result<(), ReputeError> {
     let (mut report, per_read) = match sim {
         Some((report, metrics)) => (report, metrics),
         None => {
@@ -850,15 +1197,14 @@ fn write_metrics_file(
     all_stages.append(&mut report.stages);
     report.stages = all_stages;
     report.wall_seconds = wall_seconds;
-    let file =
-        File::create(path).map_err(|e| format!("cannot create metrics file {path:?}: {e}"))?;
-    let mut out = BufWriter::new(file);
+    // Assembled in memory, committed by atomic rename: a crash mid-write
+    // never leaves a half-written telemetry file for `repute stats`.
+    let mut out: Vec<u8> = Vec::new();
     for (id, m) in per_read.iter().enumerate() {
         writeln!(out, "{}", m.to_json_line(id as u64))?;
     }
     report.write_json_lines(&mut out)?;
-    out.flush()?;
-    Ok(())
+    write_atomic(Path::new(path), &out)
 }
 
 /// Parsed command-line options for `repute stats`.
@@ -918,7 +1264,7 @@ pub fn parse_stats_args<I: IntoIterator<Item = String>>(
 ///
 /// This lenient form only errors via future I/O-style extensions; today
 /// it always succeeds.
-pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
+pub fn render_stats(text: &str) -> Result<String, ReputeError> {
     render_stats_inner(text, false)
 }
 
@@ -926,12 +1272,13 @@ pub fn render_stats(text: &str) -> Result<String, Box<dyn Error>> {
 ///
 /// # Errors
 ///
-/// Returns an error naming the first line that fails to parse.
-pub fn render_stats_strict(text: &str) -> Result<String, Box<dyn Error>> {
+/// Returns [`ReputeError::InputParse`] naming the first line that fails
+/// to parse.
+pub fn render_stats_strict(text: &str) -> Result<String, ReputeError> {
     render_stats_inner(text, true)
 }
 
-fn render_stats_inner(text: &str, strict: bool) -> Result<String, Box<dyn Error>> {
+fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
     use repute_obs::json::{field, parse_flat_object, JsonValue};
     use std::fmt::Write as _;
 
@@ -958,7 +1305,10 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, Box<dyn Error>
         let fields = match parse_flat_object(line) {
             Some(fields) => fields,
             None if strict => {
-                return Err(format!("line {}: not a flat JSON object", idx + 1).into())
+                return Err(ReputeError::InputParse(format!(
+                    "line {}: not a flat JSON object",
+                    idx + 1
+                )))
             }
             None => {
                 skipped += 1;
@@ -992,6 +1342,17 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, Box<dyn Error>
                     get_f64(&fields, "simulated_seconds").unwrap_or(0.0),
                     get_f64(&fields, "wall_seconds").unwrap_or(0.0),
                 );
+                // Resumed runs carry the replayed-batch count as
+                // provenance; the per-read totals above already cover the
+                // whole run once, so nothing is double-counted here.
+                let resumed = get_u64(&fields, "resumed_batches").unwrap_or(0);
+                if resumed > 0 {
+                    let _ = writeln!(
+                        body,
+                        "  resumed from checkpoint: {resumed} batch(es) \
+                         replayed from the journal (not re-executed)",
+                    );
+                }
             }
             "stage" => {
                 let _ = writeln!(
@@ -1092,9 +1453,10 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, Box<dyn Error>
 ///
 /// Propagates I/O errors and, under `--strict`, malformed-line errors
 /// from [`render_stats_strict`].
-pub fn run_stats(opts: &StatsOptions) -> Result<(), Box<dyn Error>> {
-    let text = std::fs::read_to_string(&opts.input)
-        .map_err(|e| format!("cannot read {:?}: {e}", opts.input))?;
+pub fn run_stats(opts: &StatsOptions) -> Result<(), ReputeError> {
+    let input_path = Path::new(&opts.input);
+    let text =
+        std::fs::read_to_string(input_path).map_err(|e| ReputeError::io_at(input_path, e))?;
     let rendered = if opts.strict {
         render_stats_strict(&text)?
     } else {
@@ -1202,6 +1564,9 @@ mod tests {
             max_retries: DEFAULT_MAX_RETRIES,
             metrics_out: None,
             verbose: false,
+            checkpoint: None,
+            resume: false,
+            checkpoint_every: 1,
         };
         let (mapped, mappings) = run_map(&opts).unwrap();
         assert_eq!(mapped, 5);
@@ -1710,5 +2075,189 @@ mod tests {
     fn reference_and_index_are_exclusive() {
         assert!(parse_map_args(args("--reference r.fa --index i.rpx --reads q.fq")).is_err());
         assert!(parse_map_args(args("--index i.rpx --reads q.fq")).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 \
+             --checkpoint j.rpj --checkpoint-every 3",
+        ))
+        .unwrap();
+        assert_eq!(opts.checkpoint.as_deref(), Some("j.rpj"));
+        assert_eq!(opts.checkpoint_every, 3);
+        assert!(!opts.resume);
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --checkpoint j.rpj --resume",
+        ))
+        .unwrap();
+        assert!(opts.resume);
+        // Defaults.
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq")).unwrap();
+        assert_eq!(opts.checkpoint, None);
+        assert_eq!(opts.checkpoint_every, 1);
+        // The journal is batch-granular over the simulated schedule.
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --checkpoint j.rpj")).is_err());
+        // --resume / --checkpoint-every ride on --checkpoint.
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --resume")).is_err());
+        assert!(
+            parse_map_args(args("--reference r.fa --reads q.fq --checkpoint-every 2")).is_err()
+        );
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --checkpoint j.rpj \
+             --checkpoint-every 0"
+        ))
+        .is_err());
+        // CIGAR traceback is per-read; the journal is per-batch.
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --checkpoint j.rpj --cigar"
+        ))
+        .is_err());
+        // Host-crash events require a journal to crash into…
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --fault-plan crash:@0.5"
+        ))
+        .is_err());
+        // …and device faults cannot mix with a checkpointed run.
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --checkpoint j.rpj \
+             --fault-plan loss:d0@0.1"
+        ))
+        .is_err());
+        // The valid combination parses.
+        assert!(parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --checkpoint j.rpj \
+             --fault-plan crash:@0.5"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn checkpointed_run_crashes_resumes_and_matches_plain_output() {
+        let dir = std::env::temp_dir().join("repute-cli-checkpoint-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 24,
+            read_len: 100,
+            seed: 37,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let parse = |extra: &str, sam: &str| {
+            parse_map_args(
+                format!(
+                    "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                     --platform system1 --schedule dynamic --output {dir_s}/{sam} {extra}"
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap()
+        };
+
+        // Ground truth: the same run without a checkpoint.
+        let plain_counts = run_map(&parse("", "plain.sam")).unwrap();
+
+        // A crash early in the simulated timeline leaves a partial
+        // journal and the distinct `Interrupted` failure class.
+        let crashed = parse(
+            "--checkpoint ckpt.rpj --fault-plan crash:@0.000001",
+            "crashed.sam",
+        );
+        let crashed = MapOptions {
+            checkpoint: Some(dir.join("ckpt.rpj").to_string_lossy().into_owned()),
+            ..crashed
+        };
+        let err = run_map(&crashed).unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+        assert!(matches!(err, ReputeError::Interrupted { .. }));
+        // The atomic SAM write never ran: no torn output file.
+        assert!(!dir.join("crashed.sam").exists());
+
+        // Re-running without --resume refuses the existing journal.
+        let mut resumed = parse("", "resumed.sam");
+        resumed.checkpoint = Some(dir.join("ckpt.rpj").to_string_lossy().into_owned());
+        let err = run_map(&resumed).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+
+        // Resuming (without the crash event) finishes the run and the
+        // SAM is byte-identical to the uncheckpointed one.
+        resumed.resume = true;
+        let resumed_counts = run_map(&resumed).unwrap();
+        assert_eq!(resumed_counts, plain_counts);
+        assert_eq!(
+            std::fs::read(dir.join("plain.sam")).unwrap(),
+            std::fs::read(dir.join("resumed.sam")).unwrap()
+        );
+
+        // A resume under a different configuration is refused with the
+        // resume-mismatch class before any mapping work happens.
+        let mut mismatched = resumed.clone();
+        mismatched.delta = 4;
+        let err = run_map(&mismatched).unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        assert!(matches!(err, ReputeError::ResumeMismatch(_)));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_metrics_surface_resumed_batches_in_stats() {
+        let dir = std::env::temp_dir().join("repute-cli-checkpoint-stats-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 20,
+            read_len: 100,
+            seed: 41,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let parse = |extra: &str| {
+            parse_map_args(
+                format!(
+                    "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                     --platform system1 --schedule dynamic --output {dir_s}/out.sam \
+                     --checkpoint {dir_s}/ckpt.rpj --metrics-out {dir_s}/m.jsonl {extra}"
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap()
+        };
+        // Complete a checkpointed run, then resume its finished journal:
+        // every batch replays, so the provenance counter is nonzero.
+        run_map(&parse("")).unwrap();
+        run_map(&parse("--resume")).unwrap();
+
+        // The run record carries the replayed-batch count; per-read
+        // records cover the whole run exactly once (no double-counting).
+        let text = std::fs::read_to_string(dir.join("m.jsonl")).unwrap();
+        let read_lines = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"read\""))
+            .count();
+        assert_eq!(read_lines, 20);
+        assert!(text.contains("\"resumed_batches\":"), "{text}");
+        let rendered = render_stats(&text).unwrap();
+        assert!(
+            rendered.contains("resumed from checkpoint:") && rendered.contains("replayed"),
+            "missing resume provenance in:\n{rendered}"
+        );
+        assert!(rendered.contains("20 read records"), "{rendered}");
+
+        // An unresumed telemetry file renders without the provenance line.
+        std::fs::remove_file(dir.join("ckpt.rpj")).unwrap();
+        std::fs::remove_file(dir.join("ckpt.rpj.manifest")).unwrap();
+        run_map(&parse("")).unwrap();
+        let fresh = render_stats(&std::fs::read_to_string(dir.join("m.jsonl")).unwrap()).unwrap();
+        assert!(!fresh.contains("resumed from checkpoint:"), "{fresh}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

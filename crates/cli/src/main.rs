@@ -1,6 +1,26 @@
 //! Thin binary wrapper over [`repute_cli`].
+//!
+//! Exit codes follow [`repute_cli::ReputeError::exit_code`]: `0` success,
+//! `2` configuration (including malformed command lines), `3` input
+//! parse, `4` i/o, `5` journal corrupt, `6` resume mismatch, `7` device
+//! loss, `8` interrupted by a simulated host crash (resumable).
 
 use std::process::ExitCode;
+
+use repute_cli::ReputeError;
+
+/// Exit code of malformed command lines (the configuration class).
+const EXIT_USAGE: u8 = 2;
+
+fn fail(err: &ReputeError) -> ExitCode {
+    eprintln!("error: {err}");
+    ExitCode::from(err.exit_code())
+}
+
+fn usage_error(err: &repute_cli::ParseArgsError) -> ExitCode {
+    eprintln!("{err}");
+    ExitCode::from(EXIT_USAGE)
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -11,54 +31,30 @@ fn main() -> ExitCode {
                     eprintln!("done: {reads} reads mapped, {mappings} locations reported");
                     ExitCode::SUCCESS
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&e),
             },
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => usage_error(&e),
         },
         Some("index") => match repute_cli::parse_index_args(args) {
             Ok(opts) => match repute_cli::run_index(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&e),
             },
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => usage_error(&e),
         },
         Some("simulate") => match repute_cli::parse_simulate_args(args) {
             Ok(opts) => match repute_cli::run_simulate(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&e),
             },
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => usage_error(&e),
         },
         Some("stats") => match repute_cli::parse_stats_args(args) {
             Ok(opts) => match repute_cli::run_stats(&opts) {
                 Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(&e),
             },
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
+            Err(e) => usage_error(&e),
         },
         Some("--help") | Some("-h") | None => {
             println!("{}", repute_cli::USAGE);
@@ -66,7 +62,7 @@ fn main() -> ExitCode {
         }
         Some(other) => {
             eprintln!("unknown subcommand {other:?}\n\n{}", repute_cli::USAGE);
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

@@ -1,0 +1,922 @@
+//! Crash-safe run journal: batch-granular checkpointing for long runs.
+//!
+//! Long mapping runs on embedded SoCs die to power loss and `kill -9`;
+//! the journal bounds the cost of a host crash to at most one batch of
+//! work. The design is write-ahead-log shaped:
+//!
+//! * The **journal file** starts with a fixed header (magic + the run's
+//!   [`RunFingerprint`], CRC-protected) followed by length-prefixed,
+//!   CRC32-checksummed records — one per completed batch, appended in
+//!   global batch order and flushed (`sync_data`) before the batch counts
+//!   as durable. A crash mid-append leaves at most one torn tail record,
+//!   which recovery truncates.
+//! * The **sidecar manifest** (`<journal>.manifest`) is rewritten via the
+//!   write→flush→rename atomic-replace idiom every few commits. It
+//!   carries the fingerprint and the durable record count — a watermark:
+//!   recovery refuses to drop records *below* it (that would be silent
+//!   data corruption, not a torn write).
+//!
+//! Record payloads serialise everything phase 1 of the two-phase executor
+//! produces for a batch: per-read mappings, work and candidate counts
+//! ([`MapOutput`]) plus the full per-read [`MapMetrics`] record — enough
+//! to replay the batch without re-executing it, bit-identically.
+//!
+//! CRC32 (IEEE) and FNV-1a are implemented in-repo: the workspace is
+//! hermetic and adds no dependencies.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use repute_genome::Strand;
+use repute_mappers::{MapOutput, Mapping};
+use repute_obs::MapMetrics;
+
+use crate::error::ReputeError;
+
+/// Journal file magic: identifies the format and its version.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"RPJRNL01";
+
+/// Fixed journal header length: magic + three fingerprint words + CRC32.
+pub const JOURNAL_HEADER_LEN: usize = 8 + 3 * 8 + 4;
+
+/// Sanity cap on a single record's payload (a batch of reads never comes
+/// close; anything larger is a corrupt length prefix).
+const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+// ---------------------------------------------------------------------
+// Checksums and fingerprints (in-repo, dependency-free).
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit streaming hasher — the fingerprint currency.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+
+    /// Folds one little-endian word into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The identity of a run, for refusing mismatched resumes.
+///
+/// * `config` — every mapping parameter that can change output or
+///   schedule (δ, S_min, location limit, prefilter settings, schedule
+///   mode and batch size, mapper choice, platform name);
+/// * `workload` — the reference and read content;
+/// * `shape` — the derived batch decomposition (read count, batch
+///   boundaries, share ownership), computed by the resumable executor.
+///
+/// A journal whose stored fingerprint differs in any component is a
+/// [`ReputeError::ResumeMismatch`], never silently reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunFingerprint {
+    /// Hash of the run configuration.
+    pub config: u64,
+    /// Hash of the reference and read content.
+    pub workload: u64,
+    /// Hash of the batch decomposition (filled by the executor).
+    pub shape: u64,
+}
+
+impl RunFingerprint {
+    /// A fingerprint with the config/workload components; `shape` is
+    /// stamped by the resumable executor once the batch plan is known.
+    pub fn new(config: u64, workload: u64) -> RunFingerprint {
+        RunFingerprint {
+            config,
+            workload,
+            shape: 0,
+        }
+    }
+
+    /// Hex rendering used by the manifest and in mismatch messages.
+    pub fn render(&self) -> String {
+        format!(
+            "{:016x}.{:016x}.{:016x}",
+            self.config, self.workload, self.shape
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic file replacement.
+// ---------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written,
+/// flushed to disk, then renamed over the target. Readers observe either
+/// the old content or the new, never a torn mix — the idiom behind the
+/// journal manifest, `--metrics-out`, and file-bound SAM output.
+///
+/// # Errors
+///
+/// Returns [`ReputeError::Io`] naming the path on any filesystem error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ReputeError> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let io_err = |e| ReputeError::io_at(path, e);
+    let mut file = File::create(&tmp).map_err(io_err)?;
+    file.write_all(bytes).map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(io_err)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Record codec.
+// ---------------------------------------------------------------------
+
+/// One journaled batch: its global index, read range, and the phase-1
+/// results (per-read outputs and metric records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Global batch index (records are appended in index order, so the
+    /// journal always holds a prefix of the batch list).
+    pub index: u32,
+    /// First read of the batch (global read order, inclusive).
+    pub lo: u64,
+    /// One past the last read of the batch.
+    pub hi: u64,
+    /// Per-read mapping outputs, in read order within the batch.
+    pub outputs: Vec<MapOutput>,
+    /// Per-read metric records, parallel to `outputs`.
+    pub metrics: Vec<MapMetrics>,
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.take(4)?;
+        Some(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.take(8)?;
+        Some(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn metrics_to_words(m: &MapMetrics) -> [u64; 13] {
+    [
+        m.seeds_selected,
+        m.fm_extend_ops,
+        m.fm_locate_ops,
+        m.candidates_raw,
+        m.candidates_merged,
+        m.dp_cells,
+        m.prefilter_tested,
+        m.prefilter_rejected,
+        m.prefilter_false_accepts,
+        m.prefilter_words,
+        m.verifications,
+        m.word_updates,
+        m.hits,
+    ]
+}
+
+fn metrics_from_words(w: [u64; 13]) -> MapMetrics {
+    MapMetrics {
+        seeds_selected: w[0],
+        fm_extend_ops: w[1],
+        fm_locate_ops: w[2],
+        candidates_raw: w[3],
+        candidates_merged: w[4],
+        dp_cells: w[5],
+        prefilter_tested: w[6],
+        prefilter_rejected: w[7],
+        prefilter_false_accepts: w[8],
+        prefilter_words: w[9],
+        verifications: w[10],
+        word_updates: w[11],
+        hits: w[12],
+    }
+}
+
+/// Encodes one batch record as a framed journal entry:
+/// `[payload_len: u32][payload][crc32(payload): u32]`, all little-endian.
+///
+/// # Panics
+///
+/// Panics if `outputs`/`metrics` lengths disagree with `hi − lo` — that
+/// is an executor bug, not an I/O condition.
+pub fn encode_record(record: &BatchRecord) -> Vec<u8> {
+    let reads = (record.hi - record.lo) as usize;
+    assert_eq!(record.outputs.len(), reads, "outputs must cover the batch");
+    assert_eq!(record.metrics.len(), reads, "metrics must cover the batch");
+    let mut payload = Vec::with_capacity(32 + reads * 128);
+    put_u32(&mut payload, record.index);
+    put_u64(&mut payload, record.lo);
+    put_u64(&mut payload, record.hi);
+    for (out, m) in record.outputs.iter().zip(&record.metrics) {
+        put_u32(&mut payload, out.mappings.len() as u32);
+        for mapping in &out.mappings {
+            put_u32(&mut payload, mapping.position);
+            put_u32(&mut payload, mapping.distance);
+            payload.push(match mapping.strand {
+                Strand::Forward => 0,
+                Strand::Reverse => 1,
+            });
+        }
+        put_u64(&mut payload, out.work);
+        put_u64(&mut payload, out.candidates);
+        for word in metrics_to_words(m) {
+            put_u64(&mut payload, word);
+        }
+    }
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut framed, payload.len() as u32);
+    let crc = crc32(&payload);
+    framed.extend_from_slice(&payload);
+    put_u32(&mut framed, crc);
+    framed
+}
+
+fn decode_payload(payload: &[u8]) -> Option<BatchRecord> {
+    let mut r = Reader::new(payload);
+    let index = r.u32()?;
+    let lo = r.u64()?;
+    let hi = r.u64()?;
+    if hi < lo {
+        return None;
+    }
+    let reads = usize::try_from(hi - lo).ok()?;
+    // Each read needs at least 4 + 16 + 13·8 bytes — reject corrupt
+    // ranges before allocating.
+    if reads > payload.len() / 124 + 1 {
+        return None;
+    }
+    let mut outputs = Vec::with_capacity(reads);
+    let mut metrics = Vec::with_capacity(reads);
+    for _ in 0..reads {
+        let n_mappings = r.u32()? as usize;
+        if n_mappings > (payload.len() - r.pos) / 9 {
+            return None;
+        }
+        let mut mappings = Vec::with_capacity(n_mappings);
+        for _ in 0..n_mappings {
+            let position = r.u32()?;
+            let distance = r.u32()?;
+            let strand = match r.u8()? {
+                0 => Strand::Forward,
+                1 => Strand::Reverse,
+                _ => return None,
+            };
+            mappings.push(Mapping {
+                position,
+                strand,
+                distance,
+            });
+        }
+        let work = r.u64()?;
+        let candidates = r.u64()?;
+        outputs.push(MapOutput {
+            mappings,
+            work,
+            candidates,
+        });
+        let mut words = [0u64; 13];
+        for w in &mut words {
+            *w = r.u64()?;
+        }
+        metrics.push(metrics_from_words(words));
+    }
+    if !r.done() {
+        return None; // trailing garbage inside a CRC-valid frame
+    }
+    Some(BatchRecord {
+        index,
+        lo,
+        hi,
+        outputs,
+        metrics,
+    })
+}
+
+/// Decodes a stream of framed records, stopping at the first frame that
+/// is truncated, fails its CRC, or does not parse. Returns the intact
+/// prefix records and the number of bytes they occupy — the torn-tail
+/// recovery primitive: everything past the returned offset is dropped.
+pub fn decode_records(bytes: &[u8]) -> (Vec<BatchRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(len_bytes) = bytes.get(pos..pos + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
+        if len > MAX_RECORD_BYTES {
+            break;
+        }
+        let len = len as usize;
+        let Some(payload) = bytes.get(pos + 4..pos + 4 + len) else {
+            break;
+        };
+        let Some(crc_bytes) = bytes.get(pos + 4 + len..pos + 8 + len) else {
+            break;
+        };
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(payload) != stored_crc {
+            break;
+        }
+        let Some(record) = decode_payload(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    (records, pos)
+}
+
+// ---------------------------------------------------------------------
+// The journal file and its manifest.
+// ---------------------------------------------------------------------
+
+/// The manifest path of a journal: `<journal>.manifest`.
+pub fn manifest_path(journal: &Path) -> PathBuf {
+    let mut p = journal.as_os_str().to_os_string();
+    p.push(".manifest");
+    PathBuf::from(p)
+}
+
+/// A parsed sidecar manifest.
+#[derive(Debug, Clone, PartialEq)]
+struct Manifest {
+    fingerprint: String,
+    batches: u64,
+    records: u64,
+    complete: bool,
+}
+
+impl Manifest {
+    fn render(fingerprint: &RunFingerprint, batches: u64, records: u64, complete: bool) -> String {
+        let mut body = String::new();
+        body.push_str("repute-journal v1\n");
+        body.push_str(&format!("fingerprint {}\n", fingerprint.render()));
+        body.push_str(&format!("batches {batches}\n"));
+        body.push_str(&format!("records {records}\n"));
+        body.push_str(&format!("complete {}\n", u8::from(complete)));
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc {crc:08x}\n"));
+        body
+    }
+
+    fn parse(text: &str) -> Result<Manifest, String> {
+        let crc_line_start = text
+            .rfind("crc ")
+            .ok_or_else(|| "missing crc line".to_string())?;
+        let body = &text[..crc_line_start];
+        let stored = text[crc_line_start..]
+            .trim_start_matches("crc ")
+            .trim()
+            .to_string();
+        let computed = format!("{:08x}", crc32(body.as_bytes()));
+        if stored != computed {
+            return Err(format!("manifest crc {stored} != computed {computed}"));
+        }
+        let mut fingerprint = None;
+        let mut batches = None;
+        let mut records = None;
+        let mut complete = None;
+        for line in body.lines() {
+            if let Some(v) = line.strip_prefix("fingerprint ") {
+                fingerprint = Some(v.trim().to_string());
+            } else if let Some(v) = line.strip_prefix("batches ") {
+                batches = v.trim().parse::<u64>().ok();
+            } else if let Some(v) = line.strip_prefix("records ") {
+                records = v.trim().parse::<u64>().ok();
+            } else if let Some(v) = line.strip_prefix("complete ") {
+                complete = Some(v.trim() == "1");
+            }
+        }
+        Ok(Manifest {
+            fingerprint: fingerprint.ok_or("missing fingerprint")?,
+            batches: batches.ok_or("missing batches")?,
+            records: records.ok_or("missing records")?,
+            complete: complete.ok_or("missing complete flag")?,
+        })
+    }
+}
+
+fn encode_header(fp: &RunFingerprint) -> [u8; JOURNAL_HEADER_LEN] {
+    let mut header = [0u8; JOURNAL_HEADER_LEN];
+    header[..8].copy_from_slice(&JOURNAL_MAGIC);
+    header[8..16].copy_from_slice(&fp.config.to_le_bytes());
+    header[16..24].copy_from_slice(&fp.workload.to_le_bytes());
+    header[24..32].copy_from_slice(&fp.shape.to_le_bytes());
+    let crc = crc32(&header[8..32]);
+    header[32..36].copy_from_slice(&crc.to_le_bytes());
+    header
+}
+
+/// An open run journal: an append handle plus the durable-record count.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    file: File,
+    fingerprint: RunFingerprint,
+    records: u64,
+}
+
+impl RunJournal {
+    /// Opens (or creates) the journal at `path` for a run identified by
+    /// `fingerprint`, replaying any durable records.
+    ///
+    /// Recovery semantics:
+    /// * a torn tail record (truncated frame, failed CRC, unparseable
+    ///   payload **above** the manifest watermark) is truncated away;
+    /// * intact records must form a prefix of the batch list (indices
+    ///   `0, 1, 2, …`) — anything else is [`ReputeError::JournalCorrupt`];
+    /// * fewer intact records than the manifest's durable watermark is
+    ///   [`ReputeError::JournalCorrupt`] (that data was promised);
+    /// * a fingerprint mismatch in the header or manifest is
+    ///   [`ReputeError::ResumeMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on filesystem failures, plus the corruption
+    /// and mismatch classes above.
+    pub fn open(
+        path: &Path,
+        fingerprint: &RunFingerprint,
+    ) -> Result<(RunJournal, Vec<BatchRecord>), ReputeError> {
+        let io_err = |e| ReputeError::io_at(path, e);
+        let manifest = Self::load_manifest(path)?;
+        if let Some(m) = &manifest {
+            if m.fingerprint != fingerprint.render() {
+                return Err(ReputeError::ResumeMismatch(format!(
+                    "manifest fingerprint {} does not match this run's {} \
+                     (different config, inputs, or schedule)",
+                    m.fingerprint,
+                    fingerprint.render()
+                )));
+            }
+        }
+        let watermark = manifest.as_ref().map_or(0, |m| m.records);
+
+        if !path.exists() {
+            if watermark > 0 {
+                return Err(ReputeError::JournalCorrupt(format!(
+                    "manifest promises {watermark} durable record(s) but the journal file \
+                     {} is missing",
+                    path.display()
+                )));
+            }
+            let mut file = File::create(path).map_err(io_err)?;
+            file.write_all(&encode_header(fingerprint))
+                .map_err(io_err)?;
+            file.sync_data().map_err(io_err)?;
+            return Ok((
+                RunJournal {
+                    path: path.to_path_buf(),
+                    file,
+                    fingerprint: *fingerprint,
+                    records: 0,
+                },
+                Vec::new(),
+            ));
+        }
+
+        let mut bytes = Vec::new();
+        File::open(path)
+            .map_err(io_err)?
+            .read_to_end(&mut bytes)
+            .map_err(io_err)?;
+
+        if bytes.len() < JOURNAL_HEADER_LEN {
+            if watermark > 0 {
+                return Err(ReputeError::JournalCorrupt(format!(
+                    "journal {} is shorter than its header but the manifest promises \
+                     {watermark} record(s)",
+                    path.display()
+                )));
+            }
+            // A crash during the very first header write: start over.
+            let mut file = File::create(path).map_err(io_err)?;
+            file.write_all(&encode_header(fingerprint))
+                .map_err(io_err)?;
+            file.sync_data().map_err(io_err)?;
+            return Ok((
+                RunJournal {
+                    path: path.to_path_buf(),
+                    file,
+                    fingerprint: *fingerprint,
+                    records: 0,
+                },
+                Vec::new(),
+            ));
+        }
+
+        if bytes[..8] != JOURNAL_MAGIC {
+            return Err(ReputeError::JournalCorrupt(format!(
+                "{} is not a repute journal (bad magic)",
+                path.display()
+            )));
+        }
+        let stored_crc = u32::from_le_bytes(bytes[32..36].try_into().expect("4 bytes"));
+        if crc32(&bytes[8..32]) != stored_crc {
+            return Err(ReputeError::JournalCorrupt(format!(
+                "journal {} header failed its checksum",
+                path.display()
+            )));
+        }
+        let stored = RunFingerprint {
+            config: u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")),
+            workload: u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")),
+            shape: u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")),
+        };
+        if stored != *fingerprint {
+            return Err(ReputeError::ResumeMismatch(format!(
+                "journal was written by run {} but this run is {} \
+                 (different config, inputs, or schedule)",
+                stored.render(),
+                fingerprint.render()
+            )));
+        }
+
+        let (records, consumed) = decode_records(&bytes[JOURNAL_HEADER_LEN..]);
+        if (records.len() as u64) < watermark {
+            return Err(ReputeError::JournalCorrupt(format!(
+                "journal {} holds {} intact record(s) but the manifest promises {watermark} — \
+                 a durable record was corrupted",
+                path.display(),
+                records.len()
+            )));
+        }
+        for (i, record) in records.iter().enumerate() {
+            if record.index as usize != i {
+                return Err(ReputeError::JournalCorrupt(format!(
+                    "journal record {i} carries batch index {} — records must form a \
+                     batch-order prefix",
+                    record.index
+                )));
+            }
+        }
+
+        let durable_len = (JOURNAL_HEADER_LEN + consumed) as u64;
+        let file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+        if durable_len < bytes.len() as u64 {
+            // Torn tail: drop the partial frame.
+            file.set_len(durable_len).map_err(io_err)?;
+            file.sync_data().map_err(io_err)?;
+        }
+        let mut journal = RunJournal {
+            path: path.to_path_buf(),
+            file,
+            fingerprint: *fingerprint,
+            records: records.len() as u64,
+        };
+        {
+            use std::io::Seek;
+            journal
+                .file
+                .seek(std::io::SeekFrom::Start(durable_len))
+                .map_err(io_err)?;
+        }
+        Ok((journal, records))
+    }
+
+    fn load_manifest(path: &Path) -> Result<Option<Manifest>, ReputeError> {
+        let mpath = manifest_path(path);
+        if !mpath.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&mpath).map_err(|e| ReputeError::io_at(&mpath, e))?;
+        Manifest::parse(&text).map(Some).map_err(|reason| {
+            ReputeError::JournalCorrupt(format!(
+                "manifest {} is malformed: {reason}",
+                mpath.display()
+            ))
+        })
+    }
+
+    /// Number of durable records currently journaled.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends one batch record and flushes it to disk; the batch is
+    /// durable when this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on write or sync failure.
+    pub fn append(&mut self, record: &BatchRecord) -> Result<(), ReputeError> {
+        let framed = encode_record(record);
+        let io_err = |e| ReputeError::io_at(&self.path, e);
+        self.file.write_all(&framed).map_err(io_err)?;
+        self.file.sync_data().map_err(io_err)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Atomically rewrites the sidecar manifest with the current durable
+    /// record count (the recovery watermark).
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on write or rename failure.
+    pub fn commit_manifest(&self, total_batches: u64, complete: bool) -> Result<(), ReputeError> {
+        let body = Manifest::render(&self.fingerprint, total_batches, self.records, complete);
+        write_atomic(&manifest_path(&self.path), body.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(index: u32, lo: u64, reads: usize) -> BatchRecord {
+        let outputs: Vec<MapOutput> = (0..reads)
+            .map(|i| MapOutput {
+                mappings: vec![Mapping {
+                    position: (lo as u32) * 100 + i as u32,
+                    strand: if i % 2 == 0 {
+                        Strand::Forward
+                    } else {
+                        Strand::Reverse
+                    },
+                    distance: (i % 4) as u32,
+                }],
+                work: 100 + i as u64,
+                candidates: 3,
+            })
+            .collect();
+        let metrics: Vec<MapMetrics> = (0..reads)
+            .map(|i| MapMetrics {
+                seeds_selected: 4,
+                fm_extend_ops: 10 + i as u64,
+                word_updates: 7,
+                hits: 1,
+                ..MapMetrics::new()
+            })
+            .collect();
+        BatchRecord {
+            index,
+            lo,
+            hi: lo + reads as u64,
+            outputs,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let records = vec![
+            sample_record(0, 0, 3),
+            sample_record(1, 3, 1),
+            sample_record(2, 4, 0),
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let (decoded, consumed) = decode_records(&bytes);
+        assert_eq!(decoded, records);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn truncation_keeps_intact_prefix() {
+        let records = vec![sample_record(0, 0, 2), sample_record(1, 2, 2)];
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+            boundaries.push(bytes.len());
+        }
+        for cut in 0..bytes.len() {
+            let (decoded, consumed) = decode_records(&bytes[..cut]);
+            let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(decoded.len(), intact, "cut at {cut}");
+            assert_eq!(consumed, boundaries[intact], "cut at {cut}");
+            assert_eq!(decoded, records[..intact], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_of_tail_is_detected() {
+        let records = vec![sample_record(0, 0, 2), sample_record(1, 2, 2)];
+        let mut clean = Vec::new();
+        for r in &records {
+            clean.extend_from_slice(&encode_record(r));
+        }
+        let first_len = encode_record(&records[0]).len();
+        for byte in first_len..clean.len() {
+            for bit in 0..8 {
+                let mut corrupt = clean.clone();
+                corrupt[byte] ^= 1 << bit;
+                let (decoded, _) = decode_records(&corrupt);
+                assert_eq!(
+                    decoded,
+                    records[..1],
+                    "flip at byte {byte} bit {bit} must drop the tail and keep the prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn journal_open_append_reopen() {
+        let dir = std::env::temp_dir().join(format!("repute-journal-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(manifest_path(&path));
+        let fp = RunFingerprint {
+            config: 1,
+            workload: 2,
+            shape: 3,
+        };
+        {
+            let (mut journal, existing) = RunJournal::open(&path, &fp).unwrap();
+            assert!(existing.is_empty());
+            journal.append(&sample_record(0, 0, 2)).unwrap();
+            journal.append(&sample_record(1, 2, 3)).unwrap();
+            journal.commit_manifest(4, false).unwrap();
+        }
+        // Reopen: both records replay.
+        let (journal, existing) = RunJournal::open(&path, &fp).unwrap();
+        assert_eq!(existing.len(), 2);
+        assert_eq!(journal.records(), 2);
+        assert_eq!(existing[1], sample_record(1, 2, 3));
+        drop(journal);
+
+        // A torn tail (partial third record) is truncated on reopen.
+        let good_len = fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        let frame = encode_record(&sample_record(2, 5, 2));
+        f.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(f);
+        let (_, recovered) = RunJournal::open(&path, &fp).unwrap();
+        assert_eq!(recovered.len(), 2, "torn tail must be dropped");
+        assert_eq!(fs::metadata(&path).unwrap().len(), good_len);
+
+        // A different fingerprint is refused.
+        let other = RunFingerprint {
+            config: 9,
+            workload: 2,
+            shape: 3,
+        };
+        match RunJournal::open(&path, &other) {
+            Err(ReputeError::ResumeMismatch(_)) => {}
+            other => panic!("expected ResumeMismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_below_watermark_is_typed_corrupt() {
+        let dir =
+            std::env::temp_dir().join(format!("repute-journal-corrupt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+        let fp = RunFingerprint {
+            config: 7,
+            workload: 8,
+            shape: 9,
+        };
+        {
+            let (mut journal, _) = RunJournal::open(&path, &fp).unwrap();
+            journal.append(&sample_record(0, 0, 2)).unwrap();
+            journal.append(&sample_record(1, 2, 2)).unwrap();
+            journal.commit_manifest(2, true).unwrap();
+        }
+        // Flip a bit inside the FIRST record — below the watermark.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[JOURNAL_HEADER_LEN + 12] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        match RunJournal::open(&path, &fp) {
+            Err(ReputeError::JournalCorrupt(msg)) => {
+                assert!(msg.contains("promises"), "{msg}");
+            }
+            other => panic!("expected JournalCorrupt, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_round_trips_and_detects_tampering() {
+        let fp = RunFingerprint {
+            config: 0xAB,
+            workload: 0xCD,
+            shape: 0xEF,
+        };
+        let body = Manifest::render(&fp, 10, 7, false);
+        let parsed = Manifest::parse(&body).unwrap();
+        assert_eq!(parsed.fingerprint, fp.render());
+        assert_eq!(parsed.batches, 10);
+        assert_eq!(parsed.records, 7);
+        assert!(!parsed.complete);
+        let tampered = body.replace("records 7", "records 9");
+        assert!(Manifest::parse(&tampered).is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = std::env::temp_dir().join(format!("repute-atomic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.txt");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_extension("txt.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -45,14 +45,20 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
+pub mod journal;
 mod mapper;
 pub mod multi_device;
 mod paired;
+mod resumable;
 
 pub use config::{ReputeConfig, ScheduleMode, DEFAULT_MAX_RETRIES};
+pub use error::ReputeError;
+pub use journal::{write_atomic, RunFingerprint, RunJournal};
 pub use mapper::{CigarMapping, ReputeMapper};
 pub use multi_device::{
     balanced_shares, map_on_platform, map_on_platform_with_metrics, map_scheduled,
     map_scheduled_with_faults, BatchPlan, MappingRun, Schedule, AUTO_HOST_THREADS,
 };
 pub use paired::{PairMapping, PairOutcome, PairedMapper};
+pub use resumable::{map_resumable, ResumableRun};

@@ -45,7 +45,7 @@ pub const AUTO_HOST_THREADS: usize = 0;
 /// Batch granularity target of [`Schedule::Dynamic`]'s auto batch size:
 /// enough batches per device for greedy pulling to balance a skewed
 /// workload, without drowning the timeline in micro-launches.
-const DYNAMIC_BATCHES_PER_DEVICE: usize = 8;
+pub(crate) const DYNAMIC_BATCHES_PER_DEVICE: usize = 8;
 
 /// How the executor distributes reads over the platform's devices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -292,6 +292,7 @@ impl MappingRun {
             devices,
             simulated_seconds: self.simulated_seconds,
             wall_seconds: self.wall_seconds,
+            resumed_batches: 0,
             energy: Some(EnergySummary {
                 mapping_seconds: self.energy.mapping_seconds,
                 average_power_w: self.energy.average_power_w,
@@ -851,10 +852,10 @@ fn map_static<M: Mapper>(
 /// Per-batch result of the dynamic executor. Everything here is
 /// device-independent: only a batch's simulated *duration* depends on the
 /// device it is later assigned to.
-struct BatchResult {
-    outputs: Vec<MapOutput>,
-    metrics: Vec<MapMetrics>,
-    work: u64,
+pub(crate) struct BatchResult {
+    pub(crate) outputs: Vec<MapOutput>,
+    pub(crate) metrics: Vec<MapMetrics>,
+    pub(crate) work: u64,
 }
 
 fn map_dynamic<M: Mapper>(
@@ -991,7 +992,7 @@ fn map_dynamic<M: Mapper>(
 
 /// The valid outcome of mapping zero reads: no outputs, no device
 /// activity, a zero-energy (idle-power) report.
-fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
+pub(crate) fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
     let shadow: PlatformRun<()> = PlatformRun {
         outputs: vec![],
         device_runs: vec![],
@@ -1015,7 +1016,7 @@ fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
 
 /// Folds per-device accounting into a [`MappingRun`]: bottleneck
 /// completion time, host wall clock, §III-D energy.
-fn finish_run(
+pub(crate) fn finish_run(
     platform: &Platform,
     start: Instant,
     outputs: Vec<MapOutput>,
@@ -1078,7 +1079,7 @@ fn finish_run_with_faults(
 /// Resolves a `host_threads` request against a job count: `auto` is the
 /// executor's default ([`AUTO_HOST_THREADS`]), and there is never a point
 /// in more workers than jobs.
-fn worker_count(host_threads: usize, auto: usize, jobs: usize) -> usize {
+pub(crate) fn worker_count(host_threads: usize, auto: usize, jobs: usize) -> usize {
     let requested = if host_threads == AUTO_HOST_THREADS {
         auto
     } else {
@@ -1090,7 +1091,11 @@ fn worker_count(host_threads: usize, auto: usize, jobs: usize) -> usize {
 /// Runs `job(0..jobs)` on up to `workers` scoped host threads, returning
 /// results in job order regardless of completion order. A single worker
 /// runs inline on the caller's thread — the sequential-host baseline.
-fn run_jobs<R: Send>(jobs: usize, workers: usize, job: impl Fn(usize) -> R + Sync) -> Vec<R> {
+pub(crate) fn run_jobs<R: Send>(
+    jobs: usize,
+    workers: usize,
+    job: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
     let mut slots: Vec<Option<R>> = Vec::with_capacity(jobs);
     slots.resize_with(jobs, || None);
     if workers <= 1 || jobs <= 1 {

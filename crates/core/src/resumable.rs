@@ -1,0 +1,471 @@
+//! Crash-safe mapping: the journaled, resumable variant of the
+//! two-phase executor.
+//!
+//! [`map_resumable`] runs the same deterministic executor as
+//! [`map_scheduled`](crate::map_scheduled) — phase 1 host-executes
+//! batches (device-independent outputs), phase 2 replays the simulated
+//! placement — but commits every completed batch to a [`RunJournal`]
+//! before it counts. A host crash (simulated via
+//! [`FaultPlan::host_crash`], or a real `kill -9` of the CLI) therefore
+//! costs at most the batches past the journal's durable prefix: the next
+//! invocation replays the journal, skips the committed batches, and
+//! produces outputs, per-read metrics, timelines and energy
+//! **bit-identical** to an uninterrupted run.
+//!
+//! Determinism argument, in brief: batch decomposition depends only on
+//! (schedule, platform, read count, mapper output size); phase-1 results
+//! depend only on (mapper, reads); phase-2 placement is sequential
+//! arithmetic over phase-1 work counts. None of these depend on *when*
+//! or *how often* the run was interrupted, so replay + recompute =
+//! straight-through compute. The only non-reproducible field is the host
+//! wall clock (`wall_seconds`), which is excluded from the bit-identity
+//! claim (see DESIGN.md §11).
+
+use std::path::Path;
+use std::time::Instant;
+
+use repute_genome::DnaSeq;
+use repute_hetsim::{
+    Buffer, CommandQueue, DeviceRun, Event, FaultCounters, FaultPlan, FnKernel, LaunchError,
+    Platform,
+};
+use repute_mappers::Mapper;
+use repute_obs::MapMetrics;
+
+use crate::error::ReputeError;
+use crate::journal::{BatchRecord, Fnv64, RunFingerprint, RunJournal};
+use crate::multi_device::{
+    empty_run, finish_run, run_jobs, worker_count, BatchPlan, BatchResult, MappingRun, Schedule,
+    DYNAMIC_BATCHES_PER_DEVICE,
+};
+
+/// Outcome of a journaled (checkpointed) mapping run.
+#[derive(Debug)]
+pub struct ResumableRun {
+    /// The mapping run, identical to what `map_scheduled` returns for the
+    /// same inputs (wall clock aside).
+    pub run: MappingRun,
+    /// Per-read metric records in read order, identical to the
+    /// uninterrupted run's.
+    pub metrics: Vec<MapMetrics>,
+    /// Batches replayed from the journal instead of recomputed.
+    pub resumed_batches: usize,
+    /// Total batches of the run.
+    pub total_batches: usize,
+}
+
+/// One entry of the global batch list: a contiguous read range plus, for
+/// static schedules, the share that owns it.
+struct PlannedBatch {
+    lo: usize,
+    hi: usize,
+}
+
+/// Maps `reads` under `schedule` with batch-granular crash safety: each
+/// completed batch is appended to the journal at `journal_path` (and the
+/// sidecar manifest refreshed every `checkpoint_every` commits), and a
+/// pre-existing journal for the *same* run — validated against
+/// `fingerprint` plus the derived batch-decomposition shape — is replayed
+/// instead of recomputed.
+///
+/// `fingerprint` carries the caller's config and workload hashes; the
+/// shape component is stamped here once the batch plan is known, so *any*
+/// change that alters decomposition (platform, schedule, read count,
+/// mapper output size) also invalidates old journals.
+///
+/// The `fault_plan` may carry **only** a host-crash event
+/// ([`FaultPlan::host_crash`]): when armed, the run stops at the first
+/// batch (in global batch order) whose simulated completion exceeds the
+/// crash time, commits the manifest, and returns
+/// [`ReputeError::Interrupted`] — the simulated analogue of `kill -9`.
+/// Resume by calling again without the crash event. Device fault events
+/// are rejected ([`ReputeError::Config`]); use
+/// [`map_scheduled_with_faults`](crate::map_scheduled_with_faults) for
+/// those — its failover placement is fault-history-dependent, which is
+/// exactly what a resume-deterministic journal cannot admit.
+///
+/// # Errors
+///
+/// * [`ReputeError::Config`] — invalid distribution, or device fault
+///   events in `fault_plan`;
+/// * [`ReputeError::ResumeMismatch`] — the journal belongs to a
+///   different run;
+/// * [`ReputeError::JournalCorrupt`] — the journal or manifest fails
+///   validation below the durable watermark;
+/// * [`ReputeError::Interrupted`] — the simulated host crash fired;
+/// * [`ReputeError::Io`] — filesystem failures.
+#[allow(clippy::too_many_arguments)]
+pub fn map_resumable<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    schedule: &Schedule,
+    host_threads: usize,
+    fault_plan: &FaultPlan,
+    journal_path: &Path,
+    fingerprint: RunFingerprint,
+    checkpoint_every: usize,
+    reads: &[DnaSeq],
+) -> Result<ResumableRun, ReputeError> {
+    if fault_plan.has_device_events() {
+        return Err(ReputeError::Config(
+            "checkpointed runs accept only host-crash fault events (crash:@<t>); \
+             device faults make placement history-dependent and are not resumable"
+                .to_string(),
+        ));
+    }
+    let crash_at = fault_plan.host_crash_at();
+    let checkpoint_every = checkpoint_every.max(1);
+    let start = Instant::now();
+    let n_dev = platform.devices().len();
+    let bytes_per_read = mapper.max_locations() * 12;
+
+    // ------------------------------------------------------------------
+    // Batch decomposition — byte-for-byte the rules of `map_scheduled`,
+    // so the placement replay below reproduces its timelines exactly.
+    // ------------------------------------------------------------------
+    let mut planned: Vec<PlannedBatch> = Vec::new();
+    // Static mode: the global indices of each share's batches, in order.
+    let mut share_batches: Vec<Vec<usize>> = Vec::new();
+    match schedule {
+        Schedule::Static(shares) => {
+            if shares.is_empty() {
+                if reads.is_empty() {
+                    return finish_empty(platform, journal_path, fingerprint, schedule, n_dev);
+                }
+                return Err(LaunchError::from_message("no shares supplied").into());
+            }
+            for share in shares {
+                if share.device >= n_dev {
+                    return Err(LaunchError::from_message(format!(
+                        "device index {} out of range ({n_dev} devices)",
+                        share.device
+                    ))
+                    .into());
+                }
+            }
+            let covered: usize = shares.iter().map(|s| s.items).sum();
+            if covered != reads.len() {
+                return Err(LaunchError::from_message(format!(
+                    "shares cover {covered} items but {} reads were supplied",
+                    reads.len()
+                ))
+                .into());
+            }
+            let mut offset = 0usize;
+            for share in shares {
+                let device = &platform.devices()[share.device];
+                let mut owned = Vec::new();
+                for &b in BatchPlan::plan(device, share.items, bytes_per_read).batches() {
+                    owned.push(planned.len());
+                    planned.push(PlannedBatch {
+                        lo: offset,
+                        hi: offset + b,
+                    });
+                    offset += b;
+                }
+                share_batches.push(owned);
+            }
+        }
+        Schedule::Dynamic { batch } => {
+            if reads.is_empty() {
+                return finish_empty(platform, journal_path, fingerprint, schedule, n_dev);
+            }
+            let cap = platform
+                .devices()
+                .iter()
+                .map(|d| Buffer::max_items(d, bytes_per_read))
+                .min()
+                .expect("a platform has at least one device");
+            if cap == 0 {
+                return Err(LaunchError::from_message(format!(
+                    "one read's output ({bytes_per_read} bytes) exceeds the quarter-RAM cap \
+                     of the smallest device"
+                ))
+                .into());
+            }
+            let auto = reads
+                .len()
+                .div_ceil(DYNAMIC_BATCHES_PER_DEVICE * n_dev)
+                .max(1);
+            let batch_size = if *batch == 0 {
+                auto.min(cap)
+            } else {
+                (*batch).min(cap)
+            };
+            let mut offset = 0usize;
+            for &b in BatchPlan::uniform(reads.len(), batch_size).batches() {
+                planned.push(PlannedBatch {
+                    lo: offset,
+                    hi: offset + b,
+                });
+                offset += b;
+            }
+        }
+    }
+    if planned.is_empty() {
+        return finish_empty(platform, journal_path, fingerprint, schedule, n_dev);
+    }
+    let total_batches = planned.len();
+
+    // ------------------------------------------------------------------
+    // Journal open & replay: the shape hash welds the fingerprint to this
+    // exact decomposition, so a journal can only ever be resumed into the
+    // identical batch structure.
+    // ------------------------------------------------------------------
+    let fingerprint = stamp_shape(fingerprint, schedule, n_dev, reads.len(), &planned);
+    let (mut journal, records) = RunJournal::open(journal_path, &fingerprint)?;
+    if records.len() > total_batches {
+        return Err(ReputeError::JournalCorrupt(format!(
+            "journal holds {} records but the run has only {total_batches} batches",
+            records.len()
+        )));
+    }
+    for (i, rec) in records.iter().enumerate() {
+        let p = &planned[i];
+        if rec.lo != p.lo as u64 || rec.hi != p.hi as u64 {
+            return Err(ReputeError::JournalCorrupt(format!(
+                "journal record {i} covers reads {}..{} but the plan expects {}..{}",
+                rec.lo, rec.hi, p.lo, p.hi
+            )));
+        }
+    }
+    let resumed_batches = records.len();
+    let mut slots: Vec<Option<BatchResult>> = Vec::with_capacity(total_batches);
+    slots.resize_with(total_batches, || None);
+    for rec in records {
+        let work = rec.outputs.iter().map(|o| o.work).sum();
+        slots[rec.index as usize] = Some(BatchResult {
+            outputs: rec.outputs,
+            metrics: rec.metrics,
+            work,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1 — host-execute only the batches the journal does not hold.
+    // ------------------------------------------------------------------
+    let max_read_len = reads.iter().map(DnaSeq::len).max().unwrap_or(0);
+    let private_bytes = mapper.kernel_private_bytes(max_read_len);
+    let missing: Vec<usize> = (0..total_batches).filter(|&i| slots[i].is_none()).collect();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let fresh = run_jobs(
+        missing.len(),
+        worker_count(host_threads, host, missing.len()),
+        |job_idx| {
+            let p = &planned[missing[job_idx]];
+            let mut outputs = Vec::with_capacity(p.hi - p.lo);
+            let mut metrics = Vec::with_capacity(p.hi - p.lo);
+            let mut work = 0u64;
+            for read in &reads[p.lo..p.hi] {
+                let mut m = MapMetrics::new();
+                let out = mapper.map_read_metered(read, &mut m);
+                work += out.work;
+                outputs.push(out);
+                metrics.push(m);
+            }
+            BatchResult {
+                outputs,
+                metrics,
+                work,
+            }
+        },
+    );
+    for (job_idx, result) in fresh.into_iter().enumerate() {
+        slots[missing[job_idx]] = Some(result);
+    }
+    let results: Vec<BatchResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every batch filled by journal or phase 1"))
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Phase 2 — simulated placement, identical to `map_scheduled`.
+    // `end_seconds[i]` is batch i's simulated completion, the clock the
+    // host-crash event fires against.
+    // ------------------------------------------------------------------
+    let mut end_seconds = vec![0.0f64; total_batches];
+    let mut device_runs: Vec<DeviceRun> = Vec::new();
+    let mut timelines: Vec<Vec<Event>> = Vec::new();
+    match schedule {
+        Schedule::Static(shares) => {
+            for (share_idx, share) in shares.iter().enumerate() {
+                let device = &platform.devices()[share.device];
+                let mut queue = CommandQueue::new(device);
+                for (per_idx, &global_idx) in share_batches[share_idx].iter().enumerate() {
+                    let result = &results[global_idx];
+                    let outs = &result.outputs;
+                    let kernel = FnKernel::new(move |i: usize| ((), outs[i].work))
+                        .with_private_bytes(private_bytes);
+                    let label = format!("d{}-batch-{}", share.device, per_idx);
+                    let p = &planned[global_idx];
+                    let _ = queue.enqueue(label, p.hi - p.lo, &kernel);
+                    end_seconds[global_idx] = queue
+                        .events()
+                        .last()
+                        .expect("enqueue records an event")
+                        .end_seconds;
+                }
+                device_runs.push(DeviceRun {
+                    device: share.device,
+                    items: share.items,
+                    work: queue.total_work(),
+                    simulated_seconds: queue.finish_seconds(),
+                });
+                timelines.push(queue.into_events());
+            }
+        }
+        Schedule::Dynamic { .. } => {
+            let mut free_at = vec![0.0f64; n_dev];
+            let mut dyn_timelines: Vec<Vec<Event>> = vec![Vec::new(); n_dev];
+            let mut items_of = vec![0usize; n_dev];
+            let mut work_of = vec![0u64; n_dev];
+            for (batch_idx, result) in results.iter().enumerate() {
+                let mut dev = 0usize;
+                for d in 1..n_dev {
+                    if free_at[d] < free_at[dev] {
+                        dev = d;
+                    }
+                }
+                let duration =
+                    platform.devices()[dev].seconds_for_with_footprint(result.work, private_bytes);
+                let t = free_at[dev];
+                dyn_timelines[dev].push(Event {
+                    label: format!("d{dev}-batch-{batch_idx}"),
+                    items: result.outputs.len(),
+                    work: result.work,
+                    queued_seconds: t,
+                    submitted_seconds: t,
+                    start_seconds: t,
+                    end_seconds: t + duration,
+                });
+                free_at[dev] = t + duration;
+                items_of[dev] += result.outputs.len();
+                work_of[dev] += result.work;
+                end_seconds[batch_idx] = t + duration;
+            }
+            for dev in 0..n_dev {
+                device_runs.push(DeviceRun {
+                    device: dev,
+                    items: items_of[dev],
+                    work: work_of[dev],
+                    simulated_seconds: free_at[dev],
+                });
+            }
+            timelines = dyn_timelines;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit loop — durably journal each batch in global order. The
+    // simulated crash fires at the first batch whose completion exceeds
+    // the crash time, exactly like a host process dying mid-run: the
+    // journal keeps its contiguous durable prefix, nothing else.
+    // ------------------------------------------------------------------
+    let mut since_manifest = 0usize;
+    for (idx, result) in results.iter().enumerate() {
+        if idx < resumed_batches {
+            continue; // already durable from a previous attempt
+        }
+        if let Some(t) = crash_at {
+            if end_seconds[idx] > t {
+                journal.commit_manifest(total_batches as u64, false)?;
+                return Err(ReputeError::Interrupted {
+                    at_seconds: t,
+                    committed: journal.records() as usize,
+                    total: total_batches,
+                });
+            }
+        }
+        let p = &planned[idx];
+        journal.append(&BatchRecord {
+            index: idx as u32,
+            lo: p.lo as u64,
+            hi: p.hi as u64,
+            outputs: result.outputs.clone(),
+            metrics: result.metrics.clone(),
+        })?;
+        since_manifest += 1;
+        if since_manifest >= checkpoint_every {
+            journal.commit_manifest(total_batches as u64, false)?;
+            since_manifest = 0;
+        }
+    }
+    journal.commit_manifest(total_batches as u64, true)?;
+
+    // Assemble, exactly as `map_scheduled` would.
+    let mut outputs = Vec::with_capacity(reads.len());
+    let mut metrics = Vec::with_capacity(reads.len());
+    for r in results {
+        outputs.extend(r.outputs);
+        metrics.extend(r.metrics);
+    }
+    let fault_counters = vec![FaultCounters::default(); device_runs.len()];
+    let (mut run, metrics) = finish_run(platform, start, outputs, metrics, device_runs, timelines);
+    run.fault_counters = fault_counters;
+    Ok(ResumableRun {
+        run,
+        metrics,
+        resumed_batches,
+        total_batches,
+    })
+}
+
+/// Stamps the batch-decomposition shape into the fingerprint: device
+/// count, read count, schedule kind, and every batch boundary (plus the
+/// owning device under a static schedule).
+fn stamp_shape(
+    mut fingerprint: RunFingerprint,
+    schedule: &Schedule,
+    n_dev: usize,
+    reads: usize,
+    planned: &[PlannedBatch],
+) -> RunFingerprint {
+    let mut h = Fnv64::new();
+    h.write_u64(n_dev as u64);
+    h.write_u64(reads as u64);
+    match schedule {
+        Schedule::Static(shares) => {
+            h.write_u64(0);
+            h.write_u64(shares.len() as u64);
+            for share in shares {
+                h.write_u64(share.device as u64);
+                h.write_u64(share.items as u64);
+            }
+        }
+        Schedule::Dynamic { .. } => h.write_u64(1),
+    }
+    h.write_u64(planned.len() as u64);
+    for p in planned {
+        h.write_u64(p.lo as u64);
+        h.write_u64(p.hi as u64);
+    }
+    fingerprint.shape = h.finish();
+    fingerprint
+}
+
+/// The empty-read-set path: still fingerprints and completes the journal,
+/// so `--resume` of an empty run behaves like any other.
+fn finish_empty(
+    platform: &Platform,
+    journal_path: &Path,
+    fingerprint: RunFingerprint,
+    schedule: &Schedule,
+    n_dev: usize,
+) -> Result<ResumableRun, ReputeError> {
+    let fingerprint = stamp_shape(fingerprint, schedule, n_dev, 0, &[]);
+    let (journal, records) = RunJournal::open(journal_path, &fingerprint)?;
+    if !records.is_empty() {
+        return Err(ReputeError::JournalCorrupt(format!(
+            "journal holds {} records but the run has no batches",
+            records.len()
+        )));
+    }
+    journal.commit_manifest(0, true)?;
+    let (run, metrics) = empty_run(platform);
+    Ok(ResumableRun {
+        run,
+        metrics,
+        resumed_batches: 0,
+        total_batches: 0,
+    })
+}

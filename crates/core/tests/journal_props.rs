@@ -1,0 +1,140 @@
+#![cfg(feature = "proptest")]
+//! NOTE: gated behind the non-default `proptest` feature because the
+//! external `proptest` crate cannot be resolved in the offline build
+//! environment. Enabling the feature additionally requires restoring a
+//! `proptest` dev-dependency where registry access exists. The
+//! always-on unit tests in `journal.rs` and the seeded suite in
+//! `resume.rs` cover the same invariants with fixed corpora.
+
+use proptest::prelude::*;
+
+use repute_core::journal::{decode_records, encode_record, BatchRecord};
+use repute_genome::Strand;
+use repute_mappers::{MapOutput, Mapping};
+use repute_obs::MapMetrics;
+
+/// Strategy for one batch record over the read range `[lo, lo+reads)`.
+fn arb_record(index: u32, lo: u64, reads: usize) -> impl Strategy<Value = BatchRecord> {
+    let outputs = prop::collection::vec(
+        (
+            prop::collection::vec(
+                (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
+                    |(position, distance, fwd)| Mapping {
+                        position,
+                        distance,
+                        strand: if fwd {
+                            Strand::Forward
+                        } else {
+                            Strand::Reverse
+                        },
+                    },
+                ),
+                0..4,
+            ),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(mappings, work, candidates)| MapOutput {
+                mappings,
+                work,
+                candidates,
+            }),
+        reads..=reads,
+    );
+    let metrics = prop::collection::vec(
+        prop::collection::vec(any::<u64>(), 13).prop_map(|w| MapMetrics {
+            seeds_selected: w[0],
+            fm_extend_ops: w[1],
+            fm_locate_ops: w[2],
+            candidates_raw: w[3],
+            candidates_merged: w[4],
+            dp_cells: w[5],
+            prefilter_tested: w[6],
+            prefilter_rejected: w[7],
+            prefilter_false_accepts: w[8],
+            prefilter_words: w[9],
+            verifications: w[10],
+            word_updates: w[11],
+            hits: w[12],
+        }),
+        reads..=reads,
+    );
+    (outputs, metrics).prop_map(move |(outputs, metrics)| BatchRecord {
+        index,
+        lo,
+        hi: lo + reads as u64,
+        outputs,
+        metrics,
+    })
+}
+
+/// A contiguous stream of records: sizes drawn per batch, indices and
+/// read ranges forming the prefix the journal invariant requires.
+fn arb_stream() -> impl Strategy<Value = Vec<BatchRecord>> {
+    prop::collection::vec(0usize..5, 0..6).prop_flat_map(|sizes| {
+        let mut lo = 0u64;
+        let mut parts = Vec::new();
+        for (i, reads) in sizes.into_iter().enumerate() {
+            parts.push(arb_record(i as u32, lo, reads));
+            lo += reads as u64;
+        }
+        parts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any record stream round-trips through the framed codec, consuming
+    /// exactly the bytes it wrote.
+    #[test]
+    fn streams_round_trip(records in arb_stream()) {
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let (decoded, consumed) = decode_records(&bytes);
+        prop_assert_eq!(&decoded, &records);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    /// Truncation at any byte offset keeps exactly the intact prefix
+    /// records, and the consumed count lands on a record boundary.
+    #[test]
+    fn truncation_keeps_the_intact_prefix(records in arb_stream(), cut_frac in 0.0f64..1.0) {
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+            boundaries.push(bytes.len());
+        }
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let (decoded, consumed) = decode_records(&bytes[..cut]);
+        let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(decoded.len(), intact);
+        prop_assert_eq!(consumed, boundaries[intact]);
+        prop_assert_eq!(&decoded[..], &records[..intact]);
+    }
+
+    /// A single bit flip anywhere in the tail record is detected: decode
+    /// never returns a record differing from what was written, and every
+    /// record before the flipped one survives.
+    #[test]
+    fn tail_bit_flip_is_detected(records in arb_stream(), byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        prop_assume!(!records.is_empty());
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+            boundaries.push(bytes.len());
+        }
+        let last_start = boundaries[boundaries.len() - 2];
+        let tail_len = bytes.len() - last_start;
+        let byte = last_start + ((tail_len as f64 * byte_frac) as usize).min(tail_len - 1);
+        bytes[byte] ^= 1 << bit;
+        let (decoded, _) = decode_records(&bytes);
+        let prefix = &records[..records.len() - 1];
+        // The corrupt tail is dropped; the prefix survives bit-exact.
+        prop_assert_eq!(&decoded[..], prefix);
+    }
+}

@@ -128,6 +128,9 @@ impl<R: BufRead> FastqReader<R> {
         let seq_line = self
             .read_line()?
             .ok_or_else(|| self.format_err("truncated record: missing sequence"))?;
+        if seq_line.is_empty() {
+            return Err(self.format_err(format!("record {id:?} has an empty sequence")));
+        }
         let mut seq = DnaSeq::with_capacity(seq_line.len());
         for c in seq_line.chars() {
             match Base::from_char(c) {
@@ -249,6 +252,17 @@ mod tests {
     fn truncation_detected() {
         assert!(read_fastq("@a\nACGT\n+\n".as_bytes()).is_err());
         assert!(read_fastq("@a\nACGT\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        // A blank sequence line is a malformed record, not an empty read:
+        // downstream kernels assume every read has at least one base.
+        let err = read_fastq("@a\n\n+\n\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(&err, GenomeError::Format { message, .. } if message.contains("empty sequence")),
+            "{err:?}"
+        );
     }
 
     #[test]

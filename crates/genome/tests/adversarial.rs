@@ -1,0 +1,129 @@
+//! Adversarial-corpus hardening: every malformed FASTA/FASTQ input in
+//! this file must surface as a typed [`GenomeError`] — never a panic,
+//! never a silently wrong record — and the well-formed-but-awkward
+//! inputs (CRLF line endings, wrapped sequences, blank separator lines)
+//! must parse to exactly the expected records.
+
+use repute_genome::fasta::{read_fasta, AmbiguityPolicy};
+use repute_genome::fastq::read_fastq;
+use repute_genome::GenomeError;
+
+// ---------------------------------------------------------------------
+// FASTA
+// ---------------------------------------------------------------------
+
+#[test]
+fn fasta_adversarial_corpus_yields_typed_errors() {
+    let corpus: &[(&str, &str)] = &[
+        ("sequence before any header", "ACGT\n>x\nACGT\n"),
+        ("lone '>' with no id", ">\nACGT\n"),
+        ("header of only whitespace", ">   \nACGT\n"),
+        ("empty sequence then EOF", ">x\n"),
+        ("empty sequence then next record", ">x\n>y\nACGT\n"),
+        ("digit in sequence", ">x\nAC9T\n"),
+        ("punctuation in sequence", ">x\nAC.GT\n"),
+        ("ambiguity code under reject policy", ">x\nACNT\n"),
+        ("gap symbol under reject policy", ">x\nAC-GT\n"),
+        ("truncated final record", ">x\nACGT\n>y\n"),
+        ("non-ascii byte in sequence", ">x\nACG\u{2603}T\n"),
+    ];
+    for (what, input) in corpus {
+        let result = read_fasta(input.as_bytes(), AmbiguityPolicy::Reject);
+        let err = result.unwrap_err_or_panic(what);
+        assert!(
+            matches!(err, GenomeError::Format { .. }),
+            "{what}: expected a Format error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn fasta_handles_crlf_wrapping_and_blank_lines() {
+    let input = ">r1 first record\r\nACGT\r\nTTAA\r\n\r\n>r2\r\nGGCC\r\n";
+    let recs = read_fasta(input.as_bytes(), AmbiguityPolicy::Reject).unwrap();
+    assert_eq!(recs.len(), 2);
+    assert_eq!(recs[0].id, "r1");
+    assert_eq!(recs[0].seq.to_string(), "ACGTTTAA");
+    assert_eq!(recs[1].seq.to_string(), "GGCC");
+}
+
+#[test]
+fn fasta_ambiguity_policies_differ_only_on_iupac_codes() {
+    // 'N' is IUPAC-ambiguous: reject errors, skip drops it.
+    assert!(read_fasta(b">x\nANT\n".as_slice(), AmbiguityPolicy::Reject).is_err());
+    let skipped = read_fasta(b">x\nANT\n".as_slice(), AmbiguityPolicy::Skip).unwrap();
+    assert_eq!(skipped[0].seq.to_string(), "AT");
+    // '7' is not a base under any policy.
+    assert!(read_fasta(b">x\nA7T\n".as_slice(), AmbiguityPolicy::Skip).is_err());
+}
+
+// ---------------------------------------------------------------------
+// FASTQ
+// ---------------------------------------------------------------------
+
+#[test]
+fn fastq_adversarial_corpus_yields_typed_errors() {
+    let corpus: &[(&str, &str)] = &[
+        ("missing '@' header", "a\nACGT\n+\nIIII\n"),
+        ("lone '@' with no id", "@\nACGT\n+\nIIII\n"),
+        ("empty sequence line", "@a\n\n+\n\n"),
+        ("truncated after header", "@a\n"),
+        ("truncated after sequence", "@a\nACGT\n"),
+        ("truncated after plus", "@a\nACGT\n+\n"),
+        ("missing '+' separator", "@a\nACGT\nIIII\nIIII\n"),
+        ("digit in sequence", "@a\nAC9T\n+\nIIII\n"),
+        ("quality shorter than sequence", "@a\nACGT\n+\nIII\n"),
+        ("quality longer than sequence", "@a\nACGT\n+\nIIIII\n"),
+        ("quality byte below '!'", "@a\nAC\n+\nI\u{1f}\n"),
+        ("quality byte above '~'", "@a\nAC\n+\nI\u{7f}\n"),
+        ("second record truncated", "@a\nACGT\n+\nIIII\n@b\nGG\n"),
+    ];
+    for (what, input) in corpus {
+        let err = read_fastq(input.as_bytes()).unwrap_err_or_panic(what);
+        assert!(
+            matches!(
+                err,
+                GenomeError::Format { .. } | GenomeError::InvalidQuality(_)
+            ),
+            "{what}: expected Format/InvalidQuality, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn fastq_handles_crlf_and_blank_interrecord_lines() {
+    let input = "@a\r\nACGT\r\n+\r\nIIII\r\n\r\n@b\r\nGG\r\n+\r\n!!\r\n";
+    let recs = read_fastq(input.as_bytes()).unwrap();
+    assert_eq!(recs.len(), 2);
+    assert_eq!(recs[0].seq.to_string(), "ACGT");
+    assert_eq!(recs[1].quality, b"!!");
+}
+
+#[test]
+fn fastq_error_names_the_line() {
+    // Line numbers make adversarial inputs debuggable: the empty
+    // sequence of the second record sits on line 6.
+    let input = "@a\nACGT\n+\nIIII\n@b\n\n+\n\n";
+    let err = read_fastq(input.as_bytes()).unwrap_err();
+    match err {
+        GenomeError::Format { line, .. } => assert_eq!(line, 6),
+        other => panic!("expected Format, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helper: unwrap_err with corpus context.
+// ---------------------------------------------------------------------
+
+trait UnwrapErrOrPanic<T, E: std::fmt::Debug> {
+    fn unwrap_err_or_panic(self, what: &str) -> E;
+}
+
+impl<T: std::fmt::Debug, E: std::fmt::Debug> UnwrapErrOrPanic<T, E> for Result<T, E> {
+    fn unwrap_err_or_panic(self, what: &str) -> E {
+        match self {
+            Ok(v) => panic!("{what}: expected an error, parsed {v:?}"),
+            Err(e) => e,
+        }
+    }
+}

@@ -46,6 +46,11 @@ pub enum FaultKind {
     },
     /// The device is permanently dead from the arm time on.
     Loss,
+    /// The *host* process dies at the arm time — the whole run stops and
+    /// can only continue from a checkpoint journal. Not tied to any
+    /// device (the event's `device` field is ignored); consumed by the
+    /// resumable executor, ignored by per-device fault state.
+    HostCrash,
 }
 
 /// One fault, armed at a point in simulated time on one device.
@@ -71,7 +76,8 @@ impl fmt::Display for FaultPlanParseError {
         write!(
             f,
             "invalid fault-plan entry {:?}: {} \
-             (expected loss:d<dev>@<t> | transient:d<dev>@<t>[x<count>] | slow:d<dev>@<t>x<factor>)",
+             (expected loss:d<dev>@<t> | transient:d<dev>@<t>[x<count>] | \
+             slow:d<dev>@<t>x<factor> | crash:@<t>)",
             self.entry, self.reason
         )
     }
@@ -160,10 +166,41 @@ impl FaultPlan {
         })
     }
 
-    /// The highest device index any event names (`None` for an empty
-    /// plan) — lets callers validate a plan against a platform.
+    /// Adds a host-process crash at `at_seconds` of simulated time — the
+    /// simulated `kill -9` the checkpoint/resume machinery recovers from.
+    pub fn host_crash(self, at_seconds: f64) -> FaultPlan {
+        self.with_event(FaultEvent {
+            device: 0, // ignored: the crash takes the whole host
+            at_seconds,
+            kind: FaultKind::HostCrash,
+        })
+    }
+
+    /// The earliest planned host-crash time, if any.
+    pub fn host_crash_at(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::HostCrash)
+            .map(|e| e.at_seconds)
+            .min_by(|a, b| a.partial_cmp(b).expect("arm times are finite"))
+    }
+
+    /// `true` when the plan carries any *device* fault (anything besides
+    /// host crashes) — the events a checkpointed run must reject.
+    pub fn has_device_events(&self) -> bool {
+        self.events.iter().any(|e| e.kind != FaultKind::HostCrash)
+    }
+
+    /// The highest device index any device-level event names (`None` for
+    /// an empty or crash-only plan) — lets callers validate a plan
+    /// against a platform. Host crashes strike the host, not a device,
+    /// so they are skipped.
     pub fn max_device(&self) -> Option<usize> {
-        self.events.iter().map(|e| e.device).max()
+        self.events
+            .iter()
+            .filter(|e| e.kind != FaultKind::HostCrash)
+            .map(|e| e.device)
+            .max()
     }
 
     /// Parses a CLI spec: comma- or semicolon-separated entries of
@@ -172,7 +209,9 @@ impl FaultPlan {
     /// * `transient:d<dev>@<t>` (optionally `x<count>`) — `count`
     ///   transient launch failures arming at `t`;
     /// * `slow:d<dev>@<t>x<factor>` — throughput multiplied by `factor`
-    ///   from `t` on.
+    ///   from `t` on;
+    /// * `crash:@<t>` — the host process dies at simulated second `t`
+    ///   (no device index: the crash takes the whole run).
     ///
     /// Example: `--fault-plan "loss:d1@0.5,transient:d0@0x2"`.
     ///
@@ -193,6 +232,19 @@ impl FaultPlan {
             let (kind, rest) = entry
                 .split_once(':')
                 .ok_or_else(|| err("missing ':' after the fault kind"))?;
+            if kind == "crash" {
+                let t_str = rest
+                    .strip_prefix('@')
+                    .ok_or_else(|| err("crash takes no device: write crash:@<seconds>"))?;
+                let t: f64 = t_str
+                    .parse()
+                    .map_err(|_| err("arm time must be a number of seconds"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(err("arm time must be finite and non-negative"));
+                }
+                plan = plan.host_crash(t);
+                continue;
+            }
             let rest = rest
                 .strip_prefix('d')
                 .ok_or_else(|| err("device must be written d<index>"))?;
@@ -306,6 +358,9 @@ impl FaultPlan {
                         None => event.at_seconds,
                     });
                 }
+                // Host crashes take the whole process, not a device; the
+                // resumable executor consumes them before this point.
+                FaultKind::HostCrash => {}
             }
         }
         for state in &mut per_device {
@@ -506,6 +561,31 @@ mod tests {
         // Empty entries are tolerated.
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse(" , ;").unwrap().is_empty());
+    }
+
+    #[test]
+    fn host_crash_parses_and_stays_off_devices() {
+        let plan = FaultPlan::parse("crash:@0.75").unwrap();
+        assert_eq!(plan.host_crash_at(), Some(0.75));
+        assert!(!plan.has_device_events());
+        assert!(!plan.is_empty());
+        // Crash events never count as device events nor reach device state.
+        assert_eq!(plan.max_device(), None);
+        let state = plan.state(2);
+        assert!(!state.device(0).is_lost(99.0));
+        assert!(!state.device(1).is_lost(99.0));
+
+        let mixed = FaultPlan::parse("loss:d1@0.5,crash:@1").unwrap();
+        assert!(mixed.has_device_events());
+        assert_eq!(mixed.max_device(), Some(1));
+        assert_eq!(mixed.host_crash_at(), Some(1.0));
+        // The earliest of several crashes wins.
+        let twice = FaultPlan::new().host_crash(2.0).host_crash(0.5);
+        assert_eq!(twice.host_crash_at(), Some(0.5));
+
+        for bad in ["crash:d0@1", "crash:@-1", "crash:@nan", "crash:1"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -112,7 +112,12 @@ pub struct EnergySummary {
 }
 
 /// Everything measured over one mapping run.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so the crash/resume harness can assert a resumed
+/// run's report bit-identical to an uninterrupted one (after zeroing the
+/// host-clock `wall_seconds` and the provenance `resumed_batches`
+/// fields — see DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
     /// Reads mapped.
     pub reads: u64,
@@ -126,6 +131,10 @@ pub struct RunReport {
     pub simulated_seconds: f64,
     /// Host wall-clock seconds actually spent.
     pub wall_seconds: f64,
+    /// Batches replayed from a checkpoint journal instead of recomputed
+    /// (0 for an uninterrupted run). Provenance only: replayed batches
+    /// are never double-counted in `totals` or the timelines.
+    pub resumed_batches: u64,
     /// Energy summary, when the run was simulated on a platform.
     pub energy: Option<EnergySummary>,
 }
@@ -140,6 +149,13 @@ impl RunReport {
             "  simulated {:.6} s | wall {:.3} s",
             self.simulated_seconds, self.wall_seconds
         );
+        if self.resumed_batches > 0 {
+            let _ = writeln!(
+                out,
+                "  resumed from checkpoint: {} batch(es) replayed from the journal",
+                self.resumed_batches
+            );
+        }
         let _ = writeln!(out, "  pipeline counters (totals across reads):");
         for (name, value) in self.totals.fields() {
             let per_read = if self.reads > 0 {
@@ -204,6 +220,7 @@ impl RunReport {
         run.u64_field("reads", self.reads);
         run.f64_field("simulated_seconds", self.simulated_seconds);
         run.f64_field("wall_seconds", self.wall_seconds);
+        run.u64_field("resumed_batches", self.resumed_batches);
         self.totals.write_fields(&mut run);
         writeln!(out, "{}", run.finish())?;
 
@@ -295,6 +312,7 @@ mod tests {
             }],
             simulated_seconds: 2.5,
             wall_seconds: 0.01,
+            resumed_batches: 4,
             energy: Some(EnergySummary {
                 mapping_seconds: 2.5,
                 average_power_w: 4.0,
@@ -332,14 +350,18 @@ mod tests {
             "util",
             "J above idle",
             "faults 2 | retries 1 | migrated batches 3",
+            "resumed from checkpoint: 4 batch(es)",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
-        // Fault counters stay silent on a fault-free device.
+        // Fault counters stay silent on a fault-free device, and the
+        // resume line stays silent on an uninterrupted run.
         let mut clean = sample();
+        clean.resumed_batches = 0;
         let dev = &mut clean.devices[0];
         (dev.retries, dev.faults, dev.migrated_batches) = (0, 0, 0);
         assert!(!clean.render().contains("faults"));
+        assert!(!clean.render().contains("resumed from checkpoint"));
     }
 
     #[test]
