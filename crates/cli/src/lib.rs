@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use repute_core::journal::Fnv64;
 use repute_core::{
-    map_resumable, map_scheduled_with_faults, write_atomic, ReputeConfig, ReputeMapper,
-    RunFingerprint, Schedule, ScheduleMode, DEFAULT_MAX_RETRIES,
+    map_resumable_traced, map_scheduled_with_faults_traced, write_atomic, ReputeConfig,
+    ReputeMapper, RunFingerprint, Schedule, ScheduleMode, DEFAULT_MAX_RETRIES,
 };
 use repute_genome::DnaSeq;
 
@@ -122,6 +122,11 @@ pub struct MapOptions {
     /// Path the telemetry JSON-lines are written to; `None` disables the
     /// export.
     pub metrics_out: Option<String>,
+    /// Path the Chrome-tracing JSON (`chrome://tracing` /
+    /// <https://ui.perfetto.dev>) span file is written to; requires
+    /// `--platform` (spans live on the simulated timeline). `None`
+    /// disables tracing entirely — the executor allocates nothing.
+    pub trace_out: Option<String>,
     /// Per-read trace lines and the full run report on stderr.
     pub verbose: bool,
     /// Path of the crash-safe checkpoint journal (requires
@@ -156,6 +161,7 @@ impl Default for MapOptions {
             fault_plan: None,
             max_retries: DEFAULT_MAX_RETRIES,
             metrics_out: None,
+            trace_out: None,
             verbose: false,
             checkpoint: None,
             resume: false,
@@ -197,6 +203,7 @@ USAGE:
     repute simulate --out-dir <dir> [--length N] [--reads N] [--read-len N]
                     [--seed N] [--profile err012100|srr826460|perfect]
     repute stats    <metrics.jsonl>
+    repute trace    <trace.json>
 
 MAP OPTIONS:
     --reference <path>       FASTA reference (multi-record supported)
@@ -245,6 +252,10 @@ MAP OPTIONS:
                              run, in batches [default: 1]
     --metrics-out <path>     write per-read and run-level telemetry as
                              JSON-lines (inspect with `repute stats`)
+    --trace-out <path>       write the simulated run's spans as Chrome
+                             trace JSON (requires --platform); open in
+                             chrome://tracing / ui.perfetto.dev or
+                             summarize with `repute trace`
     -v, --verbose, --trace   per-read trace lines and the full run report
                              on stderr
     --help                   print this text
@@ -252,6 +263,11 @@ MAP OPTIONS:
 STATS OPTIONS:
     --strict                 error on the first malformed JSON line
                              instead of skipping it with a warning
+
+TRACE OPTIONS:
+    (none)                   `repute trace <trace.json>` summarizes a
+                             --trace-out file: events, per-process span
+                             totals, per-category latency percentiles
 
 EXIT CODES:
     0 success | 2 configuration | 3 input parse | 4 i/o
@@ -364,6 +380,7 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
                     .map_err(|_| ParseArgsError::new("--max-retries expects an integer"))?;
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
             "--resume" => opts.resume = true,
             "--checkpoint-every" => {
@@ -383,6 +400,11 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
     if opts.fault_plan.is_some() && opts.platform.is_none() {
         return Err(ParseArgsError::new(
             "--fault-plan requires --platform (faults live in the simulation)",
+        ));
+    }
+    if opts.trace_out.is_some() && opts.platform.is_none() {
+        return Err(ParseArgsError::new(
+            "--trace-out requires --platform (spans live on the simulated timeline)",
         ));
     }
     if opts.checkpoint.is_some() && opts.platform.is_none() {
@@ -1006,8 +1028,9 @@ fn run_map_checkpointed(opts: &MapOptions) -> Result<(usize, usize), ReputeError
 
     timer.start("map");
     let threads = config.host_threads();
+    let tracing = opts.trace_out.is_some();
     let outcome = match baseline.as_deref() {
-        Some(mapper) => map_resumable(
+        Some(mapper) => map_resumable_traced(
             &mapper,
             &platform,
             &schedule,
@@ -1016,9 +1039,10 @@ fn run_map_checkpointed(opts: &MapOptions) -> Result<(usize, usize), ReputeError
             journal_path,
             fingerprint,
             opts.checkpoint_every,
+            tracing,
             &reads,
         )?,
-        None => map_resumable(
+        None => map_resumable_traced(
             &repute,
             &platform,
             &schedule,
@@ -1027,10 +1051,15 @@ fn run_map_checkpointed(opts: &MapOptions) -> Result<(usize, usize), ReputeError
             journal_path,
             fingerprint,
             opts.checkpoint_every,
+            tracing,
             &reads,
         )?,
     };
     timer.stop();
+    if let Some(path) = &opts.trace_out {
+        write_trace_file(path, &platform, &outcome.run.trace)?;
+        eprintln!("wrote span trace to {path:?} (open in chrome://tracing, or `repute trace`)");
+    }
     eprintln!(
         "simulated on {} ({} schedule): {:.3} s | {:.1} W avg | {:.3} J above idle",
         platform.name(),
@@ -1126,26 +1155,33 @@ fn simulate_platform(
     let schedule = Schedule::for_config(config, &platform, reads.len());
     let plan = parse_fault_plan(opts)?;
     let threads = config.host_threads();
+    let tracing = opts.trace_out.is_some();
     let (run, metrics) = match baseline {
-        Some(mapper) => map_scheduled_with_faults(
+        Some(mapper) => map_scheduled_with_faults_traced(
             &mapper,
             &platform,
             &schedule,
             threads,
             &plan,
             config.max_retries(),
+            tracing,
             &reads,
         )?,
-        None => map_scheduled_with_faults(
+        None => map_scheduled_with_faults_traced(
             repute,
             &platform,
             &schedule,
             threads,
             &plan,
             config.max_retries(),
+            tracing,
             &reads,
         )?,
     };
+    if let Some(path) = &opts.trace_out {
+        write_trace_file(path, &platform, &run.trace)?;
+        eprintln!("wrote span trace to {path:?} (open in chrome://tracing, or `repute trace`)");
+    }
     eprintln!(
         "simulated on {} ({} schedule): {:.3} s | {:.1} W avg | {:.3} J above idle",
         platform.name(),
@@ -1205,6 +1241,29 @@ fn write_metrics_file(
     }
     report.write_json_lines(&mut out)?;
     write_atomic(Path::new(path), &out)
+}
+
+/// Writes a run's spans as Chrome trace JSON (atomic rename): pid 0 is
+/// the scheduler, each device gets its own pid named after its profile.
+/// The writer sorts spans into a canonical order, so identical runs
+/// produce byte-identical files regardless of host-thread interleaving.
+fn write_trace_file(
+    path: &str,
+    platform: &repute_hetsim::Platform,
+    trace: &[repute_obs::Span],
+) -> Result<(), ReputeError> {
+    use repute_obs::trace::{device_pid, write_chrome_trace, SCHEDULER_PID};
+    let mut processes = vec![(SCHEDULER_PID, "scheduler".to_string())];
+    for (i, device) in platform.devices().iter().enumerate() {
+        processes.push((
+            device_pid(i),
+            format!("{} [{}]", device.name(), device.kind().as_str()),
+        ));
+    }
+    write_atomic(
+        Path::new(path),
+        write_chrome_trace(&processes, trace).as_bytes(),
+    )
 }
 
 /// Parsed command-line options for `repute stats`.
@@ -1297,6 +1356,7 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
     let mut sums: Vec<(String, u64)> = Vec::new();
     let mut body = String::new();
     let mut skipped = 0u64;
+    let mut latency_header = false;
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -1361,6 +1421,27 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
                     get_str(&fields, "path"),
                     get_f64(&fields, "seconds").unwrap_or(0.0),
                     get_u64(&fields, "count").unwrap_or(0),
+                );
+            }
+            "latency" => {
+                // Legacy telemetry files simply have no latency records;
+                // the header appears once, before the first row.
+                if !latency_header {
+                    let _ = writeln!(
+                        body,
+                        "  latency percentiles (simulated seconds)\n  {:<24} {:>8} {:>12} {:>12} {:>12}",
+                        "population", "n", "p50", "p90", "p99",
+                    );
+                    latency_header = true;
+                }
+                let _ = writeln!(
+                    body,
+                    "  {:<24} {:>8} {:>12.9} {:>12.9} {:>12.9}",
+                    get_str(&fields, "stage"),
+                    get_u64(&fields, "count").unwrap_or(0),
+                    get_f64(&fields, "p50_s").unwrap_or(0.0),
+                    get_f64(&fields, "p90_s").unwrap_or(0.0),
+                    get_f64(&fields, "p99_s").unwrap_or(0.0),
                 );
             }
             "device" => {
@@ -1466,6 +1547,106 @@ pub fn run_stats(opts: &StatsOptions) -> Result<(), ReputeError> {
     Ok(())
 }
 
+/// Parsed command-line options for `repute trace`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Path to a Chrome-tracing JSON file written by `--trace-out`.
+    pub input: String,
+}
+
+/// Parses `repute trace` arguments: one file path.
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown flags or a missing/duplicate
+/// path.
+pub fn parse_trace_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<TraceOptions, ParseArgsError> {
+    let mut input: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
+            other if other.starts_with('-') => {
+                return Err(ParseArgsError::new(format!("unknown option {other:?}")))
+            }
+            path => {
+                if input.is_some() {
+                    return Err(ParseArgsError::new("trace expects exactly one file"));
+                }
+                input = Some(path.to_string());
+            }
+        }
+    }
+    input
+        .map(|input| TraceOptions { input })
+        .ok_or_else(|| ParseArgsError::new("trace expects a Chrome-tracing JSON file"))
+}
+
+/// Summarizes a `--trace-out` file: event count, total span time, a
+/// per-process (scheduler + devices) span table, and per-category
+/// duration percentiles.
+///
+/// # Errors
+///
+/// Returns [`ReputeError::InputParse`] when the text is not a Chrome
+/// trace event array.
+pub fn render_trace_summary(text: &str) -> Result<String, ReputeError> {
+    use repute_obs::trace::summarize_chrome_trace;
+    use std::fmt::Write as _;
+
+    let summary = summarize_chrome_trace(text).ok_or_else(|| {
+        ReputeError::InputParse(
+            "not a Chrome trace event array (expected the JSON written by --trace-out)".into(),
+        )
+    })?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} span event(s) | {:.6} s total span time",
+        summary.events, summary.span_seconds
+    );
+    if !summary.processes.is_empty() {
+        let _ = writeln!(out, "processes:");
+        for p in &summary.processes {
+            let _ = writeln!(
+                out,
+                "  pid {:<3} {:<28} {:>6} span(s) {:>12.6} s",
+                p.pid, p.name, p.count, p.total_seconds
+            );
+        }
+    }
+    if !summary.categories.is_empty() {
+        let _ = writeln!(
+            out,
+            "categories (duration percentiles, simulated seconds):\n  {:<12} {:>6} {:>12} {:>12} {:>12} {:>12}",
+            "cat", "n", "total", "p50", "p90", "p99",
+        );
+        for c in &summary.categories {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>6} {:>12.6} {:>12.9} {:>12.9} {:>12.9}",
+                c.cat, c.count, c.total_seconds, c.p50_seconds, c.p90_seconds, c.p99_seconds,
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Runs `repute trace`: summarizes a `--trace-out` file to stdout.
+///
+/// # Errors
+///
+/// Propagates I/O errors and malformed-input errors from
+/// [`render_trace_summary`].
+pub fn run_trace(opts: &TraceOptions) -> Result<(), ReputeError> {
+    let input_path = Path::new(&opts.input);
+    let text =
+        std::fs::read_to_string(input_path).map_err(|e| ReputeError::io_at(input_path, e))?;
+    print!("{}", render_trace_summary(&text)?);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1563,6 +1744,7 @@ mod tests {
             fault_plan: None,
             max_retries: DEFAULT_MAX_RETRIES,
             metrics_out: None,
+            trace_out: None,
             verbose: false,
             checkpoint: None,
             resume: false,
@@ -2201,6 +2383,172 @@ mod tests {
         assert_eq!(err.exit_code(), 6, "{err}");
         assert!(matches!(err, ReputeError::ResumeMismatch(_)));
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_flag_parses_and_requires_platform() {
+        let opts = parse_map_args(args(
+            "--reference r.fa --reads q.fq --platform system1 --trace-out t.json",
+        ))
+        .unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        // Default: tracing disabled.
+        let opts = parse_map_args(args("--reference r.fa --reads q.fq")).unwrap();
+        assert_eq!(opts.trace_out, None);
+        // Spans live on the simulated timeline.
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --trace-out t.json")).is_err());
+        assert!(parse_map_args(args("--reference r.fa --reads q.fq --trace-out")).is_err());
+    }
+
+    #[test]
+    fn trace_args_validation() {
+        assert_eq!(
+            parse_trace_args(args("t.json")).unwrap(),
+            TraceOptions {
+                input: "t.json".into()
+            }
+        );
+        assert!(parse_trace_args(args("")).is_err());
+        assert!(parse_trace_args(args("a.json b.json")).is_err());
+        assert!(parse_trace_args(args("--wat t.json")).is_err());
+    }
+
+    #[test]
+    fn trace_out_is_deterministic_valid_and_summarizable() {
+        let dir = std::env::temp_dir().join("repute-cli-trace-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 16,
+            read_len: 100,
+            seed: 43,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let run = |extra: &str, trace: &str| {
+            let opts = parse_map_args(
+                format!(
+                    "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                     --platform system1 --output {dir_s}/out.sam --trace-out {dir_s}/{trace} \
+                     {extra}"
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap();
+            run_map(&opts).unwrap();
+            std::fs::read(dir.join(trace)).unwrap()
+        };
+
+        // Two identical runs: byte-identical trace files, even with the
+        // host-thread count varied (spans are sorted canonically).
+        let a = run("--schedule dynamic --host-threads 2", "a.json");
+        let b = run("--schedule dynamic --host-threads 4", "b.json");
+        assert_eq!(a, b, "identical runs must produce byte-identical traces");
+
+        // The file is a valid Chrome trace event array: every element is
+        // an object whose ph is M or X.
+        let text = String::from_utf8(a).unwrap();
+        let parsed = repute_obs::json::parse_json(&text).unwrap();
+        let events = parsed.as_arr().unwrap();
+        assert!(!events.is_empty());
+        for ev in events {
+            let fields = ev.as_obj().unwrap();
+            let ph = repute_obs::json::field(fields, "ph")
+                .and_then(repute_obs::json::JsonValue::as_str)
+                .unwrap();
+            assert!(ph == "M" || ph == "X", "unexpected phase {ph:?}");
+        }
+
+        // Batch spans carry the read-range args; `repute trace` rolls the
+        // file up with per-category percentiles.
+        assert!(
+            text.contains("\"cat\":\"batch\"") && text.contains("\"lo\":"),
+            "{text}"
+        );
+        let summary = render_trace_summary(&text).unwrap();
+        for needle in ["span event(s)", "scheduler", "kernel", "batch", "p99"] {
+            assert!(
+                summary.contains(needle),
+                "missing {needle:?} in:\n{summary}"
+            );
+        }
+
+        // A faulted static run traces retries and migrations too.
+        let faulted = run("--fault-plan transient:d0@0x2 --max-retries 3", "f.json");
+        let faulted = String::from_utf8(faulted).unwrap();
+        assert!(
+            faulted.contains("\"cat\":\"retry\"") && faulted.contains("\"cat\":\"fault\""),
+            "{faulted}"
+        );
+
+        // A checkpointed run traces the journal commits.
+        let ckpt = run(
+            &format!("--schedule dynamic --checkpoint {dir_s}/t.rpj"),
+            "c.json",
+        );
+        let ckpt = String::from_utf8(ckpt).unwrap();
+        assert!(ckpt.contains("\"cat\":\"checkpoint\""), "{ckpt}");
+
+        // Garbage is rejected with the input-parse class.
+        assert!(render_trace_summary("{\"not\":\"an array\"}").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_renders_latency_percentile_table() {
+        let dir = std::env::temp_dir().join("repute-cli-latency-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_string_lossy().into_owned();
+        run_simulate(&SimulateOptions {
+            out_dir: dir_s.clone(),
+            length: 60_000,
+            reads: 15,
+            read_len: 100,
+            seed: 47,
+            profile: "err012100".into(),
+        })
+        .unwrap();
+        let metrics_path = dir.join("m.jsonl");
+        let opts = parse_map_args(
+            format!(
+                "--reference {dir_s}/reference.fa --reads {dir_s}/reads.fq --delta 5 \
+                 --output {dir_s}/out.sam --platform system1 --metrics-out {}",
+                metrics_path.display()
+            )
+            .split_whitespace()
+            .map(String::from),
+        )
+        .unwrap();
+        run_map(&opts).unwrap();
+
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        // The telemetry carries latency records with the percentile keys…
+        assert!(text.contains("\"type\":\"latency\""), "{text}");
+        for key in ["\"p50_s\":", "\"p90_s\":", "\"p99_s\":"] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        // …and `repute stats` renders them as a table with one header.
+        let rendered = render_stats(&text).unwrap();
+        assert!(
+            rendered.contains("latency percentiles (simulated seconds)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("map/filtration"), "{rendered}");
+        assert!(rendered.contains("batch"), "{rendered}");
+        assert_eq!(
+            rendered.matches("latency percentiles").count(),
+            1,
+            "{rendered}"
+        );
+        // Legacy telemetry (no latency records) still renders.
+        let legacy =
+            "{\"type\":\"run\",\"reads\":1,\"simulated_seconds\":0.5,\"wall_seconds\":1.0}\n";
+        let legacy_rendered = render_stats(legacy).unwrap();
+        assert!(!legacy_rendered.contains("latency percentiles"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -56,6 +56,13 @@ fn main() -> ExitCode {
             },
             Err(e) => usage_error(&e),
         },
+        Some("trace") => match repute_cli::parse_trace_args(args) {
+            Ok(opts) => match repute_cli::run_trace(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            },
+            Err(e) => usage_error(&e),
+        },
         Some("--help") | Some("-h") | None => {
             println!("{}", repute_cli::USAGE);
             ExitCode::SUCCESS

@@ -34,7 +34,10 @@ use repute_hetsim::{
     FnKernel, LaunchError, LaunchErrorKind, Platform, PlatformRun, Share,
 };
 use repute_mappers::{MapOutput, Mapper};
-use repute_obs::{DeviceTimeline, EnergySummary, KernelEvent, MapMetrics, RunReport};
+use repute_obs::trace::{device_pid, Span, SCHEDULER_PID};
+use repute_obs::{
+    DeviceTimeline, EnergySummary, KernelEvent, MapMetrics, RunReport, Samples, StageLatency,
+};
 
 use crate::config::{ReputeConfig, ScheduleMode};
 
@@ -162,6 +165,12 @@ pub struct MappingRun {
     /// Per-entry fault accounting, parallel to `device_runs` (all zero
     /// on a fault-free run).
     pub fault_counters: Vec<FaultCounters>,
+    /// Spans recorded when the run was launched with tracing enabled
+    /// (see [`map_scheduled_traced`] /
+    /// [`map_scheduled_with_faults_traced`]); empty otherwise. Feed
+    /// them to [`repute_obs::trace::write_chrome_trace`] for a
+    /// `chrome://tracing` file.
+    pub trace: Vec<Span>,
 }
 
 impl MappingRun {
@@ -191,7 +200,8 @@ impl MappingRun {
         }
         let stages =
             MappingRun::derive_stages(&totals, self.simulated_seconds, per_read.len() as u64);
-        self.build_report(platform, per_read.len() as u64, totals, stages)
+        let latencies = self.derive_latencies(per_read, &totals);
+        self.build_report(platform, per_read.len() as u64, totals, stages, latencies)
     }
 
     /// Like [`report`](MappingRun::report), but with caller-supplied
@@ -208,7 +218,8 @@ impl MappingRun {
         for m in per_read {
             totals.merge(m);
         }
-        self.build_report(platform, per_read.len() as u64, totals, stages)
+        let latencies = self.derive_latencies(per_read, &totals);
+        self.build_report(platform, per_read.len() as u64, totals, stages, latencies)
     }
 
     /// Decomposes a run's simulated seconds into per-stage totals using
@@ -250,12 +261,81 @@ impl MappingRun {
         stages
     }
 
+    /// Exact latency percentiles over two populations: each derived
+    /// stage's per-read seconds (the read's share of the stage's
+    /// work-proportional simulated time) and the per-batch kernel
+    /// durations across all device timelines (row `"batch"`). All in
+    /// simulated time, so the rows are deterministic.
+    fn derive_latencies(&self, per_read: &[MapMetrics], totals: &MapMetrics) -> Vec<StageLatency> {
+        use repute_mappers::engine_costs::{DP_CELL_COST, EXTEND_COST, LOCATE_COST};
+
+        let mut out = Vec::new();
+        let filtration = totals.fm_extend_ops * EXTEND_COST
+            + totals.dp_cells * DP_CELL_COST
+            + totals.fm_locate_ops * LOCATE_COST;
+        let total = filtration + totals.prefilter_words + totals.word_updates;
+        if total > 0 && !per_read.is_empty() {
+            let scale = self.simulated_seconds / total as f64;
+            let per_stage = |work_of: &dyn Fn(&MapMetrics) -> u64| -> Vec<f64> {
+                per_read.iter().map(|m| work_of(m) as f64 * scale).collect()
+            };
+            let mut rows: Vec<(&str, Vec<f64>)> = vec![(
+                "map/filtration",
+                per_stage(&|m: &MapMetrics| {
+                    m.fm_extend_ops * EXTEND_COST
+                        + m.dp_cells * DP_CELL_COST
+                        + m.fm_locate_ops * LOCATE_COST
+                }),
+            )];
+            if totals.prefilter_words > 0 {
+                rows.push((
+                    "map/prefilter",
+                    per_stage(&|m: &MapMetrics| m.prefilter_words),
+                ));
+            }
+            rows.push((
+                "map/verification",
+                per_stage(&|m: &MapMetrics| m.word_updates),
+            ));
+            for (stage, values) in rows {
+                let samples = Samples::from_values(&values);
+                let (p50, p90, p99) = samples.p50_p90_p99();
+                out.push(StageLatency {
+                    stage: stage.to_string(),
+                    count: samples.count(),
+                    p50_seconds: p50,
+                    p90_seconds: p90,
+                    p99_seconds: p99,
+                });
+            }
+        }
+        let batch_durations: Vec<f64> = self
+            .timelines
+            .iter()
+            .flatten()
+            .map(Event::duration_seconds)
+            .collect();
+        if !batch_durations.is_empty() {
+            let samples = Samples::from_values(&batch_durations);
+            let (p50, p90, p99) = samples.p50_p90_p99();
+            out.push(StageLatency {
+                stage: "batch".to_string(),
+                count: samples.count(),
+                p50_seconds: p50,
+                p90_seconds: p90,
+                p99_seconds: p99,
+            });
+        }
+        out
+    }
+
     fn build_report(
         &self,
         platform: &Platform,
         reads: u64,
         totals: MapMetrics,
         stages: Vec<(String, f64, u64)>,
+        latencies: Vec<StageLatency>,
     ) -> RunReport {
         let devices = self
             .device_runs
@@ -289,6 +369,7 @@ impl MappingRun {
             reads,
             totals,
             stages,
+            latencies,
             devices,
             simulated_seconds: self.simulated_seconds,
             wall_seconds: self.wall_seconds,
@@ -373,7 +454,7 @@ pub fn map_on_platform_with_metrics<M: Mapper>(
     shares: &[Share],
     reads: &[DnaSeq],
 ) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
-    map_static(mapper, platform, shares, AUTO_HOST_THREADS, reads)
+    map_static(mapper, platform, shares, AUTO_HOST_THREADS, false, reads)
 }
 
 /// Maps `reads` with `mapper` on `platform` under `schedule`, using up to
@@ -394,10 +475,53 @@ pub fn map_scheduled<M: Mapper>(
     host_threads: usize,
     reads: &[DnaSeq],
 ) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
+    map_scheduled_traced(mapper, platform, schedule, host_threads, false, reads)
+}
+
+/// [`map_scheduled`] with span tracing switched by `tracing`: when
+/// true, every kernel launch and batch lifecycle leaves a [`Span`] in
+/// [`MappingRun::trace`]. A disabled run builds no spans at all, and
+/// tracing never changes outputs, metrics, or the simulated schedule.
+pub fn map_scheduled_traced<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    schedule: &Schedule,
+    host_threads: usize,
+    tracing: bool,
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
     match schedule {
-        Schedule::Static(shares) => map_static(mapper, platform, shares, host_threads, reads),
-        Schedule::Dynamic { batch } => map_dynamic(mapper, platform, *batch, host_threads, reads),
+        Schedule::Static(shares) => {
+            map_static(mapper, platform, shares, host_threads, tracing, reads)
+        }
+        Schedule::Dynamic { batch } => {
+            map_dynamic(mapper, platform, *batch, host_threads, tracing, reads)
+        }
     }
+}
+
+/// Builds the scheduler-side batch-lifecycle span for a placed batch:
+/// it lives on [`SCHEDULER_PID`], one lane (`tid`) per device, and
+/// carries the batch index, read range, and placement as args.
+pub(crate) fn batch_span(
+    batch_idx: usize,
+    lo: usize,
+    hi: usize,
+    dev: usize,
+    event: &Event,
+) -> Span {
+    Span::new(
+        format!("batch-{batch_idx}"),
+        "batch",
+        SCHEDULER_PID,
+        event.queued_seconds,
+        event.end_seconds,
+    )
+    .on_tid(dev as u32)
+    .arg_u64("batch", batch_idx as u64)
+    .arg_u64("lo", lo as u64)
+    .arg_u64("hi", hi as u64)
+    .arg_u64("device", dev as u64)
 }
 
 /// One batch of the fault-aware replay: its contiguous read range and,
@@ -445,8 +569,35 @@ pub fn map_scheduled_with_faults<M: Mapper>(
     max_retries: usize,
     reads: &[DnaSeq],
 ) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
+    map_scheduled_with_faults_traced(
+        mapper,
+        platform,
+        schedule,
+        host_threads,
+        fault_plan,
+        max_retries,
+        false,
+        reads,
+    )
+}
+
+/// [`map_scheduled_with_faults`] with span tracing switched by
+/// `tracing` (see [`map_scheduled_traced`]). Fault-armed runs
+/// additionally record `fault`, `retry`, and `migration` spans from
+/// the per-device command queues.
+#[allow(clippy::too_many_arguments)]
+pub fn map_scheduled_with_faults_traced<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    schedule: &Schedule,
+    host_threads: usize,
+    fault_plan: &FaultPlan,
+    max_retries: usize,
+    tracing: bool,
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
     if fault_plan.is_empty() {
-        return map_scheduled(mapper, platform, schedule, host_threads, reads);
+        return map_scheduled_traced(mapper, platform, schedule, host_threads, tracing, reads);
     }
     let n_dev = platform.devices().len();
     if let Some(max_dev) = fault_plan.max_device() {
@@ -573,10 +724,17 @@ pub fn map_scheduled_with_faults<M: Mapper>(
     let mut state = fault_plan.state(n_dev);
     let mut queues: Vec<CommandQueue<'_>> = (0..n_dev)
         .map(|d| {
-            CommandQueue::new(&platform.devices()[d]).with_fault_state(d, state.take_device(d))
+            let queue =
+                CommandQueue::new(&platform.devices()[d]).with_fault_state(d, state.take_device(d));
+            if tracing {
+                queue.with_tracing()
+            } else {
+                queue
+            }
         })
         .collect();
     let mut dead = vec![false; n_dev];
+    let mut sched_spans: Vec<Span> = Vec::new();
     let enqueue_replay = |queue: &mut CommandQueue<'_>,
                           label: &str,
                           fb: &FaultBatch,
@@ -602,7 +760,13 @@ pub fn map_scheduled_with_faults<M: Mapper>(
                 }
                 let label = format!("d{dev}-batch-{batch_idx}");
                 match enqueue_replay(&mut queues[dev], &label, fb, &results[batch_idx]) {
-                    Ok(()) => {}
+                    Ok(()) => {
+                        if tracing {
+                            if let Some(event) = queues[dev].events().last() {
+                                sched_spans.push(batch_span(batch_idx, fb.lo, fb.hi, dev, event));
+                            }
+                        }
+                    }
                     Err(err) if matches!(err.kind(), LaunchErrorKind::DeviceLost { .. }) => {
                         dead[dev] = true;
                         orphans.push(batch_idx);
@@ -622,6 +786,12 @@ pub fn map_scheduled_with_faults<M: Mapper>(
                             if let Some(from) = failed_on {
                                 queues[dev].annotate_last(&format!("migrated from d{from}"));
                                 queues[dev].note_migration();
+                            }
+                            if tracing {
+                                if let Some(event) = queues[dev].events().last() {
+                                    sched_spans
+                                        .push(batch_span(batch_idx, fb.lo, fb.hi, dev, event));
+                                }
                             }
                             break;
                         }
@@ -665,6 +835,11 @@ pub fn map_scheduled_with_faults<M: Mapper>(
             Ok(()) => {
                 queues[dev].annotate_last(&format!("migrated from d{owner}"));
                 queues[dev].note_migration();
+                if tracing {
+                    if let Some(event) = queues[dev].events().last() {
+                        sched_spans.push(batch_span(batch_idx, fb.lo, fb.hi, dev, event));
+                    }
+                }
                 next_orphan += 1;
             }
             Err(err) if matches!(err.kind(), LaunchErrorKind::DeviceLost { .. }) => {
@@ -685,7 +860,8 @@ pub fn map_scheduled_with_faults<M: Mapper>(
     let mut device_runs = Vec::with_capacity(n_dev);
     let mut timelines = Vec::with_capacity(n_dev);
     let mut fault_counters = Vec::with_capacity(n_dev);
-    for queue in queues {
+    let mut trace = sched_spans;
+    for mut queue in queues {
         device_runs.push(DeviceRun {
             device: queue.device_index(),
             items: queue.events().iter().map(|e| e.items).sum(),
@@ -693,6 +869,7 @@ pub fn map_scheduled_with_faults<M: Mapper>(
             simulated_seconds: queue.finish_seconds(),
         });
         fault_counters.push(queue.fault_counters());
+        trace.extend(queue.take_trace());
         timelines.push(queue.into_events());
     }
     Ok(finish_run_with_faults(
@@ -703,6 +880,7 @@ pub fn map_scheduled_with_faults<M: Mapper>(
         device_runs,
         timelines,
         fault_counters,
+        trace,
     ))
 }
 
@@ -731,6 +909,7 @@ struct ShareResult {
     metrics: Vec<MapMetrics>,
     device_run: DeviceRun,
     events: Vec<Event>,
+    spans: Vec<Span>,
 }
 
 fn map_static<M: Mapper>(
@@ -738,6 +917,7 @@ fn map_static<M: Mapper>(
     platform: &Platform,
     shares: &[Share],
     host_threads: usize,
+    tracing: bool,
     reads: &[DnaSeq],
 ) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
     // Emptiness is checked before coverage, so an empty distribution is
@@ -791,9 +971,13 @@ fn map_static<M: Mapper>(
             let share = shares[share_idx];
             let device = &platform.devices()[share.device];
             let plan = BatchPlan::plan(device, share.items, bytes_per_read);
-            let mut queue = CommandQueue::new(device);
+            let mut queue = CommandQueue::new(device).with_device_index(share.device);
+            if tracing {
+                queue = queue.with_tracing();
+            }
             let mut outputs = Vec::with_capacity(share.items);
             let mut metrics = Vec::with_capacity(share.items);
+            let mut spans = Vec::new();
             let mut batch_offset = offsets[share_idx];
             for (batch_idx, &batch) in plan.batches().iter().enumerate() {
                 let reads_slice = &reads[batch_offset..batch_offset + batch];
@@ -809,8 +993,20 @@ fn map_static<M: Mapper>(
                     outputs.push(out);
                     metrics.push(m);
                 }
+                if tracing {
+                    if let Some(event) = queue.events().last() {
+                        spans.push(batch_span(
+                            batch_idx,
+                            batch_offset,
+                            batch_offset + batch,
+                            share.device,
+                            event,
+                        ));
+                    }
+                }
                 batch_offset += batch;
             }
+            spans.extend(queue.take_trace());
             let device_run = DeviceRun {
                 device: share.device,
                 items: share.items,
@@ -822,6 +1018,7 @@ fn map_static<M: Mapper>(
                 metrics,
                 device_run,
                 events: queue.into_events(),
+                spans,
             }
         },
     );
@@ -833,11 +1030,13 @@ fn map_static<M: Mapper>(
     let mut metrics = Vec::with_capacity(reads.len());
     let mut device_runs = Vec::with_capacity(shares.len());
     let mut timelines = Vec::with_capacity(shares.len());
+    let mut trace = Vec::new();
     for r in results {
         outputs.extend(r.outputs);
         metrics.extend(r.metrics);
         device_runs.push(r.device_run);
         timelines.push(r.events);
+        trace.extend(r.spans);
     }
     Ok(finish_run(
         platform,
@@ -846,6 +1045,7 @@ fn map_static<M: Mapper>(
         metrics,
         device_runs,
         timelines,
+        trace,
     ))
 }
 
@@ -863,6 +1063,7 @@ fn map_dynamic<M: Mapper>(
     platform: &Platform,
     batch: usize,
     host_threads: usize,
+    tracing: bool,
     reads: &[DnaSeq],
 ) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
     if reads.is_empty() {
@@ -941,6 +1142,7 @@ fn map_dynamic<M: Mapper>(
     let mut timelines: Vec<Vec<Event>> = vec![Vec::new(); n_dev];
     let mut items_of = vec![0usize; n_dev];
     let mut work_of = vec![0u64; n_dev];
+    let mut trace: Vec<Span> = Vec::new();
     for (batch_idx, result) in results.iter().enumerate() {
         let mut dev = 0usize;
         for d in 1..n_dev {
@@ -951,7 +1153,7 @@ fn map_dynamic<M: Mapper>(
         let duration =
             platform.devices()[dev].seconds_for_with_footprint(result.work, private_bytes);
         let t = free_at[dev];
-        timelines[dev].push(Event {
+        let event = Event {
             label: format!("d{dev}-batch-{batch_idx}"),
             items: result.outputs.len(),
             work: result.work,
@@ -959,7 +1161,23 @@ fn map_dynamic<M: Mapper>(
             submitted_seconds: t,
             start_seconds: t,
             end_seconds: t + duration,
-        });
+        };
+        if tracing {
+            let (lo, hi) = ranges[batch_idx];
+            trace.push(
+                Span::new(
+                    event.label.clone(),
+                    "kernel",
+                    device_pid(dev),
+                    t,
+                    t + duration,
+                )
+                .arg_u64("items", event.items as u64)
+                .arg_u64("work", event.work),
+            );
+            trace.push(batch_span(batch_idx, lo, hi, dev, &event));
+        }
+        timelines[dev].push(event);
         free_at[dev] = t + duration;
         items_of[dev] += result.outputs.len();
         work_of[dev] += result.work;
@@ -987,6 +1205,7 @@ fn map_dynamic<M: Mapper>(
         metrics,
         device_runs,
         timelines,
+        trace,
     ))
 }
 
@@ -1009,6 +1228,7 @@ pub(crate) fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
             wall_seconds: 0.0,
             energy,
             fault_counters: vec![],
+            trace: vec![],
         },
         vec![],
     )
@@ -1016,6 +1236,7 @@ pub(crate) fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
 
 /// Folds per-device accounting into a [`MappingRun`]: bottleneck
 /// completion time, host wall clock, §III-D energy.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_run(
     platform: &Platform,
     start: Instant,
@@ -1023,6 +1244,7 @@ pub(crate) fn finish_run(
     metrics: Vec<MapMetrics>,
     device_runs: Vec<DeviceRun>,
     timelines: Vec<Vec<Event>>,
+    trace: Vec<Span>,
 ) -> (MappingRun, Vec<MapMetrics>) {
     let zeros = vec![FaultCounters::default(); device_runs.len()];
     finish_run_with_faults(
@@ -1033,6 +1255,7 @@ pub(crate) fn finish_run(
         device_runs,
         timelines,
         zeros,
+        trace,
     )
 }
 
@@ -1046,6 +1269,7 @@ fn finish_run_with_faults(
     device_runs: Vec<DeviceRun>,
     timelines: Vec<Vec<Event>>,
     fault_counters: Vec<FaultCounters>,
+    trace: Vec<Span>,
 ) -> (MappingRun, Vec<MapMetrics>) {
     let simulated_seconds = device_runs
         .iter()
@@ -1071,6 +1295,7 @@ fn finish_run_with_faults(
             wall_seconds,
             energy,
             fault_counters,
+            trace,
         },
         metrics,
     )

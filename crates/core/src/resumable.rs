@@ -30,13 +30,14 @@ use repute_hetsim::{
     Platform,
 };
 use repute_mappers::Mapper;
+use repute_obs::trace::{device_pid, Span, SCHEDULER_PID};
 use repute_obs::MapMetrics;
 
 use crate::error::ReputeError;
 use crate::journal::{BatchRecord, Fnv64, RunFingerprint, RunJournal};
 use crate::multi_device::{
-    empty_run, finish_run, run_jobs, worker_count, BatchPlan, BatchResult, MappingRun, Schedule,
-    DYNAMIC_BATCHES_PER_DEVICE,
+    batch_span, empty_run, finish_run, run_jobs, worker_count, BatchPlan, BatchResult, MappingRun,
+    Schedule, DYNAMIC_BATCHES_PER_DEVICE,
 };
 
 /// Outcome of a journaled (checkpointed) mapping run.
@@ -104,6 +105,44 @@ pub fn map_resumable<M: Mapper>(
     journal_path: &Path,
     fingerprint: RunFingerprint,
     checkpoint_every: usize,
+    reads: &[DnaSeq],
+) -> Result<ResumableRun, ReputeError> {
+    map_resumable_traced(
+        mapper,
+        platform,
+        schedule,
+        host_threads,
+        fault_plan,
+        journal_path,
+        fingerprint,
+        checkpoint_every,
+        false,
+        reads,
+    )
+}
+
+/// [`map_resumable`] with span tracing: when `tracing` is set, the
+/// returned run's `trace` holds kernel spans (one lane per device),
+/// scheduler batch-lifecycle spans, and a `checkpoint` instant span at
+/// each batch's journal commit (stamped at the batch's simulated
+/// completion). Two identical invocations produce identical spans; a
+/// resumed run omits the checkpoint spans of batches it replayed from
+/// the journal, since those were committed by the earlier attempt.
+///
+/// # Errors
+///
+/// As [`map_resumable`].
+#[allow(clippy::too_many_arguments)]
+pub fn map_resumable_traced<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    schedule: &Schedule,
+    host_threads: usize,
+    fault_plan: &FaultPlan,
+    journal_path: &Path,
+    fingerprint: RunFingerprint,
+    checkpoint_every: usize,
+    tracing: bool,
     reads: &[DnaSeq],
 ) -> Result<ResumableRun, ReputeError> {
     if fault_plan.has_device_events() {
@@ -286,11 +325,15 @@ pub fn map_resumable<M: Mapper>(
     let mut end_seconds = vec![0.0f64; total_batches];
     let mut device_runs: Vec<DeviceRun> = Vec::new();
     let mut timelines: Vec<Vec<Event>> = Vec::new();
+    let mut trace: Vec<Span> = Vec::new();
     match schedule {
         Schedule::Static(shares) => {
             for (share_idx, share) in shares.iter().enumerate() {
                 let device = &platform.devices()[share.device];
-                let mut queue = CommandQueue::new(device);
+                let mut queue = CommandQueue::new(device).with_device_index(share.device);
+                if tracing {
+                    queue = queue.with_tracing();
+                }
                 for (per_idx, &global_idx) in share_batches[share_idx].iter().enumerate() {
                     let result = &results[global_idx];
                     let outs = &result.outputs;
@@ -299,11 +342,11 @@ pub fn map_resumable<M: Mapper>(
                     let label = format!("d{}-batch-{}", share.device, per_idx);
                     let p = &planned[global_idx];
                     let _ = queue.enqueue(label, p.hi - p.lo, &kernel);
-                    end_seconds[global_idx] = queue
-                        .events()
-                        .last()
-                        .expect("enqueue records an event")
-                        .end_seconds;
+                    let event = queue.events().last().expect("enqueue records an event");
+                    end_seconds[global_idx] = event.end_seconds;
+                    if tracing {
+                        trace.push(batch_span(global_idx, p.lo, p.hi, share.device, event));
+                    }
                 }
                 device_runs.push(DeviceRun {
                     device: share.device,
@@ -311,6 +354,7 @@ pub fn map_resumable<M: Mapper>(
                     work: queue.total_work(),
                     simulated_seconds: queue.finish_seconds(),
                 });
+                trace.extend(queue.take_trace());
                 timelines.push(queue.into_events());
             }
         }
@@ -329,7 +373,7 @@ pub fn map_resumable<M: Mapper>(
                 let duration =
                     platform.devices()[dev].seconds_for_with_footprint(result.work, private_bytes);
                 let t = free_at[dev];
-                dyn_timelines[dev].push(Event {
+                let event = Event {
                     label: format!("d{dev}-batch-{batch_idx}"),
                     items: result.outputs.len(),
                     work: result.work,
@@ -337,7 +381,23 @@ pub fn map_resumable<M: Mapper>(
                     submitted_seconds: t,
                     start_seconds: t,
                     end_seconds: t + duration,
-                });
+                };
+                if tracing {
+                    let p = &planned[batch_idx];
+                    trace.push(
+                        Span::new(
+                            event.label.clone(),
+                            "kernel",
+                            device_pid(dev),
+                            t,
+                            t + duration,
+                        )
+                        .arg_u64("items", result.outputs.len() as u64)
+                        .arg_u64("work", result.work),
+                    );
+                    trace.push(batch_span(batch_idx, p.lo, p.hi, dev, &event));
+                }
+                dyn_timelines[dev].push(event);
                 free_at[dev] = t + duration;
                 items_of[dev] += result.outputs.len();
                 work_of[dev] += result.work;
@@ -384,6 +444,19 @@ pub fn map_resumable<M: Mapper>(
             outputs: result.outputs.clone(),
             metrics: result.metrics.clone(),
         })?;
+        if tracing {
+            trace.push(
+                Span::instant(
+                    "checkpoint".to_string(),
+                    "checkpoint",
+                    SCHEDULER_PID,
+                    end_seconds[idx],
+                )
+                .arg_u64("batch", idx as u64)
+                .arg_u64("lo", p.lo as u64)
+                .arg_u64("hi", p.hi as u64),
+            );
+        }
         since_manifest += 1;
         if since_manifest >= checkpoint_every {
             journal.commit_manifest(total_batches as u64, false)?;
@@ -400,7 +473,15 @@ pub fn map_resumable<M: Mapper>(
         metrics.extend(r.metrics);
     }
     let fault_counters = vec![FaultCounters::default(); device_runs.len()];
-    let (mut run, metrics) = finish_run(platform, start, outputs, metrics, device_runs, timelines);
+    let (mut run, metrics) = finish_run(
+        platform,
+        start,
+        outputs,
+        metrics,
+        device_runs,
+        timelines,
+        trace,
+    );
     run.fault_counters = fault_counters;
     Ok(ResumableRun {
         run,

@@ -20,6 +20,7 @@ use crate::device::DeviceProfile;
 use crate::fault::{DeviceFaultState, FaultCounters};
 use crate::kernel::{run_kernel, Kernel};
 use crate::platform::{LaunchError, LaunchErrorKind};
+use repute_obs::trace::{device_pid, Span};
 
 /// Base of the exponential simulated backoff between transient-fault
 /// retries: attempt `n` (counted from zero) waits `BASE * 2^n` simulated
@@ -96,6 +97,7 @@ pub struct CommandQueue<'d> {
     fault: Option<DeviceFaultState>,
     counters: FaultCounters,
     loss_counted: bool,
+    trace: Option<Vec<Span>>,
 }
 
 impl<'d> CommandQueue<'d> {
@@ -111,6 +113,35 @@ impl<'d> CommandQueue<'d> {
             fault: None,
             counters: FaultCounters::default(),
             loss_counted: false,
+            trace: None,
+        }
+    }
+
+    /// Enables span tracing on this queue: every launch, transient
+    /// fault, retry backoff, device loss, and migration leaves a
+    /// [`Span`] retrievable via [`take_trace`]. A queue without tracing
+    /// (the default) builds no spans at all — the hot path pays one
+    /// `Option` check.
+    ///
+    /// [`take_trace`]: CommandQueue::take_trace
+    pub fn with_tracing(mut self) -> CommandQueue<'d> {
+        self.trace = Some(Vec::new());
+        self
+    }
+
+    /// Sets the device index used for fault errors *and* trace process
+    /// ids without arming a fault state (share queues under a static
+    /// schedule have no faults but still need correct span pids).
+    pub fn with_device_index(mut self, device_index: usize) -> CommandQueue<'d> {
+        self.device_index = device_index;
+        self
+    }
+
+    /// Drains the spans recorded so far (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<Span> {
+        match &mut self.trace {
+            Some(spans) => std::mem::take(spans),
+            None => Vec::new(),
         }
     }
 
@@ -198,14 +229,27 @@ impl<'d> CommandQueue<'d> {
         let queued_seconds = self.host_clock_seconds;
         let submitted_seconds = queued_seconds + self.launch_overhead_seconds;
         let start_seconds = submitted_seconds.max(self.clock_seconds);
+        let pid = device_pid(self.device_index);
         if let Some(fault) = &mut self.fault {
             if fault.is_lost(start_seconds) {
+                if let Some(trace) = &mut self.trace {
+                    trace.push(
+                        Span::instant(label.into(), "fault", pid, start_seconds)
+                            .arg_str("kind", "device-lost"),
+                    );
+                }
                 return Err(self.loss_error());
             }
             if fault.take_transient(start_seconds) {
                 // The failed submission still costs host time.
                 self.host_clock_seconds = submitted_seconds;
                 self.counters.faults += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(
+                        Span::instant(label.into(), "fault", pid, start_seconds)
+                            .arg_str("kind", "transient"),
+                    );
+                }
                 return Err(LaunchError::transient(self.device_index));
             }
         }
@@ -216,8 +260,16 @@ impl<'d> CommandQueue<'d> {
             .map_or(1.0, |f| f.throughput_factor(start_seconds));
         self.host_clock_seconds = submitted_seconds;
         let end_seconds = start_seconds + run.simulated_seconds / factor;
+        let label = label.into();
+        if let Some(trace) = &mut self.trace {
+            trace.push(
+                Span::new(label.clone(), "kernel", pid, start_seconds, end_seconds)
+                    .arg_u64("items", items as u64)
+                    .arg_u64("work", run.work),
+            );
+        }
         self.events.push(Event {
-            label: label.into(),
+            label,
             items,
             work: run.work,
             queued_seconds,
@@ -259,7 +311,21 @@ impl<'d> CommandQueue<'d> {
                 Err(err) => match err.kind() {
                     LaunchErrorKind::TransientFault { .. } if attempt < max_retries => {
                         self.counters.retries += 1;
-                        self.wait(BACKOFF_BASE_SECONDS * (1u64 << attempt) as f64);
+                        let backoff = BACKOFF_BASE_SECONDS * (1u64 << attempt) as f64;
+                        let begin = self.host_clock_seconds;
+                        self.wait(backoff);
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(
+                                Span::new(
+                                    label.to_string(),
+                                    "retry",
+                                    device_pid(self.device_index),
+                                    begin,
+                                    begin + backoff,
+                                )
+                                .arg_u64("attempt", attempt as u64 + 1),
+                            );
+                        }
                         attempt += 1;
                     }
                     LaunchErrorKind::TransientFault { .. } => {
@@ -294,12 +360,31 @@ impl<'d> CommandQueue<'d> {
             event.label.push_str(" [");
             event.label.push_str(note);
             event.label.push(']');
+            // Keep the kernel span's name in sync — the span for the
+            // last event is always the most recent one pushed.
+            if let Some(span) = self.trace.as_mut().and_then(|t| t.last_mut()) {
+                if span.cat == "kernel" {
+                    span.name.clone_from(&event.label);
+                }
+            }
         }
     }
 
     /// Records that this queue absorbed one batch from a dead device.
     pub fn note_migration(&mut self) {
         self.counters.migrated_batches += 1;
+        if let Some(event) = self.events.last() {
+            let name = event.label.clone();
+            let at = event.start_seconds;
+            if let Some(trace) = &mut self.trace {
+                trace.push(Span::instant(
+                    name,
+                    "migration",
+                    device_pid(self.device_index),
+                    at,
+                ));
+            }
+        }
     }
 
     /// Fault accounting of this queue so far.
@@ -679,6 +764,45 @@ mod tests {
         let state = FaultPlan::new().state(1).take_device(0);
         let mut queue = CommandQueue::new(&cpu).with_fault_state(0, state);
         let _ = queue.enqueue("x", 1, &FnKernel::new(|_| ((), 1u64)));
+    }
+
+    #[test]
+    fn tracing_records_kernel_retry_and_fault_spans() {
+        use crate::fault::FaultPlan;
+        let cpu = profiles::intel_i7_2600();
+        let state = FaultPlan::parse("transient:d0@0x2")
+            .unwrap()
+            .state(1)
+            .take_device(0);
+        let mut queue = CommandQueue::new(&cpu)
+            .with_fault_state(0, state)
+            .with_tracing();
+        let kernel = FnKernel::new(|i: usize| (i, 1_000u64));
+        queue.enqueue_with_retries("job", 3, &kernel, 3).unwrap();
+        queue.annotate_last("migrated from d9");
+        queue.note_migration();
+        let spans = queue.take_trace();
+        let cats: Vec<&str> = spans.iter().map(|s| s.cat.as_str()).collect();
+        // Two transients, two backoffs, then the kernel, then migration.
+        assert_eq!(
+            cats,
+            ["fault", "retry", "fault", "retry", "kernel", "migration"]
+        );
+        let kernel_span = &spans[4];
+        assert_eq!(kernel_span.name, "job [retry x2] [migrated from d9]");
+        assert_eq!(kernel_span.pid, repute_obs::trace::device_pid(0));
+        assert!(kernel_span.end_seconds > kernel_span.begin_seconds);
+        // Draining leaves the queue still tracing.
+        assert!(queue.take_trace().is_empty());
+        queue.wait(0.0);
+    }
+
+    #[test]
+    fn untraced_queue_yields_no_spans() {
+        let cpu = profiles::intel_i7_2600();
+        let mut queue = CommandQueue::new(&cpu);
+        queue.enqueue("a", 4, &FnKernel::new(|_| ((), 1_000u64)));
+        assert!(queue.take_trace().is_empty());
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! and to read those lines back for pretty-printing.
 //!
 //! The build environment has no registry access, so serde is off the
-//! table. Telemetry only ever needs *flat* objects of strings and
-//! numbers — one object per line — which keeps both the writer and the
-//! scanner small and auditable.
+//! table. Telemetry needs *flat* objects of strings and numbers — one
+//! object per line — which keeps the writer small and auditable. The
+//! scanner additionally understands nested objects and arrays, because
+//! Chrome-tracing files (see [`crate::trace`]) carry an `args` object
+//! inside every event.
 
 /// Appends `s` to `out` with JSON string escaping (quotes, backslash,
 /// control characters as `\u00XX` or their short forms).
@@ -116,6 +118,15 @@ impl JsonObject {
         self
     }
 
+    /// Adds a pre-serialized JSON value verbatim — the hook nested
+    /// objects and arrays are written through (the caller is responsible
+    /// for `raw` being valid JSON).
+    pub fn raw_field(&mut self, name: &str, raw: &str) -> &mut JsonObject {
+        self.key(name);
+        self.buf.push_str(raw);
+        self
+    }
+
     /// Closes the object and returns it.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -123,7 +134,7 @@ impl JsonObject {
     }
 }
 
-/// A scalar value scanned back out of a telemetry line.
+/// A value scanned back out of a telemetry line or a trace file.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// `null` (also produced for non-finite floats on the write side).
@@ -134,6 +145,10 @@ pub enum JsonValue {
     Num(f64),
     /// A string, unescaped.
     Str(String),
+    /// An array of values.
+    Arr(Vec<JsonValue>),
+    /// An object, keys in source order.
+    Obj(Vec<(String, JsonValue)>),
 }
 
 impl JsonValue {
@@ -160,100 +175,151 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The value's elements, if it is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// `true` for the scalar shapes the flat telemetry writer produces.
+    fn is_scalar(&self) -> bool {
+        !matches!(self, JsonValue::Arr(_) | JsonValue::Obj(_))
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{08}'),
+                'f' => out.push('\u{0C}'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<JsonValue> {
+    skip_ws(chars);
+    match chars.peek()? {
+        '"' => Some(JsonValue::Str(parse_string(chars)?)),
+        '{' => {
+            chars.next();
+            let mut fields = Vec::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&'}') {
+                chars.next();
+                return Some(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(chars);
+                let key = parse_string(chars)?;
+                skip_ws(chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                let value = parse_value(chars)?;
+                fields.push((key, value));
+                skip_ws(chars);
+                match chars.next()? {
+                    ',' => continue,
+                    '}' => return Some(JsonValue::Obj(fields)),
+                    _ => return None,
+                }
+            }
+        }
+        '[' => {
+            chars.next();
+            let mut items = Vec::new();
+            skip_ws(chars);
+            if chars.peek() == Some(&']') {
+                chars.next();
+                return Some(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars)?);
+                skip_ws(chars);
+                match chars.next()? {
+                    ',' => continue,
+                    ']' => return Some(JsonValue::Arr(items)),
+                    _ => return None,
+                }
+            }
+        }
+        't' | 'f' | 'n' => {
+            let word: String =
+                std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+            match word.as_str() {
+                "true" => Some(JsonValue::Bool(true)),
+                "false" => Some(JsonValue::Bool(false)),
+                "null" => Some(JsonValue::Null),
+                _ => None,
+            }
+        }
+        _ => {
+            let num: String = std::iter::from_fn(|| {
+                chars.next_if(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+            })
+            .collect();
+            Some(JsonValue::Num(num.parse().ok()?))
+        }
+    }
+}
+
+/// Parses one complete JSON document (object, array, or scalar) with no
+/// trailing content. Returns `None` on any syntax error.
+pub fn parse_json(text: &str) -> Option<JsonValue> {
+    let mut chars = text.trim().chars().peekable();
+    let value = parse_value(&mut chars)?;
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(value)
 }
 
 /// Parses one flat JSON object (scalar values only — no nesting, no
 /// arrays) into key/value pairs in source order. Returns `None` on any
 /// syntax the telemetry writer cannot produce.
 pub fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
-    let mut chars = line.trim().chars().peekable();
-    let mut fields = Vec::new();
-
-    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
-        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
-            chars.next();
-        }
+    match parse_json(line)? {
+        JsonValue::Obj(fields) if fields.iter().all(|(_, v)| v.is_scalar()) => Some(fields),
+        _ => None,
     }
-
-    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
-        if chars.next()? != '"' {
-            return None;
-        }
-        let mut out = String::new();
-        loop {
-            match chars.next()? {
-                '"' => return Some(out),
-                '\\' => match chars.next()? {
-                    '"' => out.push('"'),
-                    '\\' => out.push('\\'),
-                    '/' => out.push('/'),
-                    'n' => out.push('\n'),
-                    'r' => out.push('\r'),
-                    't' => out.push('\t'),
-                    'b' => out.push('\u{08}'),
-                    'f' => out.push('\u{0C}'),
-                    'u' => {
-                        let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
-                        let code = u32::from_str_radix(&hex, 16).ok()?;
-                        out.push(char::from_u32(code)?);
-                    }
-                    _ => return None,
-                },
-                c => out.push(c),
-            }
-        }
-    }
-
-    skip_ws(&mut chars);
-    if chars.next()? != '{' {
-        return None;
-    }
-    skip_ws(&mut chars);
-    if chars.peek() == Some(&'}') {
-        chars.next();
-        return Some(fields);
-    }
-    loop {
-        skip_ws(&mut chars);
-        let key = parse_string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next()? != ':' {
-            return None;
-        }
-        skip_ws(&mut chars);
-        let value = match chars.peek()? {
-            '"' => JsonValue::Str(parse_string(&mut chars)?),
-            't' | 'f' | 'n' => {
-                let word: String =
-                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
-                match word.as_str() {
-                    "true" => JsonValue::Bool(true),
-                    "false" => JsonValue::Bool(false),
-                    "null" => JsonValue::Null,
-                    _ => return None,
-                }
-            }
-            _ => {
-                let num: String = std::iter::from_fn(|| {
-                    chars.next_if(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
-                })
-                .collect();
-                JsonValue::Num(num.parse().ok()?)
-            }
-        };
-        fields.push((key, value));
-        skip_ws(&mut chars);
-        match chars.next()? {
-            ',' => continue,
-            '}' => break,
-            _ => return None,
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return None;
-    }
-    Some(fields)
 }
 
 /// Looks up `key` in parsed fields.

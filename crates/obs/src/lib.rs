@@ -18,7 +18,12 @@
 //! * [`RunReport`] — a run-level roll-up folding in per-device kernel
 //!   timelines and the energy summary, exportable as a human-readable
 //!   table or hand-rolled JSON-lines (no serde),
-//! * [`json`] — the minimal JSON writer/scanner the exports are built on.
+//! * [`json`] — the minimal JSON writer/scanner the exports are built on,
+//! * [`trace`] — span tracing over simulated time, exported as
+//!   Chrome-tracing (`chrome://tracing`) JSON with byte-identical
+//!   output for identical runs,
+//! * [`Samples`] — retained-sample exact percentiles (p50/p90/p99)
+//!   complementing the lossy log2 [`Histogram`].
 //!
 //! Everything here is std-only by design: the build environment has no
 //! registry access, and the hot-path cost model (one branch on
@@ -31,9 +36,11 @@ pub mod json;
 mod map_metrics;
 mod metrics;
 mod report;
+pub mod trace;
 
 pub use map_metrics::MapMetrics;
 pub use metrics::{
-    Collected, CollectingSink, Counter, Histogram, MetricsSink, NoopSink, StageTimer,
+    Collected, CollectingSink, Counter, Histogram, MetricsSink, NoopSink, Samples, StageTimer,
 };
-pub use report::{DeviceTimeline, EnergySummary, KernelEvent, RunReport};
+pub use report::{DeviceTimeline, EnergySummary, KernelEvent, RunReport, StageLatency};
+pub use trace::{NoopTraceSink, Span, TraceSink, VecTraceSink};

@@ -94,6 +94,30 @@ impl MapMetrics {
         ]
     }
 
+    /// Sets the field called `name` to `value`, returning `false` when
+    /// no such field exists. The inverse of [`MapMetrics::fields`] for
+    /// JSON round-tripping.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "seeds_selected" => &mut self.seeds_selected,
+            "fm_extend_ops" => &mut self.fm_extend_ops,
+            "fm_locate_ops" => &mut self.fm_locate_ops,
+            "candidates_raw" => &mut self.candidates_raw,
+            "candidates_merged" => &mut self.candidates_merged,
+            "dp_cells" => &mut self.dp_cells,
+            "prefilter_tested" => &mut self.prefilter_tested,
+            "prefilter_rejected" => &mut self.prefilter_rejected,
+            "prefilter_false_accepts" => &mut self.prefilter_false_accepts,
+            "prefilter_words" => &mut self.prefilter_words,
+            "verifications" => &mut self.verifications,
+            "word_updates" => &mut self.word_updates,
+            "hits" => &mut self.hits,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+
     /// Reconstructs the `MapOutput.work` scalar from this record given the
     /// stage costs used by the mapper (`extend_cost`, `dp_cell_cost`,
     /// `locate_cost`; word updates and prefilter words are charged at
@@ -176,6 +200,31 @@ mod tests {
         assert!(fields.contains(&("prefilter_false_accepts", 4)));
         assert!(fields.contains(&("prefilter_words", 80)));
         assert!(a.to_json_line(1).contains("\"prefilter_rejected\":14"));
+    }
+
+    #[test]
+    fn set_field_inverts_fields() {
+        let src = MapMetrics {
+            seeds_selected: 1,
+            fm_extend_ops: 2,
+            fm_locate_ops: 3,
+            candidates_raw: 4,
+            candidates_merged: 5,
+            dp_cells: 6,
+            prefilter_tested: 7,
+            prefilter_rejected: 8,
+            prefilter_false_accepts: 9,
+            prefilter_words: 10,
+            verifications: 11,
+            word_updates: 12,
+            hits: 13,
+        };
+        let mut dst = MapMetrics::new();
+        for (name, value) in src.fields() {
+            assert!(dst.set_field(name, value), "unknown field {name}");
+        }
+        assert_eq!(dst, src);
+        assert!(!dst.set_field("no_such_field", 1));
     }
 
     #[test]

@@ -159,6 +159,74 @@ impl Histogram {
     }
 }
 
+/// Retained samples for exact percentile extraction.
+///
+/// [`Histogram`] stays lossy (log2 buckets) for unbounded hot-path
+/// counts; `Samples` is the complement for bounded populations — one
+/// value per stage per read, one per batch — where exact p50/p90/p99
+/// are wanted. Percentiles use the nearest-rank definition: for `n`
+/// samples and quantile `q`, the answer is the `ceil(q·n)`-th smallest
+/// (clamped to `[1, n]`), so every reported percentile is an actual
+/// observed value.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Samples {
+    sorted: Vec<f64>,
+}
+
+impl Samples {
+    /// An empty sample set.
+    pub fn new() -> Samples {
+        Samples::default()
+    }
+
+    /// Builds a sample set from a slice of values in one sort
+    /// (non-finite values are dropped so ordering stays total).
+    pub fn from_values(values: &[f64]) -> Samples {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Samples { sorted }
+    }
+
+    /// Records one observation; non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let at = self.sorted.partition_point(|&x| x < value);
+        self.sorted.insert(at, value);
+    }
+
+    /// Number of retained observations.
+    pub fn count(&self) -> u64 {
+        self.sorted.len() as u64
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Exact nearest-rank percentile for quantile `q` in `[0, 1]`;
+    /// `0.0` when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.len();
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Shorthand for the (p50, p90, p99) triple.
+    pub fn p50_p90_p99(&self) -> (f64, f64, f64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+        )
+    }
+}
+
 /// A wall-clock timer for named, nestable pipeline stages.
 ///
 /// Stages are identified by slash-joined paths: starting `"map"` and then
@@ -188,7 +256,9 @@ impl StageTimer {
     ///
     /// Panics if no stage is open.
     pub fn stop(&mut self) -> f64 {
-        let (_, started) = self.stack.last().copied().expect("no stage open");
+        let Some((_, started)) = self.stack.last().copied() else {
+            panic!("no stage open");
+        };
         let elapsed = started.elapsed().as_secs_f64();
         let path = self
             .stack
@@ -276,19 +346,25 @@ pub struct Collected {
 
 impl Collected {
     fn counter(&mut self, name: &str) -> &mut Counter {
-        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
-            return &mut self.counters[i].1;
-        }
-        self.counters.push((name.to_string(), Counter::new()));
-        &mut self.counters.last_mut().expect("just pushed").1
+        let at = match self.counters.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                self.counters.push((name.to_string(), Counter::new()));
+                self.counters.len() - 1
+            }
+        };
+        &mut self.counters[at].1
     }
 
     fn histogram(&mut self, name: &str) -> &mut Histogram {
-        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
-            return &mut self.histograms[i].1;
-        }
-        self.histograms.push((name.to_string(), Histogram::new()));
-        &mut self.histograms.last_mut().expect("just pushed").1
+        let at = match self.histograms.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                self.histograms.push((name.to_string(), Histogram::new()));
+                self.histograms.len() - 1
+            }
+        };
+        &mut self.histograms[at].1
     }
 }
 
@@ -308,14 +384,21 @@ impl CollectingSink {
         CollectingSink::default()
     }
 
-    /// Consumes the sink, returning everything collected.
+    /// Consumes the sink, returning everything collected. Poisoned
+    /// locks are tolerated — the collected counts are plain data and
+    /// stay coherent even if a reporting thread panicked.
     pub fn into_collected(self) -> Collected {
-        self.inner.into_inner().expect("metrics mutex poisoned")
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Runs `f` with the collected state (for inspection mid-run).
     pub fn with<R>(&self, f: impl FnOnce(&Collected) -> R) -> R {
-        f(&self.inner.lock().expect("metrics mutex poisoned"))
+        f(&self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 }
 
@@ -325,7 +408,10 @@ impl MetricsSink for CollectingSink {
     }
 
     fn record_read(&self, _read_id: u64, metrics: &MapMetrics) {
-        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.reads += 1;
         inner.totals.merge(metrics);
         inner
@@ -341,12 +427,18 @@ impl MetricsSink for CollectingSink {
     }
 
     fn add(&self, name: &'static str, value: u64) {
-        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.counter(name).add(value);
     }
 
     fn observe(&self, name: &'static str, value: u64) {
-        let mut inner = self.inner.lock().expect("metrics mutex poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.histogram(name).record(value);
     }
 }
@@ -417,6 +509,76 @@ mod tests {
         let med = h.quantile_upper_bound(0.5);
         assert!((63..=100).contains(&med), "median bound {med}");
         assert_eq!(h.quantile_upper_bound(1.0), 100);
+    }
+
+    #[test]
+    fn samples_empty_yields_zero_percentiles() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50_p90_p99(), (0.0, 0.0, 0.0));
+        assert_eq!(s.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn samples_single_value_is_every_percentile() {
+        let s = Samples::from_values(&[7.25]);
+        assert_eq!(s.percentile(0.0), 7.25);
+        assert_eq!(s.percentile(0.5), 7.25);
+        assert_eq!(s.percentile(0.99), 7.25);
+        assert_eq!(s.percentile(1.0), 7.25);
+    }
+
+    #[test]
+    fn samples_all_equal_yields_that_value() {
+        let s = Samples::from_values(&[3.0; 17]);
+        assert_eq!(s.p50_p90_p99(), (3.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn samples_nearest_rank_on_known_population() {
+        // 1..=100: nearest-rank p50 = 50th smallest = 50, p90 = 90, p99 = 99.
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = Samples::from_values(&values);
+        assert_eq!(s.percentile(0.50), 50.0);
+        assert_eq!(s.percentile(0.90), 90.0);
+        assert_eq!(s.percentile(0.99), 99.0);
+        assert_eq!(s.percentile(1.0), 100.0);
+        // Quantiles are clamped, not extrapolated.
+        assert_eq!(s.percentile(-0.5), 1.0);
+        assert_eq!(s.percentile(2.0), 100.0);
+    }
+
+    #[test]
+    fn samples_ignore_non_finite_and_accept_unsorted_input() {
+        let s = Samples::from_values(&[5.0, f64::NAN, 1.0, f64::INFINITY, 3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.percentile(1.0), 5.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn samples_percentiles_are_monotone_under_seeded_inputs() {
+        // Always-on seeded variant of the proptest property in
+        // tests/props.rs: p50 ≤ p90 ≤ p99 and each percentile is an
+        // observed value, for a spread of pseudo-random populations.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..64 {
+            let n = (next() % 200 + 1) as usize;
+            let values: Vec<f64> = (0..n).map(|_| (next() % 10_000) as f64 / 8.0).collect();
+            let s = Samples::from_values(&values);
+            let (p50, p90, p99) = s.p50_p90_p99();
+            assert!(p50 <= p90 && p90 <= p99, "round {round}: {p50} {p90} {p99}");
+            for p in [p50, p90, p99] {
+                assert!(values.contains(&p), "round {round}: {p} not observed");
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 use std::io::{self, Write};
 
-use crate::json::JsonObject;
+use crate::json::{field, parse_flat_object, JsonObject, JsonValue};
 use crate::map_metrics::MapMetrics;
 
 /// One simulated kernel launch with OpenCL-style event timestamps.
@@ -111,6 +111,25 @@ pub struct EnergySummary {
     pub energy_j: f64,
 }
 
+/// Exact latency percentiles for one population of durations — a
+/// pipeline stage's per-read seconds, or the per-batch kernel
+/// durations (row `"batch"`). Computed with [`crate::Samples`]
+/// (nearest-rank), so each percentile is an observed value and
+/// `p50 ≤ p90 ≤ p99` always holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageLatency {
+    /// Population name: a stage path (`"map/filtration"`) or `"batch"`.
+    pub stage: String,
+    /// Samples in the population.
+    pub count: u64,
+    /// 50th percentile, simulated seconds.
+    pub p50_seconds: f64,
+    /// 90th percentile, simulated seconds.
+    pub p90_seconds: f64,
+    /// 99th percentile, simulated seconds.
+    pub p99_seconds: f64,
+}
+
 /// Everything measured over one mapping run.
 ///
 /// Derives `PartialEq` so the crash/resume harness can assert a resumed
@@ -125,6 +144,8 @@ pub struct RunReport {
     pub totals: MapMetrics,
     /// `(path, seconds, activations)` from a [`crate::StageTimer`].
     pub stages: Vec<(String, f64, u64)>,
+    /// Exact per-stage and per-batch latency percentiles.
+    pub latencies: Vec<StageLatency>,
     /// Per-device kernel timelines.
     pub devices: Vec<DeviceTimeline>,
     /// Run makespan in simulated seconds (max over devices).
@@ -171,6 +192,21 @@ impl RunReport {
                 let _ = writeln!(out, "    {path:<24} {secs:>10.6} s  x{count}");
             }
         }
+        if !self.latencies.is_empty() {
+            let _ = writeln!(out, "  latency percentiles (simulated seconds):");
+            let _ = writeln!(
+                out,
+                "    {:<24} {:>8} {:>12} {:>12} {:>12}",
+                "population", "n", "p50", "p90", "p99"
+            );
+            for lat in &self.latencies {
+                let _ = writeln!(
+                    out,
+                    "    {:<24} {:>8} {:>12.9} {:>12.9} {:>12.9}",
+                    lat.stage, lat.count, lat.p50_seconds, lat.p90_seconds, lat.p99_seconds
+                );
+            }
+        }
         if !self.devices.is_empty() {
             let _ = writeln!(out, "  devices:");
             for dev in &self.devices {
@@ -209,7 +245,7 @@ impl RunReport {
     }
 
     /// Writes the report as JSON-lines: one `run` record, then `stage`,
-    /// `device`, `event`, and `energy` records.
+    /// `latency`, `device`, `event`, and `energy` records.
     ///
     /// # Errors
     ///
@@ -230,6 +266,16 @@ impl RunReport {
             obj.str_field("path", path);
             obj.f64_field("seconds", *secs);
             obj.u64_field("count", *count);
+            writeln!(out, "{}", obj.finish())?;
+        }
+        for lat in &self.latencies {
+            let mut obj = JsonObject::new();
+            obj.str_field("type", "latency");
+            obj.str_field("stage", &lat.stage);
+            obj.u64_field("count", lat.count);
+            obj.f64_field("p50_s", lat.p50_seconds);
+            obj.f64_field("p90_s", lat.p90_seconds);
+            obj.f64_field("p99_s", lat.p99_seconds);
             writeln!(out, "{}", obj.finish())?;
         }
         for dev in &self.devices {
@@ -268,6 +314,90 @@ impl RunReport {
         }
         Ok(())
     }
+
+    /// Reconstructs a report from its own JSON-lines form (the inverse
+    /// of [`RunReport::write_json_lines`]). Record types this writer
+    /// does not produce (`read`, `cell`, unknown) are skipped, so the
+    /// scanner accepts full telemetry files too. Derived device fields
+    /// (`launches`, `busy_seconds`, `utilization`) are recomputed from
+    /// the events rather than read back. Returns `None` when a line is
+    /// malformed or no `run` record is present.
+    pub fn from_json_lines(text: &str) -> Option<RunReport> {
+        fn u64_of(fields: &[(String, JsonValue)], key: &str) -> Option<u64> {
+            field(fields, key)?.as_u64()
+        }
+        fn f64_of(fields: &[(String, JsonValue)], key: &str) -> Option<f64> {
+            field(fields, key)?.as_f64()
+        }
+        fn str_of<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a str> {
+            field(fields, key)?.as_str()
+        }
+
+        let mut report = RunReport::default();
+        let mut saw_run = false;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let fields = parse_flat_object(line)?;
+            match str_of(&fields, "type")? {
+                "run" => {
+                    saw_run = true;
+                    report.reads = u64_of(&fields, "reads")?;
+                    report.simulated_seconds = f64_of(&fields, "simulated_seconds")?;
+                    report.wall_seconds = f64_of(&fields, "wall_seconds")?;
+                    report.resumed_batches = u64_of(&fields, "resumed_batches").unwrap_or(0);
+                    for (name, value) in &fields {
+                        if let Some(v) = value.as_u64() {
+                            report.totals.set_field(name, v);
+                        }
+                    }
+                }
+                "stage" => report.stages.push((
+                    str_of(&fields, "path")?.to_string(),
+                    f64_of(&fields, "seconds")?,
+                    u64_of(&fields, "count")?,
+                )),
+                "latency" => report.latencies.push(StageLatency {
+                    stage: str_of(&fields, "stage")?.to_string(),
+                    count: u64_of(&fields, "count")?,
+                    p50_seconds: f64_of(&fields, "p50_s")?,
+                    p90_seconds: f64_of(&fields, "p90_s")?,
+                    p99_seconds: f64_of(&fields, "p99_s")?,
+                }),
+                "device" => report.devices.push(DeviceTimeline {
+                    device: str_of(&fields, "device")?.to_string(),
+                    events: Vec::new(),
+                    retries: u64_of(&fields, "retries").unwrap_or(0),
+                    faults: u64_of(&fields, "faults").unwrap_or(0),
+                    migrated_batches: u64_of(&fields, "migrated_batches").unwrap_or(0),
+                }),
+                "event" => {
+                    let event = KernelEvent {
+                        label: str_of(&fields, "label")?.to_string(),
+                        items: u64_of(&fields, "items")?,
+                        work: u64_of(&fields, "work")?,
+                        queued_seconds: f64_of(&fields, "queued_s")?,
+                        submitted_seconds: f64_of(&fields, "submitted_s")?,
+                        start_seconds: f64_of(&fields, "start_s")?,
+                        end_seconds: f64_of(&fields, "end_s")?,
+                    };
+                    report.devices.last_mut()?.events.push(event);
+                }
+                "energy" => {
+                    report.energy = Some(EnergySummary {
+                        mapping_seconds: f64_of(&fields, "mapping_seconds")?,
+                        average_power_w: f64_of(&fields, "average_power_w")?,
+                        idle_power_w: f64_of(&fields, "idle_power_w")?,
+                        energy_j: f64_of(&fields, "energy_j")?,
+                    });
+                }
+                _ => {}
+            }
+        }
+        if saw_run {
+            Some(report)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +414,22 @@ mod tests {
                 ..MapMetrics::new()
             },
             stages: vec![("map".into(), 0.5, 2)],
+            latencies: vec![
+                StageLatency {
+                    stage: "map/filtration".into(),
+                    count: 2,
+                    p50_seconds: 0.125,
+                    p90_seconds: 0.25,
+                    p99_seconds: 0.25,
+                },
+                StageLatency {
+                    stage: "batch".into(),
+                    count: 2,
+                    p50_seconds: 1.0,
+                    p90_seconds: 1.0,
+                    p99_seconds: 1.0,
+                },
+            ],
             devices: vec![DeviceTimeline {
                 device: "cpu".into(),
                 events: vec![
@@ -351,6 +497,9 @@ mod tests {
             "J above idle",
             "faults 2 | retries 1 | migrated batches 3",
             "resumed from checkpoint: 4 batch(es)",
+            "latency percentiles",
+            "map/filtration",
+            "p99",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
@@ -387,7 +536,37 @@ mod tests {
         }
         assert_eq!(
             types,
-            vec!["run", "stage", "device", "event", "event", "energy"]
+            vec!["run", "stage", "latency", "latency", "device", "event", "event", "energy"]
         );
+    }
+
+    #[test]
+    fn json_round_trip_reconstructs_the_report() {
+        // Regression for the full serialize → parse → compare cycle,
+        // including the retries/faults/migrated_batches fault fields
+        // and the resumed_batches provenance counter.
+        let original = sample();
+        let mut buf = Vec::new();
+        original.write_json_lines(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = RunReport::from_json_lines(&text).expect("round trip parses");
+        assert_eq!(parsed, original);
+        assert_eq!(parsed.devices[0].retries, 1);
+        assert_eq!(parsed.devices[0].faults, 2);
+        assert_eq!(parsed.devices[0].migrated_batches, 3);
+        assert_eq!(parsed.resumed_batches, 4);
+    }
+
+    #[test]
+    fn round_trip_tolerates_read_records_and_requires_a_run_record() {
+        let original = sample();
+        let mut buf = Vec::new();
+        original.write_json_lines(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Telemetry files interleave per-read records before the report.
+        text.insert_str(0, &format!("{}\n", MapMetrics::new().to_json_line(0)));
+        assert_eq!(RunReport::from_json_lines(&text).expect("parses"), original);
+        assert!(RunReport::from_json_lines("").is_none());
+        assert!(RunReport::from_json_lines("{\"type\":\"stage\"}").is_none());
     }
 }

@@ -13,6 +13,7 @@ use repute_filter::freq::FreqTable;
 use repute_filter::oss::{OssParams, OssSolver};
 use repute_genome::DnaSeq;
 use repute_index::{BiFmIndex, FmIndex, SuffixArray};
+use repute_obs::Samples;
 
 fn codes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(0u8..4, len)
@@ -153,6 +154,28 @@ proptest! {
         let bc = dp::edit_distance(&b, &c);
         let ac = dp::edit_distance(&a, &c);
         prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_observed(values in proptest::collection::vec(0.0f64..1e9, 0..500)) {
+        let samples = Samples::from_values(values.iter().copied());
+        let (p50, p90, p99) = samples.p50_p90_p99();
+        // Nearest-rank percentiles never invert…
+        prop_assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        if values.is_empty() {
+            // …and the empty population reports zeros, not NaN.
+            prop_assert_eq!((p50, p90, p99), (0.0, 0.0, 0.0));
+        } else {
+            // …and every percentile is an actually observed value within
+            // the population's range.
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for p in [p50, p90, p99] {
+                prop_assert!((lo..=hi).contains(&p), "{p} outside [{lo}, {hi}]");
+                prop_assert!(values.contains(&p), "{p} not an observed value");
+            }
+            prop_assert_eq!(samples.percentile(1.0), hi);
+        }
     }
 
     #[test]
