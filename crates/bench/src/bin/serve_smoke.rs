@@ -1,0 +1,457 @@
+//! Serve smoke ablation: the mapping-as-a-service daemon must produce
+//! byte-identical SAM to batch `repute map`, enforce its admission
+//! limits, and account every job — plus the `BENCH_pr7.json` service
+//! baseline and its CI regression gate.
+//!
+//! The smoke section (always runs, nonzero exit on any failure):
+//!
+//! 1. Spins up an in-process [`ServeHarness`], submits 9 jobs from 3
+//!    tenants (mixed per-job δ overrides) **plus one oversized job that
+//!    must be `REJECTED`**, and drains gracefully.
+//! 2. For every completed job, runs batch `repute map` (the CLI library
+//!    entry point, δ matched) over the same reads and **byte-compares**
+//!    the daemon's per-job SAM — and the concatenation of all jobs —
+//!    against the batch output.
+//! 3. Checks the counters add up (accepted + rejected = submitted,
+//!    completed = accepted) and that per-job latency percentiles and
+//!    the queue-depth high-water mark are populated.
+//!
+//! Baseline modes (mirroring the trajectory gate):
+//!
+//! * `--write <path>` — write `BENCH_pr7.json`: deterministic simulated
+//!   per-job latency percentiles and total simulated seconds (gated),
+//!   plus the measured cold index-build versus cached index-load wall
+//!   cost and its per-job amortization (informational — wall clock is
+//!   machine-dependent and never gated).
+//! * `--check <path>` — re-run the smoke workload, schema-validate the
+//!   committed document, and fail (exit 1) when any gated simulated
+//!   metric exceeds its committed value by more than 20%.
+
+use std::time::Instant;
+
+use repute_genome::fasta::{write_fasta, FastaRecord};
+use repute_genome::fastq::{write_fastq, FastqRecord};
+use repute_genome::synth::ReferenceBuilder;
+use repute_genome::DnaSeq;
+use repute_hetsim::profiles;
+use repute_mappers::multiref::ReferenceSet;
+use repute_obs::json::{field, parse_json, JsonObject, JsonValue};
+use repute_serve::{JobEnvelope, JobStatus, ServeHarness, ServeLimits, ServeOptions};
+
+/// Schema identifier of the service baseline document.
+const SCHEMA: &str = "repute-bench-serve";
+/// Schema version; bump on any key change and regenerate the baseline.
+const VERSION: u64 = 1;
+/// Fresh gated metrics may exceed the committed baseline by at most
+/// this factor before the check fails.
+const REGRESSION_FACTOR: f64 = 1.2;
+
+/// Pinned smoke scale (environment overrides are ignored so the
+/// committed baseline stays comparable).
+const REF_LEN: usize = 60_000;
+/// Reads per normal job.
+const READS_PER_JOB: usize = 4;
+/// Jobs per tenant (3 tenants).
+const JOBS_PER_TENANT: usize = 3;
+/// Server-pinned per-job read limit; the oversized job exceeds it.
+const MAX_READS_PER_JOB: usize = 16;
+
+const TENANTS: [&str; 3] = ["acme", "lab", "edge"];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn reference() -> DnaSeq {
+    ReferenceBuilder::new(REF_LEN).seed(9401).build()
+}
+
+fn serve_options() -> ServeOptions {
+    ServeOptions {
+        limits: ServeLimits {
+            max_reads_per_job: MAX_READS_PER_JOB,
+            ..ServeLimits::default()
+        },
+        tenant_weights: vec![("acme".to_string(), 2.0), ("lab".to_string(), 1.0)],
+        ..ServeOptions::default()
+    }
+}
+
+/// The 9 normal jobs: 3 tenants × 3 jobs, alternating δ ∈ {3, 5}
+/// overrides so the coalescer must split batches by configuration.
+fn smoke_jobs(reference: &DnaSeq) -> Vec<JobEnvelope> {
+    let mut jobs = Vec::new();
+    for (t, tenant) in TENANTS.iter().enumerate() {
+        for j in 0..JOBS_PER_TENANT {
+            let reads: Vec<(String, DnaSeq)> = (0..READS_PER_JOB)
+                .map(|i| {
+                    let start = 1_000 + (t * JOBS_PER_TENANT + j) * 5_000 + i * 700;
+                    (
+                        format!("{tenant}-{j}-r{i}"),
+                        reference.subseq(start..start + 100),
+                    )
+                })
+                .collect();
+            let delta = if (t + j) % 2 == 0 { 3 } else { 5 };
+            jobs.push(
+                JobEnvelope::new(format!("{tenant}-{j}"), reads)
+                    .with_tenant(*tenant)
+                    .with_delta(delta),
+            );
+        }
+    }
+    jobs
+}
+
+/// One read too many for the server's pinned limit.
+fn oversized_job(reference: &DnaSeq) -> JobEnvelope {
+    let reads: Vec<(String, DnaSeq)> = (0..MAX_READS_PER_JOB + 1)
+        .map(|i| {
+            let start = 2_000 + i * 300;
+            (format!("big-r{i}"), reference.subseq(start..start + 100))
+        })
+        .collect();
+    JobEnvelope::new("too-big", reads).with_tenant("acme")
+}
+
+struct SmokeResult {
+    job_latency: (u64, f64, f64, f64),
+    simulated_seconds: f64,
+    batches: u64,
+    queue_high_water: u64,
+    cold_index_build_s: f64,
+    cached_index_load_s: f64,
+}
+
+fn run_smoke() -> SmokeResult {
+    let reference = reference();
+    let dir = std::env::temp_dir().join("repute-serve-smoke");
+    if std::fs::create_dir_all(&dir).is_err() {
+        fail("cannot create the smoke scratch directory");
+    }
+    let ref_path = dir.join("reference.fa");
+    let mut fa = Vec::new();
+    if write_fasta(&mut fa, &[FastaRecord::new("chrS", reference.clone())], 70).is_err() {
+        fail("cannot render the reference FASTA");
+    }
+    if std::fs::write(&ref_path, &fa).is_err() {
+        fail("cannot write the reference FASTA");
+    }
+
+    // Cold index build versus cached load: what `--index-cache` (and a
+    // long-lived daemon) amortizes away.
+    let started = Instant::now();
+    let set = ReferenceSet::build(vec![("chrS".to_string(), reference.clone())]);
+    let cold_index_build_s = started.elapsed().as_secs_f64();
+    let mut serialized = Vec::new();
+    if set.write_to(&mut serialized).is_err() {
+        fail("cannot serialize the reference set");
+    }
+    let started = Instant::now();
+    if ReferenceSet::read_from(serialized.as_slice()).is_err() {
+        fail("cannot reload the serialized reference set");
+    }
+    let cached_index_load_s = started.elapsed().as_secs_f64();
+
+    let mut harness = match ServeHarness::new(set, profiles::system1(), serve_options()) {
+        Ok(harness) => harness,
+        Err(e) => fail(&format!("harness construction: {e}")),
+    };
+
+    // Submit: 9 normal jobs + 1 oversized (must be REJECTED inline).
+    let jobs = smoke_jobs(&reference);
+    let submitted = jobs.len() + 1;
+    for job in &jobs {
+        match harness.submit(job.clone()) {
+            Ok(None) => {}
+            Ok(Some(refusal)) => fail(&format!(
+                "job {:?} refused: {:?}",
+                refusal.id, refusal.reason
+            )),
+            Err(e) => fail(&format!("submit: {e}")),
+        }
+    }
+    match harness.submit(oversized_job(&reference)) {
+        Ok(Some(refusal)) if refusal.status == JobStatus::Rejected => {
+            println!(
+                "  oversized job rejected as specified: {}",
+                refusal.reason.as_deref().unwrap_or("?")
+            );
+        }
+        Ok(other) => fail(&format!("oversized job must be REJECTED, got {other:?}")),
+        Err(e) => fail(&format!("oversized submit: {e}")),
+    }
+
+    // Graceful drain, then the byte-identity check per job.
+    let responses = match harness.drain() {
+        Ok(responses) => responses,
+        Err(e) => fail(&format!("drain: {e}")),
+    };
+    if responses.len() != jobs.len() {
+        fail(&format!(
+            "{} responses for {} accepted jobs",
+            responses.len(),
+            jobs.len()
+        ));
+    }
+    let mut daemon_sam = Vec::new();
+    let mut batch_sam = Vec::new();
+    for job in &jobs {
+        let response = match responses.iter().find(|r| r.id == job.id) {
+            Some(r) => r,
+            None => fail(&format!("no response for job {:?}", job.id)),
+        };
+        if response.status != JobStatus::Ok {
+            fail(&format!("job {:?} not OK: {:?}", job.id, response.reason));
+        }
+        let sam = response.sam.as_deref().unwrap_or("");
+        // Batch `repute map` over exactly this job's reads.
+        let fq_path = dir.join(format!("{}.fq", job.id));
+        let out_path = dir.join(format!("{}.sam", job.id));
+        let records: Vec<FastqRecord> = job
+            .reads
+            .iter()
+            .map(|(id, seq)| FastqRecord::with_uniform_quality(id.clone(), seq.clone(), 40))
+            .collect();
+        let mut fq = Vec::new();
+        if write_fastq(&mut fq, &records).is_err() || std::fs::write(&fq_path, &fq).is_err() {
+            fail("cannot write a job FASTQ");
+        }
+        let opts = repute_cli::MapOptions {
+            reference: ref_path.to_string_lossy().into_owned(),
+            reads: fq_path.to_string_lossy().into_owned(),
+            delta: job.delta.unwrap_or(5),
+            output: Some(out_path.to_string_lossy().into_owned()),
+            ..repute_cli::MapOptions::default()
+        };
+        if let Err(e) = repute_cli::run_map(&opts) {
+            fail(&format!("batch map for job {:?}: {e}", job.id));
+        }
+        let expected = match std::fs::read_to_string(&out_path) {
+            Ok(text) => text,
+            Err(_) => fail("cannot read the batch SAM"),
+        };
+        if sam != expected {
+            fail(&format!(
+                "job {:?}: daemon SAM differs from batch `repute map` \
+                 ({} vs {} bytes)",
+                job.id,
+                sam.len(),
+                expected.len()
+            ));
+        }
+        daemon_sam.extend_from_slice(sam.as_bytes());
+        batch_sam.extend_from_slice(expected.as_bytes());
+    }
+    if daemon_sam != batch_sam {
+        fail("concatenated daemon SAM differs from concatenated batch SAM");
+    }
+    println!(
+        "  byte-identity OK: {} jobs, {} SAM bytes each side",
+        jobs.len(),
+        daemon_sam.len()
+    );
+
+    // Accounting: every submission lands in exactly one counter bucket.
+    let c = harness.counters();
+    if c.accepted + c.rejected + c.retry_later != submitted as u64 {
+        fail(&format!(
+            "counters leak submissions: accepted {} + rejected {} + \
+             retry-later {} != {submitted}",
+            c.accepted, c.rejected, c.retry_later
+        ));
+    }
+    if c.rejected != 1 || c.completed != jobs.len() as u64 {
+        fail(&format!(
+            "expected 1 rejection and {} completions, got {} and {}",
+            jobs.len(),
+            c.rejected,
+            c.completed
+        ));
+    }
+    let core = harness.core();
+    let job_latency = core.latency_percentiles();
+    if job_latency.0 != jobs.len() as u64 {
+        fail("latency sample count != completed jobs");
+    }
+    if core.queue_depth() != 0 || core.queue_depth_high_water() < jobs.len() as u64 {
+        fail("queue-depth gauge did not track the backlog");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    SmokeResult {
+        job_latency,
+        simulated_seconds: core.simulated_seconds(),
+        batches: c.batches,
+        queue_high_water: core.queue_depth_high_water(),
+        cold_index_build_s,
+        cached_index_load_s,
+    }
+}
+
+fn render_document(r: &SmokeResult) -> String {
+    let jobs = (TENANTS.len() * JOBS_PER_TENANT) as u64;
+    let mut doc = JsonObject::new();
+    doc.str_field("schema", SCHEMA);
+    doc.u64_field("version", VERSION);
+    doc.u64_field("reference_len", REF_LEN as u64);
+    doc.u64_field("jobs", jobs);
+    doc.u64_field("batches", r.batches);
+    doc.u64_field("queue_depth_high_water", r.queue_high_water);
+    // Gated: deterministic simulated service metrics.
+    doc.f64_field("simulated_seconds", r.simulated_seconds);
+    doc.f64_field("job_p50_s", r.job_latency.1);
+    doc.f64_field("job_p90_s", r.job_latency.2);
+    doc.f64_field("job_p99_s", r.job_latency.3);
+    // Informational: wall-clock index costs (machine-dependent).
+    doc.f64_field("cold_index_build_s", r.cold_index_build_s);
+    doc.f64_field("cached_index_load_s", r.cached_index_load_s);
+    doc.f64_field(
+        "amortized_index_s_per_job",
+        r.cold_index_build_s / jobs as f64,
+    );
+    let mut text = doc.finish();
+    text.push('\n');
+    text
+}
+
+/// The gated (deterministic) metric keys.
+const GATED: [&str; 4] = ["simulated_seconds", "job_p50_s", "job_p90_s", "job_p99_s"];
+
+/// Validates the committed document; returns the gated metrics.
+fn validate_document(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = parse_json(text).ok_or("not valid JSON")?;
+    let fields = doc.as_obj().ok_or("top level is not an object")?;
+    let schema = field(fields, "schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    let version = field(fields, "version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing integer field \"version\"")?;
+    if version != VERSION {
+        return Err(format!("schema version is {version}, expected {VERSION}"));
+    }
+    for required in ["jobs", "batches", "queue_depth_high_water"] {
+        if field(fields, required)
+            .and_then(JsonValue::as_u64)
+            .is_none()
+        {
+            return Err(format!("missing integer field {required:?}"));
+        }
+    }
+    for required in [
+        "cold_index_build_s",
+        "cached_index_load_s",
+        "amortized_index_s_per_job",
+    ] {
+        if field(fields, required)
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!("missing numeric field {required:?}"));
+        }
+    }
+    let mut out = Vec::new();
+    for key in GATED {
+        let value = field(fields, key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = match args.as_slice() {
+        [] => None,
+        [mode, path] if mode == "--write" || mode == "--check" => {
+            Some((mode.as_str(), path.as_str()))
+        }
+        _ => {
+            eprintln!("usage: serve_smoke [--write <path> | --check <path>]");
+            std::process::exit(1);
+        }
+    };
+    println!("Serve smoke ablation — daemon vs batch byte-identity, admission, accounting");
+    println!(
+        "pinned scale: {REF_LEN} bp reference, {} tenants × {JOBS_PER_TENANT} jobs × \
+         {READS_PER_JOB} reads (+1 oversized)",
+        TENANTS.len()
+    );
+    let result = run_smoke();
+    println!(
+        "  {} batch(es) | simulated {:.6} s | queue high-water {}",
+        result.batches, result.simulated_seconds, result.queue_high_water
+    );
+    println!(
+        "  job latency: n={} p50 {:.6} p90 {:.6} p99 {:.6} (simulated s)",
+        result.job_latency.0, result.job_latency.1, result.job_latency.2, result.job_latency.3
+    );
+    println!(
+        "  index cost: cold build {:.4} s, cached load {:.4} s, amortized {:.5} s/job",
+        result.cold_index_build_s,
+        result.cached_index_load_s,
+        result.cold_index_build_s / (TENANTS.len() * JOBS_PER_TENANT) as f64
+    );
+    println!("smoke OK");
+
+    let Some((mode, path)) = mode else { return };
+    if mode == "--write" {
+        let text = render_document(&result);
+        if let Err(err) = validate_document(&text) {
+            fail(&format!(
+                "freshly written document fails its own schema: {err}"
+            ));
+        }
+        if std::fs::write(path, &text).is_err() {
+            fail(&format!("cannot write {path}"));
+        }
+        println!("wrote service baseline to {path}");
+        return;
+    }
+
+    // --check: schema-validate and gate the deterministic metrics.
+    let committed = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => fail(&format!("cannot read {path}: {err}")),
+    };
+    let committed = match validate_document(&committed) {
+        Ok(metrics) => metrics,
+        Err(err) => fail(&format!("{path} violates the service schema: {err}")),
+    };
+    println!("schema OK: {} gated metric(s)", committed.len());
+    let fresh = [
+        ("simulated_seconds", result.simulated_seconds),
+        ("job_p50_s", result.job_latency.1),
+        ("job_p90_s", result.job_latency.2),
+        ("job_p99_s", result.job_latency.3),
+    ];
+    let mut regressed = false;
+    for (key, committed_value) in &committed {
+        let Some((_, fresh_value)) = fresh.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        let limit = committed_value * REGRESSION_FACTOR;
+        let verdict = if *fresh_value > limit {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {key:<20} committed {committed_value:.9} | fresh {fresh_value:.9} | \
+             limit {limit:.9} [{verdict}]"
+        );
+    }
+    if regressed {
+        fail(&format!(
+            "service latency regression beyond {REGRESSION_FACTOR}x; \
+             refresh intentional changes with --write"
+        ));
+    }
+    println!("service trajectory gate OK");
+}

@@ -85,6 +85,11 @@ pub struct MapOptions {
     /// Path to a prebuilt index from `repute index` (exclusive with
     /// `reference`).
     pub index: Option<String>,
+    /// Path of a fingerprint-validated serialized-index cache: load the
+    /// FM-index from here when the stored fingerprint matches the
+    /// reference FASTA bytes, else build it and save it back (requires
+    /// `reference`; meaningless with `index`).
+    pub index_cache: Option<String>,
     /// Path to the FASTQ reads.
     pub reads: String,
     /// Error budget δ.
@@ -145,6 +150,7 @@ impl Default for MapOptions {
         MapOptions {
             reference: String::new(),
             index: None,
+            index_cache: None,
             reads: String::new(),
             delta: 5,
             s_min: 12,
@@ -202,12 +208,19 @@ USAGE:
     repute index    --reference <ref.fa> --output <ref.rpx>
     repute simulate --out-dir <dir> [--length N] [--reads N] [--read-len N]
                     [--seed N] [--profile err012100|srr826460|perfect]
-    repute stats    <metrics.jsonl>
+    repute serve    --reference <ref.fa> --socket <sock> [OPTIONS]
+    repute serve    --reference <ref.fa> --spool <dir> --once [OPTIONS]
+    repute submit   --socket <sock> --reads <reads.fq> [OPTIONS]
+    repute stats    <metrics.jsonl> [more.jsonl ...] [--dir <dir>]
     repute trace    <trace.json>
 
 MAP OPTIONS:
     --reference <path>       FASTA reference (multi-record supported)
     --index <path>           prebuilt index from `repute index`
+    --index-cache <path>     fingerprint-validated serialized-index
+                             cache: load the FM-index from here when it
+                             matches the reference, else build and save
+                             it back (requires --reference)
     --reads <path>           FASTQ reads (required)
     --delta <n>              error budget δ [default: 5]
     --s-min <n>              minimum k-mer length S_min [default: 12]
@@ -260,7 +273,46 @@ MAP OPTIONS:
                              on stderr
     --help                   print this text
 
+SERVE OPTIONS:
+    --socket <path>          listen on a Unix-domain socket (newline-
+                             delimited JSON job envelopes in, typed
+                             responses out)
+    --spool <dir>            watch a directory of *.json job files
+                             instead; --once processes one pass and
+                             exits (deterministic, for tests/CI)
+    --journal <path>         crash-safe job journal: every accepted job
+                             and every finished batch is committed
+                             durably; restart with --resume to lose at
+                             most one in-flight batch
+    --resume                 replay a daemon journal: committed job
+                             responses are served from the journal,
+                             uncommitted jobs are requeued
+    --queue-capacity <n>     admission-queue bound; a full queue answers
+                             RETRY_LATER [default: 64]
+    --max-reads-per-job <n>  reject jobs above this read count [default:
+                             the platform's quarter-RAM batch cap]
+    --max-delta <n>          reject per-job delta overrides above this
+                             [default: 16]
+    --tenant-weight <n=w>    weighted-fair dequeue weight of tenant n
+                             (repeatable; unlisted tenants weigh 1.0)
+    --metrics-dir <dir>      per-job telemetry spool (one *.jsonl per
+                             job; inspect with `repute stats --dir`)
+    plus the map options: --index-cache, --delta, --s-min,
+    --max-locations, --prefilter[-q|-bin], --schedule [default:
+    dynamic], --host-threads, --metrics-out, --trace-out
+
+SUBMIT OPTIONS:
+    --socket <path>          the daemon's socket (required)
+    --reads <path>           FASTQ reads, loaded client-side
+    --id <name> / --tenant <name> / --delta <n> / --prefilter <mode> /
+    --mapper <name>          job envelope fields
+    --output <path>          SAM output path [default: stdout]
+    --shutdown               drain the daemon and stop it
+
 STATS OPTIONS:
+    --dir <dir>              also read every *.jsonl file in <dir>
+                             (name-sorted); counters merge and latency
+                             samples pool across all inputs
     --strict                 error on the first malformed JSON line
                              instead of skipping it with a warning
 
@@ -302,6 +354,7 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
                 opts.index = Some(value("--index")?);
                 have_reference = true;
             }
+            "--index-cache" => opts.index_cache = Some(value("--index-cache")?),
             "--reads" => {
                 opts.reads = value("--reads")?;
                 have_reads = true;
@@ -459,6 +512,12 @@ pub fn parse_map_args<I: IntoIterator<Item = String>>(
     if opts.index.is_some() && !opts.reference.is_empty() {
         return Err(ParseArgsError::new(
             "--reference and --index are mutually exclusive",
+        ));
+    }
+    if opts.index_cache.is_some() && opts.index.is_some() {
+        return Err(ParseArgsError::new(
+            "--index-cache requires --reference (a prebuilt --index is \
+             already the cache)",
         ));
     }
     if !have_reads {
@@ -653,8 +712,14 @@ fn load_reference_set(opts: &MapOptions) -> Result<ReferenceSet, ReputeError> {
         });
     }
     let path = Path::new(&opts.reference);
-    let file = File::open(path).map_err(|e| ReputeError::io_at(path, e))?;
-    let records = read_fasta(BufReader::new(file), AmbiguityPolicy::Randomize(0))?;
+    let source = std::fs::read(path).map_err(|e| ReputeError::io_at(path, e))?;
+    if let Some(cache) = &opts.index_cache {
+        if let Some(set) = try_load_index_cache(cache, &source) {
+            eprintln!("index cache hit: loaded {cache:?} (fingerprint matches the reference)");
+            return Ok(set);
+        }
+    }
+    let records = read_fasta(source.as_slice(), AmbiguityPolicy::Randomize(0))?;
     if records.is_empty() {
         return Err(ReputeError::InputParse(
             "reference FASTA contains no sequence".into(),
@@ -662,9 +727,52 @@ fn load_reference_set(opts: &MapOptions) -> Result<ReferenceSet, ReputeError> {
     }
     let total: usize = records.iter().map(|r| r.seq.len()).sum();
     eprintln!("indexing {} record(s), {total} bp…", records.len());
-    Ok(ReferenceSet::build(
-        records.into_iter().map(|r| (r.id, r.seq)).collect(),
-    ))
+    let set = ReferenceSet::build(records.into_iter().map(|r| (r.id, r.seq)).collect());
+    if let Some(cache) = &opts.index_cache {
+        save_index_cache(cache, &source, &set)?;
+        eprintln!("index cache miss: rebuilt the index and saved it to {cache:?}");
+    }
+    Ok(set)
+}
+
+/// Magic prefix of an `--index-cache` file; followed by the FNV-64
+/// fingerprint of the reference FASTA bytes (little-endian) and the
+/// serialized [`ReferenceSet`].
+const INDEX_CACHE_MAGIC: &[u8; 4] = b"RPXC";
+
+/// FNV-64 over the raw reference FASTA bytes — the validity condition of
+/// a cached index.
+fn index_cache_fingerprint(source: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(source);
+    h.finish()
+}
+
+/// Loads a cached index when the magic and fingerprint match `source`.
+/// Any mismatch, corruption, or absence returns `None`: a stale cache is
+/// never an error, just a rebuild.
+fn try_load_index_cache(cache: &str, source: &[u8]) -> Option<ReferenceSet> {
+    let bytes = std::fs::read(cache).ok()?;
+    if bytes.len() < 12 || &bytes[..4] != INDEX_CACHE_MAGIC {
+        return None;
+    }
+    let stored = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+    if stored != index_cache_fingerprint(source) {
+        return None;
+    }
+    ReferenceSet::read_from(&bytes[12..]).ok()
+}
+
+/// Atomically writes `set` to the cache path, stamped with the
+/// fingerprint of the reference bytes it was built from.
+fn save_index_cache(cache: &str, source: &[u8], set: &ReferenceSet) -> Result<(), ReputeError> {
+    let cache_path = Path::new(cache);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(INDEX_CACHE_MAGIC);
+    bytes.extend_from_slice(&index_cache_fingerprint(source).to_le_bytes());
+    set.write_to(&mut bytes)
+        .map_err(|e| ReputeError::io_at(cache_path, e))?;
+    write_atomic(cache_path, &bytes)
 }
 
 /// Runs `repute index`: builds the reference set and writes the binary
@@ -1269,43 +1377,63 @@ fn write_trace_file(
 /// Parsed command-line options for `repute stats`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsOptions {
-    /// Path to a telemetry JSON-lines file written by `--metrics-out` (or
-    /// the bench harness's `REPUTE_METRICS_OUT`).
-    pub input: String,
+    /// Telemetry JSON-lines files written by `--metrics-out` (or the
+    /// bench harness's `REPUTE_METRICS_OUT`, or a daemon's
+    /// `--metrics-out`). Several files are merged: counters are summed
+    /// and latency samples pooled before percentiles are taken.
+    pub inputs: Vec<String>,
+    /// A spool of per-job JSON-lines files (a daemon's `--metrics-dir`):
+    /// every `*.jsonl` file in the directory is read, name-sorted, as if
+    /// appended to `inputs`.
+    pub dir: Option<String>,
     /// Error on the first malformed line instead of skipping it with a
     /// warning (the lenient default tolerates truncated or mixed files).
     pub strict: bool,
 }
 
-/// Parses `repute stats` arguments: one file path plus flags.
+/// Parses `repute stats` arguments: one or more file paths and/or
+/// `--dir`, plus flags.
 ///
 /// # Errors
 ///
-/// Returns [`ParseArgsError`] for unknown flags or a missing/duplicate
-/// path.
+/// Returns [`ParseArgsError`] for unknown flags or when neither a path
+/// nor `--dir` is given.
 pub fn parse_stats_args<I: IntoIterator<Item = String>>(
     args: I,
 ) -> Result<StatsOptions, ParseArgsError> {
-    let mut input: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut dir: Option<String> = None;
     let mut strict = false;
-    for arg in args {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--strict" => strict = true,
+            "--dir" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| ParseArgsError::new("--dir expects a value"))?;
+                if dir.is_some() {
+                    return Err(ParseArgsError::new("--dir given twice"));
+                }
+                dir = Some(value);
+            }
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
             other if other.starts_with('-') => {
                 return Err(ParseArgsError::new(format!("unknown option {other:?}")))
             }
-            path => {
-                if input.is_some() {
-                    return Err(ParseArgsError::new("stats expects exactly one file"));
-                }
-                input = Some(path.to_string());
-            }
+            path => inputs.push(path.to_string()),
         }
     }
-    input
-        .map(|input| StatsOptions { input, strict })
-        .ok_or_else(|| ParseArgsError::new("stats expects a metrics JSON-lines file"))
+    if inputs.is_empty() && dir.is_none() {
+        return Err(ParseArgsError::new(
+            "stats expects at least one metrics JSON-lines file (or --dir)",
+        ));
+    }
+    Ok(StatsOptions {
+        inputs,
+        dir,
+        strict,
+    })
 }
 
 /// Pretty-prints a telemetry JSON-lines stream (the inverse of
@@ -1357,6 +1485,26 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
     let mut body = String::new();
     let mut skipped = 0u64;
     let mut latency_header = false;
+    // Service telemetry merges across every input file: per-job records
+    // pool their latency samples, `serve` snapshot counters sum.
+    let mut jobs = 0u64;
+    let mut jobs_replayed = 0u64;
+    let mut job_reads = 0u64;
+    let mut job_mappings = 0u64;
+    let mut job_latency: Vec<f64> = Vec::new();
+    let mut tenants: Vec<(String, u64)> = Vec::new();
+    let mut serve_records = 0u64;
+    let mut serve_sums = [0u64; 6];
+    const SERVE_COUNTERS: [&str; 6] = [
+        "accepted",
+        "rejected",
+        "retry_later",
+        "completed",
+        "replayed",
+        "batches",
+    ];
+    let mut serve_queue_depth_max = 0u64;
+    let mut serve_simulated = 0.0f64;
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -1484,6 +1632,31 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
                     get_f64(&fields, "mapping_seconds").unwrap_or(0.0),
                 );
             }
+            "job" => {
+                jobs += 1;
+                job_reads += get_u64(&fields, "reads").unwrap_or(0);
+                job_mappings += get_u64(&fields, "mappings").unwrap_or(0);
+                if let Some(latency) = get_f64(&fields, "latency_s") {
+                    job_latency.push(latency);
+                }
+                if matches!(field(&fields, "replayed"), Some(JsonValue::Bool(true))) {
+                    jobs_replayed += 1;
+                }
+                let tenant = get_str(&fields, "tenant");
+                match tenants.iter_mut().find(|(name, _)| *name == tenant) {
+                    Some((_, n)) => *n += 1,
+                    None => tenants.push((tenant, 1)),
+                }
+            }
+            "serve" => {
+                serve_records += 1;
+                for (slot, name) in serve_sums.iter_mut().zip(SERVE_COUNTERS) {
+                    *slot += get_u64(&fields, name).unwrap_or(0);
+                }
+                serve_queue_depth_max =
+                    serve_queue_depth_max.max(get_u64(&fields, "queue_depth_max").unwrap_or(0));
+                serve_simulated += get_f64(&fields, "simulated_seconds").unwrap_or(0.0);
+            }
             other => {
                 let _ = writeln!(body, "({other} record)");
             }
@@ -1519,6 +1692,43 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
         }
     }
     out.push_str(&body);
+    if serve_records > 0 {
+        let _ = writeln!(
+            out,
+            "serve ({serve_records} snapshot(s)): accepted {} | rejected {} | \
+             retry-later {} | completed {} ({} replayed) | {} batch(es)",
+            serve_sums[0],
+            serve_sums[1],
+            serve_sums[2],
+            serve_sums[3],
+            serve_sums[4],
+            serve_sums[5],
+        );
+        let _ = writeln!(
+            out,
+            "  queue depth high-water {serve_queue_depth_max} | simulated {serve_simulated:.6} s",
+        );
+    }
+    if jobs > 0 {
+        let _ = writeln!(
+            out,
+            "jobs: {jobs} completed ({jobs_replayed} replayed) | \
+             {job_reads} reads | {job_mappings} mappings",
+        );
+        for (tenant, n) in &tenants {
+            let _ = writeln!(out, "  tenant {tenant:<16} {n:>6} job(s)");
+        }
+        if !job_latency.is_empty() {
+            let samples = repute_obs::Samples::from_values(&job_latency);
+            let (p50, p90, p99) = samples.p50_p90_p99();
+            let _ = writeln!(
+                out,
+                "  job latency (merged, simulated seconds): n={} \
+                 p50 {p50:.9} p90 {p90:.9} p99 {p99:.9}",
+                samples.count(),
+            );
+        }
+    }
     if out.is_empty() && skipped == 0 {
         out.push_str("no telemetry records\n");
     }
@@ -1528,16 +1738,50 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
     Ok(out)
 }
 
-/// Runs `repute stats`: pretty-prints a saved telemetry file to stdout.
+/// Runs `repute stats`: reads every input file (and every `*.jsonl`
+/// file of `--dir`, name-sorted), concatenates them, and pretty-prints
+/// the merged telemetry to stdout. Counters from several files sum and
+/// latency samples pool before percentiles are taken, so a spool of
+/// per-job files renders one coherent summary.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors and, under `--strict`, malformed-line errors
 /// from [`render_stats_strict`].
 pub fn run_stats(opts: &StatsOptions) -> Result<(), ReputeError> {
-    let input_path = Path::new(&opts.input);
-    let text =
-        std::fs::read_to_string(input_path).map_err(|e| ReputeError::io_at(input_path, e))?;
+    let mut text = String::new();
+    let mut append = |path: &Path| -> Result<(), ReputeError> {
+        let chunk = std::fs::read_to_string(path).map_err(|e| ReputeError::io_at(path, e))?;
+        text.push_str(&chunk);
+        if !chunk.ends_with('\n') {
+            text.push('\n');
+        }
+        Ok(())
+    };
+    for input in &opts.inputs {
+        append(Path::new(input))?;
+    }
+    if let Some(dir) = &opts.dir {
+        let dir_path = Path::new(dir);
+        let entries = std::fs::read_dir(dir_path).map_err(|e| ReputeError::io_at(dir_path, e))?;
+        let mut files = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| ReputeError::io_at(dir_path, e))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        if files.is_empty() {
+            return Err(ReputeError::InputParse(format!(
+                "--dir {dir:?} contains no *.jsonl telemetry files"
+            )));
+        }
+        for path in &files {
+            append(path)?;
+        }
+    }
     let rendered = if opts.strict {
         render_stats_strict(&text)?
     } else {
@@ -1647,6 +1891,560 @@ pub fn run_trace(opts: &TraceOptions) -> Result<(), ReputeError> {
     Ok(())
 }
 
+/// Parsed command-line options for `repute serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCliOptions {
+    /// Path to the FASTA reference (exclusive with `index`).
+    pub reference: String,
+    /// Path to a prebuilt index from `repute index`.
+    pub index: Option<String>,
+    /// Fingerprint-validated serialized-index cache (see
+    /// [`MapOptions::index_cache`]).
+    pub index_cache: Option<String>,
+    /// Simulated platform the daemon schedules batches on.
+    pub platform: String,
+    /// Unix-domain socket path to listen on (exclusive with `spool`).
+    pub socket: Option<String>,
+    /// Spool directory of `*.json` job files to watch (exclusive with
+    /// `socket`).
+    pub spool: Option<String>,
+    /// Process the spool exactly once and exit (deterministic; for
+    /// tests and CI) instead of polling forever.
+    pub once: bool,
+    /// Crash-safe job-journal path; restart with `resume` to replay
+    /// committed responses and requeue uncommitted jobs.
+    pub journal: Option<String>,
+    /// Resume from an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Default error budget δ for jobs without an override.
+    pub delta: u32,
+    /// Minimum k-mer length `S_min` (server-pinned).
+    pub s_min: usize,
+    /// Output-slot limit per read (server-pinned).
+    pub max_locations: usize,
+    /// Default prefilter mode for jobs without an override.
+    pub prefilter: PrefilterMode,
+    /// Q-gram length of the bin prefilter.
+    pub prefilter_q: usize,
+    /// Reference bin width (bases) of the bin prefilter.
+    pub prefilter_bin: usize,
+    /// Multi-device scheduling policy of every batch.
+    pub schedule: ScheduleMode,
+    /// Host-thread cap of the executor (`0` = automatic).
+    pub host_threads: usize,
+    /// Admission-queue capacity; a full queue answers `RETRY_LATER`.
+    pub queue_capacity: usize,
+    /// Largest per-job read count accepted (`None` = the platform's
+    /// quarter-RAM batch cap).
+    pub max_reads_per_job: Option<usize>,
+    /// Largest per-job δ override accepted.
+    pub max_delta: u32,
+    /// Weighted-fair tenant weights (`--tenant-weight name=w`,
+    /// repeatable; unlisted tenants weigh 1.0).
+    pub tenant_weights: Vec<(String, f64)>,
+    /// Merged telemetry JSON-lines export path (written at exit, and
+    /// after every spool pass).
+    pub metrics_out: Option<String>,
+    /// Per-job telemetry spool directory (one `*.jsonl` file per job;
+    /// inspect with `repute stats --dir`).
+    pub metrics_dir: Option<String>,
+    /// Chrome-trace span export path (enables tracing).
+    pub trace_out: Option<String>,
+}
+
+impl Default for ServeCliOptions {
+    fn default() -> ServeCliOptions {
+        let defaults = repute_serve::ServeOptions::default();
+        ServeCliOptions {
+            reference: String::new(),
+            index: None,
+            index_cache: None,
+            platform: "system1".to_string(),
+            socket: None,
+            spool: None,
+            once: false,
+            journal: None,
+            resume: false,
+            delta: defaults.delta,
+            s_min: defaults.s_min,
+            max_locations: defaults.max_locations,
+            prefilter: defaults.prefilter,
+            prefilter_q: defaults.prefilter_q,
+            prefilter_bin: defaults.prefilter_bin,
+            schedule: defaults.schedule,
+            host_threads: defaults.host_threads,
+            queue_capacity: defaults.limits.queue_capacity,
+            max_reads_per_job: None,
+            max_delta: defaults.limits.max_delta,
+            tenant_weights: Vec::new(),
+            metrics_out: None,
+            metrics_dir: None,
+            trace_out: None,
+        }
+    }
+}
+
+/// Parses `repute serve` arguments (everything after the subcommand).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown flags, missing values, or
+/// inconsistent combinations.
+pub fn parse_serve_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<ServeCliOptions, ParseArgsError> {
+    let mut opts = ServeCliOptions::default();
+    let mut args = args.into_iter();
+    let mut have_reference = false;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| ParseArgsError::new(format!("{name} expects a value")))
+        };
+        match arg.as_str() {
+            "--reference" => {
+                opts.reference = value("--reference")?;
+                have_reference = true;
+            }
+            "--index" => {
+                opts.index = Some(value("--index")?);
+                have_reference = true;
+            }
+            "--index-cache" => opts.index_cache = Some(value("--index-cache")?),
+            "--platform" => opts.platform = value("--platform")?,
+            "--socket" => opts.socket = Some(value("--socket")?),
+            "--spool" => opts.spool = Some(value("--spool")?),
+            "--once" => opts.once = true,
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--resume" => opts.resume = true,
+            "--delta" => {
+                opts.delta = value("--delta")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--delta expects an integer"))?;
+            }
+            "--s-min" => {
+                opts.s_min = value("--s-min")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--s-min expects an integer"))?;
+            }
+            "--max-locations" => {
+                opts.max_locations = value("--max-locations")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--max-locations expects an integer"))?;
+                if opts.max_locations == 0 {
+                    return Err(ParseArgsError::new("--max-locations must be positive"));
+                }
+            }
+            "--prefilter" => {
+                opts.prefilter = value("--prefilter")?
+                    .parse()
+                    .map_err(|e| ParseArgsError::new(format!("--prefilter: {e}")))?;
+            }
+            "--prefilter-q" => {
+                opts.prefilter_q = value("--prefilter-q")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--prefilter-q expects an integer"))?;
+                if opts.prefilter_q == 0 || opts.prefilter_q > qgram::MAX_Q {
+                    return Err(ParseArgsError::new(format!(
+                        "--prefilter-q must be in 1..={}",
+                        qgram::MAX_Q
+                    )));
+                }
+            }
+            "--prefilter-bin" => {
+                opts.prefilter_bin = value("--prefilter-bin")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--prefilter-bin expects an integer"))?;
+                if opts.prefilter_bin == 0 {
+                    return Err(ParseArgsError::new("--prefilter-bin must be positive"));
+                }
+            }
+            "--schedule" => {
+                let mode = value("--schedule")?;
+                opts.schedule = ScheduleMode::parse(&mode).ok_or_else(|| {
+                    ParseArgsError::new(format!("unknown schedule {mode:?} (static, dynamic)"))
+                })?;
+            }
+            "--host-threads" => {
+                opts.host_threads = value("--host-threads")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--host-threads expects an integer"))?;
+                if opts.host_threads == 0 {
+                    return Err(ParseArgsError::new(
+                        "--host-threads must be positive (omit the flag for automatic)",
+                    ));
+                }
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--queue-capacity expects an integer"))?;
+                if opts.queue_capacity == 0 {
+                    return Err(ParseArgsError::new("--queue-capacity must be positive"));
+                }
+            }
+            "--max-reads-per-job" => {
+                let n: usize = value("--max-reads-per-job")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--max-reads-per-job expects an integer"))?;
+                if n == 0 {
+                    return Err(ParseArgsError::new("--max-reads-per-job must be positive"));
+                }
+                opts.max_reads_per_job = Some(n);
+            }
+            "--max-delta" => {
+                opts.max_delta = value("--max-delta")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--max-delta expects an integer"))?;
+            }
+            "--tenant-weight" => {
+                let spec = value("--tenant-weight")?;
+                let (name, weight) = spec
+                    .split_once('=')
+                    .ok_or_else(|| ParseArgsError::new("--tenant-weight expects name=<weight>"))?;
+                let weight: f64 = weight
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--tenant-weight expects a numeric weight"))?;
+                if weight.is_nan() || weight <= 0.0 {
+                    return Err(ParseArgsError::new("--tenant-weight must be positive"));
+                }
+                opts.tenant_weights.push((name.to_string(), weight));
+            }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--metrics-dir" => opts.metrics_dir = Some(value("--metrics-dir")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
+            other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
+        }
+    }
+    if !have_reference {
+        return Err(ParseArgsError::new("--reference or --index is required"));
+    }
+    if opts.index.is_some() && !opts.reference.is_empty() {
+        return Err(ParseArgsError::new(
+            "--reference and --index are mutually exclusive",
+        ));
+    }
+    if opts.index_cache.is_some() && opts.index.is_some() {
+        return Err(ParseArgsError::new(
+            "--index-cache requires --reference (a prebuilt --index is \
+             already the cache)",
+        ));
+    }
+    if opts.socket.is_none() && opts.spool.is_none() {
+        return Err(ParseArgsError::new(
+            "serve needs a transport: --socket <path> or --spool <dir>",
+        ));
+    }
+    if opts.socket.is_some() && opts.spool.is_some() {
+        return Err(ParseArgsError::new(
+            "--socket and --spool are mutually exclusive",
+        ));
+    }
+    if opts.once && opts.spool.is_none() {
+        return Err(ParseArgsError::new("--once requires --spool"));
+    }
+    if opts.resume && opts.journal.is_none() {
+        return Err(ParseArgsError::new("--resume requires --journal"));
+    }
+    Ok(opts)
+}
+
+/// Builds the daemon-core configuration a CLI option set selects.
+fn build_serve_options(opts: &ServeCliOptions) -> repute_serve::ServeOptions {
+    repute_serve::ServeOptions {
+        delta: opts.delta,
+        s_min: opts.s_min,
+        max_locations: opts.max_locations,
+        prefilter: opts.prefilter,
+        prefilter_q: opts.prefilter_q,
+        prefilter_bin: opts.prefilter_bin,
+        schedule: opts.schedule,
+        host_threads: opts.host_threads,
+        max_retries: DEFAULT_MAX_RETRIES,
+        tracing: opts.trace_out.is_some(),
+        limits: repute_serve::ServeLimits {
+            max_reads_per_job: opts.max_reads_per_job.unwrap_or(usize::MAX),
+            max_delta: opts.max_delta,
+            queue_capacity: opts.queue_capacity,
+        },
+        tenant_weights: opts.tenant_weights.clone(),
+    }
+}
+
+/// Runs `repute serve`: loads the reference once, then serves mapping
+/// jobs over the configured transport until shutdown (socket) or until
+/// the spool pass completes (`--spool --once`).
+///
+/// # Errors
+///
+/// Propagates configuration, journal, transport, and executor errors,
+/// each carrying the distinct exit code of its [`ReputeError`] class.
+#[cfg(unix)]
+pub fn run_serve(opts: &ServeCliOptions) -> Result<(), ReputeError> {
+    use repute_serve::transport;
+
+    let platform = platform_by_name(&opts.platform)?;
+    let load_started = std::time::Instant::now();
+    let set = load_reference_set(&MapOptions {
+        reference: opts.reference.clone(),
+        index: opts.index.clone(),
+        index_cache: opts.index_cache.clone(),
+        ..MapOptions::default()
+    })?;
+    eprintln!(
+        "reference ready in {:.3} s (loaded once for the daemon's life)",
+        load_started.elapsed().as_secs_f64()
+    );
+    let mut core = repute_serve::ServeCore::new(set, platform, build_serve_options(opts))?;
+    if let Some(journal) = &opts.journal {
+        let path = Path::new(journal);
+        if path.exists() && !opts.resume {
+            return Err(ReputeError::Config(format!(
+                "journal {journal:?} already exists; pass --resume to \
+                 continue it or remove it to start over"
+            )));
+        }
+        if !path.exists() && opts.resume {
+            return Err(ReputeError::Config(format!(
+                "--resume needs an existing journal, but {journal:?} does not exist"
+            )));
+        }
+        let replayed = core.attach_journal(path, opts.resume)?;
+        if !replayed.is_empty() {
+            eprintln!(
+                "resume: {} committed job response(s) replayed from the journal",
+                replayed.len()
+            );
+        }
+    }
+    let export = |core: &repute_serve::ServeCore| -> Result<(), ReputeError> {
+        if let Some(path) = &opts.metrics_out {
+            core.write_telemetry(Path::new(path))?;
+        }
+        if let Some(dir) = &opts.metrics_dir {
+            core.write_job_telemetry_dir(Path::new(dir))?;
+        }
+        Ok(())
+    };
+    if let Some(spool) = &opts.spool {
+        let dir = Path::new(spool);
+        loop {
+            let n = transport::process_spool_once(&mut core, dir)?;
+            if n > 0 {
+                eprintln!("spool: processed {n} job file(s)");
+                export(&core)?;
+            }
+            if opts.once {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+    } else if let Some(socket) = &opts.socket {
+        eprintln!(
+            "listening on {socket:?} (stop with `repute submit --socket {socket} --shutdown`)"
+        );
+        transport::serve_socket(&mut core, Path::new(socket))?;
+    }
+    export(&core)?;
+    if let Some(path) = &opts.trace_out {
+        core.write_trace(Path::new(path))?;
+    }
+    let c = core.counters();
+    eprintln!(
+        "serve: accepted {} | rejected {} | retry-later {} | completed {} \
+         ({} replayed) in {} batch(es) | queue high-water {} | simulated {:.6} s",
+        c.accepted,
+        c.rejected,
+        c.retry_later,
+        c.completed,
+        c.replayed,
+        c.batches,
+        core.queue_depth_high_water(),
+        core.simulated_seconds(),
+    );
+    let (n, p50, p90, p99) = core.latency_percentiles();
+    if n > 0 {
+        eprintln!("job latency (simulated): n={n} p50 {p50:.6} p90 {p90:.6} p99 {p99:.6}");
+    }
+    Ok(())
+}
+
+/// Non-Unix stub: the daemon's transports need Unix-domain sockets.
+///
+/// # Errors
+///
+/// Always returns [`ReputeError::Config`].
+#[cfg(not(unix))]
+pub fn run_serve(_opts: &ServeCliOptions) -> Result<(), ReputeError> {
+    Err(ReputeError::Config(
+        "repute serve requires a Unix platform (Unix-domain sockets)".into(),
+    ))
+}
+
+/// Parsed command-line options for `repute submit`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Unix-domain socket of the running daemon.
+    pub socket: String,
+    /// FASTQ reads to submit (loaded client-side and inlined).
+    pub reads: Option<String>,
+    /// Job id (defaults to the reads file name).
+    pub id: Option<String>,
+    /// Tenant the job is accounted to.
+    pub tenant: Option<String>,
+    /// Per-job δ override (within the server's `--max-delta`).
+    pub delta: Option<u32>,
+    /// Per-job prefilter override.
+    pub prefilter: Option<String>,
+    /// Per-job mapper override.
+    pub mapper: Option<String>,
+    /// SAM output path; `None` writes to stdout.
+    pub output: Option<String>,
+    /// Ask the daemon to drain and shut down instead of submitting.
+    pub shutdown: bool,
+}
+
+/// Parses `repute submit` arguments.
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown flags, missing values, or
+/// missing required options.
+pub fn parse_submit_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<SubmitOptions, ParseArgsError> {
+    let mut opts = SubmitOptions::default();
+    let mut have_socket = false;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| ParseArgsError::new(format!("{name} expects a value")))
+        };
+        match arg.as_str() {
+            "--socket" => {
+                opts.socket = value("--socket")?;
+                have_socket = true;
+            }
+            "--reads" => opts.reads = Some(value("--reads")?),
+            "--id" => opts.id = Some(value("--id")?),
+            "--tenant" => opts.tenant = Some(value("--tenant")?),
+            "--delta" => {
+                opts.delta = Some(
+                    value("--delta")?
+                        .parse()
+                        .map_err(|_| ParseArgsError::new("--delta expects an integer"))?,
+                );
+            }
+            "--prefilter" => opts.prefilter = Some(value("--prefilter")?),
+            "--mapper" => opts.mapper = Some(value("--mapper")?),
+            "--output" => opts.output = Some(value("--output")?),
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
+            other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
+        }
+    }
+    if !have_socket {
+        return Err(ParseArgsError::new("--socket is required"));
+    }
+    if !opts.shutdown && opts.reads.is_none() {
+        return Err(ParseArgsError::new("--reads is required (or --shutdown)"));
+    }
+    Ok(opts)
+}
+
+/// Runs `repute submit`: builds a job envelope from the FASTQ file,
+/// sends it to a running daemon, and writes the returned SAM.
+///
+/// # Errors
+///
+/// [`ReputeError::Io`] when the daemon is unreachable;
+/// [`ReputeError::Config`] (exit 2) when the daemon answers `REJECTED`
+/// or `RETRY_LATER`, carrying the server's reason.
+#[cfg(unix)]
+pub fn run_submit(opts: &SubmitOptions) -> Result<(), ReputeError> {
+    use repute_serve::transport;
+
+    let socket = Path::new(&opts.socket);
+    if opts.shutdown {
+        transport::shutdown_over_socket(socket)?;
+        eprintln!("shutdown requested on {:?}", opts.socket);
+        return Ok(());
+    }
+    let reads_path = opts
+        .reads
+        .as_deref()
+        .ok_or_else(|| ReputeError::Config("submit needs --reads (or --shutdown)".into()))?;
+    let id = match &opts.id {
+        Some(id) => id.clone(),
+        None => Path::new(reads_path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("job")
+            .to_string(),
+    };
+    let mut envelope = repute_serve::JobEnvelope::new(id, Vec::new());
+    envelope.reads_path = Some(reads_path.to_string());
+    if let Some(tenant) = &opts.tenant {
+        envelope.tenant = tenant.clone();
+    }
+    envelope.delta = opts.delta;
+    if let Some(prefilter) = &opts.prefilter {
+        envelope.prefilter = Some(
+            prefilter
+                .parse()
+                .map_err(|e| ReputeError::Config(format!("--prefilter: {e}")))?,
+        );
+    }
+    if let Some(mapper) = &opts.mapper {
+        envelope.mapper = Some(
+            mapper
+                .parse()
+                .map_err(|e| ReputeError::Config(format!("--mapper: {e}")))?,
+        );
+    }
+    // Load the reads client-side so the daemon never depends on the
+    // client's filesystem.
+    repute_serve::resolve_reads(&mut envelope)?;
+    let responses = transport::submit_over_socket(socket, &[envelope.to_json_line()])?;
+    let response = responses.into_iter().next().ok_or_else(|| {
+        ReputeError::InputParse("server closed the connection without a response".into())
+    })?;
+    match response.status {
+        repute_serve::JobStatus::Ok => {
+            eprintln!(
+                "job {:?}: OK | {} read(s) | {} mapping(s) | batch {} | latency {:.6} s",
+                response.id,
+                response.reads,
+                response.mappings,
+                response.batch.unwrap_or(0),
+                response.latency_s.unwrap_or(0.0),
+            );
+            let sam = response.sam.unwrap_or_default();
+            write_sam_output(opts.output.as_deref(), sam.as_bytes())
+        }
+        status => Err(ReputeError::Config(format!(
+            "job {:?} answered {}: {}",
+            response.id,
+            status.as_str(),
+            response.reason.unwrap_or_else(|| "no reason given".into()),
+        ))),
+    }
+}
+
+/// Non-Unix stub: the submit client needs Unix-domain sockets.
+///
+/// # Errors
+///
+/// Always returns [`ReputeError::Config`].
+#[cfg(not(unix))]
+pub fn run_submit(_opts: &SubmitOptions) -> Result<(), ReputeError> {
+    Err(ReputeError::Config(
+        "repute submit requires a Unix platform (Unix-domain sockets)".into(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1728,6 +2526,7 @@ mod tests {
         let opts = MapOptions {
             reference: ref_path.to_string_lossy().into_owned(),
             index: None,
+            index_cache: None,
             reads: reads_path.to_string_lossy().into_owned(),
             delta: 3,
             s_min: 15,
@@ -1832,6 +2631,82 @@ mod tests {
             line_b.contains("\tchrB\t5001\t") || line_b.contains("\tchrB\t"),
             "{line_b}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_cache_hits_validates_and_rebuilds_on_stale() {
+        use repute_genome::fasta::{write_fasta, FastaRecord};
+        use repute_genome::fastq::{write_fastq, FastqRecord};
+        use repute_genome::synth::ReferenceBuilder;
+
+        let dir = std::env::temp_dir().join("repute-cli-index-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = ReferenceBuilder::new(50_000).seed(21).build();
+        let ref_path = dir.join("ref.fa");
+        let cache_path = dir.join("ref.rpxc");
+        let reads_path = dir.join("reads.fq");
+        let out_a = dir.join("a.sam");
+        let out_b = dir.join("b.sam");
+
+        let mut f = Vec::new();
+        write_fasta(&mut f, &[FastaRecord::new("chrC", reference.clone())], 70).unwrap();
+        std::fs::write(&ref_path, f).unwrap();
+        let reads = vec![FastqRecord::with_uniform_quality(
+            "r0",
+            reference.subseq(30_000..30_100),
+            40,
+        )];
+        let mut f = Vec::new();
+        write_fastq(&mut f, &reads).unwrap();
+        std::fs::write(&reads_path, f).unwrap();
+
+        let map_with_cache = |out: &Path| {
+            let opts = parse_map_args(
+                format!(
+                    "--reference {} --index-cache {} --reads {} --delta 3 --s-min 15 --output {}",
+                    ref_path.display(),
+                    cache_path.display(),
+                    reads_path.display(),
+                    out.display()
+                )
+                .split_whitespace()
+                .map(String::from),
+            )
+            .unwrap();
+            run_map(&opts).unwrap()
+        };
+
+        // First run: cache miss, builds and saves.
+        assert!(!cache_path.exists());
+        map_with_cache(&out_a);
+        assert!(cache_path.exists());
+        let cached = std::fs::read(&cache_path).unwrap();
+        assert_eq!(&cached[..4], b"RPXC");
+
+        // Second run: cache hit; output is byte-identical.
+        map_with_cache(&out_b);
+        assert_eq!(
+            std::fs::read(&out_a).unwrap(),
+            std::fs::read(&out_b).unwrap()
+        );
+
+        // A stale cache (reference changed) is rebuilt, not trusted: the
+        // run still resolves against the *new* reference.
+        let other = ReferenceBuilder::new(50_000).seed(22).build();
+        let mut f = Vec::new();
+        write_fasta(&mut f, &[FastaRecord::new("chrD", other)], 70).unwrap();
+        std::fs::write(&ref_path, f).unwrap();
+        map_with_cache(&out_b);
+        let sam = std::fs::read_to_string(&out_b).unwrap();
+        assert!(sam.contains("SN:chrD"), "{sam}");
+        let rebuilt = std::fs::read(&cache_path).unwrap();
+        assert_ne!(cached, rebuilt, "stale cache must be replaced");
+
+        // Corruption is also a silent rebuild, never an error.
+        std::fs::write(&cache_path, b"RPXCgarbage").unwrap();
+        map_with_cache(&out_b);
+        assert!(std::fs::read(&cache_path).unwrap().len() > 12);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -2070,20 +2945,97 @@ mod tests {
         assert_eq!(
             parse_stats_args(args("m.jsonl")).unwrap(),
             StatsOptions {
-                input: "m.jsonl".into(),
+                inputs: vec!["m.jsonl".into()],
+                dir: None,
                 strict: false,
             }
         );
         assert_eq!(
             parse_stats_args(args("--strict m.jsonl")).unwrap(),
             StatsOptions {
-                input: "m.jsonl".into(),
+                inputs: vec!["m.jsonl".into()],
+                dir: None,
                 strict: true,
             }
         );
+        // Several files merge; --dir alone is enough.
+        assert_eq!(
+            parse_stats_args(args("a.jsonl b.jsonl")).unwrap().inputs,
+            vec!["a.jsonl".to_string(), "b.jsonl".to_string()],
+        );
+        assert_eq!(
+            parse_stats_args(args("--dir spool")).unwrap(),
+            StatsOptions {
+                inputs: Vec::new(),
+                dir: Some("spool".into()),
+                strict: false,
+            }
+        );
         assert!(parse_stats_args(args("")).is_err());
-        assert!(parse_stats_args(args("a.jsonl b.jsonl")).is_err());
+        assert!(parse_stats_args(args("--dir")).is_err());
+        assert!(parse_stats_args(args("--dir a --dir b")).is_err());
         assert!(parse_stats_args(args("--wat m.jsonl")).is_err());
+    }
+
+    #[test]
+    fn serve_and_submit_args_validation() {
+        let opts =
+            parse_serve_args(args("--reference r.fa --socket s.sock --queue-capacity 8")).unwrap();
+        assert_eq!(opts.queue_capacity, 8);
+        assert_eq!(opts.schedule, ScheduleMode::Dynamic);
+        let opts = parse_serve_args(args(
+            "--reference r.fa --spool jobs --once --tenant-weight acme=3 --tenant-weight lab=0.5",
+        ))
+        .unwrap();
+        assert!(opts.once);
+        assert_eq!(
+            opts.tenant_weights,
+            vec![("acme".to_string(), 3.0), ("lab".to_string(), 0.5)]
+        );
+        // Transport is required, --once needs --spool, --resume needs
+        // --journal, weights must be positive.
+        assert!(parse_serve_args(args("--reference r.fa")).is_err());
+        assert!(parse_serve_args(args("--reference r.fa --socket s --spool d")).is_err());
+        assert!(parse_serve_args(args("--reference r.fa --socket s --once")).is_err());
+        assert!(parse_serve_args(args("--reference r.fa --socket s --resume")).is_err());
+        assert!(parse_serve_args(args("--reference r.fa --socket s --tenant-weight a=0")).is_err());
+        assert!(parse_serve_args(args("--index i.rpx --index-cache c --socket s")).is_err());
+
+        let opts = parse_submit_args(args("--socket s.sock --reads r.fq --tenant acme")).unwrap();
+        assert_eq!(opts.tenant.as_deref(), Some("acme"));
+        let opts = parse_submit_args(args("--socket s.sock --shutdown")).unwrap();
+        assert!(opts.shutdown);
+        assert!(parse_submit_args(args("--reads r.fq")).is_err());
+        assert!(parse_submit_args(args("--socket s.sock")).is_err());
+    }
+
+    #[test]
+    fn stats_renders_merged_serve_and_job_records() {
+        let text = concat!(
+            "{\"type\":\"job\",\"seq\":0,\"id\":\"a\",\"tenant\":\"acme\",\"reads\":2,",
+            "\"mappings\":3,\"batch\":0,\"latency_s\":0.25,\"replayed\":false}\n",
+            "{\"type\":\"job\",\"seq\":1,\"id\":\"b\",\"tenant\":\"lab\",\"reads\":1,",
+            "\"mappings\":1,\"batch\":0,\"latency_s\":0.75,\"replayed\":true}\n",
+            "{\"type\":\"serve\",\"accepted\":2,\"rejected\":1,\"retry_later\":1,",
+            "\"completed\":2,\"replayed\":1,\"batches\":1,\"queue_depth\":0,",
+            "\"queue_depth_max\":2,\"simulated_seconds\":0.75}\n",
+            // A second snapshot (another file, concatenated): counters sum.
+            "{\"type\":\"serve\",\"accepted\":3,\"rejected\":0,\"retry_later\":0,",
+            "\"completed\":3,\"replayed\":0,\"batches\":2,\"queue_depth\":0,",
+            "\"queue_depth_max\":3,\"simulated_seconds\":1.25}\n",
+        );
+        let rendered = render_stats_strict(text).unwrap();
+        assert!(rendered.contains("accepted 5"), "{rendered}");
+        assert!(rendered.contains("rejected 1"), "{rendered}");
+        assert!(rendered.contains("queue depth high-water 3"), "{rendered}");
+        assert!(
+            rendered.contains("jobs: 2 completed (1 replayed)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("tenant acme"), "{rendered}");
+        // Pooled percentiles over both jobs' latencies.
+        assert!(rendered.contains("job latency (merged"), "{rendered}");
+        assert!(rendered.contains("n=2"), "{rendered}");
     }
 
     #[test]

@@ -49,6 +49,20 @@ fn main() -> ExitCode {
             },
             Err(e) => usage_error(&e),
         },
+        Some("serve") => match repute_cli::parse_serve_args(args) {
+            Ok(opts) => match repute_cli::run_serve(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            },
+            Err(e) => usage_error(&e),
+        },
+        Some("submit") => match repute_cli::parse_submit_args(args) {
+            Ok(opts) => match repute_cli::run_submit(&opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            },
+            Err(e) => usage_error(&e),
+        },
         Some("stats") => match repute_cli::parse_stats_args(args) {
             Ok(opts) => match repute_cli::run_stats(&opts) {
                 Ok(()) => ExitCode::SUCCESS,

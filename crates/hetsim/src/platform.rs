@@ -286,6 +286,19 @@ impl Platform {
             .collect()
     }
 
+    /// Largest number of `item_bytes`-sized records that fits the
+    /// quarter-RAM output cap of *every* device — the coalescing bound a
+    /// long-lived service uses when it packs many small jobs into one
+    /// scheduler batch (any larger batch would force the dynamic
+    /// scheduler to split it again on the smallest device).
+    pub fn max_batch_items(&self, item_bytes: usize) -> usize {
+        self.devices
+            .iter()
+            .map(|d| crate::Buffer::max_items(d, item_bytes))
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
     /// A distribution that puts every item on one device.
     ///
     /// # Panics

@@ -40,7 +40,8 @@ pub mod trace;
 
 pub use map_metrics::MapMetrics;
 pub use metrics::{
-    Collected, CollectingSink, Counter, Histogram, MetricsSink, NoopSink, Samples, StageTimer,
+    Collected, CollectingSink, Counter, Gauge, Histogram, MetricsSink, NoopSink, Samples,
+    StageTimer,
 };
 pub use report::{DeviceTimeline, EnergySummary, KernelEvent, RunReport, StageLatency};
 pub use trace::{NoopTraceSink, Span, TraceSink, VecTraceSink};

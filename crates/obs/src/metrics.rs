@@ -39,6 +39,50 @@ impl Counter {
     }
 }
 
+/// A level that moves both ways — queue depths, in-flight batches —
+/// tracked together with its high-water mark.
+///
+/// Counters only grow; a gauge additionally answers "how deep did it
+/// ever get", which is the number an admission-control layer reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge {
+    value: u64,
+    max: u64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the current level, updating the high-water mark.
+    pub fn set(&mut self, value: u64) {
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Raises the level by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.set(self.value + n);
+    }
+
+    /// Lowers the level by `n` (saturating at zero).
+    pub fn sub(&mut self, n: u64) {
+        self.value = self.value.saturating_sub(n);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Highest level ever set.
+    pub fn high_water(&self) -> u64 {
+        self.max
+    }
+}
+
 /// Number of buckets in a [`Histogram`]: one for zero plus one per power
 /// of two up to 2⁶³.
 pub const HISTOGRAM_BUCKETS: usize = 65;
@@ -446,6 +490,21 @@ impl MetricsSink for CollectingSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_tracks_level_and_high_water() {
+        let mut g = Gauge::new();
+        assert_eq!((g.get(), g.high_water()), (0, 0));
+        g.add(3);
+        g.add(2);
+        assert_eq!((g.get(), g.high_water()), (5, 5));
+        g.sub(4);
+        assert_eq!((g.get(), g.high_water()), (1, 5));
+        g.sub(9); // saturates
+        assert_eq!(g.get(), 0);
+        g.set(2);
+        assert_eq!((g.get(), g.high_water()), (2, 5));
+    }
 
     #[test]
     fn counter_add_and_merge() {

@@ -1,0 +1,513 @@
+//! Crash-safe job journal for the daemon.
+//!
+//! The journal is the daemon's only durable state. Two record kinds are
+//! appended, each wrapped in a CRC-framed record (`[len u32][payload]
+//! [crc32]`, all little-endian, same framing as the checkpoint journal
+//! in `repute_core::journal`):
+//!
+//! * **Accepted** — written the moment a job passes admission, before
+//!   any response is sent. Carries everything needed to re-execute the
+//!   job: id, tenant, arrival time, the *effective* (limit-clamped)
+//!   mapping configuration, and the full read content. Spool files and
+//!   socket buffers may vanish in a crash; the journal cannot.
+//! * **BatchDone** — written once per completed scheduler batch, as a
+//!   single frame. It lists every job in the batch together with each
+//!   read's mapping locations. Because the frame is one CRC unit, a
+//!   batch commit is atomic: after a crash the batch either replays
+//!   from its stored mappings (byte-identical responses, no
+//!   re-execution) or it never happened and its jobs re-run. This is
+//!   the "at most one in-flight batch re-executed" guarantee.
+//!
+//! Recovery truncates a torn tail (a partial or CRC-broken final
+//! frame — the crash interrupted an append) but refuses a CRC break in
+//! the interior as [`ReputeError::JournalCorrupt`], and refuses a
+//! header whose [`RunFingerprint`] does not match the running server as
+//! [`ReputeError::ResumeMismatch`] (same policy as checkpoint resume).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use repute_core::journal::{crc32, RunFingerprint};
+use repute_core::ReputeError;
+use repute_genome::{DnaSeq, Strand};
+use repute_mappers::Mapping;
+
+use crate::admission::{ConfigKey, JobSpec};
+use crate::envelope::{prefilter_code, prefilter_from_code, MapperKind};
+
+/// Magic prefix of a serve journal file.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"RPSVJNL1";
+
+const TAG_ACCEPTED: u8 = 1;
+const TAG_BATCH_DONE: u8 = 2;
+
+/// The mapping results of one job inside a committed batch: one inner
+/// vector per read, in job read order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Acceptance sequence number of the job.
+    pub seq: u64,
+    /// Per-read mapping locations.
+    pub mappings: Vec<Vec<Mapping>>,
+}
+
+/// A committed batch: which jobs ran together, and when (simulated
+/// clock) the batch completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Batch ordinal (0-based, in execution order).
+    pub batch: u64,
+    /// Simulated completion time of the batch.
+    pub completion_s: f64,
+    /// Results for every job of the batch, in dispatch order.
+    pub jobs: Vec<JobResult>,
+}
+
+/// Everything recovered from a journal replay.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Accepted jobs in acceptance order.
+    pub accepted: Vec<JobSpec>,
+    /// Committed batches in commit order.
+    pub batches: Vec<BatchRecord>,
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ReputeError> {
+        if self.at + n > self.bytes.len() {
+            return Err(corrupt("record payload truncated"));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ReputeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ReputeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ReputeError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn string(&mut self) -> Result<String, ReputeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("record string is not UTF-8"))
+    }
+}
+
+fn corrupt(detail: &str) -> ReputeError {
+    ReputeError::JournalCorrupt(detail.to_string())
+}
+
+fn encode_accepted(job: &JobSpec) -> Vec<u8> {
+    let mut out = vec![TAG_ACCEPTED];
+    put_u64(&mut out, job.seq);
+    put_u64(&mut out, job.arrival_s.to_bits());
+    put_u32(&mut out, job.key.delta);
+    out.push(prefilter_code(job.key.prefilter));
+    out.push(job.key.mapper.code());
+    put_str(&mut out, &job.id);
+    put_str(&mut out, &job.tenant);
+    put_u32(&mut out, job.reads.len() as u32);
+    for (rid, seq) in job.read_ids.iter().zip(&job.reads) {
+        put_str(&mut out, rid);
+        put_str(&mut out, &seq.to_string());
+    }
+    out
+}
+
+fn decode_accepted(cur: &mut Cursor<'_>) -> Result<JobSpec, ReputeError> {
+    let seq = cur.u64()?;
+    let arrival_s = f64::from_bits(cur.u64()?);
+    let delta = cur.u32()?;
+    let prefilter = prefilter_from_code(cur.u8()?)
+        .ok_or_else(|| corrupt("unknown prefilter code in accepted record"))?;
+    let mapper = MapperKind::from_code(cur.u8()?)
+        .ok_or_else(|| corrupt("unknown mapper code in accepted record"))?;
+    let id = cur.string()?;
+    let tenant = cur.string()?;
+    let n_reads = cur.u32()? as usize;
+    let mut read_ids = Vec::with_capacity(n_reads);
+    let mut reads = Vec::with_capacity(n_reads);
+    for _ in 0..n_reads {
+        read_ids.push(cur.string()?);
+        let text = cur.string()?;
+        reads.push(
+            text.parse::<DnaSeq>()
+                .map_err(|_| corrupt("invalid read sequence in accepted record"))?,
+        );
+    }
+    Ok(JobSpec {
+        seq,
+        id,
+        tenant,
+        key: ConfigKey {
+            delta,
+            prefilter,
+            mapper,
+        },
+        arrival_s,
+        read_ids,
+        reads,
+    })
+}
+
+fn encode_batch(record: &BatchRecord) -> Vec<u8> {
+    let mut out = vec![TAG_BATCH_DONE];
+    put_u64(&mut out, record.batch);
+    put_u64(&mut out, record.completion_s.to_bits());
+    put_u32(&mut out, record.jobs.len() as u32);
+    for job in &record.jobs {
+        put_u64(&mut out, job.seq);
+        put_u32(&mut out, job.mappings.len() as u32);
+        for per_read in &job.mappings {
+            put_u32(&mut out, per_read.len() as u32);
+            for m in per_read {
+                put_u32(&mut out, m.position);
+                out.push(match m.strand {
+                    Strand::Forward => 0,
+                    Strand::Reverse => 1,
+                });
+                put_u32(&mut out, m.distance);
+            }
+        }
+    }
+    out
+}
+
+fn decode_batch(cur: &mut Cursor<'_>) -> Result<BatchRecord, ReputeError> {
+    let batch = cur.u64()?;
+    let completion_s = f64::from_bits(cur.u64()?);
+    let n_jobs = cur.u32()? as usize;
+    let mut jobs = Vec::with_capacity(n_jobs);
+    for _ in 0..n_jobs {
+        let seq = cur.u64()?;
+        let n_reads = cur.u32()? as usize;
+        let mut mappings = Vec::with_capacity(n_reads);
+        for _ in 0..n_reads {
+            let n = cur.u32()? as usize;
+            let mut per_read = Vec::with_capacity(n);
+            for _ in 0..n {
+                let position = cur.u32()?;
+                let strand = match cur.u8()? {
+                    0 => Strand::Forward,
+                    1 => Strand::Reverse,
+                    _ => return Err(corrupt("unknown strand code in batch record")),
+                };
+                let distance = cur.u32()?;
+                per_read.push(Mapping {
+                    position,
+                    strand,
+                    distance,
+                });
+            }
+            mappings.push(per_read);
+        }
+        jobs.push(JobResult { seq, mappings });
+    }
+    Ok(BatchRecord {
+        batch,
+        jobs,
+        completion_s,
+    })
+}
+
+/// Append-only journal of accepted jobs and committed batches.
+#[derive(Debug)]
+pub struct JobJournal {
+    file: File,
+    path: PathBuf,
+}
+
+impl JobJournal {
+    /// Creates a fresh journal at `path`, writing the header (magic +
+    /// fingerprint + header CRC). An existing file is truncated.
+    pub fn create(path: &Path, fingerprint: &RunFingerprint) -> Result<JobJournal, ReputeError> {
+        let mut header = Vec::with_capacity(36);
+        header.extend_from_slice(JOURNAL_MAGIC);
+        put_u64(&mut header, fingerprint.config);
+        put_u64(&mut header, fingerprint.workload);
+        put_u64(&mut header, fingerprint.shape);
+        let crc = crc32(&header[8..]);
+        put_u32(&mut header, crc);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| ReputeError::io_at(path, e))?;
+        file.write_all(&header)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| ReputeError::io_at(path, e))?;
+        Ok(JobJournal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing journal for resume: validates the header
+    /// against `fingerprint`, replays every intact frame, truncates a
+    /// torn tail, and returns the journal positioned for appends plus
+    /// everything recovered.
+    pub fn open(
+        path: &Path,
+        fingerprint: &RunFingerprint,
+    ) -> Result<(JobJournal, Recovered), ReputeError> {
+        let io = |e: std::io::Error| ReputeError::io_at(path, e);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(io)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io)?;
+        if bytes.len() < 36 || &bytes[..8] != JOURNAL_MAGIC {
+            return Err(corrupt("journal header missing or wrong magic"));
+        }
+        if crc32(&bytes[8..32]) != u32::from_le_bytes([bytes[32], bytes[33], bytes[34], bytes[35]])
+        {
+            return Err(corrupt("journal header CRC mismatch"));
+        }
+        let mut words = [0u64; 3];
+        for (i, w) in words.iter_mut().enumerate() {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[8 + i * 8..16 + i * 8]);
+            *w = u64::from_le_bytes(raw);
+        }
+        let found = RunFingerprint {
+            config: words[0],
+            workload: words[1],
+            shape: words[2],
+        };
+        if found != *fingerprint {
+            return Err(ReputeError::ResumeMismatch(format!(
+                "serve journal was written by run {} but this server is {} \
+                 (different reference, limits, or platform)",
+                found.render(),
+                fingerprint.render()
+            )));
+        }
+
+        let mut recovered = Recovered::default();
+        let mut at = 36usize;
+        let mut intact_end = at;
+        while at < bytes.len() {
+            // Frame = [len][payload][crc]; anything short of that at the
+            // end of the file is a torn tail.
+            if at + 4 > bytes.len() {
+                break;
+            }
+            let len = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+                as usize;
+            let payload_at = at + 4;
+            let crc_at = payload_at + len;
+            if crc_at + 4 > bytes.len() {
+                break;
+            }
+            let payload = &bytes[payload_at..crc_at];
+            let stored = u32::from_le_bytes([
+                bytes[crc_at],
+                bytes[crc_at + 1],
+                bytes[crc_at + 2],
+                bytes[crc_at + 3],
+            ]);
+            if crc32(payload) != stored {
+                if crc_at + 4 == bytes.len() {
+                    break; // torn final frame: crash mid-append
+                }
+                return Err(corrupt("record CRC mismatch before end of journal"));
+            }
+            let mut cur = Cursor {
+                bytes: payload,
+                at: 0,
+            };
+            match cur.u8()? {
+                TAG_ACCEPTED => recovered.accepted.push(decode_accepted(&mut cur)?),
+                TAG_BATCH_DONE => recovered.batches.push(decode_batch(&mut cur)?),
+                _ => return Err(corrupt("unknown record tag")),
+            }
+            at = crc_at + 4;
+            intact_end = at;
+        }
+        if intact_end < bytes.len() {
+            file.set_len(intact_end as u64).map_err(io)?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(io)?;
+        Ok((
+            JobJournal {
+                file,
+                path: path.to_path_buf(),
+            },
+            recovered,
+        ))
+    }
+
+    fn append(&mut self, payload: &[u8]) -> Result<(), ReputeError> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(payload);
+        put_u32(&mut frame, crc32(payload));
+        self.file
+            .write_all(&frame)
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| ReputeError::io_at(&self.path, e))
+    }
+
+    /// Journals an accepted job (called before the acceptance response
+    /// is sent).
+    pub fn record_accepted(&mut self, job: &JobSpec) -> Result<(), ReputeError> {
+        self.append(&encode_accepted(job))
+    }
+
+    /// Journals a completed batch as one atomic frame.
+    pub fn record_batch(&mut self, record: &BatchRecord) -> Result<(), ReputeError> {
+        self.append(&encode_batch(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repute_prefilter::PrefilterMode;
+
+    fn fp() -> RunFingerprint {
+        RunFingerprint {
+            config: 1,
+            workload: 2,
+            shape: 3,
+        }
+    }
+
+    fn job(seq: u64) -> JobSpec {
+        JobSpec {
+            seq,
+            id: format!("job-{seq}"),
+            tenant: "acme".to_string(),
+            key: ConfigKey {
+                delta: 4,
+                prefilter: PrefilterMode::Shd,
+                mapper: MapperKind::Repute,
+            },
+            arrival_s: 0.25 * seq as f64,
+            read_ids: vec!["r0".to_string(), "r1".to_string()],
+            reads: vec![
+                "ACGTACGT".parse().expect("seq"),
+                "TTTTACGT".parse().expect("seq"),
+            ],
+        }
+    }
+
+    fn batch(batch: u64) -> BatchRecord {
+        BatchRecord {
+            batch,
+            completion_s: 1.5,
+            jobs: vec![JobResult {
+                seq: batch,
+                mappings: vec![
+                    vec![Mapping {
+                        position: 7,
+                        strand: Strand::Reverse,
+                        distance: 2,
+                    }],
+                    vec![],
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_jobs_and_batches() {
+        let dir = std::env::temp_dir().join(format!("serve-jnl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("round_trip.jnl");
+        {
+            let mut j = JobJournal::create(&path, &fp()).expect("create");
+            j.record_accepted(&job(0)).expect("job");
+            j.record_accepted(&job(1)).expect("job");
+            j.record_batch(&batch(0)).expect("batch");
+        }
+        let (_, recovered) = JobJournal::open(&path, &fp()).expect("open");
+        assert_eq!(recovered.accepted, vec![job(0), job(1)]);
+        assert_eq!(recovered.batches, vec![batch(0)]);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = std::env::temp_dir().join(format!("serve-jnl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("torn_tail.jnl");
+        {
+            let mut j = JobJournal::create(&path, &fp()).expect("create");
+            j.record_accepted(&job(0)).expect("job");
+            j.record_accepted(&job(1)).expect("job");
+        }
+        // Chop bytes off the final frame: crash mid-append.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("write");
+        let (mut j, recovered) = JobJournal::open(&path, &fp()).expect("open");
+        assert_eq!(recovered.accepted, vec![job(0)]);
+        // The truncated journal accepts new appends cleanly.
+        j.record_accepted(&job(2)).expect("job");
+        drop(j);
+        let (_, again) = JobJournal::open(&path, &fp()).expect("reopen");
+        assert_eq!(again.accepted, vec![job(0), job(2)]);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn interior_corruption_and_fingerprint_mismatch_are_refused() {
+        let dir = std::env::temp_dir().join(format!("serve-jnl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("corrupt.jnl");
+        {
+            let mut j = JobJournal::create(&path, &fp()).expect("create");
+            j.record_accepted(&job(0)).expect("job");
+            j.record_accepted(&job(1)).expect("job");
+        }
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[40] ^= 0xFF; // flip a byte inside the first frame
+        std::fs::write(&path, &bytes).expect("write");
+        let err = JobJournal::open(&path, &fp()).expect_err("corrupt");
+        assert!(matches!(err, ReputeError::JournalCorrupt { .. }));
+
+        let other = RunFingerprint {
+            config: 9,
+            workload: 9,
+            shape: 9,
+        };
+        JobJournal::create(&path, &other).expect("recreate");
+        let err = JobJournal::open(&path, &fp()).expect_err("mismatch");
+        assert!(matches!(err, ReputeError::ResumeMismatch { .. }));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

@@ -1,0 +1,764 @@
+//! The daemon core: admission, batch coalescing, execution, journaling,
+//! and observability — everything except the transport.
+//!
+//! [`ServeCore`] is single-threaded and fully deterministic. The
+//! reference and FM-index are loaded once (shared behind the
+//! [`ReferenceSet`]'s internal `Arc`); each submitted job is validated
+//! against the server's pinned limits, journaled, and queued; each
+//! [`ServeCore::run_batch`] call fair-dequeues a run of jobs with the
+//! same effective mapping configuration, packs them under the
+//! platform's quarter-RAM batch cap, executes them as *one* scheduler
+//! batch on the simulated fleet, commits the batch to the job journal,
+//! and emits one response per job.
+//!
+//! Per-job output is byte-identical to `repute map` on the same reads
+//! and configuration by construction: mapping happens in the executor's
+//! deterministic host phase (independent of batching and scheduling),
+//! and the SAM assembly uses the same resolve-and-write path as the
+//! batch CLI. The simulated clock advances by each batch's makespan, so
+//! latency percentiles and trace spans live on one continuous timeline
+//! across the daemon's life — including across a crash and `--resume`.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use repute_core::journal::Fnv64;
+use repute_core::{
+    map_scheduled_traced, write_atomic, ReputeConfig, ReputeError, ReputeMapper, RunFingerprint,
+    Schedule, ScheduleMode, DEFAULT_MAX_RETRIES,
+};
+use repute_eval::sam;
+use repute_genome::DnaSeq;
+use repute_hetsim::Platform;
+use repute_mappers::multiref::ReferenceSet;
+use repute_mappers::{
+    bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like, razers3::Razers3Like,
+    yara::YaraLike, Mapper, Mapping,
+};
+use repute_obs::json::JsonObject;
+use repute_obs::trace::{device_pid, write_chrome_trace, SCHEDULER_PID};
+use repute_obs::{Samples, Span};
+use repute_prefilter::{qgram, PrefilterMode};
+
+use crate::admission::{AdmissionQueue, ConfigKey, JobSpec, DEFAULT_QUEUE_CAPACITY};
+use crate::envelope::{prefilter_code, resolve_reads, JobEnvelope, JobResponse, JobStatus};
+use crate::journal::{BatchRecord, JobJournal, JobResult, Recovered};
+
+/// Bytes one read's output occupies in a device result buffer (the
+/// executor's `max_locations × 12` convention).
+const BYTES_PER_LOCATION: usize = 12;
+
+/// Admission limits the server pins; per-job overrides must stay inside
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLimits {
+    /// Largest read count a single job may carry; bigger jobs are
+    /// `REJECTED` (they would not fit one scheduler batch). Clamped to
+    /// the platform's quarter-RAM batch cap at server construction.
+    pub max_reads_per_job: usize,
+    /// Largest per-job δ override accepted.
+    pub max_delta: u32,
+    /// Admission-queue capacity; a full queue answers `RETRY_LATER`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            max_reads_per_job: usize::MAX,
+            max_delta: 16,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+/// Server configuration: mapping defaults, pinned limits, fairness
+/// weights, and observability switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Default error budget δ for jobs without an override.
+    pub delta: u32,
+    /// Minimum k-mer length `S_min` (server-pinned, not overridable).
+    pub s_min: usize,
+    /// Output-slot limit per read (server-pinned; also sets the batch
+    /// cap via the executor's bytes-per-read convention).
+    pub max_locations: usize,
+    /// Default prefilter mode for jobs without an override.
+    pub prefilter: PrefilterMode,
+    /// Q-gram length of the bin prefilter.
+    pub prefilter_q: usize,
+    /// Reference bin width (bases) of the bin prefilter.
+    pub prefilter_bin: usize,
+    /// Multi-device scheduling policy of every batch.
+    pub schedule: ScheduleMode,
+    /// Host-thread cap of the executor (`0` = automatic).
+    pub host_threads: usize,
+    /// Transient-fault retry budget (kept for config parity with `map`).
+    pub max_retries: usize,
+    /// Collect per-batch and per-job trace spans.
+    pub tracing: bool,
+    /// Pinned admission limits.
+    pub limits: ServeLimits,
+    /// Weighted-fair tenant weights (unlisted tenants get 1.0).
+    pub tenant_weights: Vec<(String, f64)>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            delta: 5,
+            s_min: 12,
+            max_locations: 100,
+            prefilter: PrefilterMode::None,
+            prefilter_q: qgram::DEFAULT_Q,
+            prefilter_bin: qgram::DEFAULT_BIN_WIDTH,
+            schedule: ScheduleMode::Dynamic,
+            host_threads: 0,
+            max_retries: DEFAULT_MAX_RETRIES,
+            tracing: false,
+            limits: ServeLimits::default(),
+            tenant_weights: Vec::new(),
+        }
+    }
+}
+
+/// Monotone service counters, exported in the `serve` telemetry record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Jobs that passed admission (journaled and queued).
+    pub accepted: u64,
+    /// Jobs permanently refused (over-limit or malformed).
+    pub rejected: u64,
+    /// Jobs bounced by queue backpressure.
+    pub retry_later: u64,
+    /// Jobs whose batch committed (responses produced).
+    pub completed: u64,
+    /// Completed jobs whose responses were replayed from the journal on
+    /// resume instead of re-executed.
+    pub replayed: u64,
+    /// Scheduler batches committed.
+    pub batches: u64,
+}
+
+/// Telemetry facts of one completed job.
+#[derive(Debug, Clone, PartialEq)]
+struct JobRecord {
+    seq: u64,
+    id: String,
+    tenant: String,
+    reads: u64,
+    mappings: u64,
+    batch: u64,
+    latency_s: f64,
+    replayed: bool,
+}
+
+impl JobRecord {
+    fn to_json_line(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.str_field("type", "job");
+        obj.u64_field("seq", self.seq);
+        obj.str_field("id", &self.id);
+        obj.str_field("tenant", &self.tenant);
+        obj.u64_field("reads", self.reads);
+        obj.u64_field("mappings", self.mappings);
+        obj.u64_field("batch", self.batch);
+        obj.f64_field("latency_s", self.latency_s);
+        obj.bool_field("replayed", self.replayed);
+        obj.finish()
+    }
+}
+
+/// The mapping-as-a-service core (see the module docs).
+pub struct ServeCore {
+    set: ReferenceSet,
+    platform: Platform,
+    options: ServeOptions,
+    max_reads_per_job: usize,
+    queue: AdmissionQueue,
+    journal: Option<JobJournal>,
+    next_seq: u64,
+    sim_clock: f64,
+    counters: ServeCounters,
+    latency: Samples,
+    jobs: Vec<JobRecord>,
+    spans: Vec<Span>,
+}
+
+impl ServeCore {
+    /// Builds the core: validates the default configuration, computes
+    /// the platform batch cap, and sets up the admission queue. No
+    /// journal is attached yet (see [`ServeCore::attach_journal`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Config`] when the default δ/`S_min` combination is
+    /// invalid.
+    pub fn new(
+        set: ReferenceSet,
+        platform: Platform,
+        options: ServeOptions,
+    ) -> Result<ServeCore, ReputeError> {
+        // Fail fast: the default config must be constructible, or every
+        // default-config job would die at batch time.
+        ReputeConfig::new(options.delta, options.s_min)
+            .map_err(|e| ReputeError::Config(e.to_string()))?;
+        if options.delta > options.limits.max_delta {
+            return Err(ReputeError::Config(format!(
+                "default delta {} exceeds --max-delta {}",
+                options.delta, options.limits.max_delta
+            )));
+        }
+        let cap = platform
+            .max_batch_items(options.max_locations * BYTES_PER_LOCATION)
+            .max(1);
+        let max_reads_per_job = options.limits.max_reads_per_job.min(cap);
+        let queue = AdmissionQueue::new(options.limits.queue_capacity, &options.tenant_weights);
+        Ok(ServeCore {
+            set,
+            platform,
+            options,
+            max_reads_per_job,
+            queue,
+            journal: None,
+            next_seq: 0,
+            sim_clock: 0.0,
+            counters: ServeCounters::default(),
+            latency: Samples::new(),
+            jobs: Vec::new(),
+            spans: Vec::new(),
+        })
+    }
+
+    /// The config/limits identity of this server. A journal written
+    /// under a different reference, platform, limit set, or fairness
+    /// table is refused on resume.
+    pub fn fingerprint(&self) -> RunFingerprint {
+        let mut cfg = Fnv64::new();
+        cfg.write(self.platform.name().as_bytes());
+        cfg.write_u64(u64::from(self.options.delta));
+        cfg.write_u64(self.options.s_min as u64);
+        cfg.write_u64(self.options.max_locations as u64);
+        cfg.write_u64(u64::from(prefilter_code(self.options.prefilter)));
+        cfg.write_u64(self.options.prefilter_q as u64);
+        cfg.write_u64(self.options.prefilter_bin as u64);
+        cfg.write_u64(match self.options.schedule {
+            ScheduleMode::Static => 0,
+            ScheduleMode::Dynamic => 1,
+        });
+        cfg.write_u64(self.options.host_threads as u64);
+        cfg.write_u64(self.options.max_retries as u64);
+        cfg.write_u64(u64::from(self.options.limits.max_delta));
+        cfg.write_u64(self.max_reads_per_job as u64);
+        for (name, weight) in &self.options.tenant_weights {
+            cfg.write(name.as_bytes());
+            cfg.write_u64(weight.to_bits());
+        }
+        let mut wl = Fnv64::new();
+        for (name, len) in self.set.records() {
+            wl.write(name.as_bytes());
+            wl.write_u64(*len as u64);
+        }
+        RunFingerprint::new(cfg.finish(), wl.finish())
+    }
+
+    /// Attaches the crash-safe job journal. With `resume = false` a
+    /// fresh journal is created (truncating any existing file). With
+    /// `resume = true` the existing journal is replayed: committed jobs
+    /// get their responses reconstructed from stored mappings
+    /// (byte-identical, no re-execution — returned here), jobs accepted
+    /// but not committed are re-queued in arrival order, and the
+    /// simulated clock, batch counter, and per-tenant fairness state
+    /// continue exactly where the crashed daemon left them.
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::ResumeMismatch`] for a journal written by a
+    /// different server configuration, [`ReputeError::JournalCorrupt`]
+    /// for interior corruption, [`ReputeError::Io`] on filesystem
+    /// failures.
+    pub fn attach_journal(
+        &mut self,
+        path: &Path,
+        resume: bool,
+    ) -> Result<Vec<JobResponse>, ReputeError> {
+        let fingerprint = self.fingerprint();
+        let (journal, recovered) = if resume {
+            JobJournal::open(path, &fingerprint)?
+        } else {
+            (
+                JobJournal::create(path, &fingerprint)?,
+                Recovered::default(),
+            )
+        };
+        let mut by_seq: HashMap<u64, (u64, f64, &JobResult)> = HashMap::new();
+        for batch in &recovered.batches {
+            for job in &batch.jobs {
+                by_seq.insert(job.seq, (batch.batch, batch.completion_s, job));
+            }
+        }
+        let mut replayed = Vec::new();
+        for job in &recovered.accepted {
+            self.next_seq = self.next_seq.max(job.seq + 1);
+            self.counters.accepted += 1;
+            match by_seq.get(&job.seq) {
+                Some((batch, completion, result)) => {
+                    // Dispatched and committed before the crash: restore
+                    // the fairness charge and replay the response.
+                    self.queue.restore_served(&job.tenant, job.cost());
+                    let response = self.job_response(job, &result.mappings, *batch, *completion)?;
+                    self.finish_job(job, response.mappings, *batch, *completion, true);
+                    replayed.push(response);
+                }
+                None => {
+                    // Accepted but never committed: back in the queue.
+                    // A resumed push bypasses the capacity gate, so a
+                    // restart can never bounce already-accepted work.
+                    let _ = self.queue.push(job.clone(), true);
+                }
+            }
+        }
+        self.counters.batches = recovered.batches.len() as u64;
+        self.sim_clock = recovered.batches.last().map_or(0.0, |b| b.completion_s);
+        self.journal = Some(journal);
+        Ok(replayed)
+    }
+
+    /// Submits one job. Returns `Ok(None)` when the job was accepted
+    /// (its `OK` response comes from a later [`ServeCore::run_batch`] /
+    /// [`ServeCore::drain`]) or `Ok(Some(refusal))` with a `REJECTED` or
+    /// `RETRY_LATER` response the transport should answer immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] when journaling the acceptance fails — the
+    /// daemon must not acknowledge work it cannot make durable.
+    pub fn submit(
+        &mut self,
+        mut envelope: JobEnvelope,
+    ) -> Result<Option<JobResponse>, ReputeError> {
+        if let Err(e) = resolve_reads(&mut envelope) {
+            self.counters.rejected += 1;
+            return Ok(Some(JobResponse::refusal(
+                envelope.id,
+                JobStatus::Rejected,
+                e.to_string(),
+            )));
+        }
+        let delta = envelope.delta.unwrap_or(self.options.delta);
+        if delta > self.options.limits.max_delta {
+            self.counters.rejected += 1;
+            return Ok(Some(JobResponse::refusal(
+                envelope.id,
+                JobStatus::Rejected,
+                format!(
+                    "delta {delta} exceeds the server limit {}",
+                    self.options.limits.max_delta
+                ),
+            )));
+        }
+        if envelope.reads.len() > self.max_reads_per_job {
+            self.counters.rejected += 1;
+            return Ok(Some(JobResponse::refusal(
+                envelope.id,
+                JobStatus::Rejected,
+                format!(
+                    "job carries {} reads but the server accepts at most {} per job",
+                    envelope.reads.len(),
+                    self.max_reads_per_job
+                ),
+            )));
+        }
+        if self.queue.is_full() {
+            self.counters.retry_later += 1;
+            return Ok(Some(JobResponse::refusal(
+                envelope.id,
+                JobStatus::RetryLater,
+                format!(
+                    "admission queue is full ({} jobs); resubmit after the backlog drains",
+                    self.queue.len()
+                ),
+            )));
+        }
+        let (read_ids, reads): (Vec<String>, Vec<DnaSeq>) = envelope.reads.into_iter().unzip();
+        let job = JobSpec {
+            seq: self.next_seq,
+            id: envelope.id,
+            tenant: envelope.tenant,
+            key: ConfigKey {
+                delta,
+                prefilter: envelope.prefilter.unwrap_or(self.options.prefilter),
+                mapper: envelope.mapper.unwrap_or_default(),
+            },
+            arrival_s: self.sim_clock,
+            read_ids,
+            reads,
+        };
+        if let Some(journal) = &mut self.journal {
+            journal.record_accepted(&job)?;
+        }
+        if let Err(job) = self.queue.push(job, false) {
+            // Unreachable after the capacity check above; refuse rather
+            // than panic if the invariant ever breaks.
+            self.counters.retry_later += 1;
+            return Ok(Some(JobResponse::refusal(
+                job.id,
+                JobStatus::RetryLater,
+                "admission queue refused the job",
+            )));
+        }
+        self.next_seq += 1;
+        self.counters.accepted += 1;
+        Ok(None)
+    }
+
+    /// Executes (and commits) the next scheduler batch; no-op on an
+    /// empty queue. Returns the `OK` responses of the batch's jobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor launch failures and journal I/O errors.
+    pub fn run_batch(&mut self) -> Result<Vec<JobResponse>, ReputeError> {
+        self.run_batch_impl(true)
+    }
+
+    /// Runs batches until the queue is empty (graceful drain). Returns
+    /// every produced response in completion order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ServeCore::run_batch`] failure.
+    pub fn drain(&mut self) -> Result<Vec<JobResponse>, ReputeError> {
+        let mut responses = Vec::new();
+        while !self.queue.is_empty() {
+            responses.extend(self.run_batch()?);
+        }
+        Ok(responses)
+    }
+
+    /// Fair-dequeues a maximal run of same-configuration jobs under the
+    /// platform batch cap, executes them as one scheduler batch, and —
+    /// when `commit` is true — journals the batch, advances the clock,
+    /// and records telemetry. `commit = false` models a crash after the
+    /// work started but before the commit: the jobs have left the queue
+    /// and nothing is durable, so a resume re-executes exactly this
+    /// batch (the harness's `crash_mid_batch`).
+    pub(crate) fn run_batch_impl(&mut self, commit: bool) -> Result<Vec<JobResponse>, ReputeError> {
+        let Some(first) = self.queue.pop_fair() else {
+            return Ok(Vec::new());
+        };
+        let key = first.key;
+        let cap = self
+            .platform
+            .max_batch_items(self.options.max_locations * BYTES_PER_LOCATION)
+            .max(1);
+        let mut total_reads = first.reads.len();
+        let mut jobs = vec![first];
+        while let Some(next) = self.queue.peek_fair() {
+            if next.key != key || total_reads + next.reads.len() > cap {
+                break;
+            }
+            let Some(job) = self.queue.pop_fair() else {
+                break;
+            };
+            total_reads += job.reads.len();
+            jobs.push(job);
+        }
+
+        let batch_index = self.counters.batches;
+        let start = self.sim_clock;
+        let reads: Vec<DnaSeq> = jobs.iter().flat_map(|j| j.reads.iter().cloned()).collect();
+        let config = self.batch_config(key)?;
+        let schedule = Schedule::for_config(&config, &self.platform, reads.len());
+        let threads = config.host_threads();
+        let tracing = self.options.tracing;
+        let mapper = self.build_mapper(key, config);
+        let mapper = mapper.as_ref();
+        let (run, _metrics) =
+            map_scheduled_traced(&mapper, &self.platform, &schedule, threads, tracing, &reads)?;
+        let completion = start + run.simulated_seconds;
+
+        let mut record = BatchRecord {
+            batch: batch_index,
+            completion_s: completion,
+            jobs: Vec::with_capacity(jobs.len()),
+        };
+        let mut offset = 0usize;
+        for job in &jobs {
+            let n = job.reads.len();
+            let mappings: Vec<Vec<Mapping>> = run.outputs[offset..offset + n]
+                .iter()
+                .map(|o| o.mappings.clone())
+                .collect();
+            offset += n;
+            record.jobs.push(JobResult {
+                seq: job.seq,
+                mappings,
+            });
+        }
+        if commit {
+            if let Some(journal) = &mut self.journal {
+                journal.record_batch(&record)?;
+            }
+        }
+        let mut responses = Vec::with_capacity(jobs.len());
+        for (job, result) in jobs.iter().zip(&record.jobs) {
+            let response = self.job_response(job, &result.mappings, batch_index, completion)?;
+            if commit {
+                self.finish_job(job, response.mappings, batch_index, completion, false);
+            }
+            responses.push(response);
+        }
+        if commit {
+            if tracing {
+                // Batch spans come out of the executor on a zero-based
+                // clock; shift them onto the daemon's continuous one.
+                for mut span in run.trace {
+                    span.begin_seconds += start;
+                    span.end_seconds += start;
+                    self.spans.push(span);
+                }
+            }
+            self.sim_clock = completion;
+            self.counters.batches += 1;
+        }
+        Ok(responses)
+    }
+
+    /// Books a completed (or replayed) job into counters, latency
+    /// samples, telemetry records, and the trace.
+    fn finish_job(
+        &mut self,
+        job: &JobSpec,
+        mappings: u64,
+        batch: u64,
+        completion: f64,
+        replayed: bool,
+    ) {
+        let latency = completion - job.arrival_s;
+        self.latency.record(latency);
+        self.counters.completed += 1;
+        if replayed {
+            self.counters.replayed += 1;
+        }
+        self.jobs.push(JobRecord {
+            seq: job.seq,
+            id: job.id.clone(),
+            tenant: job.tenant.clone(),
+            reads: job.reads.len() as u64,
+            mappings,
+            batch,
+            latency_s: latency,
+            replayed,
+        });
+        if self.options.tracing {
+            self.spans.push(
+                Span::new(
+                    format!("job {}", job.id),
+                    "job",
+                    SCHEDULER_PID,
+                    job.arrival_s,
+                    completion,
+                )
+                .on_tid(1)
+                .arg_str("tenant", job.tenant.clone())
+                .arg_u64("reads", job.reads.len() as u64)
+                .arg_u64("batch", batch),
+            );
+        }
+    }
+
+    /// Assembles a job's `OK` response — the SAM block uses the same
+    /// header/resolve/record path as `repute map`, so the bytes match
+    /// the batch CLI on the same reads and configuration.
+    fn job_response(
+        &self,
+        job: &JobSpec,
+        raw: &[Vec<Mapping>],
+        batch: u64,
+        completion: f64,
+    ) -> Result<JobResponse, ReputeError> {
+        let names: Vec<&str> = self.set.records().iter().map(|(n, _)| n.as_str()).collect();
+        let header: Vec<(&str, usize)> = self
+            .set
+            .records()
+            .iter()
+            .map(|(n, l)| (n.as_str(), *l))
+            .collect();
+        let mut out: Vec<u8> = Vec::new();
+        sam::write_header_multi(&mut out, &header)?;
+        let mut total_mappings = 0u64;
+        for ((read_id, seq), mappings) in job.read_ids.iter().zip(&job.reads).zip(raw) {
+            let resolved = self.set.resolve_mappings(seq.len(), mappings);
+            total_mappings += resolved.len() as u64;
+            sam::write_resolved_record(&mut out, &names, read_id, seq, &resolved, None)?;
+        }
+        Ok(JobResponse {
+            id: job.id.clone(),
+            status: JobStatus::Ok,
+            reason: None,
+            reads: job.reads.len() as u64,
+            mappings: total_mappings,
+            batch: Some(batch),
+            latency_s: Some(completion - job.arrival_s),
+            sam: Some(String::from_utf8_lossy(&out).into_owned()),
+        })
+    }
+
+    fn batch_config(&self, key: ConfigKey) -> Result<ReputeConfig, ReputeError> {
+        Ok(ReputeConfig::new(key.delta, self.options.s_min)
+            .map_err(|e| ReputeError::Config(e.to_string()))?
+            .with_max_locations(self.options.max_locations)
+            .with_prefilter(key.prefilter)
+            .with_prefilter_qgram(self.options.prefilter_q, self.options.prefilter_bin)
+            .with_schedule(self.options.schedule)
+            .with_host_threads(self.options.host_threads)
+            .with_max_retries(self.options.max_retries))
+    }
+
+    /// Instantiates the mapper a batch's configuration key selects;
+    /// every kind shares the one `Arc`-held FM-index.
+    fn build_mapper(&self, key: ConfigKey, config: ReputeConfig) -> Box<dyn Mapper> {
+        use crate::envelope::MapperKind;
+        let indexed = Arc::clone(self.set.indexed());
+        let max_locations = self.options.max_locations;
+        match key.mapper {
+            MapperKind::Repute => Box::new(ReputeMapper::new(indexed, config)),
+            MapperKind::Coral => Box::new(
+                CoralLike::new(indexed, key.delta)
+                    .with_s_min(self.options.s_min)
+                    .with_max_locations(max_locations),
+            ),
+            MapperKind::Razers3 => {
+                Box::new(Razers3Like::new(indexed, key.delta).with_max_locations(max_locations))
+            }
+            MapperKind::Hobbes3 => {
+                Box::new(Hobbes3Like::new(indexed, key.delta).with_max_locations(max_locations))
+            }
+            MapperKind::Yara => {
+                Box::new(YaraLike::new(indexed, key.delta).with_max_locations(max_locations))
+            }
+            MapperKind::Gem => {
+                Box::new(GemLike::new(indexed, key.delta).with_max_locations(max_locations))
+            }
+            MapperKind::BwaMem => {
+                Box::new(BwaMemLike::new(indexed).with_max_locations(max_locations))
+            }
+        }
+    }
+
+    /// Monotone service counters.
+    pub fn counters(&self) -> ServeCounters {
+        self.counters
+    }
+
+    /// Jobs currently queued (the depth gauge's live value).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Deepest the admission queue ever got.
+    pub fn queue_depth_high_water(&self) -> u64 {
+        self.queue.depth().high_water()
+    }
+
+    /// The simulated clock: sum of every committed batch's makespan.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.sim_clock
+    }
+
+    /// `(count, p50, p90, p99)` of per-job admission-to-completion
+    /// latency, in simulated seconds.
+    pub fn latency_percentiles(&self) -> (u64, f64, f64, f64) {
+        let (p50, p90, p99) = self.latency.p50_p90_p99();
+        (self.latency.count(), p50, p90, p99)
+    }
+
+    /// Every trace span collected so far (batch spans shifted onto the
+    /// daemon clock, plus one `job` span per completed job).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The service telemetry as JSON lines: one `job` record per
+    /// completed job, the `serve` counter summary, and a `latency`
+    /// record (`stage: "job"`) in the shape `repute stats` renders.
+    pub fn telemetry_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for job in &self.jobs {
+            out.extend_from_slice(job.to_json_line().as_bytes());
+            out.push(b'\n');
+        }
+        let mut obj = JsonObject::new();
+        obj.str_field("type", "serve");
+        obj.u64_field("accepted", self.counters.accepted);
+        obj.u64_field("rejected", self.counters.rejected);
+        obj.u64_field("retry_later", self.counters.retry_later);
+        obj.u64_field("completed", self.counters.completed);
+        obj.u64_field("replayed", self.counters.replayed);
+        obj.u64_field("batches", self.counters.batches);
+        obj.u64_field("queue_depth", self.queue_depth());
+        obj.u64_field("queue_depth_max", self.queue_depth_high_water());
+        obj.f64_field("simulated_seconds", self.sim_clock);
+        out.extend_from_slice(obj.finish().as_bytes());
+        out.push(b'\n');
+        if !self.latency.is_empty() {
+            let (p50, p90, p99) = self.latency.p50_p90_p99();
+            let mut lat = JsonObject::new();
+            lat.str_field("type", "latency");
+            lat.str_field("stage", "job");
+            lat.u64_field("count", self.latency.count());
+            lat.f64_field("p50_s", p50);
+            lat.f64_field("p90_s", p90);
+            lat.f64_field("p99_s", p99);
+            out.extend_from_slice(lat.finish().as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Writes the service telemetry to `path` (atomic rename).
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on filesystem failures.
+    pub fn write_telemetry(&self, path: &Path) -> Result<(), ReputeError> {
+        write_atomic(path, &self.telemetry_bytes())
+    }
+
+    /// Writes one `job-<seq>.jsonl` file per completed job into `dir`
+    /// (creating it), the spool shape `repute stats --dir` merges.
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on filesystem failures.
+    pub fn write_job_telemetry_dir(&self, dir: &Path) -> Result<(), ReputeError> {
+        std::fs::create_dir_all(dir).map_err(|e| ReputeError::io_at(dir, e))?;
+        for job in &self.jobs {
+            let path = dir.join(format!("job-{:06}.jsonl", job.seq));
+            let mut line = job.to_json_line().into_bytes();
+            line.push(b'\n');
+            write_atomic(&path, &line)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the collected spans as Chrome-tracing JSON (atomic
+    /// rename), with the same process table as the batch CLI: pid 0 is
+    /// the scheduler, each simulated device gets its own pid.
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on filesystem failures.
+    pub fn write_trace(&self, path: &Path) -> Result<(), ReputeError> {
+        let mut processes = vec![(SCHEDULER_PID, "scheduler".to_string())];
+        for (i, device) in self.platform.devices().iter().enumerate() {
+            processes.push((
+                device_pid(i),
+                format!("{} [{}]", device.name(), device.kind().as_str()),
+            ));
+        }
+        write_atomic(path, write_chrome_trace(&processes, &self.spans).as_bytes())
+    }
+}

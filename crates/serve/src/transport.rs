@@ -1,0 +1,247 @@
+//! Transports that feed the daemon core: a Unix-domain socket speaking
+//! newline-delimited JSON, and a spool directory of job files.
+//!
+//! The socket protocol is strictly line-oriented: a client connects,
+//! writes one request per line ([`crate::envelope::parse_request`]'s
+//! grammar), closes its write half, and reads one response line per
+//! request, in request order. Connections are served one at a time —
+//! the daemon core is single-threaded and deterministic, and each
+//! connection's jobs are drained to completion before the next
+//! connection is accepted. The control line `{"op":"shutdown"}` drains
+//! outstanding work, answers the connection, then stops the listener
+//! (graceful drain).
+//!
+//! The spool transport scans a directory for `*.json` job files
+//! (sorted by name for determinism), admits each, drains, and writes
+//! `<name>.response` next to every input, renaming the input to
+//! `<name>.done` so a rescan never double-submits.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+use repute_core::ReputeError;
+
+use crate::envelope::{parse_request, JobResponse, JobStatus, Request};
+use crate::server::ServeCore;
+
+fn io_at(path: &Path, e: std::io::Error) -> ReputeError {
+    ReputeError::io_at(path, e)
+}
+
+/// One connection slot: either an already-answered refusal or an
+/// accepted job waiting for its drain response.
+enum Slot {
+    Ready(JobResponse),
+    Pending(String),
+}
+
+/// Serves the line protocol on one established stream: reads requests
+/// to EOF (or shutdown), drains the core, and answers one response line
+/// per request in request order. Returns whether a shutdown was asked.
+fn handle_connection(core: &mut ServeCore, stream: &UnixStream) -> Result<bool, ReputeError> {
+    let reader = BufReader::new(stream);
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut shutdown = false;
+    for line in reader.lines() {
+        let line = line.map_err(|e| ReputeError::Io {
+            context: "reading job socket".to_string(),
+            source: e,
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err(e) => slots.push(Slot::Ready(JobResponse::refusal(
+                "",
+                JobStatus::Rejected,
+                e.to_string(),
+            ))),
+            Ok(Request::Shutdown) => {
+                shutdown = true;
+                break;
+            }
+            Ok(Request::Job(envelope)) => {
+                let id = envelope.id.clone();
+                match core.submit(envelope)? {
+                    Some(refusal) => slots.push(Slot::Ready(refusal)),
+                    None => slots.push(Slot::Pending(id)),
+                }
+            }
+        }
+    }
+    let mut by_id: HashMap<String, VecDeque<JobResponse>> = HashMap::new();
+    for response in core.drain()? {
+        by_id
+            .entry(response.id.clone())
+            .or_default()
+            .push_back(response);
+    }
+    let mut writer = BufWriter::new(stream);
+    for slot in slots {
+        let response = match slot {
+            Slot::Ready(response) => response,
+            Slot::Pending(id) => by_id
+                .get_mut(&id)
+                .and_then(VecDeque::pop_front)
+                .unwrap_or_else(|| {
+                    JobResponse::refusal(id, JobStatus::Rejected, "response was not produced")
+                }),
+        };
+        writeln!(writer, "{}", response.to_json_line()).map_err(|e| ReputeError::Io {
+            context: "writing job socket".to_string(),
+            source: e,
+        })?;
+    }
+    writer.flush().map_err(|e| ReputeError::Io {
+        context: "writing job socket".to_string(),
+        source: e,
+    })?;
+    Ok(shutdown)
+}
+
+/// Binds `path` and serves connections one at a time until a client
+/// sends `{"op":"shutdown"}`. A stale socket file at `path` is removed
+/// before binding; the file is removed again on clean exit.
+///
+/// # Errors
+///
+/// [`ReputeError::Io`] on bind/accept/stream failures; admission and
+/// batch errors propagate from the core.
+pub fn serve_socket(core: &mut ServeCore, path: &Path) -> Result<(), ReputeError> {
+    if path.exists() {
+        std::fs::remove_file(path).map_err(|e| io_at(path, e))?;
+    }
+    let listener = UnixListener::bind(path).map_err(|e| io_at(path, e))?;
+    loop {
+        let (stream, _) = listener.accept().map_err(|e| io_at(path, e))?;
+        if handle_connection(core, &stream)? {
+            break;
+        }
+    }
+    std::fs::remove_file(path).map_err(|e| io_at(path, e))?;
+    Ok(())
+}
+
+/// Client side of the line protocol: connects to `socket`, writes every
+/// request line, half-closes, and returns the parsed response lines.
+///
+/// # Errors
+///
+/// [`ReputeError::Io`] on connection failures,
+/// [`ReputeError::InputParse`] when the server answers with something
+/// that is not a response line.
+pub fn submit_over_socket(
+    socket: &Path,
+    lines: &[String],
+) -> Result<Vec<JobResponse>, ReputeError> {
+    let stream = UnixStream::connect(socket).map_err(|e| io_at(socket, e))?;
+    {
+        let mut writer = BufWriter::new(&stream);
+        for line in lines {
+            writeln!(writer, "{line}").map_err(|e| io_at(socket, e))?;
+        }
+        writer.flush().map_err(|e| io_at(socket, e))?;
+    }
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| io_at(socket, e))?;
+    let reader = BufReader::new(&stream);
+    let mut responses = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| io_at(socket, e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        responses.push(JobResponse::parse(&line)?);
+    }
+    Ok(responses)
+}
+
+/// Asks a running daemon to drain and shut down.
+///
+/// # Errors
+///
+/// [`ReputeError::Io`] when the socket cannot be reached.
+pub fn shutdown_over_socket(socket: &Path) -> Result<(), ReputeError> {
+    let stream = UnixStream::connect(socket).map_err(|e| io_at(socket, e))?;
+    let mut writer = BufWriter::new(&stream);
+    writer
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .map_err(|e| io_at(socket, e))?;
+    writer.flush().map_err(|e| io_at(socket, e))?;
+    Ok(())
+}
+
+/// Scans `dir` once for `*.json` job files (name-sorted), admits each,
+/// drains, writes `<name>.response` beside every input, and renames
+/// inputs to `<name>.done`. Returns how many job files were processed.
+///
+/// # Errors
+///
+/// [`ReputeError::Io`] on directory or file failures; admission and
+/// batch errors propagate from the core.
+pub fn process_spool_once(core: &mut ServeCore, dir: &Path) -> Result<usize, ReputeError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_at(dir, e))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_at(dir, e))?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    let mut slots: Vec<(std::path::PathBuf, Slot)> = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| io_at(path, e))?;
+        let line = text.lines().next().unwrap_or("");
+        let slot = match parse_request(line) {
+            Err(e) => Slot::Ready(JobResponse::refusal("", JobStatus::Rejected, e.to_string())),
+            Ok(Request::Shutdown) => Slot::Ready(JobResponse::refusal(
+                "",
+                JobStatus::Rejected,
+                "spool files carry jobs, not control messages",
+            )),
+            Ok(Request::Job(envelope)) => {
+                let id = envelope.id.clone();
+                match core.submit(envelope)? {
+                    Some(refusal) => Slot::Ready(refusal),
+                    None => Slot::Pending(id),
+                }
+            }
+        };
+        slots.push((path.clone(), slot));
+    }
+    let mut by_id: HashMap<String, VecDeque<JobResponse>> = HashMap::new();
+    for response in core.drain()? {
+        by_id
+            .entry(response.id.clone())
+            .or_default()
+            .push_back(response);
+    }
+    let processed = slots.len();
+    for (path, slot) in slots {
+        let response = match slot {
+            Slot::Ready(response) => response,
+            Slot::Pending(id) => by_id
+                .get_mut(&id)
+                .and_then(VecDeque::pop_front)
+                .unwrap_or_else(|| {
+                    JobResponse::refusal(id, JobStatus::Rejected, "response was not produced")
+                }),
+        };
+        let mut out_path = path.clone().into_os_string();
+        out_path.push(".response");
+        let out_path = std::path::PathBuf::from(out_path);
+        let mut bytes = response.to_json_line().into_bytes();
+        bytes.push(b'\n');
+        repute_core::write_atomic(&out_path, &bytes)?;
+        let mut done = path.clone().into_os_string();
+        done.push(".done");
+        std::fs::rename(&path, std::path::PathBuf::from(done)).map_err(|e| io_at(&path, e))?;
+    }
+    Ok(processed)
+}
