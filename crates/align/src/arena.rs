@@ -1,0 +1,61 @@
+//! Reusable word slabs backing the batch verification kernels.
+//!
+//! The batch kernels in [`crate::batch`] keep the Myers state of several
+//! independent lanes in one contiguous, lane-interleaved slab of `u64`
+//! words. Allocating that slab per candidate (the way the scalar path
+//! once allocated `BlockWork` and `BlockMasks` per call) is exactly the
+//! per-candidate churn the GRIM-Filter class of designs exists to avoid;
+//! a [`WordArena`] owns the backing buffer across calls and only ever
+//! grows, so steady-state verification performs zero heap allocation.
+
+/// A growable slab of `u64` scratch words, reused across kernel calls.
+#[derive(Debug, Clone, Default)]
+pub struct WordArena {
+    buf: Vec<u64>,
+}
+
+impl WordArena {
+    /// An empty arena; the first [`WordArena::slab`] call sizes it.
+    pub fn new() -> WordArena {
+        WordArena::default()
+    }
+
+    /// Returns a slab of exactly `len` words, every word set to `fill`.
+    ///
+    /// The backing buffer is retained between calls: once the arena has
+    /// grown to the largest slab a workload needs, further calls
+    /// allocate nothing.
+    pub fn slab(&mut self, len: usize, fill: u64) -> &mut [u64] {
+        if self.buf.len() < len {
+            self.buf.resize(len, fill);
+        }
+        let slab = &mut self.buf[..len];
+        slab.fill(fill);
+        slab
+    }
+
+    /// Words currently held by the backing buffer (its high-water mark).
+    pub fn capacity_words(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_fills_and_reuses() {
+        let mut arena = WordArena::new();
+        let s = arena.slab(3, !0u64);
+        assert_eq!(s, &[!0u64; 3]);
+        s[1] = 7;
+        // A smaller request reuses the buffer and re-fills every word.
+        let s = arena.slab(2, 0);
+        assert_eq!(s, &[0u64; 2]);
+        assert_eq!(arena.capacity_words(), 3);
+        let s = arena.slab(5, 1);
+        assert_eq!(s, &[1u64; 5]);
+        assert_eq!(arena.capacity_words(), 5);
+    }
+}

@@ -30,7 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod banded;
+pub mod batch;
 pub mod block;
 mod cigar;
 pub mod dp;
@@ -38,5 +40,9 @@ pub mod gotoh;
 pub mod myers;
 mod verify;
 
+pub use batch::{BatchVerifier, CandidateBatch, LANES};
 pub use cigar::{Cigar, CigarOp};
-pub use verify::{verify, verify_counting, verify_metered, Verification, VerifyCost};
+pub use verify::{
+    verify, verify_counting, verify_metered, verify_with, ReadMasks, Verification, VerifyCost,
+    VerifyScratch,
+};

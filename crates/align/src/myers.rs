@@ -52,6 +52,11 @@ impl PatternMasks {
     pub fn is_empty(&self) -> bool {
         false
     }
+
+    /// The per-base match masks, for the batch kernel's lane gather.
+    pub(crate) fn peq(&self) -> &[u64; 4] {
+        &self.peq
+    }
 }
 
 /// Result of a semi-global Myers scan.

@@ -6,12 +6,26 @@
 //! flow — and its work accounting — so the mappers differ only in *how
 //! they choose seeds*, which is exactly the axis the paper compares.
 
-use repute_align::{verify_counting, verify_metered};
+use repute_align::{
+    verify_metered, verify_with, BatchVerifier, CandidateBatch, ReadMasks, VerifyScratch, LANES,
+};
 use repute_genome::{DnaSeq, Strand};
 use repute_obs::MapMetrics;
-use repute_prefilter::{Candidate, PreFilter};
+use repute_prefilter::{Candidate, PreFilter, Verdict};
 
 use crate::common::Mapping;
+
+/// `true` when `REPUTE_SCALAR_VERIFY` is set (to anything but `0` or
+/// empty): engines then run the scalar per-candidate verification path
+/// instead of the batch SWAR kernels. The two paths are bit-identical
+/// by construction; the switch exists so benchmarks and differential
+/// tests can compare full pipelines.
+fn scalar_verify_env() -> bool {
+    static SCALAR: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SCALAR.get_or_init(|| {
+        std::env::var_os("REPUTE_SCALAR_VERIFY").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
 
 /// Work units charged per FM-Index left-extension: two rank queries, each
 /// a checkpoint load plus a BWT scan — cache-missing, memory-bound work,
@@ -97,17 +111,31 @@ pub struct VerifyEngine<'a> {
     reference: &'a [u8],
     delta: u32,
     prefilter: Option<&'a dyn PreFilter>,
+    scalar: bool,
 }
 
 impl<'a> VerifyEngine<'a> {
     /// Creates an engine over the reference's 2-bit codes with error
-    /// budget δ and no pre-alignment filter.
+    /// budget δ and no pre-alignment filter. Verification runs the
+    /// batch SWAR kernels unless the `REPUTE_SCALAR_VERIFY` environment
+    /// variable (or [`VerifyEngine::with_scalar_path`]) selects the
+    /// scalar oracle path.
     pub fn new(reference: &'a [u8], delta: u32) -> VerifyEngine<'a> {
         VerifyEngine {
             reference,
             delta,
             prefilter: None,
+            scalar: scalar_verify_env(),
         }
+    }
+
+    /// Forces the scalar per-candidate verification path, regardless of
+    /// the environment. Output and metrics are bit-identical to the
+    /// batch path — this switch exists for differential tests and for
+    /// benchmarking the batch kernels against their oracle.
+    pub fn with_scalar_path(mut self) -> VerifyEngine<'a> {
+        self.scalar = true;
+        self
     }
 
     /// Installs a pre-alignment filter: candidate windows it rejects
@@ -148,7 +176,176 @@ impl<'a> VerifyEngine<'a> {
     /// verification, its word updates, and any accepted hit per candidate
     /// into `metrics`. Returns the same work value `verify` would, so
     /// metered callers keep the exact `MapOutput.work` arithmetic.
+    ///
+    /// The batch path builds the read's [`ReadMasks`] once, gathers the
+    /// candidates into a structure-of-arrays [`CandidateBatch`], runs
+    /// the prefilter over whole chunks, and verifies survivors
+    /// [`LANES`] at a time through the SWAR kernels. Everything it
+    /// reports — mappings, their order, every metric counter, the
+    /// returned work — is bit-identical to the scalar path: a chunk is
+    /// only batched when the remaining output capacity covers all of
+    /// it (so the scalar loop could not have stopped mid-chunk), and
+    /// all metric increments are commutative sums.
     pub fn verify_metered(
+        &self,
+        read: &[u8],
+        strand: Strand,
+        candidates: &[u32],
+        limit: usize,
+        out: &mut Vec<Mapping>,
+        metrics: &mut MapMetrics,
+    ) -> u64 {
+        if self.scalar {
+            return self.verify_metered_scalar(read, strand, candidates, limit, out, metrics);
+        }
+        let n = self.reference.len();
+        let mut batch = CandidateBatch::new();
+        for &diag in candidates {
+            let start = (diag as usize).saturating_sub(self.delta as usize);
+            let end = (diag as usize + read.len() + self.delta as usize).min(n);
+            if start >= end {
+                continue;
+            }
+            batch.push(diag as usize, start, end);
+        }
+        if batch.is_empty() {
+            return 0;
+        }
+        let masks = ReadMasks::new(read);
+        let mut scratch = VerifyScratch::new();
+        let mut verifier = BatchVerifier::new();
+        let mut chunk_candidates: Vec<Candidate<'_>> = Vec::with_capacity(LANES);
+        let mut verdicts: Vec<Verdict> = Vec::with_capacity(LANES);
+        let mut lanes: Vec<&[u8]> = Vec::with_capacity(LANES);
+        let mut lane_ids: Vec<usize> = Vec::with_capacity(LANES);
+        let mut results = Vec::with_capacity(LANES);
+        let mut work = 0u64;
+        let mut i = 0;
+        while i < batch.len() {
+            if out.len() >= limit {
+                break;
+            }
+            let chunk = LANES.min(batch.len() - i);
+            if limit - out.len() < chunk {
+                // The scalar loop could stop mid-chunk here (each
+                // candidate appends at most one mapping); finish one
+                // candidate at a time to keep the cut-off identical.
+                work +=
+                    self.verify_one(read, &masks, &mut scratch, &batch, i, strand, out, metrics);
+                i += 1;
+                continue;
+            }
+            lanes.clear();
+            lane_ids.clear();
+            if let Some(filter) = self.prefilter {
+                chunk_candidates.clear();
+                for j in i..i + chunk {
+                    chunk_candidates.push(Candidate {
+                        read,
+                        window: batch.window(self.reference, j),
+                        window_start: batch.start(j),
+                        delta: self.delta,
+                    });
+                }
+                verdicts.clear();
+                filter.examine_batch(&chunk_candidates, &mut verdicts);
+                for (j, verdict) in verdicts.iter().enumerate() {
+                    metrics.prefilter_tested += 1;
+                    metrics.prefilter_words += verdict.cost_words;
+                    work += verdict.cost_words;
+                    if verdict.accept {
+                        lanes.push(batch.window(self.reference, i + j));
+                        lane_ids.push(i + j);
+                    } else {
+                        // Sound filters only reject unverifiable
+                        // windows: every rejection is a true reject.
+                        metrics.prefilter_rejected += 1;
+                    }
+                }
+            } else {
+                for j in i..i + chunk {
+                    lanes.push(batch.window(self.reference, j));
+                    lane_ids.push(j);
+                }
+            }
+            if !lanes.is_empty() {
+                results.clear();
+                verifier.verify_lanes(&masks, &lanes, self.delta, &mut results);
+                for (l, (hit, cost)) in results.iter().enumerate() {
+                    metrics.verifications += 1;
+                    metrics.word_updates += cost.word_updates;
+                    metrics.hits += u64::from(hit.is_some());
+                    work += cost.word_updates;
+                    if let Some(v) = hit {
+                        out.push(Mapping {
+                            position: batch.diag(lane_ids[l]) as u32,
+                            strand,
+                            distance: v.distance,
+                        });
+                    } else if self.prefilter.is_some() {
+                        metrics.prefilter_false_accepts += 1;
+                    }
+                }
+            }
+            i += chunk;
+        }
+        work
+    }
+
+    /// Scalar processing of one batched candidate, with the hoisted
+    /// read masks — the same accounting as one iteration of
+    /// [`VerifyEngine::verify_metered_scalar`].
+    #[allow(clippy::too_many_arguments)]
+    fn verify_one(
+        &self,
+        read: &[u8],
+        masks: &ReadMasks,
+        scratch: &mut VerifyScratch,
+        batch: &CandidateBatch,
+        i: usize,
+        strand: Strand,
+        out: &mut Vec<Mapping>,
+        metrics: &mut MapMetrics,
+    ) -> u64 {
+        let mut work = 0u64;
+        let window = batch.window(self.reference, i);
+        let mut filtered = false;
+        if let Some(filter) = self.prefilter {
+            let verdict = filter.examine(&Candidate {
+                read,
+                window,
+                window_start: batch.start(i),
+                delta: self.delta,
+            });
+            metrics.prefilter_tested += 1;
+            metrics.prefilter_words += verdict.cost_words;
+            work += verdict.cost_words;
+            if !verdict.accept {
+                metrics.prefilter_rejected += 1;
+                return work;
+            }
+            filtered = true;
+        }
+        let (hit, cost) = verify_with(masks, window, self.delta, scratch);
+        metrics.verifications += 1;
+        metrics.word_updates += cost.word_updates;
+        metrics.hits += u64::from(hit.is_some());
+        work += cost.word_updates;
+        if let Some(v) = hit {
+            out.push(Mapping {
+                position: batch.diag(i) as u32,
+                strand,
+                distance: v.distance,
+            });
+        } else if filtered {
+            metrics.prefilter_false_accepts += 1;
+        }
+        work
+    }
+
+    /// The scalar per-candidate verification loop — the differential
+    /// oracle the batch path is held bit-identical to.
+    fn verify_metered_scalar(
         &self,
         read: &[u8],
         strand: Strand,
@@ -224,6 +421,12 @@ impl VerifyEngine<'_> {
         let mut work = 0u64;
         let n = self.reference.len();
         let delta = self.delta as usize;
+        if band_starts.is_empty() {
+            return 0;
+        }
+        // Masks built once per read, reused across every band window.
+        let masks = ReadMasks::new(read);
+        let mut scratch = VerifyScratch::new();
         for &band_start in band_starts {
             if out.len() >= limit {
                 break;
@@ -234,7 +437,7 @@ impl VerifyEngine<'_> {
                 continue;
             }
             let window = &self.reference[start..end];
-            let (hit, cost) = verify_counting(read, window, self.delta);
+            let (hit, cost) = verify_with(&masks, window, self.delta, &mut scratch);
             work += cost.word_updates;
             if let Some(v) = hit {
                 let position = (start + v.end).saturating_sub(read.len()) as u32;
@@ -327,6 +530,56 @@ mod tests {
         assert_eq!(metrics.word_updates, work);
         assert_eq!(metrics.verifications, candidates.len() as u64);
         assert_eq!(metrics.hits, plain.len() as u64);
+    }
+
+    #[test]
+    fn batch_path_matches_scalar_oracle_exactly() {
+        // The load-bearing invariant of the SWAR batch path: mappings
+        // (values and order), every metric counter, and the returned
+        // work must be bit-identical to the scalar per-candidate loop —
+        // across read-length kernels, prefilter on/off, and limits that
+        // force the mid-chunk scalar fallback.
+        let reference = ReferenceBuilder::new(20_000).seed(29).build();
+        let codes = reference.to_codes();
+        let shd = repute_prefilter::ShdFilter::new();
+        for read_len in [50usize, 100, 150] {
+            let read = reference.subseq(5000..5000 + read_len).to_codes();
+            let candidates: Vec<u32> = vec![
+                5000, 5, 100, 1000, 2500, 5000, 7000, 9000, 11000, 13000, 17500, 19990,
+            ];
+            for limit in [0usize, 1, 2, 3, 5, 100] {
+                for use_filter in [false, true] {
+                    let mut base = VerifyEngine::new(&codes, 4);
+                    if use_filter {
+                        base = base.with_prefilter(&shd);
+                    }
+                    let mut out_b = Vec::new();
+                    let mut met_b = MapMetrics::new();
+                    let work_b = base.verify_metered(
+                        &read,
+                        Strand::Forward,
+                        &candidates,
+                        limit,
+                        &mut out_b,
+                        &mut met_b,
+                    );
+                    let mut out_s = Vec::new();
+                    let mut met_s = MapMetrics::new();
+                    let work_s = base.with_scalar_path().verify_metered(
+                        &read,
+                        Strand::Forward,
+                        &candidates,
+                        limit,
+                        &mut out_s,
+                        &mut met_s,
+                    );
+                    let ctx = format!("read_len={read_len} limit={limit} filter={use_filter}");
+                    assert_eq!(out_b, out_s, "{ctx}: mappings diverge");
+                    assert_eq!(work_b, work_s, "{ctx}: work diverges");
+                    assert_eq!(met_b, met_s, "{ctx}: metrics diverge");
+                }
+            }
+        }
     }
 
     #[test]

@@ -102,6 +102,21 @@ pub trait PreFilter: fmt::Debug + Sync {
     /// Examines one candidate.
     fn examine(&self, candidate: &Candidate<'_>) -> Verdict;
 
+    /// Examines a contiguous batch of candidates (all windows of one
+    /// read, in the engine's structure-of-arrays candidate buffer),
+    /// pushing one verdict per candidate onto `verdicts` in input
+    /// order.
+    ///
+    /// The default delegates to [`PreFilter::examine`] per candidate,
+    /// so every filter keeps identical verdicts and cost accounting on
+    /// both entry points; filters with batch-amortisable setup may
+    /// override.
+    fn examine_batch(&self, candidates: &[Candidate<'_>], verdicts: &mut Vec<Verdict>) {
+        for candidate in candidates {
+            verdicts.push(self.examine(candidate));
+        }
+    }
+
     /// Short display name for reports (e.g. `"shd"`).
     fn name(&self) -> &'static str;
 }
@@ -271,6 +286,21 @@ mod tests {
         let empty = Chain::new(vec![]);
         assert!(empty.is_empty());
         assert_eq!(empty.examine(&c), Verdict::accept(0));
+    }
+
+    #[test]
+    fn examine_batch_default_matches_per_candidate() {
+        let yes = Fixed(true, 5);
+        let no = Fixed(false, 7);
+        let chain = Chain::new(vec![&yes, &no]);
+        let c = candidate(&[0, 1], &[0, 1]);
+        let batch = [c, c, c];
+        let mut verdicts = Vec::new();
+        chain.examine_batch(&batch, &mut verdicts);
+        assert_eq!(verdicts.len(), 3);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(*v, chain.examine(&batch[i]));
+        }
     }
 
     #[test]

@@ -47,6 +47,10 @@
 use crate::bits::{clear_tail, popcount, shl1, shr1, streak_edit_bound};
 use crate::{Candidate, PreFilter, Verdict};
 
+/// Mask words kept on the stack: reads up to `8 × 64 = 512` bases (far
+/// beyond the paper's 100–150bp) run with zero heap allocation.
+const STACK_WORDS: usize = 8;
+
 /// The SHD filter. Stateless aside from its amendment knob; build once
 /// and share freely across threads.
 #[derive(Debug, Clone, Copy)]
@@ -113,28 +117,44 @@ impl ShdFilter {
         // semi-global alignments (see module docs): [−δ, wlen − m + δ].
         let s_hi = (wlen + delta as usize - m) as isize;
 
-        let mut acc = vec![u64::MAX; words];
-        let mut mask = vec![0u64; words];
-        let mut run_end = vec![0u64; words];
-        let mut scratch = vec![0u64; words];
-        let mut keep = vec![0u64; words];
+        // Six mask-width working buffers, stack-backed for realistic
+        // read lengths (one heap allocation for the whole call beyond
+        // STACK_WORDS). The inner loop below is allocation-free either
+        // way — amendment ping-pongs between the two scratch buffers
+        // instead of copying the walker out per shift.
+        let mut stack = [[0u64; STACK_WORDS]; 6];
+        let mut heap: Vec<u64> = Vec::new();
+        let [acc, mask, run_end, scratch_a, scratch_b, keep] = if words <= STACK_WORDS {
+            let [a, b, c, d, e, f] = &mut stack;
+            [
+                &mut a[..words],
+                &mut b[..words],
+                &mut c[..words],
+                &mut d[..words],
+                &mut e[..words],
+                &mut f[..words],
+            ]
+        } else {
+            heap.resize(6 * words, 0u64);
+            let (a, rest) = heap.split_at_mut(words);
+            let (b, rest) = rest.split_at_mut(words);
+            let (c, rest) = rest.split_at_mut(words);
+            let (d, rest) = rest.split_at_mut(words);
+            let (e, f) = rest.split_at_mut(words);
+            [a, b, c, d, e, f]
+        };
+        acc.fill(u64::MAX);
         let mut masks_built = 0u64;
         let mut accepted_early = false;
         for s in -delta_i..=s_hi {
-            build_shift_mask(read, window, s, &mut mask);
-            amend_short_runs(
-                &mut mask,
-                self.amend_below,
-                &mut run_end,
-                &mut scratch,
-                &mut keep,
-            );
-            for (a, &w) in acc.iter_mut().zip(&mask) {
+            build_shift_mask(read, window, s, mask);
+            amend_short_runs(mask, self.amend_below, run_end, scratch_a, scratch_b, keep);
+            for (a, &w) in acc.iter_mut().zip(mask.iter()) {
                 *a &= w;
             }
             masks_built += 1;
             // Sound early accept: popcount only ever shrinks under AND.
-            if popcount(&acc) - pad <= delta {
+            if popcount(acc) - pad <= delta {
                 accepted_early = true;
                 break;
             }
@@ -147,8 +167,8 @@ impl ShdFilter {
         if accepted_early {
             return Verdict::accept(cost);
         }
-        clear_tail(&mut acc, m);
-        if streak_edit_bound(&acc, m) <= u64::from(delta) {
+        clear_tail(acc, m);
+        if streak_edit_bound(acc, m) <= u64::from(delta) {
             Verdict::accept(cost)
         } else {
             Verdict::reject(cost)
@@ -182,11 +202,16 @@ fn build_shift_mask(read: &[u8], window: &[u8], s: isize, mask: &mut [u64]) {
 /// place. `below == 1` is a no-op. The classic two-shift trick,
 /// generalised: a 0 survives only if it belongs to a run of ≥ `below`
 /// consecutive 0s.
-fn amend_short_runs(
+///
+/// The successive shifts of the walker ping-pong between `scratch_a`
+/// and `scratch_b` (shift reads one, writes the other, swap), so the
+/// hot loop performs no allocation and no full-mask copies.
+fn amend_short_runs<'w>(
     mask: &mut [u64],
     below: usize,
     z: &mut [u64],
-    scratch: &mut [u64],
+    scratch_a: &'w mut [u64],
+    scratch_b: &'w mut [u64],
     keep: &mut [u64],
 ) {
     if below <= 1 {
@@ -197,25 +222,26 @@ fn amend_short_runs(
         *zw = !w;
     }
     // keep starts as "ends of runs ≥ below": AND of z shifted up by
-    // 0..below. `scratch` walks the successive shifts of z.
+    // 0..below. `cur` walks the successive shifts of z.
     keep.copy_from_slice(z);
-    scratch.copy_from_slice(z);
+    let (mut cur, mut next) = (scratch_a, scratch_b);
+    cur.copy_from_slice(z);
     for _ in 1..below {
-        let prev: Vec<u64> = scratch.to_vec();
-        shl1(&prev, scratch, false);
-        for (k, &sh) in keep.iter_mut().zip(scratch.iter()) {
+        shl1(cur, next, false);
+        for (k, &sh) in keep.iter_mut().zip(next.iter()) {
             *k &= sh;
         }
+        std::mem::swap(&mut cur, &mut next);
     }
     // Smear run ends back over their `below`-wide tails so `keep`
     // covers every position of every qualifying run.
-    scratch.copy_from_slice(keep);
+    cur.copy_from_slice(keep);
     for _ in 1..below {
-        let prev: Vec<u64> = scratch.to_vec();
-        shr1(&prev, scratch, false);
-        for (k, &sh) in keep.iter_mut().zip(scratch.iter()) {
+        shr1(cur, next, false);
+        for (k, &sh) in keep.iter_mut().zip(next.iter()) {
             *k |= sh;
         }
+        std::mem::swap(&mut cur, &mut next);
     }
     // Matches not kept become mismatches.
     for (m_w, (&zw, &k)) in mask.iter_mut().zip(z.iter().zip(keep.iter())) {
