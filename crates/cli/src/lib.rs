@@ -295,6 +295,15 @@ SERVE OPTIONS:
                              [default: 16]
     --tenant-weight <n=w>    weighted-fair dequeue weight of tenant n
                              (repeatable; unlisted tenants weigh 1.0)
+    --tenant-quota <n=r>     sliding-window read budget of tenant n; an
+                             exceeded budget answers QUOTA_EXCEEDED
+                             (repeatable; unlisted tenants unbudgeted)
+    --quota-window <s>       quota window length in simulated seconds
+                             [default: 60]
+    --journal-compact-threshold <n>
+                             rewrite the journal down to live records
+                             once n dead records accumulate (requires
+                             --journal; 0 disables) [default: 0]
     --metrics-dir <dir>      per-job telemetry spool (one *.jsonl per
                              job; inspect with `repute stats --dir`)
     plus the map options: --index-cache, --delta, --s-min,
@@ -306,6 +315,9 @@ SUBMIT OPTIONS:
     --reads <path>           FASTQ reads, loaded client-side
     --id <name> / --tenant <name> / --delta <n> / --prefilter <mode> /
     --mapper <name>          job envelope fields
+    --deadline <s>           relative deadline in simulated seconds;
+                             deadline jobs dequeue earliest-first
+    --priority <n>           intra-tenant priority (higher first)
     --output <path>          SAM output path [default: stdout]
     --shutdown               drain the daemon and stop it
 
@@ -1494,14 +1506,18 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
     let mut job_latency: Vec<f64> = Vec::new();
     let mut tenants: Vec<(String, u64)> = Vec::new();
     let mut serve_records = 0u64;
-    let mut serve_sums = [0u64; 6];
-    const SERVE_COUNTERS: [&str; 6] = [
+    let mut serve_sums = [0u64; 10];
+    const SERVE_COUNTERS: [&str; 10] = [
         "accepted",
         "rejected",
         "retry_later",
+        "quota_exceeded",
         "completed",
         "replayed",
         "batches",
+        "compactions",
+        "connection_errors",
+        "spool_skipped",
     ];
     let mut serve_queue_depth_max = 0u64;
     let mut serve_simulated = 0.0f64;
@@ -1696,13 +1712,19 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
         let _ = writeln!(
             out,
             "serve ({serve_records} snapshot(s)): accepted {} | rejected {} | \
-             retry-later {} | completed {} ({} replayed) | {} batch(es)",
+             retry-later {} | quota-exceeded {} | completed {} ({} replayed) | {} batch(es)",
             serve_sums[0],
             serve_sums[1],
             serve_sums[2],
             serve_sums[3],
             serve_sums[4],
             serve_sums[5],
+            serve_sums[6],
+        );
+        let _ = writeln!(
+            out,
+            "  compactions {} | connection errors {} | spool skipped {}",
+            serve_sums[7], serve_sums[8], serve_sums[9],
         );
         let _ = writeln!(
             out,
@@ -1942,6 +1964,13 @@ pub struct ServeCliOptions {
     /// Weighted-fair tenant weights (`--tenant-weight name=w`,
     /// repeatable; unlisted tenants weigh 1.0).
     pub tenant_weights: Vec<(String, f64)>,
+    /// Sliding-window read budgets (`--tenant-quota name=reads`,
+    /// repeatable; unlisted tenants are unbudgeted).
+    pub tenant_quotas: Vec<(String, u64)>,
+    /// Quota sliding-window length in simulated seconds.
+    pub quota_window_s: f64,
+    /// Compact the journal after this many dead records (`0` disables).
+    pub journal_compact_threshold: usize,
     /// Merged telemetry JSON-lines export path (written at exit, and
     /// after every spool pass).
     pub metrics_out: Option<String>,
@@ -1977,6 +2006,9 @@ impl Default for ServeCliOptions {
             max_reads_per_job: None,
             max_delta: defaults.limits.max_delta,
             tenant_weights: Vec::new(),
+            tenant_quotas: Vec::new(),
+            quota_window_s: defaults.quota_window_s,
+            journal_compact_threshold: defaults.journal_compact_threshold,
             metrics_out: None,
             metrics_dir: None,
             trace_out: None,
@@ -2110,6 +2142,33 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
                 }
                 opts.tenant_weights.push((name.to_string(), weight));
             }
+            "--tenant-quota" => {
+                let spec = value("--tenant-quota")?;
+                let (name, budget) = spec
+                    .split_once('=')
+                    .ok_or_else(|| ParseArgsError::new("--tenant-quota expects name=<reads>"))?;
+                let budget: u64 = budget.parse().map_err(|_| {
+                    ParseArgsError::new("--tenant-quota expects an integer read budget")
+                })?;
+                if budget == 0 {
+                    return Err(ParseArgsError::new("--tenant-quota must be positive"));
+                }
+                opts.tenant_quotas.push((name.to_string(), budget));
+            }
+            "--quota-window" => {
+                opts.quota_window_s = value("--quota-window")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--quota-window expects seconds"))?;
+                if !opts.quota_window_s.is_finite() || opts.quota_window_s <= 0.0 {
+                    return Err(ParseArgsError::new("--quota-window must be positive"));
+                }
+            }
+            "--journal-compact-threshold" => {
+                opts.journal_compact_threshold =
+                    value("--journal-compact-threshold")?.parse().map_err(|_| {
+                        ParseArgsError::new("--journal-compact-threshold expects an integer")
+                    })?;
+            }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--metrics-dir" => opts.metrics_dir = Some(value("--metrics-dir")?),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
@@ -2147,6 +2206,11 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
     if opts.resume && opts.journal.is_none() {
         return Err(ParseArgsError::new("--resume requires --journal"));
     }
+    if opts.journal_compact_threshold > 0 && opts.journal.is_none() {
+        return Err(ParseArgsError::new(
+            "--journal-compact-threshold requires --journal",
+        ));
+    }
     Ok(opts)
 }
 
@@ -2169,6 +2233,9 @@ fn build_serve_options(opts: &ServeCliOptions) -> repute_serve::ServeOptions {
             queue_capacity: opts.queue_capacity,
         },
         tenant_weights: opts.tenant_weights.clone(),
+        tenant_quotas: opts.tenant_quotas.clone(),
+        quota_window_s: opts.quota_window_s,
+        journal_compact_threshold: opts.journal_compact_threshold,
     }
 }
 
@@ -2252,17 +2319,24 @@ pub fn run_serve(opts: &ServeCliOptions) -> Result<(), ReputeError> {
     }
     let c = core.counters();
     eprintln!(
-        "serve: accepted {} | rejected {} | retry-later {} | completed {} \
-         ({} replayed) in {} batch(es) | queue high-water {} | simulated {:.6} s",
+        "serve: accepted {} | rejected {} | retry-later {} | quota-exceeded {} | \
+         completed {} ({} replayed) in {} batch(es) | queue high-water {} | simulated {:.6} s",
         c.accepted,
         c.rejected,
         c.retry_later,
+        c.quota_exceeded,
         c.completed,
         c.replayed,
         c.batches,
         core.queue_depth_high_water(),
         core.simulated_seconds(),
     );
+    if c.compactions + c.connection_errors + c.spool_skipped > 0 {
+        eprintln!(
+            "serve: compactions {} | connection errors {} | spool skipped {}",
+            c.compactions, c.connection_errors, c.spool_skipped,
+        );
+    }
     let (n, p50, p90, p99) = core.latency_percentiles();
     if n > 0 {
         eprintln!("job latency (simulated): n={n} p50 {p50:.6} p90 {p90:.6} p99 {p99:.6}");
@@ -2283,7 +2357,7 @@ pub fn run_serve(_opts: &ServeCliOptions) -> Result<(), ReputeError> {
 }
 
 /// Parsed command-line options for `repute submit`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SubmitOptions {
     /// Unix-domain socket of the running daemon.
     pub socket: String,
@@ -2299,6 +2373,10 @@ pub struct SubmitOptions {
     pub prefilter: Option<String>,
     /// Per-job mapper override.
     pub mapper: Option<String>,
+    /// Relative deadline in simulated seconds (EDF lane).
+    pub deadline: Option<f64>,
+    /// Intra-tenant priority (higher dequeues first).
+    pub priority: Option<u32>,
     /// SAM output path; `None` writes to stdout.
     pub output: Option<String>,
     /// Ask the daemon to drain and shut down instead of submitting.
@@ -2339,6 +2417,22 @@ pub fn parse_submit_args<I: IntoIterator<Item = String>>(
             }
             "--prefilter" => opts.prefilter = Some(value("--prefilter")?),
             "--mapper" => opts.mapper = Some(value("--mapper")?),
+            "--deadline" => {
+                let deadline: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--deadline expects seconds"))?;
+                if !deadline.is_finite() || deadline < 0.0 {
+                    return Err(ParseArgsError::new("--deadline must be non-negative"));
+                }
+                opts.deadline = Some(deadline);
+            }
+            "--priority" => {
+                opts.priority = Some(
+                    value("--priority")?
+                        .parse()
+                        .map_err(|_| ParseArgsError::new("--priority expects an integer"))?,
+                );
+            }
             "--output" => opts.output = Some(value("--output")?),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
@@ -2404,6 +2498,8 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), ReputeError> {
                 .map_err(|e| ReputeError::Config(format!("--mapper: {e}")))?,
         );
     }
+    envelope.deadline_s = opts.deadline;
+    envelope.priority = opts.priority.unwrap_or(0);
     // Load the reads client-side so the daemon never depends on the
     // client's filesystem.
     repute_serve::resolve_reads(&mut envelope)?;
@@ -3001,8 +3097,34 @@ mod tests {
         assert!(parse_serve_args(args("--reference r.fa --socket s --tenant-weight a=0")).is_err());
         assert!(parse_serve_args(args("--index i.rpx --index-cache c --socket s")).is_err());
 
+        // Quota and compaction flags.
+        let opts = parse_serve_args(args(
+            "--reference r.fa --socket s.sock --tenant-quota acme=500 \
+             --quota-window 30 --journal j.jnl --journal-compact-threshold 16",
+        ))
+        .unwrap();
+        assert_eq!(opts.tenant_quotas, vec![("acme".to_string(), 500)]);
+        assert!((opts.quota_window_s - 30.0).abs() < f64::EPSILON);
+        assert_eq!(opts.journal_compact_threshold, 16);
+        assert!(parse_serve_args(args("--reference r.fa --socket s --tenant-quota a=0")).is_err());
+        assert!(parse_serve_args(args("--reference r.fa --socket s --tenant-quota a")).is_err());
+        assert!(parse_serve_args(args("--reference r.fa --socket s --quota-window -1")).is_err());
+        // The compaction threshold is meaningless without a journal.
+        assert!(parse_serve_args(args(
+            "--reference r.fa --socket s --journal-compact-threshold 8"
+        ))
+        .is_err());
+
         let opts = parse_submit_args(args("--socket s.sock --reads r.fq --tenant acme")).unwrap();
         assert_eq!(opts.tenant.as_deref(), Some("acme"));
+        let opts = parse_submit_args(args(
+            "--socket s.sock --reads r.fq --deadline 2.5 --priority 7",
+        ))
+        .unwrap();
+        assert_eq!(opts.deadline, Some(2.5));
+        assert_eq!(opts.priority, Some(7));
+        assert!(parse_submit_args(args("--socket s --reads r.fq --deadline -1")).is_err());
+        assert!(parse_submit_args(args("--socket s --reads r.fq --priority x")).is_err());
         let opts = parse_submit_args(args("--socket s.sock --shutdown")).unwrap();
         assert!(opts.shutdown);
         assert!(parse_submit_args(args("--reads r.fq")).is_err());
@@ -3017,8 +3139,9 @@ mod tests {
             "{\"type\":\"job\",\"seq\":1,\"id\":\"b\",\"tenant\":\"lab\",\"reads\":1,",
             "\"mappings\":1,\"batch\":0,\"latency_s\":0.75,\"replayed\":true}\n",
             "{\"type\":\"serve\",\"accepted\":2,\"rejected\":1,\"retry_later\":1,",
-            "\"completed\":2,\"replayed\":1,\"batches\":1,\"queue_depth\":0,",
-            "\"queue_depth_max\":2,\"simulated_seconds\":0.75}\n",
+            "\"quota_exceeded\":2,\"completed\":2,\"replayed\":1,\"batches\":1,",
+            "\"compactions\":1,\"connection_errors\":3,\"spool_skipped\":1,",
+            "\"queue_depth\":0,\"queue_depth_max\":2,\"simulated_seconds\":0.75}\n",
             // A second snapshot (another file, concatenated): counters sum.
             "{\"type\":\"serve\",\"accepted\":3,\"rejected\":0,\"retry_later\":0,",
             "\"completed\":3,\"replayed\":0,\"batches\":2,\"queue_depth\":0,",

@@ -1,21 +1,38 @@
-//! Admission control: a bounded job queue with per-tenant weighted fair
-//! dequeue.
+//! Admission control: a bounded job queue with deadline-aware,
+//! per-tenant weighted fair dequeue, plus sliding-window tenant quotas.
 //!
-//! Admission is a two-gate policy. Gate one is *validation* (the server
-//! rejects over-limit jobs outright — that lives in
-//! [`crate::server::ServeCore`]); gate two is *capacity*: the queue
-//! holds at most `capacity` jobs across all tenants, and a full queue
-//! answers `RETRY_LATER` instead of buffering unboundedly.
+//! Admission is a three-gate policy. Gate one is *validation* (the
+//! server rejects over-limit jobs outright — that lives in
+//! [`crate::server::ServeCore`]); gate two is *quota*: a tenant with a
+//! configured read budget that would exceed it over the sliding
+//! simulated-time window is answered `QUOTA_EXCEEDED` (see
+//! [`TenantQuota`]); gate three is *capacity*: the queue holds at most
+//! `capacity` jobs across all tenants, and a full queue answers
+//! `RETRY_LATER` instead of buffering unboundedly.
 //!
-//! Dequeue order is weighted fair queuing in the classic
-//! virtual-service form: every tenant lane accumulates
-//! `served += max(reads, 1) / weight` as its jobs are dispatched, and
-//! the next job always comes from the non-empty lane with the smallest
-//! `served` (ties broken by tenant name, FIFO within a lane). A tenant
-//! with weight 2 therefore gets twice the read throughput of a tenant
-//! with weight 1 under contention, and an idle tenant's first job never
-//! waits behind a busy tenant's backlog longer than one batch. The
-//! whole structure is deterministic: no clocks, no randomness.
+//! Dequeue order composes two disciplines, both deterministic on the
+//! simulated clock (no wall time, no randomness):
+//!
+//! 1. **EDF lane.** Jobs carrying a deadline whose deadline has not yet
+//!    passed dequeue first, earliest absolute deadline first. Deadline
+//!    ties fall back to the weighted-fair comparison below (priority,
+//!    then lane `served`, then tenant name, then acceptance order). A
+//!    job whose deadline has already passed loses its EDF privilege and
+//!    degrades into the fair lanes — an overdue job must not starve
+//!    everyone else's guarantees.
+//! 2. **Weighted fair queuing** in the classic virtual-service form:
+//!    every tenant lane accumulates `served += max(reads, 1) / weight`
+//!    as its jobs are dispatched, and the next job always comes from
+//!    the non-empty lane with the smallest `served` (ties broken by
+//!    tenant name). Within a lane, higher `priority` dequeues first,
+//!    FIFO within a priority. A tenant with weight 2 therefore gets
+//!    twice the read throughput of a tenant with weight 1 under
+//!    contention, and an idle tenant's first job never waits behind a
+//!    busy tenant's backlog longer than one batch.
+//!
+//! EDF dispatches still charge the tenant's `served`, so a tenant that
+//! burns its fairness share on urgent jobs pays for it in the fair
+//! lanes afterwards — the two disciplines compose instead of fighting.
 
 use std::collections::VecDeque;
 
@@ -54,6 +71,11 @@ pub struct JobSpec {
     pub key: ConfigKey,
     /// Simulated arrival time (admission clock).
     pub arrival_s: f64,
+    /// Absolute simulated-time deadline (`arrival_s` + the envelope's
+    /// relative `deadline_s`); `None` for best-effort jobs.
+    pub deadline_s: Option<f64>,
+    /// Intra-tenant priority (higher dequeues first).
+    pub priority: u32,
     /// Read ids, parallel to `reads`.
     pub read_ids: Vec<String>,
     /// Read sequences.
@@ -77,7 +99,7 @@ struct TenantLane {
     jobs: VecDeque<JobSpec>,
 }
 
-/// The bounded weighted-fair job queue.
+/// The bounded deadline-aware weighted-fair job queue.
 #[derive(Debug)]
 pub struct AdmissionQueue {
     capacity: usize,
@@ -148,44 +170,103 @@ impl AdmissionQueue {
         self.depth
     }
 
-    /// Enqueues an accepted job. `resumed` pushes bypass the capacity
-    /// check: the job was accepted (and journaled) before a restart, so
-    /// bouncing it now would break the at-most-one-batch-lost promise.
+    /// Enqueues an accepted job in lane priority order (higher priority
+    /// first, FIFO within a priority). `resumed` pushes bypass the
+    /// capacity check: the job was accepted (and journaled) before a
+    /// restart, so bouncing it now would break the
+    /// at-most-one-batch-lost promise.
     ///
     /// Returns the job back when the queue is full (backpressure).
+    #[allow(clippy::result_large_err)] // Err returns the caller's own job
     pub fn push(&mut self, job: JobSpec, resumed: bool) -> Result<(), JobSpec> {
         if !resumed && self.is_full() {
             return Err(job);
         }
-        self.lane(&job.tenant.clone()).jobs.push_back(job);
+        let priority = job.priority;
+        let lane = self.lane(&job.tenant.clone());
+        // Insert after every job with priority >= the new job's, so
+        // equal priorities stay FIFO by acceptance order.
+        let at = lane.jobs.partition_point(|j| j.priority >= priority);
+        lane.jobs.insert(at, job);
         self.len += 1;
         self.depth.set(self.len as u64);
         Ok(())
     }
 
-    /// Index of the lane the fair policy picks next: the non-empty lane
-    /// with the smallest `served`, ties to the lexicographically first
-    /// tenant (lanes are kept name-sorted).
-    fn fair_lane(&self) -> Option<usize> {
+    /// The `(lane, index)` the dequeue policy picks next at simulated
+    /// time `now`: the EDF lane first (earliest non-overdue deadline;
+    /// ties by priority, then fair `served`, then tenant name, then
+    /// acceptance order), falling back to weighted fair queuing.
+    fn next_slot(&self, now: f64) -> Option<(usize, usize)> {
+        // Deterministic EDF rank: deadline, negated priority, fair
+        // `served`, lane index (= tenant name order), acceptance seq.
+        type EdfRank = (f64, u32, f64, usize, u64);
+        // EDF pass: every queued job with a live (non-overdue) deadline.
+        let mut best: Option<(EdfRank, (usize, usize))> = None;
+        for (li, lane) in self.lanes.iter().enumerate() {
+            for (ji, job) in lane.jobs.iter().enumerate() {
+                let Some(deadline) = job.deadline_s else {
+                    continue;
+                };
+                if deadline < now {
+                    continue; // overdue: degrades to the fair lanes
+                }
+                // Lower tuple wins; priority is negated via u32::MAX so
+                // a higher priority sorts first. Full deterministic
+                // order: deadline, priority, then the fair comparison
+                // (served, lane index = tenant name order, seq).
+                let rank = (deadline, u32::MAX - job.priority, lane.served, li, job.seq);
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => {
+                        use std::cmp::Ordering;
+                        match rank.0.total_cmp(&b.0) {
+                            Ordering::Less => true,
+                            Ordering::Greater => false,
+                            Ordering::Equal => match rank.1.cmp(&b.1) {
+                                Ordering::Less => true,
+                                Ordering::Greater => false,
+                                Ordering::Equal => match rank.2.total_cmp(&b.2) {
+                                    Ordering::Less => true,
+                                    Ordering::Greater => false,
+                                    Ordering::Equal => (rank.3, rank.4) < (b.3, b.4),
+                                },
+                            },
+                        }
+                    }
+                };
+                if better {
+                    best = Some((rank, (li, ji)));
+                }
+            }
+        }
+        if let Some((_, slot)) = best {
+            return Some(slot);
+        }
+        // Fair pass: smallest served, ties to the lexicographically
+        // first tenant (lanes are kept name-sorted); the lane front is
+        // its highest-priority, oldest job.
         self.lanes
             .iter()
             .enumerate()
             .filter(|(_, l)| !l.jobs.is_empty())
             .min_by(|(_, a), (_, b)| a.served.total_cmp(&b.served))
-            .map(|(i, _)| i)
+            .map(|(i, _)| (i, 0))
     }
 
-    /// The job the fair policy would dispatch next, without removing it.
-    pub fn peek_fair(&self) -> Option<&JobSpec> {
-        self.fair_lane().and_then(|i| self.lanes[i].jobs.front())
+    /// The job the policy would dispatch next at simulated time `now`,
+    /// without removing it.
+    pub fn peek_fair(&self, now: f64) -> Option<&JobSpec> {
+        self.next_slot(now).map(|(li, ji)| &self.lanes[li].jobs[ji])
     }
 
-    /// Dispatches the fair-next job, charging its cost to the tenant.
-    pub fn pop_fair(&mut self) -> Option<JobSpec> {
-        let at = self.fair_lane()?;
-        let job = self.lanes[at].jobs.pop_front()?;
-        let weight = self.lanes[at].weight;
-        self.lanes[at].served += job.cost() / weight;
+    /// Dispatches the policy-next job at simulated time `now`, charging
+    /// its cost to the tenant (EDF dispatches pay fair service too).
+    pub fn pop_fair(&mut self, now: f64) -> Option<JobSpec> {
+        let (li, ji) = self.next_slot(now)?;
+        let job = self.lanes[li].jobs.remove(ji)?;
+        let weight = self.lanes[li].weight;
+        self.lanes[li].served += job.cost() / weight;
         self.len -= 1;
         self.depth.set(self.len as u64);
         Some(job)
@@ -198,6 +279,140 @@ impl AdmissionQueue {
     pub fn restore_served(&mut self, tenant: &str, cost: f64) {
         let lane = self.lane(tenant);
         lane.served += cost / lane.weight;
+    }
+
+    /// Overwrites a tenant lane's accumulated service (compacted-journal
+    /// resume restores the exact pre-crash fairness state).
+    pub fn set_served(&mut self, tenant: &str, served: f64) {
+        self.lane(tenant).served = served;
+    }
+
+    /// Every lane's `(tenant, served)` fairness state, name-sorted —
+    /// the snapshot journal compaction persists.
+    pub fn served_snapshot(&self) -> Vec<(String, f64)> {
+        self.lanes
+            .iter()
+            .map(|l| (l.name.clone(), l.served))
+            .collect()
+    }
+
+    /// Every queued job in acceptance (seq) order — the live records
+    /// journal compaction rewrites.
+    pub fn queued_snapshot(&self) -> Vec<&JobSpec> {
+        let mut jobs: Vec<&JobSpec> = self.lanes.iter().flat_map(|l| l.jobs.iter()).collect();
+        jobs.sort_by_key(|j| j.seq);
+        jobs
+    }
+}
+
+/// Sliding-window per-tenant read budgets (admission gate two).
+///
+/// A tenant with a configured budget may admit at most `budget` reads
+/// over any trailing `window_s` simulated seconds; the next job that
+/// would cross the line is refused with a typed `QUOTA_EXCEEDED`
+/// response (the job was *not* accepted; resubmit after the window
+/// slides). Tenants without a budget are never quota-refused.
+/// Deterministic: the window slides on the simulated clock only.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    window_s: f64,
+    budgets: Vec<(String, u64)>,
+    // (seq, tenant, admission time, reads) — pruned as the window
+    // slides. Bookings carry the job seq so a resume can restore the
+    // window without double-booking rewritten journal records.
+    admitted: Vec<(u64, String, f64, u64)>,
+}
+
+impl TenantQuota {
+    /// A quota gate over `budgets` (reads per tenant per window) with a
+    /// trailing window of `window_s` simulated seconds. An empty budget
+    /// table disables the gate entirely.
+    pub fn new(window_s: f64, budgets: &[(String, u64)]) -> TenantQuota {
+        TenantQuota {
+            window_s: if window_s > 0.0 { window_s } else { f64::MAX },
+            budgets: budgets.to_vec(),
+            admitted: Vec::new(),
+        }
+    }
+
+    /// True when no tenant has a budget (the gate is a no-op).
+    pub fn is_disabled(&self) -> bool {
+        self.budgets.is_empty()
+    }
+
+    /// The configured window length (simulated seconds).
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// The configured budget table.
+    pub fn budgets(&self) -> &[(String, u64)] {
+        &self.budgets
+    }
+
+    fn budget_of(&self, tenant: &str) -> Option<u64> {
+        self.budgets
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, b)| *b)
+    }
+
+    fn prune(&mut self, now: f64) {
+        let horizon = now - self.window_s;
+        self.admitted.retain(|(_, _, at, _)| *at > horizon);
+    }
+
+    /// Checks whether admitting `reads` reads for `tenant` at simulated
+    /// time `now` stays inside the budget. `Ok(())` admits; `Err((used,
+    /// budget))` reports the window usage that forced the refusal.
+    /// Checking does not book — call [`TenantQuota::book`] on accept.
+    pub fn check(&mut self, tenant: &str, reads: u64, now: f64) -> Result<(), (u64, u64)> {
+        let Some(budget) = self.budget_of(tenant) else {
+            return Ok(());
+        };
+        self.prune(now);
+        let used: u64 = self
+            .admitted
+            .iter()
+            .filter(|(_, name, _, _)| name == tenant)
+            .map(|(_, _, _, n)| *n)
+            .sum();
+        if used + reads.max(1) > budget {
+            return Err((used, budget));
+        }
+        Ok(())
+    }
+
+    /// Books an admitted job's reads into the tenant's window (empty
+    /// jobs cost one read, mirroring the fair-queue cost).
+    pub fn book(&mut self, seq: u64, tenant: &str, reads: u64, now: f64) {
+        if self.budget_of(tenant).is_none() {
+            return;
+        }
+        self.admitted
+            .push((seq, tenant.to_string(), now, reads.max(1)));
+    }
+
+    /// The live window entries `(seq, tenant, admitted_at, reads)` at
+    /// simulated time `now` — the snapshot journal compaction persists.
+    pub fn snapshot(&mut self, now: f64) -> Vec<(u64, String, f64, u64)> {
+        self.prune(now);
+        self.admitted.clone()
+    }
+
+    /// Restores a window entry recovered from a journal. Idempotent per
+    /// job: a seq already booked (e.g. present in a compaction state
+    /// snapshot *and* re-derived from a rewritten Accepted record) is
+    /// skipped.
+    pub fn restore(&mut self, seq: u64, tenant: &str, at: f64, reads: u64) {
+        if self.budget_of(tenant).is_none() {
+            return;
+        }
+        if self.admitted.iter().any(|(s, _, _, _)| *s == seq) {
+            return;
+        }
+        self.admitted
+            .push((seq, tenant.to_string(), at, reads.max(1)));
     }
 }
 
@@ -216,8 +431,18 @@ mod tests {
                 mapper: MapperKind::Repute,
             },
             arrival_s: 0.0,
+            deadline_s: None,
+            priority: 0,
             read_ids: (0..reads).map(|i| format!("r{i}")).collect(),
             reads: vec!["ACGT".parse().expect("seq"); reads],
+        }
+    }
+
+    fn deadline_job(seq: u64, tenant: &str, deadline: f64, priority: u32) -> JobSpec {
+        JobSpec {
+            deadline_s: Some(deadline),
+            priority,
+            ..job(seq, tenant, 1)
         }
     }
 
@@ -242,7 +467,7 @@ mod tests {
             q.push(job(i, "big", 4), false).expect("push");
             q.push(job(10 + i, "small", 4), false).expect("push");
         }
-        let order: Vec<String> = std::iter::from_fn(|| q.pop_fair().map(|j| j.tenant)).collect();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop_fair(0.0).map(|j| j.tenant)).collect();
         // weight 2 gets two dispatches per one of weight 1 once costs
         // accrue; ties go to the lexicographically first tenant.
         assert_eq!(
@@ -260,7 +485,7 @@ mod tests {
         // Pre-charge tenant a as if seq 0 had been dispatched before a
         // restart: b now goes first, then a's jobs in FIFO order.
         q.restore_served("a", 1.0);
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop_fair().map(|j| j.seq)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_fair(0.0).map(|j| j.seq)).collect();
         assert_eq!(order, [2, 0, 1]);
     }
 
@@ -269,8 +494,104 @@ mod tests {
         let mut q = AdmissionQueue::new(64, &[]);
         q.push(job(0, "b", 2), false).expect("push");
         q.push(job(1, "a", 2), false).expect("push");
-        let peeked = q.peek_fair().expect("job").seq;
-        assert_eq!(q.pop_fair().expect("job").seq, peeked);
+        let peeked = q.peek_fair(0.0).expect("job").seq;
+        assert_eq!(q.pop_fair(0.0).expect("job").seq, peeked);
         assert_eq!(peeked, 1); // name tie-break: "a" before "b"
+    }
+
+    #[test]
+    fn edf_lane_preempts_fair_order_until_overdue() {
+        let mut q = AdmissionQueue::new(64, &[]);
+        q.push(job(0, "a", 4), false).expect("push");
+        q.push(job(1, "b", 4), false).expect("push");
+        q.push(deadline_job(2, "z", 5.0, 0), false).expect("push");
+        q.push(deadline_job(3, "z", 2.0, 0), false).expect("push");
+        // At t=0 both deadlines are live: earliest deadline first, even
+        // though tenant z sorts last and arrived last.
+        assert_eq!(q.peek_fair(0.0).expect("job").seq, 3);
+        assert_eq!(q.pop_fair(0.0).expect("job").seq, 3);
+        assert_eq!(q.pop_fair(0.0).expect("job").seq, 2);
+        // EDF dispatches charged z's lane: the fair pass now prefers a/b.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_fair(0.0).map(|j| j.seq)).collect();
+        assert_eq!(order, [0, 1]);
+    }
+
+    #[test]
+    fn overdue_deadlines_degrade_to_fair() {
+        let mut q = AdmissionQueue::new(64, &[]);
+        q.push(job(0, "a", 1), false).expect("push");
+        q.push(deadline_job(1, "z", 2.0, 0), false).expect("push");
+        // At t=10 the deadline has passed: plain fair order wins
+        // (smallest served, name tie-break → tenant a first).
+        assert_eq!(q.pop_fair(10.0).expect("job").seq, 0);
+        assert_eq!(q.pop_fair(10.0).expect("job").seq, 1);
+    }
+
+    #[test]
+    fn deadline_ties_break_by_priority_then_fairness() {
+        let mut q = AdmissionQueue::new(64, &[]);
+        q.push(deadline_job(0, "b", 3.0, 1), false).expect("push");
+        q.push(deadline_job(1, "a", 3.0, 5), false).expect("push");
+        q.push(deadline_job(2, "a", 3.0, 5), false).expect("push");
+        // Same deadline: priority 5 beats 1; within the tie, acceptance
+        // order (seq) decides.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_fair(0.0).map(|j| j.seq)).collect();
+        assert_eq!(order, [1, 2, 0]);
+    }
+
+    #[test]
+    fn priority_orders_within_a_lane() {
+        let mut q = AdmissionQueue::new(64, &[]);
+        let mut low = job(0, "a", 1);
+        low.priority = 0;
+        let mut high = job(1, "a", 1);
+        high.priority = 9;
+        let mut mid = job(2, "a", 1);
+        mid.priority = 9;
+        q.push(low, false).expect("push");
+        q.push(high, false).expect("push");
+        q.push(mid, false).expect("push");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_fair(0.0).map(|j| j.seq)).collect();
+        assert_eq!(order, [1, 2, 0], "high priority first, FIFO within");
+    }
+
+    #[test]
+    fn snapshots_are_seq_ordered_and_name_sorted() {
+        let mut q = AdmissionQueue::new(64, &[("b".to_string(), 2.0)]);
+        q.push(job(3, "b", 1), false).expect("push");
+        q.push(job(1, "a", 1), false).expect("push");
+        q.push(job(2, "a", 1), false).expect("push");
+        let seqs: Vec<u64> = q.queued_snapshot().iter().map(|j| j.seq).collect();
+        assert_eq!(seqs, [1, 2, 3]);
+        q.pop_fair(0.0).expect("job");
+        let served = q.served_snapshot();
+        assert_eq!(served.len(), 2);
+        assert_eq!(served[0].0, "a");
+        assert!(served[0].1 > 0.0 || served[1].1 > 0.0);
+    }
+
+    #[test]
+    fn quota_window_slides_on_the_simulated_clock() {
+        let mut quota = TenantQuota::new(10.0, &[("acme".to_string(), 8)]);
+        assert!(quota.check("acme", 4, 0.0).is_ok());
+        quota.book(0, "acme", 4, 0.0);
+        assert!(quota.check("acme", 4, 1.0).is_ok());
+        quota.book(1, "acme", 4, 1.0);
+        // Budget spent: the 9th read in the window is refused with the
+        // usage that caused it.
+        assert_eq!(quota.check("acme", 1, 2.0), Err((8, 8)));
+        // Unbudgeted tenants never trip the gate.
+        assert!(quota.check("other", 1_000, 2.0).is_ok());
+        // The window slides: at t=10.5 the t=0 booking has expired.
+        assert!(quota.check("acme", 4, 10.5).is_ok());
+        quota.book(2, "acme", 4, 10.5);
+        assert_eq!(quota.check("acme", 4, 10.6), Err((8, 8)));
+        // Snapshot only keeps live entries (t=0 and t=1 have expired).
+        assert_eq!(quota.snapshot(11.5).len(), 1);
+        // Restore dedups by seq (compacted-journal resume path).
+        quota.restore(2, "acme", 11.0, 4);
+        assert_eq!(quota.snapshot(11.5).len(), 1);
+        quota.restore(3, "acme", 11.2, 4);
+        assert_eq!(quota.check("acme", 1, 11.5), Err((8, 8)));
     }
 }

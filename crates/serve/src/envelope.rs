@@ -5,14 +5,19 @@
 //! its reads — inline as `{"id","seq"}` pairs or as a FASTQ path the
 //! server resolves at admission — plus optional per-job overrides
 //! (`delta`, `prefilter`, `mapper`) that must stay within the server's
-//! pinned limits. The only non-job request is the graceful-drain control
-//! message `{"op":"shutdown"}`.
+//! pinned limits, and optional scheduling hints: `deadline_s` (a
+//! relative simulated-seconds deadline feeding the earliest-deadline-
+//! first lane) and `priority` (intra-tenant ordering, higher first).
+//! The only non-job request is the graceful-drain control message
+//! `{"op":"shutdown"}`.
 //!
 //! Responses are flat JSON objects with a typed `status`: `OK` carries
 //! the job's SAM bytes and scheduling facts, `REJECTED` is a permanent
-//! refusal (over-limit job, malformed reads), and `RETRY_LATER` is the
+//! refusal (over-limit job, malformed reads), `RETRY_LATER` is the
 //! admission queue's backpressure signal — the job was *not* accepted
-//! and may be resubmitted once the queue drains.
+//! and may be resubmitted once the queue drains — and `QUOTA_EXCEEDED`
+//! means the tenant spent its sliding-window read budget; resubmit
+//! after the window slides, or as a different tenant.
 
 use std::str::FromStr;
 
@@ -144,6 +149,13 @@ pub struct JobEnvelope {
     pub prefilter: Option<PrefilterMode>,
     /// Per-job mapper override.
     pub mapper: Option<MapperKind>,
+    /// Relative deadline in simulated seconds from admission; jobs with
+    /// a deadline dequeue earliest-deadline-first ahead of the fair
+    /// lanes while the deadline has not passed.
+    pub deadline_s: Option<f64>,
+    /// Intra-tenant ordering hint: higher-priority jobs dequeue before
+    /// lower-priority jobs of the same tenant (FIFO within a priority).
+    pub priority: u32,
     /// Inline reads as `(id, sequence)` pairs.
     pub reads: Vec<(String, DnaSeq)>,
     /// FASTQ path to load the reads from (exclusive with inline reads).
@@ -159,6 +171,8 @@ impl JobEnvelope {
             delta: None,
             prefilter: None,
             mapper: None,
+            deadline_s: None,
+            priority: 0,
             reads,
             reads_path: None,
         }
@@ -176,6 +190,18 @@ impl JobEnvelope {
         self
     }
 
+    /// Sets the relative deadline (simulated seconds from admission).
+    pub fn with_deadline(mut self, deadline_s: f64) -> JobEnvelope {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Sets the intra-tenant priority (higher dequeues first).
+    pub fn with_priority(mut self, priority: u32) -> JobEnvelope {
+        self.priority = priority;
+        self
+    }
+
     /// Serializes the envelope as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut obj = JsonObject::new();
@@ -189,6 +215,12 @@ impl JobEnvelope {
         }
         if let Some(kind) = self.mapper {
             obj.str_field("mapper", kind.as_str());
+        }
+        if let Some(deadline) = self.deadline_s {
+            obj.f64_field("deadline_s", deadline);
+        }
+        if self.priority > 0 {
+            obj.u64_field("priority", u64::from(self.priority));
         }
         if let Some(path) = &self.reads_path {
             obj.str_field("reads_path", path);
@@ -271,6 +303,27 @@ pub fn parse_request(line: &str) -> Result<Request, ReputeError> {
                 .map_err(|e| parse_error(format!("job {id:?}: {e}")))?,
         ),
     };
+    let deadline_s = match field(fields, "deadline_s") {
+        None => None,
+        Some(v) => {
+            let d = v.as_f64().ok_or_else(|| {
+                parse_error(format!("job {id:?}: \"deadline_s\" must be a number"))
+            })?;
+            if !d.is_finite() || d < 0.0 {
+                return Err(parse_error(format!(
+                    "job {id:?}: \"deadline_s\" must be a finite non-negative number"
+                )));
+            }
+            Some(d)
+        }
+    };
+    let priority = match field(fields, "priority") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .and_then(|p| u32::try_from(p).ok())
+            .ok_or_else(|| parse_error(format!("job {id:?}: \"priority\" must be an integer")))?,
+    };
     let reads_path = field(fields, "reads_path")
         .and_then(JsonValue::as_str)
         .map(str::to_string);
@@ -307,6 +360,8 @@ pub fn parse_request(line: &str) -> Result<Request, ReputeError> {
         delta,
         prefilter,
         mapper,
+        deadline_s,
+        priority,
         reads,
         reads_path,
     }))
@@ -341,6 +396,10 @@ pub enum JobStatus {
     Rejected,
     /// Admission backpressure: the queue is full, resubmit later.
     RetryLater,
+    /// The tenant exhausted its sliding-window read budget; resubmit
+    /// after the window slides (distinct from `RETRY_LATER`: the queue
+    /// has room, the *tenant* is over budget).
+    QuotaExceeded,
 }
 
 impl JobStatus {
@@ -350,6 +409,7 @@ impl JobStatus {
             JobStatus::Ok => "OK",
             JobStatus::Rejected => "REJECTED",
             JobStatus::RetryLater => "RETRY_LATER",
+            JobStatus::QuotaExceeded => "QUOTA_EXCEEDED",
         }
     }
 
@@ -359,6 +419,7 @@ impl JobStatus {
             "OK" => JobStatus::Ok,
             "REJECTED" => JobStatus::Rejected,
             "RETRY_LATER" => JobStatus::RetryLater,
+            "QUOTA_EXCEEDED" => JobStatus::QuotaExceeded,
             _ => return None,
         })
     }
@@ -369,6 +430,10 @@ impl JobStatus {
 pub struct JobResponse {
     /// The job id the response answers.
     pub id: String,
+    /// Server-assigned acceptance sequence number (`OK` only). Unique
+    /// across the daemon's life even when clients reuse ids — the
+    /// multi-client socket loop routes responses by it.
+    pub seq: Option<u64>,
     /// Typed outcome.
     pub status: JobStatus,
     /// Human-readable refusal reason (`REJECTED` / `RETRY_LATER` only).
@@ -390,6 +455,7 @@ impl JobResponse {
     pub fn refusal(id: impl Into<String>, status: JobStatus, reason: impl Into<String>) -> Self {
         JobResponse {
             id: id.into(),
+            seq: None,
             status,
             reason: Some(reason.into()),
             reads: 0,
@@ -410,6 +476,9 @@ impl JobResponse {
             obj.str_field("reason", reason);
         }
         if self.status == JobStatus::Ok {
+            if let Some(seq) = self.seq {
+                obj.u64_field("seq", seq);
+            }
             obj.u64_field("reads", self.reads);
             obj.u64_field("mappings", self.mappings);
             if let Some(batch) = self.batch {
@@ -449,6 +518,7 @@ impl JobResponse {
             .ok_or_else(|| parse_error("response needs a known \"status\""))?;
         Ok(JobResponse {
             id,
+            seq: field(fields, "seq").and_then(JsonValue::as_u64),
             status,
             reason: field(fields, "reason")
                 .and_then(JsonValue::as_str)
@@ -480,10 +550,21 @@ mod tests {
     fn job_envelope_round_trips() {
         let env = JobEnvelope::new("j1", vec![("r1".into(), seq("ACGT"))])
             .with_tenant("acme")
-            .with_delta(3);
+            .with_delta(3)
+            .with_deadline(2.5)
+            .with_priority(7);
         let line = env.to_json_line();
         match parse_request(&line).expect("parses") {
             Request::Job(parsed) => assert_eq!(parsed, env),
+            other => panic!("unexpected request {other:?}"),
+        }
+        // A plain envelope (no scheduling hints) also round-trips.
+        let plain = JobEnvelope::new("j2", vec![("r1".into(), seq("ACGT"))]);
+        match parse_request(&plain.to_json_line()).expect("parses") {
+            Request::Job(parsed) => {
+                assert_eq!(parsed.deadline_s, None);
+                assert_eq!(parsed.priority, 0);
+            }
             other => panic!("unexpected request {other:?}"),
         }
     }
@@ -502,6 +583,9 @@ mod tests {
             r#"{"id":"a","reads":[{"id":"r"}]}"#,
             r#"{"id":"a","reads":[],"reads_path":"x.fq"}"#,
             r#"{"id":"a","reads":[],"mapper":"nope"}"#,
+            r#"{"id":"a","reads":[],"deadline_s":-1.0}"#,
+            r#"{"id":"a","reads":[],"deadline_s":"soon"}"#,
+            r#"{"id":"a","reads":[],"priority":-3}"#,
             r#"{"op":"reboot"}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
@@ -512,6 +596,7 @@ mod tests {
     fn response_round_trips() {
         let ok = JobResponse {
             id: "j1".into(),
+            seq: Some(4),
             status: JobStatus::Ok,
             reason: None,
             reads: 2,
@@ -525,6 +610,10 @@ mod tests {
         let line = retry.to_json_line();
         assert!(line.contains("RETRY_LATER"));
         assert_eq!(JobResponse::parse(&line).expect("parses"), retry);
+        let quota = JobResponse::refusal("j3", JobStatus::QuotaExceeded, "budget spent");
+        let line = quota.to_json_line();
+        assert!(line.contains("QUOTA_EXCEEDED"));
+        assert_eq!(JobResponse::parse(&line).expect("parses"), quota);
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl ServeHarness {
 
     /// Submits one job envelope. `None` means accepted (the response
     /// comes from [`ServeHarness::drain`]); `Some` is an immediate
-    /// `REJECTED`/`RETRY_LATER` refusal.
+    /// `REJECTED`/`RETRY_LATER`/`QUOTA_EXCEEDED` refusal.
     ///
     /// # Errors
     ///
@@ -136,6 +136,13 @@ impl ServeHarness {
     /// Read access to the core for counters, telemetry, and traces.
     pub fn core(&self) -> &ServeCore {
         &self.core
+    }
+
+    /// Mutable access to the core, so tests can drive the transport
+    /// layers ([`crate::transport::MuxServer`], the spool scanner)
+    /// against a harness-built daemon.
+    pub fn core_mut(&mut self) -> &mut ServeCore {
+        &mut self.core
     }
 
     /// Monotone service counters (convenience for assertions).

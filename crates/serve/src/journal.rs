@@ -1,15 +1,16 @@
 //! Crash-safe job journal for the daemon.
 //!
-//! The journal is the daemon's only durable state. Two record kinds are
-//! appended, each wrapped in a CRC-framed record (`[len u32][payload]
-//! [crc32]`, all little-endian, same framing as the checkpoint journal
-//! in `repute_core::journal`):
+//! The journal is the daemon's only durable state. Three record kinds
+//! are appended, each wrapped in a CRC-framed record (`[len u32]
+//! [payload][crc32]`, all little-endian, same framing as the checkpoint
+//! journal in `repute_core::journal`):
 //!
 //! * **Accepted** — written the moment a job passes admission, before
 //!   any response is sent. Carries everything needed to re-execute the
-//!   job: id, tenant, arrival time, the *effective* (limit-clamped)
-//!   mapping configuration, and the full read content. Spool files and
-//!   socket buffers may vanish in a crash; the journal cannot.
+//!   job: id, tenant, arrival time, deadline and priority, the
+//!   *effective* (limit-clamped) mapping configuration, and the full
+//!   read content. Spool files and socket buffers may vanish in a
+//!   crash; the journal cannot.
 //! * **BatchDone** — written once per completed scheduler batch, as a
 //!   single frame. It lists every job in the batch together with each
 //!   read's mapping locations. Because the frame is one CRC unit, a
@@ -17,6 +18,19 @@
 //!   from its stored mappings (byte-identical responses, no
 //!   re-execution) or it never happened and its jobs re-run. This is
 //!   the "at most one in-flight batch re-executed" guarantee.
+//! * **State** — a snapshot of the scheduler state (simulated clock,
+//!   sequence/batch counters, per-tenant fairness service, live quota
+//!   window). Written only as the first frame of a *compacted* journal,
+//!   it replaces the dead records the compaction dropped: a resume
+//!   applies the state, then replays the remaining frames as usual.
+//!
+//! **Compaction** keeps a long-lived daemon's journal proportional to
+//! in-flight work: once enough records are dead (their jobs committed
+//! and acknowledged), [`JobJournal::compact`] rewrites the header, one
+//! State frame, and the still-live Accepted records into a sibling
+//! file, fsyncs, and atomically renames it over the journal. A crash on
+//! either side of the rename leaves a complete, valid journal; the
+//! fingerprint policy is unchanged.
 //!
 //! Recovery truncates a torn tail (a partial or CRC-broken final
 //! frame — the crash interrupted an append) but refuses a CRC break in
@@ -29,18 +43,20 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use repute_core::journal::{crc32, RunFingerprint};
-use repute_core::ReputeError;
+use repute_core::{write_atomic, ReputeError};
 use repute_genome::{DnaSeq, Strand};
 use repute_mappers::Mapping;
 
 use crate::admission::{ConfigKey, JobSpec};
 use crate::envelope::{prefilter_code, prefilter_from_code, MapperKind};
 
-/// Magic prefix of a serve journal file.
-pub const JOURNAL_MAGIC: &[u8; 8] = b"RPSVJNL1";
+/// Magic prefix of a serve journal file (v2: deadline/priority fields
+/// in Accepted records, State frames, compaction).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"RPSVJNL2";
 
 const TAG_ACCEPTED: u8 = 1;
 const TAG_BATCH_DONE: u8 = 2;
+const TAG_STATE: u8 = 3;
 
 /// The mapping results of one job inside a committed batch: one inner
 /// vector per read, in job read order.
@@ -64,9 +80,33 @@ pub struct BatchRecord {
     pub jobs: Vec<JobResult>,
 }
 
+/// The scheduler-state snapshot a compacted journal opens with: the
+/// facts a resume can no longer derive once the dead records are gone.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateRecord {
+    /// Simulated clock at the snapshot.
+    pub sim_clock: f64,
+    /// Next acceptance sequence number.
+    pub next_seq: u64,
+    /// Batches committed so far (next batch ordinal).
+    pub batches: u64,
+    /// Jobs accepted so far (counter continuity).
+    pub accepted: u64,
+    /// Jobs completed so far (counter continuity).
+    pub completed: u64,
+    /// Responses replayed from the journal so far (counter continuity).
+    pub replayed: u64,
+    /// Per-tenant weighted-fair accumulated service, name-sorted.
+    pub served: Vec<(String, f64)>,
+    /// Live quota-window bookings `(seq, tenant, admitted_at, reads)`.
+    pub quota: Vec<(u64, String, f64, u64)>,
+}
+
 /// Everything recovered from a journal replay.
 #[derive(Debug, Default)]
 pub struct Recovered {
+    /// The state snapshot, when the journal was compacted.
+    pub state: Option<StateRecord>,
     /// Accepted jobs in acceptance order.
     pub accepted: Vec<JobSpec>,
     /// Committed batches in commit order.
@@ -132,6 +172,14 @@ fn encode_accepted(job: &JobSpec) -> Vec<u8> {
     let mut out = vec![TAG_ACCEPTED];
     put_u64(&mut out, job.seq);
     put_u64(&mut out, job.arrival_s.to_bits());
+    match job.deadline_s {
+        Some(d) => {
+            out.push(1);
+            put_u64(&mut out, d.to_bits());
+        }
+        None => out.push(0),
+    }
+    put_u32(&mut out, job.priority);
     put_u32(&mut out, job.key.delta);
     out.push(prefilter_code(job.key.prefilter));
     out.push(job.key.mapper.code());
@@ -148,6 +196,12 @@ fn encode_accepted(job: &JobSpec) -> Vec<u8> {
 fn decode_accepted(cur: &mut Cursor<'_>) -> Result<JobSpec, ReputeError> {
     let seq = cur.u64()?;
     let arrival_s = f64::from_bits(cur.u64()?);
+    let deadline_s = match cur.u8()? {
+        0 => None,
+        1 => Some(f64::from_bits(cur.u64()?)),
+        _ => return Err(corrupt("unknown deadline flag in accepted record")),
+    };
+    let priority = cur.u32()?;
     let delta = cur.u32()?;
     let prefilter = prefilter_from_code(cur.u8()?)
         .ok_or_else(|| corrupt("unknown prefilter code in accepted record"))?;
@@ -176,6 +230,8 @@ fn decode_accepted(cur: &mut Cursor<'_>) -> Result<JobSpec, ReputeError> {
             mapper,
         },
         arrival_s,
+        deadline_s,
+        priority,
         read_ids,
         reads,
     })
@@ -241,6 +297,80 @@ fn decode_batch(cur: &mut Cursor<'_>) -> Result<BatchRecord, ReputeError> {
     })
 }
 
+fn encode_state(state: &StateRecord) -> Vec<u8> {
+    let mut out = vec![TAG_STATE];
+    put_u64(&mut out, state.sim_clock.to_bits());
+    put_u64(&mut out, state.next_seq);
+    put_u64(&mut out, state.batches);
+    put_u64(&mut out, state.accepted);
+    put_u64(&mut out, state.completed);
+    put_u64(&mut out, state.replayed);
+    put_u32(&mut out, state.served.len() as u32);
+    for (tenant, served) in &state.served {
+        put_str(&mut out, tenant);
+        put_u64(&mut out, served.to_bits());
+    }
+    put_u32(&mut out, state.quota.len() as u32);
+    for (seq, tenant, at, reads) in &state.quota {
+        put_u64(&mut out, *seq);
+        put_str(&mut out, tenant);
+        put_u64(&mut out, at.to_bits());
+        put_u64(&mut out, *reads);
+    }
+    out
+}
+
+fn decode_state(cur: &mut Cursor<'_>) -> Result<StateRecord, ReputeError> {
+    let sim_clock = f64::from_bits(cur.u64()?);
+    let next_seq = cur.u64()?;
+    let batches = cur.u64()?;
+    let accepted = cur.u64()?;
+    let completed = cur.u64()?;
+    let replayed = cur.u64()?;
+    let n_served = cur.u32()? as usize;
+    let mut served = Vec::with_capacity(n_served);
+    for _ in 0..n_served {
+        let tenant = cur.string()?;
+        served.push((tenant, f64::from_bits(cur.u64()?)));
+    }
+    let n_quota = cur.u32()? as usize;
+    let mut quota = Vec::with_capacity(n_quota);
+    for _ in 0..n_quota {
+        let seq = cur.u64()?;
+        let tenant = cur.string()?;
+        let at = f64::from_bits(cur.u64()?);
+        let reads = cur.u64()?;
+        quota.push((seq, tenant, at, reads));
+    }
+    Ok(StateRecord {
+        sim_clock,
+        next_seq,
+        batches,
+        accepted,
+        completed,
+        replayed,
+        served,
+        quota,
+    })
+}
+
+fn header_bytes(fingerprint: &RunFingerprint) -> Vec<u8> {
+    let mut header = Vec::with_capacity(36);
+    header.extend_from_slice(JOURNAL_MAGIC);
+    put_u64(&mut header, fingerprint.config);
+    put_u64(&mut header, fingerprint.workload);
+    put_u64(&mut header, fingerprint.shape);
+    let crc = crc32(&header[8..]);
+    put_u32(&mut header, crc);
+    header
+}
+
+fn put_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    put_u32(out, crc32(payload));
+}
+
 /// Append-only journal of accepted jobs and committed batches.
 #[derive(Debug)]
 pub struct JobJournal {
@@ -252,13 +382,7 @@ impl JobJournal {
     /// Creates a fresh journal at `path`, writing the header (magic +
     /// fingerprint + header CRC). An existing file is truncated.
     pub fn create(path: &Path, fingerprint: &RunFingerprint) -> Result<JobJournal, ReputeError> {
-        let mut header = Vec::with_capacity(36);
-        header.extend_from_slice(JOURNAL_MAGIC);
-        put_u64(&mut header, fingerprint.config);
-        put_u64(&mut header, fingerprint.workload);
-        put_u64(&mut header, fingerprint.shape);
-        let crc = crc32(&header[8..]);
-        put_u32(&mut header, crc);
+        let header = header_bytes(fingerprint);
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -353,6 +477,14 @@ impl JobJournal {
             match cur.u8()? {
                 TAG_ACCEPTED => recovered.accepted.push(decode_accepted(&mut cur)?),
                 TAG_BATCH_DONE => recovered.batches.push(decode_batch(&mut cur)?),
+                TAG_STATE => {
+                    // Only compaction writes state frames, always as the
+                    // first frame of the rewritten file.
+                    if intact_end != 36 {
+                        return Err(corrupt("state record after the first frame"));
+                    }
+                    recovered.state = Some(decode_state(&mut cur)?);
+                }
                 _ => return Err(corrupt("unknown record tag")),
             }
             at = crc_at + 4;
@@ -373,9 +505,7 @@ impl JobJournal {
 
     fn append(&mut self, payload: &[u8]) -> Result<(), ReputeError> {
         let mut frame = Vec::with_capacity(payload.len() + 8);
-        put_u32(&mut frame, payload.len() as u32);
-        frame.extend_from_slice(payload);
-        put_u32(&mut frame, crc32(payload));
+        put_frame(&mut frame, payload);
         self.file
             .write_all(&frame)
             .and_then(|()| self.file.sync_data())
@@ -391,6 +521,54 @@ impl JobJournal {
     /// Journals a completed batch as one atomic frame.
     pub fn record_batch(&mut self, record: &BatchRecord) -> Result<(), ReputeError> {
         self.append(&encode_batch(record))
+    }
+
+    /// Rewrites the journal down to its live content: header, one state
+    /// frame, and the Accepted records of the still-queued jobs, in
+    /// acceptance order. The replacement is written to a sibling file,
+    /// fsynced, and atomically renamed over the journal, so a crash at
+    /// any point leaves a complete valid journal (either the old one or
+    /// the compacted one). The journal stays open for appends.
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on filesystem failures.
+    pub fn compact(
+        &mut self,
+        fingerprint: &RunFingerprint,
+        state: &StateRecord,
+        live: &[&JobSpec],
+    ) -> Result<(), ReputeError> {
+        let mut bytes = header_bytes(fingerprint);
+        put_frame(&mut bytes, &encode_state(state));
+        for job in live {
+            put_frame(&mut bytes, &encode_accepted(job));
+        }
+        write_atomic(&self.path, &bytes)?;
+        // The old handle still points at the unlinked pre-compaction
+        // inode; reopen so appends land in the compacted file.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| ReputeError::io_at(&self.path, e))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| ReputeError::io_at(&self.path, e))?;
+        self.file = file;
+        Ok(())
+    }
+
+    /// Current journal size in bytes (compaction ablations assert the
+    /// post-compaction bound).
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] when the metadata read fails.
+    pub fn size_bytes(&self) -> Result<u64, ReputeError> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| ReputeError::io_at(&self.path, e))
     }
 }
 
@@ -418,6 +596,12 @@ mod tests {
                 mapper: MapperKind::Repute,
             },
             arrival_s: 0.25 * seq as f64,
+            deadline_s: if seq.is_multiple_of(2) {
+                Some(3.5)
+            } else {
+                None
+            },
+            priority: seq as u32,
             read_ids: vec!["r0".to_string(), "r1".to_string()],
             reads: vec![
                 "ACGTACGT".parse().expect("seq"),
@@ -444,6 +628,19 @@ mod tests {
         }
     }
 
+    fn state() -> StateRecord {
+        StateRecord {
+            sim_clock: 12.5,
+            next_seq: 9,
+            batches: 4,
+            accepted: 9,
+            completed: 7,
+            replayed: 2,
+            served: vec![("acme".to_string(), 6.5), ("beta".to_string(), 2.0)],
+            quota: vec![(5, "acme".to_string(), 11.0, 64)],
+        }
+    }
+
     #[test]
     fn round_trips_jobs_and_batches() {
         let dir = std::env::temp_dir().join(format!("serve-jnl-{}", std::process::id()));
@@ -458,6 +655,7 @@ mod tests {
         let (_, recovered) = JobJournal::open(&path, &fp()).expect("open");
         assert_eq!(recovered.accepted, vec![job(0), job(1)]);
         assert_eq!(recovered.batches, vec![batch(0)]);
+        assert_eq!(recovered.state, None);
         std::fs::remove_file(&path).expect("cleanup");
     }
 
@@ -508,6 +706,52 @@ mod tests {
         JobJournal::create(&path, &other).expect("recreate");
         let err = JobJournal::open(&path, &fp()).expect_err("mismatch");
         assert!(matches!(err, ReputeError::ResumeMismatch { .. }));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_preserves_state() {
+        let dir = std::env::temp_dir().join(format!("serve-jnl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("compact.jnl");
+        let mut j = JobJournal::create(&path, &fp()).expect("create");
+        for seq in 0..8 {
+            j.record_accepted(&job(seq)).expect("job");
+        }
+        for b in 0..6 {
+            j.record_batch(&batch(b)).expect("batch");
+        }
+        let before = j.size_bytes().expect("size");
+        // Jobs 6 and 7 are still live; everything else is dead.
+        let live = [job(6), job(7)];
+        let live_refs: Vec<&JobSpec> = live.iter().collect();
+        j.compact(&fp(), &state(), &live_refs).expect("compact");
+        let after = j.size_bytes().expect("size");
+        assert!(
+            after < before,
+            "compaction must shrink the journal ({before} -> {after})"
+        );
+        // The compacted journal stays appendable.
+        j.record_accepted(&job(8)).expect("append after compact");
+        drop(j);
+        let (_, recovered) = JobJournal::open(&path, &fp()).expect("open");
+        assert_eq!(recovered.state, Some(state()));
+        assert_eq!(recovered.accepted, vec![job(6), job(7), job(8)]);
+        assert!(recovered.batches.is_empty());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn state_after_the_first_frame_is_refused() {
+        let dir = std::env::temp_dir().join(format!("serve-jnl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("late_state.jnl");
+        let mut bytes = header_bytes(&fp());
+        put_frame(&mut bytes, &encode_accepted(&job(0)));
+        put_frame(&mut bytes, &encode_state(&state()));
+        std::fs::write(&path, &bytes).expect("write");
+        let err = JobJournal::open(&path, &fp()).expect_err("late state");
+        assert!(matches!(err, ReputeError::JournalCorrupt { .. }));
         std::fs::remove_file(&path).expect("cleanup");
     }
 }

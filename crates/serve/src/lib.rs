@@ -12,17 +12,21 @@
 //! the existing pipeline:
 //!
 //! * [`envelope`] — the newline-delimited JSON wire format (job
-//!   envelopes in, typed `OK`/`REJECTED`/`RETRY_LATER` responses out),
-//! * [`admission`] — the bounded job queue with per-tenant weighted
-//!   fair dequeue and backpressure,
+//!   envelopes with optional deadlines/priorities in, typed
+//!   `OK`/`REJECTED`/`RETRY_LATER`/`QUOTA_EXCEEDED` responses out),
+//! * [`admission`] — the bounded job queue with an earliest-deadline-
+//!   first lane over per-tenant weighted fair dequeue, plus sliding-
+//!   window tenant quotas and backpressure,
 //! * [`journal`] — the crash-safe job journal (CRC-framed acceptance
-//!   and atomic per-batch commit records),
+//!   and atomic per-batch commit records, compactable down to live
+//!   records plus a state snapshot),
 //! * [`server`] — [`ServeCore`]: validation, coalescing, execution on
 //!   the simulated platform, resume, and observability,
 //! * [`harness`] — [`ServeHarness`]: the deterministic in-process
 //!   driver tests and benches use (including `crash_mid_batch`),
-//! * [`transport`] — the Unix-socket listener, submit client, and
-//!   spool-directory scanner (Unix only).
+//! * [`transport`] — the multi-client Unix-socket listener (a
+//!   connection-reader layer feeding the single-threaded core), submit
+//!   client, and spool-directory scanner (Unix only).
 //!
 //! Determinism contract: for a fixed job set, server configuration,
 //! and `--host-threads`, the daemon's per-job SAM output is
@@ -40,11 +44,11 @@ pub mod server;
 #[cfg(unix)]
 pub mod transport;
 
-pub use admission::{AdmissionQueue, ConfigKey, JobSpec, DEFAULT_QUEUE_CAPACITY};
+pub use admission::{AdmissionQueue, ConfigKey, JobSpec, TenantQuota, DEFAULT_QUEUE_CAPACITY};
 pub use envelope::{
     parse_request, resolve_reads, JobEnvelope, JobResponse, JobStatus, MapperKind, Request,
     DEFAULT_TENANT,
 };
 pub use harness::ServeHarness;
-pub use journal::{BatchRecord, JobJournal, JobResult, Recovered};
+pub use journal::{BatchRecord, JobJournal, JobResult, Recovered, StateRecord};
 pub use server::{ServeCore, ServeCounters, ServeLimits, ServeOptions};

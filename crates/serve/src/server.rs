@@ -41,9 +41,9 @@ use repute_obs::trace::{device_pid, write_chrome_trace, SCHEDULER_PID};
 use repute_obs::{Samples, Span};
 use repute_prefilter::{qgram, PrefilterMode};
 
-use crate::admission::{AdmissionQueue, ConfigKey, JobSpec, DEFAULT_QUEUE_CAPACITY};
+use crate::admission::{AdmissionQueue, ConfigKey, JobSpec, TenantQuota, DEFAULT_QUEUE_CAPACITY};
 use crate::envelope::{prefilter_code, resolve_reads, JobEnvelope, JobResponse, JobStatus};
-use crate::journal::{BatchRecord, JobJournal, JobResult, Recovered};
+use crate::journal::{BatchRecord, JobJournal, JobResult, Recovered, StateRecord};
 
 /// Bytes one read's output occupies in a device result buffer (the
 /// executor's `max_locations × 12` convention).
@@ -102,6 +102,16 @@ pub struct ServeOptions {
     pub limits: ServeLimits,
     /// Weighted-fair tenant weights (unlisted tenants get 1.0).
     pub tenant_weights: Vec<(String, f64)>,
+    /// Sliding-window read budgets per tenant (unlisted tenants are
+    /// unbudgeted); an exceeded budget answers `QUOTA_EXCEEDED`.
+    pub tenant_quotas: Vec<(String, u64)>,
+    /// Length of the quota sliding window, in simulated seconds.
+    pub quota_window_s: f64,
+    /// Compact the journal once this many dead records accumulate
+    /// (committed batches and their acceptance records); `0` disables
+    /// compaction. Not part of the resume fingerprint — it is safe to
+    /// change across restarts.
+    pub journal_compact_threshold: usize,
 }
 
 impl Default for ServeOptions {
@@ -119,6 +129,9 @@ impl Default for ServeOptions {
             tracing: false,
             limits: ServeLimits::default(),
             tenant_weights: Vec::new(),
+            tenant_quotas: Vec::new(),
+            quota_window_s: 60.0,
+            journal_compact_threshold: 0,
         }
     }
 }
@@ -132,6 +145,9 @@ pub struct ServeCounters {
     pub rejected: u64,
     /// Jobs bounced by queue backpressure.
     pub retry_later: u64,
+    /// Jobs refused because the tenant's sliding-window read budget was
+    /// exhausted.
+    pub quota_exceeded: u64,
     /// Jobs whose batch committed (responses produced).
     pub completed: u64,
     /// Completed jobs whose responses were replayed from the journal on
@@ -139,6 +155,14 @@ pub struct ServeCounters {
     pub replayed: u64,
     /// Scheduler batches committed.
     pub batches: u64,
+    /// Journal compactions performed.
+    pub compactions: u64,
+    /// Client connections dropped after an I/O or protocol failure (the
+    /// daemon keeps serving).
+    pub connection_errors: u64,
+    /// Spool inputs skipped because a response for them already existed
+    /// (crash-window idempotence).
+    pub spool_skipped: u64,
 }
 
 /// Telemetry facts of one completed job.
@@ -177,9 +201,11 @@ pub struct ServeCore {
     options: ServeOptions,
     max_reads_per_job: usize,
     queue: AdmissionQueue,
+    quota: TenantQuota,
     journal: Option<JobJournal>,
     next_seq: u64,
     sim_clock: f64,
+    dead_records: usize,
     counters: ServeCounters,
     latency: Samples,
     jobs: Vec<JobRecord>,
@@ -215,15 +241,18 @@ impl ServeCore {
             .max(1);
         let max_reads_per_job = options.limits.max_reads_per_job.min(cap);
         let queue = AdmissionQueue::new(options.limits.queue_capacity, &options.tenant_weights);
+        let quota = TenantQuota::new(options.quota_window_s, &options.tenant_quotas);
         Ok(ServeCore {
             set,
             platform,
             options,
             max_reads_per_job,
             queue,
+            quota,
             journal: None,
             next_seq: 0,
             sim_clock: 0.0,
+            dead_records: 0,
             counters: ServeCounters::default(),
             latency: Samples::new(),
             jobs: Vec::new(),
@@ -254,6 +283,14 @@ impl ServeCore {
         for (name, weight) in &self.options.tenant_weights {
             cfg.write(name.as_bytes());
             cfg.write_u64(weight.to_bits());
+        }
+        // Quota budgets change which jobs get admitted, so they are part
+        // of the journal identity (the compaction threshold is not: it
+        // only changes *when* dead bytes are dropped, never a response).
+        cfg.write_u64(self.options.quota_window_s.to_bits());
+        for (name, budget) in &self.options.tenant_quotas {
+            cfg.write(name.as_bytes());
+            cfg.write_u64(*budget);
         }
         let mut wl = Fnv64::new();
         for (name, len) in self.set.records() {
@@ -292,6 +329,23 @@ impl ServeCore {
                 Recovered::default(),
             )
         };
+        // A compacted journal opens with a state snapshot standing in
+        // for the dead records it dropped: restore the clock, counters,
+        // fairness service, and quota window before replaying frames.
+        let state_next_seq = recovered.state.as_ref().map_or(0, |s| s.next_seq);
+        if let Some(state) = &recovered.state {
+            self.next_seq = state.next_seq;
+            self.sim_clock = state.sim_clock;
+            self.counters.accepted = state.accepted;
+            self.counters.completed = state.completed;
+            self.counters.replayed = state.replayed;
+            for (tenant, served) in &state.served {
+                self.queue.set_served(tenant, *served);
+            }
+            for (seq, tenant, at, reads) in &state.quota {
+                self.quota.restore(*seq, tenant, *at, *reads);
+            }
+        }
         let mut by_seq: HashMap<u64, (u64, f64, &JobResult)> = HashMap::new();
         for batch in &recovered.batches {
             for job in &batch.jobs {
@@ -301,7 +355,14 @@ impl ServeCore {
         let mut replayed = Vec::new();
         for job in &recovered.accepted {
             self.next_seq = self.next_seq.max(job.seq + 1);
-            self.counters.accepted += 1;
+            // Records below the snapshot's next_seq are live jobs the
+            // compaction rewrote — the snapshot counters and quota
+            // window already cover them (restore dedups by seq).
+            if job.seq >= state_next_seq {
+                self.counters.accepted += 1;
+            }
+            self.quota
+                .restore(job.seq, &job.tenant, job.arrival_s, job.reads.len() as u64);
             match by_seq.get(&job.seq) {
                 Some((batch, completion, result)) => {
                     // Dispatched and committed before the crash: restore
@@ -319,8 +380,14 @@ impl ServeCore {
                 }
             }
         }
-        self.counters.batches = recovered.batches.len() as u64;
-        self.sim_clock = recovered.batches.last().map_or(0.0, |b| b.completion_s);
+        let state_batches = recovered.state.as_ref().map_or(0, |s| s.batches);
+        self.counters.batches = state_batches + recovered.batches.len() as u64;
+        if let Some(last) = recovered.batches.last() {
+            self.sim_clock = last.completion_s;
+        }
+        // Replayed responses and their batch frames are dead the moment
+        // this returns; the rewritten state frame stays live.
+        self.dead_records = replayed.len() + recovered.batches.len();
         self.journal = Some(journal);
         Ok(replayed)
     }
@@ -370,6 +437,22 @@ impl ServeCore {
                 ),
             )));
         }
+        if let Err((used, budget)) = self.quota.check(
+            &envelope.tenant,
+            envelope.reads.len() as u64,
+            self.sim_clock,
+        ) {
+            self.counters.quota_exceeded += 1;
+            return Ok(Some(JobResponse::refusal(
+                envelope.id,
+                JobStatus::QuotaExceeded,
+                format!(
+                    "tenant '{}' has used {used} of {budget} reads in the current \
+                     {:.0}s window; resubmit after the window slides",
+                    envelope.tenant, self.options.quota_window_s
+                ),
+            )));
+        }
         if self.queue.is_full() {
             self.counters.retry_later += 1;
             return Ok(Some(JobResponse::refusal(
@@ -392,12 +475,18 @@ impl ServeCore {
                 mapper: envelope.mapper.unwrap_or_default(),
             },
             arrival_s: self.sim_clock,
+            // The envelope's deadline is relative to admission; the
+            // scheduler works in absolute simulated time.
+            deadline_s: envelope.deadline_s.map(|d| self.sim_clock + d),
+            priority: envelope.priority,
             read_ids,
             reads,
         };
         if let Some(journal) = &mut self.journal {
             journal.record_accepted(&job)?;
         }
+        self.quota
+            .book(job.seq, &job.tenant, job.reads.len() as u64, self.sim_clock);
         if let Err(job) = self.queue.push(job, false) {
             // Unreachable after the capacity check above; refuse rather
             // than panic if the invariant ever breaks.
@@ -445,7 +534,8 @@ impl ServeCore {
     /// and nothing is durable, so a resume re-executes exactly this
     /// batch (the harness's `crash_mid_batch`).
     pub(crate) fn run_batch_impl(&mut self, commit: bool) -> Result<Vec<JobResponse>, ReputeError> {
-        let Some(first) = self.queue.pop_fair() else {
+        let now = self.sim_clock;
+        let Some(first) = self.queue.pop_fair(now) else {
             return Ok(Vec::new());
         };
         let key = first.key;
@@ -455,11 +545,11 @@ impl ServeCore {
             .max(1);
         let mut total_reads = first.reads.len();
         let mut jobs = vec![first];
-        while let Some(next) = self.queue.peek_fair() {
+        while let Some(next) = self.queue.peek_fair(now) {
             if next.key != key || total_reads + next.reads.len() > cap {
                 break;
             }
-            let Some(job) = self.queue.pop_fair() else {
+            let Some(job) = self.queue.pop_fair(now) else {
                 break;
             };
             total_reads += job.reads.len();
@@ -522,8 +612,77 @@ impl ServeCore {
             }
             self.sim_clock = completion;
             self.counters.batches += 1;
+            // The batch's acceptance records and the batch frame itself
+            // are now dead weight in the journal.
+            self.dead_records += jobs.len() + 1;
+            if self.options.journal_compact_threshold > 0
+                && self.dead_records >= self.options.journal_compact_threshold
+            {
+                self.compact_journal()?;
+            }
         }
         Ok(responses)
+    }
+
+    /// Compacts the journal down to a state snapshot plus the still-
+    /// queued jobs' acceptance records (see [`JobJournal::compact`]).
+    /// No-op without a journal. Returns whether a compaction ran.
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] on filesystem failures.
+    pub fn compact_journal(&mut self) -> Result<bool, ReputeError> {
+        let fingerprint = self.fingerprint();
+        let state = StateRecord {
+            sim_clock: self.sim_clock,
+            next_seq: self.next_seq,
+            batches: self.counters.batches,
+            accepted: self.counters.accepted,
+            completed: self.counters.completed,
+            replayed: self.counters.replayed,
+            served: self.queue.served_snapshot(),
+            quota: self.quota.snapshot(self.sim_clock),
+        };
+        let Some(journal) = &mut self.journal else {
+            return Ok(false);
+        };
+        let live = self.queue.queued_snapshot();
+        journal.compact(&fingerprint, &state, &live)?;
+        self.dead_records = 0;
+        self.counters.compactions += 1;
+        Ok(true)
+    }
+
+    /// Current journal file size in bytes, when a journal is attached
+    /// (compaction ablations assert the post-compaction bound).
+    ///
+    /// # Errors
+    ///
+    /// [`ReputeError::Io`] when the metadata read fails.
+    pub fn journal_size_bytes(&self) -> Result<Option<u64>, ReputeError> {
+        self.journal
+            .as_ref()
+            .map(JobJournal::size_bytes)
+            .transpose()
+    }
+
+    /// Books one dropped client connection (transport layer).
+    pub fn note_connection_error(&mut self) {
+        self.counters.connection_errors += 1;
+    }
+
+    /// Books one spool input skipped for an already-present response
+    /// (transport layer).
+    pub fn note_spool_skipped(&mut self) {
+        self.counters.spool_skipped += 1;
+    }
+
+    /// Books a rejection issued by a transport before the envelope ever
+    /// reached [`ServeCore::submit`] — an unparseable request line or a
+    /// malformed spool file — so telemetry counts every refusal the
+    /// daemon sent, not just validation failures.
+    pub fn note_rejected(&mut self) {
+        self.counters.rejected += 1;
     }
 
     /// Books a completed (or replayed) job into counters, latency
@@ -596,6 +755,7 @@ impl ServeCore {
         }
         Ok(JobResponse {
             id: job.id.clone(),
+            seq: Some(job.seq),
             status: JobStatus::Ok,
             reason: None,
             reads: job.reads.len() as u64,
@@ -653,6 +813,14 @@ impl ServeCore {
         self.counters
     }
 
+    /// The acceptance seq assigned to the most recently accepted job
+    /// (meaningful right after a [`ServeCore::submit`] that returned
+    /// `Ok(None)`; transports use it to route the eventual response
+    /// back to the submitting connection).
+    pub fn last_accepted_seq(&self) -> u64 {
+        self.next_seq.saturating_sub(1)
+    }
+
     /// Jobs currently queued (the depth gauge's live value).
     pub fn queue_depth(&self) -> u64 {
         self.queue.len() as u64
@@ -695,9 +863,13 @@ impl ServeCore {
         obj.u64_field("accepted", self.counters.accepted);
         obj.u64_field("rejected", self.counters.rejected);
         obj.u64_field("retry_later", self.counters.retry_later);
+        obj.u64_field("quota_exceeded", self.counters.quota_exceeded);
         obj.u64_field("completed", self.counters.completed);
         obj.u64_field("replayed", self.counters.replayed);
         obj.u64_field("batches", self.counters.batches);
+        obj.u64_field("compactions", self.counters.compactions);
+        obj.u64_field("connection_errors", self.counters.connection_errors);
+        obj.u64_field("spool_skipped", self.counters.spool_skipped);
         obj.u64_field("queue_depth", self.queue_depth());
         obj.u64_field("queue_depth_max", self.queue_depth_high_water());
         obj.f64_field("simulated_seconds", self.sim_clock);

@@ -149,6 +149,103 @@ fn resume_after_mid_batch_crash_is_bit_identical_to_uninterrupted() {
 }
 
 #[test]
+fn resume_from_a_compacted_journal_is_bit_identical() {
+    let dir = std::env::temp_dir().join("repute-serve-compaction-test");
+    std::fs::create_dir_all(&dir).ok();
+    let platform = profiles::system1();
+
+    // Uninterrupted reference run.
+    let mut clean = ServeHarness::new(reference_set(), platform.clone(), options()).unwrap();
+    submit_all(&mut clean);
+    let clean_responses = clean.drain().expect("uninterrupted drain");
+    let clean_batches = clean.counters().batches;
+
+    // Control journal: same submissions and one committed batch, no
+    // compaction — the size bound the compacted journal must beat.
+    let control = dir.join("control.journal");
+    std::fs::remove_file(&control).ok();
+    let mut compacting = options();
+    compacting.journal_compact_threshold = 1;
+    let (mut plain, _) = ServeHarness::with_journal(
+        reference_set(),
+        platform.clone(),
+        options(),
+        &control,
+        false,
+    )
+    .unwrap();
+    submit_all(&mut plain);
+    plain.run_batch().expect("control batch commits");
+    let control_size = std::fs::metadata(&control).expect("control journal").len();
+
+    // Compacting journal: threshold 1 compacts right after the first
+    // batch commit, so the file holds only the header, one state
+    // snapshot, and the still-queued accepted records.
+    let journal: PathBuf = dir.join("serve.journal");
+    std::fs::remove_file(&journal).ok();
+    let (mut doomed, replayed) = ServeHarness::with_journal(
+        reference_set(),
+        platform.clone(),
+        compacting.clone(),
+        &journal,
+        false,
+    )
+    .unwrap();
+    assert!(replayed.is_empty());
+    submit_all(&mut doomed);
+    let committed = doomed.run_batch().expect("first batch commits");
+    assert!(!committed.is_empty());
+    assert_eq!(
+        doomed.counters().compactions,
+        1,
+        "threshold 1 compacts per commit"
+    );
+    let compacted_size = std::fs::metadata(&journal)
+        .expect("compacted journal")
+        .len();
+    assert!(
+        compacted_size < control_size,
+        "compacted journal ({compacted_size} B) must be smaller than the \
+         append-only control ({control_size} B)"
+    );
+    let lost_ids = doomed.crash_mid_batch().expect("doomed batch executes");
+    assert!(!lost_ids.is_empty());
+
+    // Resume from the compacted journal: the committed batch's records
+    // were compacted away (its responses were already delivered), the
+    // live jobs — including the lost in-flight batch — re-execute, and
+    // the union is bit-identical to the uninterrupted run.
+    let (mut resumed, replayed) =
+        ServeHarness::with_journal(reference_set(), platform, compacting, &journal, true).unwrap();
+    assert!(
+        replayed.is_empty(),
+        "a compacted journal carries no committed batches to replay"
+    );
+    let counters = resumed.counters();
+    assert_eq!(
+        counters.completed as usize,
+        committed.len(),
+        "state snapshot restores counters"
+    );
+    assert_eq!(counters.batches, 1);
+    let reexecuted = resumed.drain().expect("resumed drain");
+    for id in &lost_ids {
+        assert!(
+            reexecuted.iter().any(|r| &r.id == id),
+            "lost job {id} must re-execute after resume"
+        );
+    }
+    let mut union = committed.clone();
+    union.extend(reexecuted.iter().cloned());
+    assert_eq!(union.len(), 6, "no job lost, none answered twice");
+    assert_eq!(by_id(&union), by_id(&clean_responses));
+    assert_eq!(resumed.counters().batches, clean_batches);
+    assert_eq!(resumed.counters().completed, 6);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn second_resume_with_different_options_is_refused() {
     let dir = std::env::temp_dir().join("repute-serve-restart-mismatch-test");
     std::fs::create_dir_all(&dir).ok();
