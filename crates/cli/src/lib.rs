@@ -250,6 +250,7 @@ MAP OPTIONS:
                              events: loss:d<dev>@<t> |
                              transient:d<dev>@<t>[x<count>] |
                              slow:d<dev>@<t>x<factor> |
+                             correlated:d<a>+d<b>+...@<t> |
                              crash:@<t> (host crash; requires
                              --checkpoint)  (times are simulated seconds)
     --max-retries <n>        transient-fault retry budget per launch of
@@ -304,6 +305,19 @@ SERVE OPTIONS:
                              rewrite the journal down to live records
                              once n dead records accumulate (requires
                              --journal; 0 disables) [default: 0]
+    --fault-plan <spec>      inject device faults into the daemon's
+                             simulated platform (loss: | transient: |
+                             slow: | correlated: events; crash:@<t> is
+                             rejected — use --journal/--resume); lost
+                             devices shrink the queue bound and read
+                             cap, all-lost drains SERVICE_UNAVAILABLE
+    --max-retries <n>        transient-fault retry budget of every
+                             batch execution [default: 2]
+    --shed-overdue           shed queued jobs whose deadline already
+                             passed with DEADLINE_EXCEEDED instead of
+                             running them late
+    --serial-batches         run one batch at a time (disable the
+                             concurrent same-config batch groups)
     --metrics-dir <dir>      per-job telemetry spool (one *.jsonl per
                              job; inspect with `repute stats --dir`)
     plus the map options: --index-cache, --delta, --s-min,
@@ -319,6 +333,10 @@ SUBMIT OPTIONS:
                              deadline jobs dequeue earliest-first
     --priority <n>           intra-tenant priority (higher first)
     --output <path>          SAM output path [default: stdout]
+    --retry <n>              resubmit up to n times on RETRY_LATER with
+                             exponential backoff [default: 0]
+    --retry-base-ms <ms>     base backoff delay, doubled per attempt
+                             [default: 100]
     --shutdown               drain the daemon and stop it
 
 STATS OPTIONS:
@@ -1506,8 +1524,8 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
     let mut job_latency: Vec<f64> = Vec::new();
     let mut tenants: Vec<(String, u64)> = Vec::new();
     let mut serve_records = 0u64;
-    let mut serve_sums = [0u64; 10];
-    const SERVE_COUNTERS: [&str; 10] = [
+    let mut serve_sums = [0u64; 15];
+    const SERVE_COUNTERS: [&str; 15] = [
         "accepted",
         "rejected",
         "retry_later",
@@ -1518,9 +1536,17 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
         "compactions",
         "connection_errors",
         "spool_skipped",
+        "shed",
+        "unavailable",
+        "faults",
+        "retries",
+        "migrated",
     ];
     let mut serve_queue_depth_max = 0u64;
     let mut serve_simulated = 0.0f64;
+    let mut serve_devices_live: Option<(u64, u64)> = None;
+    // Per-tenant SLO records merge by summation across inputs.
+    let mut slo_rows: Vec<(String, u64, u64)> = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -1672,6 +1698,26 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
                 serve_queue_depth_max =
                     serve_queue_depth_max.max(get_u64(&fields, "queue_depth_max").unwrap_or(0));
                 serve_simulated += get_f64(&fields, "simulated_seconds").unwrap_or(0.0);
+                // Health is a point-in-time snapshot, not a counter:
+                // the latest record wins instead of summing.
+                if let (Some(live), Some(lost)) = (
+                    get_u64(&fields, "devices_live"),
+                    get_u64(&fields, "devices_lost"),
+                ) {
+                    serve_devices_live = Some((live, lost));
+                }
+            }
+            "slo" => {
+                let tenant = get_str(&fields, "tenant");
+                let met = get_u64(&fields, "met").unwrap_or(0);
+                let missed = get_u64(&fields, "missed").unwrap_or(0);
+                match slo_rows.iter_mut().find(|(name, _, _)| *name == tenant) {
+                    Some((_, m, x)) => {
+                        *m += met;
+                        *x += missed;
+                    }
+                    None => slo_rows.push((tenant, met, missed)),
+                }
             }
             other => {
                 let _ = writeln!(body, "({other} record)");
@@ -1726,10 +1772,39 @@ fn render_stats_inner(text: &str, strict: bool) -> Result<String, ReputeError> {
             "  compactions {} | connection errors {} | spool skipped {}",
             serve_sums[7], serve_sums[8], serve_sums[9],
         );
+        if serve_sums[10..].iter().any(|&n| n > 0) {
+            let _ = writeln!(
+                out,
+                "  shed {} | unavailable {} | faults {} | retries {} | migrated batches {}",
+                serve_sums[10], serve_sums[11], serve_sums[12], serve_sums[13], serve_sums[14],
+            );
+        }
+        if let Some((live, lost)) = serve_devices_live {
+            if lost > 0 {
+                let _ = writeln!(out, "  devices live {live} ({lost} lost)");
+            }
+        }
         let _ = writeln!(
             out,
             "  queue depth high-water {serve_queue_depth_max} | simulated {serve_simulated:.6} s",
         );
+    }
+    if !slo_rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "deadline SLO (trailing window):\n  {:<16} {:>6} {:>6} {:>9}",
+            "tenant", "met", "missed", "hit-rate",
+        );
+        slo_rows.sort_by(|a, b| a.0.cmp(&b.0));
+        for (tenant, met, missed) in &slo_rows {
+            let total = met + missed;
+            let rate = if total == 0 {
+                1.0
+            } else {
+                *met as f64 / total as f64
+            };
+            let _ = writeln!(out, "  {tenant:<16} {met:>6} {missed:>6} {rate:>9.3}");
+        }
     }
     if jobs > 0 {
         let _ = writeln!(
@@ -1954,6 +2029,16 @@ pub struct ServeCliOptions {
     pub schedule: ScheduleMode,
     /// Host-thread cap of the executor (`0` = automatic).
     pub host_threads: usize,
+    /// Fault-plan spec injected into the daemon's simulated platform
+    /// (validated at parse time; host-crash events are rejected).
+    pub fault_plan: Option<String>,
+    /// Transient-fault retry budget of every batch execution.
+    pub max_retries: usize,
+    /// Shed queued jobs whose deadline has already passed with a typed
+    /// `DEADLINE_EXCEEDED` instead of running them late.
+    pub shed_overdue: bool,
+    /// Serialize batches (disable concurrent same-config batch groups).
+    pub serial_batches: bool,
     /// Admission-queue capacity; a full queue answers `RETRY_LATER`.
     pub queue_capacity: usize,
     /// Largest per-job read count accepted (`None` = the platform's
@@ -2002,6 +2087,10 @@ impl Default for ServeCliOptions {
             prefilter_bin: defaults.prefilter_bin,
             schedule: defaults.schedule,
             host_threads: defaults.host_threads,
+            fault_plan: None,
+            max_retries: defaults.max_retries,
+            shed_overdue: defaults.shed_overdue,
+            serial_batches: !defaults.concurrent_batches,
             queue_capacity: defaults.limits.queue_capacity,
             max_reads_per_job: None,
             max_delta: defaults.limits.max_delta,
@@ -2107,6 +2196,25 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
                     ));
                 }
             }
+            "--fault-plan" => {
+                let spec = value("--fault-plan")?;
+                let plan = repute_hetsim::FaultPlan::parse(&spec)
+                    .map_err(|e| ParseArgsError::new(format!("--fault-plan: {e}")))?;
+                if plan.host_crash_at().is_some() {
+                    return Err(ParseArgsError::new(
+                        "serve accepts device fault events only (crash-resume \
+                         is --journal/--resume territory, not crash:@<t>)",
+                    ));
+                }
+                opts.fault_plan = Some(spec);
+            }
+            "--max-retries" => {
+                opts.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--max-retries expects an integer"))?;
+            }
+            "--shed-overdue" => opts.shed_overdue = true,
+            "--serial-batches" => opts.serial_batches = true,
             "--queue-capacity" => {
                 opts.queue_capacity = value("--queue-capacity")?
                     .parse()
@@ -2215,8 +2323,13 @@ pub fn parse_serve_args<I: IntoIterator<Item = String>>(
 }
 
 /// Builds the daemon-core configuration a CLI option set selects.
-fn build_serve_options(opts: &ServeCliOptions) -> repute_serve::ServeOptions {
-    repute_serve::ServeOptions {
+fn build_serve_options(opts: &ServeCliOptions) -> Result<repute_serve::ServeOptions, ReputeError> {
+    let fault_plan = match &opts.fault_plan {
+        Some(spec) => repute_hetsim::FaultPlan::parse(spec)
+            .map_err(|e| ReputeError::Config(format!("--fault-plan: {e}")))?,
+        None => repute_hetsim::FaultPlan::new(),
+    };
+    Ok(repute_serve::ServeOptions {
         delta: opts.delta,
         s_min: opts.s_min,
         max_locations: opts.max_locations,
@@ -2225,7 +2338,10 @@ fn build_serve_options(opts: &ServeCliOptions) -> repute_serve::ServeOptions {
         prefilter_bin: opts.prefilter_bin,
         schedule: opts.schedule,
         host_threads: opts.host_threads,
-        max_retries: DEFAULT_MAX_RETRIES,
+        max_retries: opts.max_retries,
+        fault_plan,
+        shed_overdue: opts.shed_overdue,
+        concurrent_batches: !opts.serial_batches,
         tracing: opts.trace_out.is_some(),
         limits: repute_serve::ServeLimits {
             max_reads_per_job: opts.max_reads_per_job.unwrap_or(usize::MAX),
@@ -2236,7 +2352,7 @@ fn build_serve_options(opts: &ServeCliOptions) -> repute_serve::ServeOptions {
         tenant_quotas: opts.tenant_quotas.clone(),
         quota_window_s: opts.quota_window_s,
         journal_compact_threshold: opts.journal_compact_threshold,
-    }
+    })
 }
 
 /// Runs `repute serve`: loads the reference once, then serves mapping
@@ -2263,7 +2379,7 @@ pub fn run_serve(opts: &ServeCliOptions) -> Result<(), ReputeError> {
         "reference ready in {:.3} s (loaded once for the daemon's life)",
         load_started.elapsed().as_secs_f64()
     );
-    let mut core = repute_serve::ServeCore::new(set, platform, build_serve_options(opts))?;
+    let mut core = repute_serve::ServeCore::new(set, platform, build_serve_options(opts)?)?;
     if let Some(journal) = &opts.journal {
         let path = Path::new(journal);
         if path.exists() && !opts.resume {
@@ -2337,6 +2453,35 @@ pub fn run_serve(opts: &ServeCliOptions) -> Result<(), ReputeError> {
             c.compactions, c.connection_errors, c.spool_skipped,
         );
     }
+    if c.shed + c.unavailable + c.faults + c.retries + c.migrated > 0 {
+        eprintln!(
+            "serve: shed {} | unavailable {} | faults {} | retries {} | migrated batches {}",
+            c.shed, c.unavailable, c.faults, c.retries, c.migrated,
+        );
+    }
+    let health = core.health();
+    if health.lost_count() > 0 || core.is_unavailable() {
+        eprintln!(
+            "serve: devices live {}/{} ({} lost){}",
+            health.live_count(),
+            health.len(),
+            health.lost_count(),
+            if core.is_unavailable() {
+                " — drained as SERVICE_UNAVAILABLE"
+            } else {
+                ""
+            },
+        );
+    }
+    for report in core.slo_reports() {
+        eprintln!(
+            "slo: tenant {:<16} met {:>5} missed {:>5} hit-rate {:.3}",
+            report.tenant,
+            report.met,
+            report.missed,
+            report.hit_rate(),
+        );
+    }
     let (n, p50, p90, p99) = core.latency_percentiles();
     if n > 0 {
         eprintln!("job latency (simulated): n={n} p50 {p50:.6} p90 {p90:.6} p99 {p99:.6}");
@@ -2357,7 +2502,7 @@ pub fn run_serve(_opts: &ServeCliOptions) -> Result<(), ReputeError> {
 }
 
 /// Parsed command-line options for `repute submit`.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SubmitOptions {
     /// Unix-domain socket of the running daemon.
     pub socket: String,
@@ -2379,8 +2524,33 @@ pub struct SubmitOptions {
     pub priority: Option<u32>,
     /// SAM output path; `None` writes to stdout.
     pub output: Option<String>,
+    /// Bounded client-side retry budget on `RETRY_LATER` answers.
+    pub retry: u32,
+    /// Base backoff delay in milliseconds; attempt `k` sleeps
+    /// `retry_base_ms << k` before resubmitting.
+    pub retry_base_ms: u64,
     /// Ask the daemon to drain and shut down instead of submitting.
     pub shutdown: bool,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> SubmitOptions {
+        SubmitOptions {
+            socket: String::new(),
+            reads: None,
+            id: None,
+            tenant: None,
+            delta: None,
+            prefilter: None,
+            mapper: None,
+            deadline: None,
+            priority: None,
+            output: None,
+            retry: 0,
+            retry_base_ms: 100,
+            shutdown: false,
+        }
+    }
 }
 
 /// Parses `repute submit` arguments.
@@ -2434,6 +2604,16 @@ pub fn parse_submit_args<I: IntoIterator<Item = String>>(
                 );
             }
             "--output" => opts.output = Some(value("--output")?),
+            "--retry" => {
+                opts.retry = value("--retry")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--retry expects an integer"))?;
+            }
+            "--retry-base-ms" => {
+                opts.retry_base_ms = value("--retry-base-ms")?
+                    .parse()
+                    .map_err(|_| ParseArgsError::new("--retry-base-ms expects milliseconds"))?;
+            }
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => return Err(ParseArgsError::new("help requested")),
             other => return Err(ParseArgsError::new(format!("unknown option {other:?}"))),
@@ -2503,10 +2683,27 @@ pub fn run_submit(opts: &SubmitOptions) -> Result<(), ReputeError> {
     // Load the reads client-side so the daemon never depends on the
     // client's filesystem.
     repute_serve::resolve_reads(&mut envelope)?;
-    let responses = transport::submit_over_socket(socket, &[envelope.to_json_line()])?;
-    let response = responses.into_iter().next().ok_or_else(|| {
-        ReputeError::InputParse("server closed the connection without a response".into())
-    })?;
+    let line = envelope.to_json_line();
+    let mut attempt = 0u32;
+    let response = loop {
+        let responses = transport::submit_over_socket(socket, std::slice::from_ref(&line))?;
+        let response = responses.into_iter().next().ok_or_else(|| {
+            ReputeError::InputParse("server closed the connection without a response".into())
+        })?;
+        // RETRY_LATER is the daemon's back-pressure answer: the queue
+        // was full at admission time. Bounded exponential backoff gives
+        // the queue time to drain without hammering the socket.
+        if response.status != repute_serve::JobStatus::RetryLater || attempt >= opts.retry {
+            break response;
+        }
+        let delay_ms = opts.retry_base_ms.saturating_mul(1u64 << attempt.min(16));
+        attempt += 1;
+        eprintln!(
+            "job {:?}: RETRY_LATER — retrying in {delay_ms} ms (attempt {attempt}/{})",
+            response.id, opts.retry,
+        );
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+    };
     match response.status {
         repute_serve::JobStatus::Ok => {
             eprintln!(

@@ -58,8 +58,8 @@ pub use journal::{write_atomic, RunFingerprint, RunJournal};
 pub use mapper::{CigarMapping, ReputeMapper};
 pub use multi_device::{
     balanced_shares, map_on_platform, map_on_platform_with_metrics, map_scheduled,
-    map_scheduled_traced, map_scheduled_with_faults, map_scheduled_with_faults_traced, BatchPlan,
-    MappingRun, Schedule, AUTO_HOST_THREADS,
+    map_scheduled_on_subset_traced, map_scheduled_traced, map_scheduled_with_faults,
+    map_scheduled_with_faults_traced, BatchPlan, MappingRun, Schedule, AUTO_HOST_THREADS,
 };
 pub use paired::{PairMapping, PairOutcome, PairedMapper};
 pub use resumable::{map_resumable, map_resumable_traced, ResumableRun};

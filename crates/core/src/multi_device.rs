@@ -165,6 +165,12 @@ pub struct MappingRun {
     /// Per-entry fault accounting, parallel to `device_runs` (all zero
     /// on a fault-free run).
     pub fault_counters: Vec<FaultCounters>,
+    /// Devices that were permanently lost by the end of the run
+    /// (ascending indices into the platform's device list; always empty
+    /// on a fault-free run). Long-lived callers use this to retire
+    /// devices from future scheduling — a loss escalated from an
+    /// exhausted retry budget is visible only here, not in the plan.
+    pub lost_devices: Vec<usize>,
     /// Spans recorded when the run was launched with tracing enabled
     /// (see [`map_scheduled_traced`] /
     /// [`map_scheduled_with_faults_traced`]); empty otherwise. Feed
@@ -860,8 +866,12 @@ pub fn map_scheduled_with_faults_traced<M: Mapper>(
     let mut device_runs = Vec::with_capacity(n_dev);
     let mut timelines = Vec::with_capacity(n_dev);
     let mut fault_counters = Vec::with_capacity(n_dev);
+    let mut lost_devices = Vec::new();
     let mut trace = sched_spans;
-    for mut queue in queues {
+    for (d, mut queue) in queues.into_iter().enumerate() {
+        if dead[d] || queue.is_lost_now() {
+            lost_devices.push(d);
+        }
         device_runs.push(DeviceRun {
             device: queue.device_index(),
             items: queue.events().iter().map(|e| e.items).sum(),
@@ -880,8 +890,119 @@ pub fn map_scheduled_with_faults_traced<M: Mapper>(
         device_runs,
         timelines,
         fault_counters,
+        lost_devices,
         trace,
     ))
+}
+
+/// Runs [`map_scheduled_with_faults_traced`] on a *subset* of the
+/// platform's devices — the building block for executing independent
+/// batches concurrently on disjoint device groups: each group maps on a
+/// sub-platform whose simulated clock starts at zero, and because the
+/// groups share no devices their timelines compose without interference.
+///
+/// `subset` holds strictly ascending global device indices. The fault
+/// plan is expressed in *global* indices and is projected onto the
+/// subset ([`FaultPlan::for_subset`]); schedules that name devices
+/// (static shares) must already use subset-local positions. On return,
+/// every device reference is mapped back to the global index space:
+/// `device_runs[i].device`, [`MappingRun::lost_devices`], and the trace
+/// spans' process/thread lanes, so reports and Chrome traces built
+/// against the full platform attribute work to the right hardware.
+/// Timeline labels keep their subset-local `d<i>-` prefixes (they
+/// describe placement within the group).
+///
+/// # Errors
+///
+/// Everything the underlying executor returns, plus an
+/// invalid-distribution error when `subset` is empty, unsorted, repeats
+/// a device, or names one the platform does not have.
+#[allow(clippy::too_many_arguments)]
+pub fn map_scheduled_on_subset_traced<M: Mapper>(
+    mapper: &M,
+    platform: &Platform,
+    subset: &[usize],
+    schedule: &Schedule,
+    host_threads: usize,
+    fault_plan: &FaultPlan,
+    max_retries: usize,
+    tracing: bool,
+    reads: &[DnaSeq],
+) -> Result<(MappingRun, Vec<MapMetrics>), LaunchError> {
+    let n_dev = platform.devices().len();
+    if subset.is_empty() {
+        return Err(LaunchError::from_message(
+            "device subset is empty".to_string(),
+        ));
+    }
+    if !subset.windows(2).all(|w| w[0] < w[1]) {
+        return Err(LaunchError::from_message(format!(
+            "device subset {subset:?} must be strictly ascending"
+        )));
+    }
+    if *subset.last().expect("non-empty") >= n_dev {
+        return Err(LaunchError::from_message(format!(
+            "device subset {subset:?} names a device out of range ({n_dev} devices)"
+        )));
+    }
+    let local_plan = fault_plan.for_subset(subset);
+    if subset.len() == n_dev {
+        // The subset IS the platform: no remapping needed.
+        return map_scheduled_with_faults_traced(
+            mapper,
+            platform,
+            schedule,
+            host_threads,
+            &local_plan,
+            max_retries,
+            tracing,
+            reads,
+        );
+    }
+    let sub_platform = Platform::new(
+        platform.name(),
+        platform.idle_power_w(),
+        subset
+            .iter()
+            .map(|&d| platform.devices()[d].clone())
+            .collect(),
+    );
+    let (mut run, metrics) = map_scheduled_with_faults_traced(
+        mapper,
+        &sub_platform,
+        schedule,
+        host_threads,
+        &local_plan,
+        max_retries,
+        tracing,
+        reads,
+    )?;
+    for dr in &mut run.device_runs {
+        dr.device = subset[dr.device];
+    }
+    for lost in &mut run.lost_devices {
+        *lost = subset[*lost];
+    }
+    for span in &mut run.trace {
+        if span.pid == SCHEDULER_PID {
+            // Batch-lifecycle spans lane on the device's tid.
+            let local = span.tid as usize;
+            if let Some(&global) = subset.get(local) {
+                span.tid = global as u32;
+                for (key, value) in &mut span.args {
+                    if key == "device" {
+                        *value = repute_obs::json::JsonValue::Num(global as f64);
+                    }
+                }
+            }
+        } else {
+            let local = (span.pid - device_pid(0)) as usize;
+            if let Some(&global) = subset.get(local) {
+                span.pid = device_pid(global);
+            }
+        }
+    }
+    Ok((run, metrics))
 }
 
 /// The surviving device whose next launch could start earliest (ties to
@@ -1228,6 +1349,7 @@ pub(crate) fn empty_run(platform: &Platform) -> (MappingRun, Vec<MapMetrics>) {
             wall_seconds: 0.0,
             energy,
             fault_counters: vec![],
+            lost_devices: vec![],
             trace: vec![],
         },
         vec![],
@@ -1255,6 +1377,7 @@ pub(crate) fn finish_run(
         device_runs,
         timelines,
         zeros,
+        vec![],
         trace,
     )
 }
@@ -1269,6 +1392,7 @@ fn finish_run_with_faults(
     device_runs: Vec<DeviceRun>,
     timelines: Vec<Vec<Event>>,
     fault_counters: Vec<FaultCounters>,
+    lost_devices: Vec<usize>,
     trace: Vec<Span>,
 ) -> (MappingRun, Vec<MapMetrics>) {
     let simulated_seconds = device_runs
@@ -1295,6 +1419,7 @@ fn finish_run_with_faults(
             wall_seconds,
             energy,
             fault_counters,
+            lost_devices,
             trace,
         },
         metrics,

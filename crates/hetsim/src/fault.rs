@@ -77,7 +77,7 @@ impl fmt::Display for FaultPlanParseError {
             f,
             "invalid fault-plan entry {:?}: {} \
              (expected loss:d<dev>@<t> | transient:d<dev>@<t>[x<count>] | \
-             slow:d<dev>@<t>x<factor> | crash:@<t>)",
+             slow:d<dev>@<t>x<factor> | correlated:d<a>+d<b>+...@<t> | crash:@<t>)",
             self.entry, self.reason
         )
     }
@@ -166,6 +166,17 @@ impl FaultPlan {
         })
     }
 
+    /// Adds a correlated (rack-style) loss: every device in `devices`
+    /// dies simultaneously at `at_seconds`. Models a shared power rail or
+    /// PCIe switch taking out several accelerators at once; equivalent to
+    /// one [`loss`](FaultPlan::loss) per device at the same instant.
+    pub fn correlated(mut self, devices: &[usize], at_seconds: f64) -> FaultPlan {
+        for &device in devices {
+            self = self.loss(device, at_seconds);
+        }
+        self
+    }
+
     /// Adds a host-process crash at `at_seconds` of simulated time — the
     /// simulated `kill -9` the checkpoint/resume machinery recovers from.
     pub fn host_crash(self, at_seconds: f64) -> FaultPlan {
@@ -210,6 +221,8 @@ impl FaultPlan {
     ///   transient launch failures arming at `t`;
     /// * `slow:d<dev>@<t>x<factor>` — throughput multiplied by `factor`
     ///   from `t` on;
+    /// * `correlated:d<a>+d<b>+...@<t>` — every listed device dies
+    ///   simultaneously at `t` (rack-style correlated loss);
     /// * `crash:@<t>` — the host process dies at simulated second `t`
     ///   (no device index: the crash takes the whole run).
     ///
@@ -243,6 +256,29 @@ impl FaultPlan {
                     return Err(err("arm time must be finite and non-negative"));
                 }
                 plan = plan.host_crash(t);
+                continue;
+            }
+            if kind == "correlated" {
+                let (devs, t_str) = rest
+                    .split_once('@')
+                    .ok_or_else(|| err("missing '@<seconds>'"))?;
+                let t: f64 = t_str
+                    .parse()
+                    .map_err(|_| err("arm time must be a number of seconds"))?;
+                if !t.is_finite() || t < 0.0 {
+                    return Err(err("arm time must be finite and non-negative"));
+                }
+                let mut devices = Vec::new();
+                for part in devs.split('+') {
+                    let idx = part
+                        .strip_prefix('d')
+                        .ok_or_else(|| err("devices must be written d<a>+d<b>+..."))?;
+                    let device: usize = idx
+                        .parse()
+                        .map_err(|_| err("device index must be an integer"))?;
+                    devices.push(device);
+                }
+                plan = plan.correlated(&devices, t);
                 continue;
             }
             let rest = rest
@@ -299,6 +335,69 @@ impl FaultPlan {
             }
         }
         Ok(plan)
+    }
+
+    /// Re-expresses the plan relative to a later time origin — the bridge
+    /// between a daemon's continuous simulated clock and an executor that
+    /// always starts a batch at local `t = 0`.
+    ///
+    /// The rule is stateless so a crash-resumed daemon rebuilds the exact
+    /// same per-batch plans from its journaled clock alone:
+    ///
+    /// * **Loss / Degrade** are persistent conditions: every event is
+    ///   kept, armed at `max(at - origin, 0)` (a device dead or throttled
+    ///   before the batch starts is dead or throttled from its local
+    ///   `t = 0`).
+    /// * **Transient** is a one-shot: it is delivered to the batch whose
+    ///   window it falls in, i.e. kept (at `at - origin`) only when
+    ///   `at >= origin`. Batch windows tile simulated time, so each
+    ///   transient is handed to exactly one batch; one that arms after a
+    ///   batch's last launch dissipates, like a hiccup on an idle queue.
+    /// * **HostCrash** events are dropped — a serving daemon models host
+    ///   death through its journal, not through the executor.
+    pub fn rebased(&self, origin: f64) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for event in &self.events {
+            match event.kind {
+                FaultKind::Loss | FaultKind::Degrade { .. } => {
+                    plan = plan.with_event(FaultEvent {
+                        at_seconds: (event.at_seconds - origin).max(0.0),
+                        ..*event
+                    });
+                }
+                FaultKind::Transient => {
+                    if event.at_seconds >= origin {
+                        plan = plan.with_event(FaultEvent {
+                            at_seconds: event.at_seconds - origin,
+                            ..*event
+                        });
+                    }
+                }
+                FaultKind::HostCrash => {}
+            }
+        }
+        plan
+    }
+
+    /// Projects the plan onto a device subset: events for devices in
+    /// `subset` are kept with their device index remapped to the position
+    /// within `subset`; events for other devices (and host crashes, which
+    /// have no device) are dropped. This is how a daemon hands a
+    /// fleet-level plan to an executor running on a sub-platform.
+    pub fn for_subset(&self, subset: &[usize]) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for event in &self.events {
+            if event.kind == FaultKind::HostCrash {
+                continue;
+            }
+            if let Some(local) = subset.iter().position(|&d| d == event.device) {
+                plan = plan.with_event(FaultEvent {
+                    device: local,
+                    ..*event
+                });
+            }
+        }
+        plan
     }
 
     /// A seeded pseudo-random plan over `devices` devices with fault
@@ -586,6 +685,73 @@ mod tests {
         for bad in ["crash:d0@1", "crash:@-1", "crash:@nan", "crash:1"] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn correlated_parses_and_expands_to_losses() {
+        let plan = FaultPlan::parse("correlated:d1+d2@0.5").unwrap();
+        assert_eq!(plan.events().len(), 2);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::Loss && e.at_seconds == 0.5));
+        assert_eq!(plan.max_device(), Some(2));
+        let single = FaultPlan::parse("correlated:d0@1").unwrap();
+        assert_eq!(single.events().len(), 1);
+        assert_eq!(
+            FaultPlan::parse("correlated:d1+d2@0.5").unwrap(),
+            FaultPlan::new().correlated(&[1, 2], 0.5)
+        );
+        for bad in [
+            "correlated:d1+d2",
+            "correlated:@1",
+            "correlated:1+2@1",
+            "correlated:d1+x@1",
+            "correlated:d1@-1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rebased_shifts_persistent_faults_and_windows_transients() {
+        let plan = FaultPlan::new()
+            .loss(1, 2.0)
+            .degrade(0, 0.5, 0.5)
+            .transient(0, 1.0)
+            .transient(0, 4.0)
+            .host_crash(3.0);
+        let local = plan.rebased(3.0);
+        // Loss before the origin clamps to 0; degrade likewise.
+        let state = local.state(2);
+        assert_eq!(state.device(1).lost_at(), Some(0.0));
+        assert!((state.device(0).throughput_factor(0.0) - 0.5).abs() < 1e-12);
+        // The t=1 transient belonged to an earlier window; the t=4 one
+        // lands at local t=1. Host crashes never cross the re-basing.
+        assert_eq!(state.device(0).pending_transients(0.5), 0);
+        assert_eq!(state.device(0).pending_transients(1.0), 1);
+        assert!(local.host_crash_at().is_none());
+        // Origin 0 is the identity for device events.
+        assert_eq!(
+            plan.rebased(0.0).events().len(),
+            plan.events().len() - 1 // minus the host crash
+        );
+    }
+
+    #[test]
+    fn for_subset_remaps_and_drops_foreign_devices() {
+        let plan = FaultPlan::new()
+            .loss(2, 1.0)
+            .transient(0, 0.5)
+            .degrade(1, 0.25, 0.5)
+            .host_crash(9.0);
+        let sub = plan.for_subset(&[2, 0]);
+        assert_eq!(sub.events().len(), 2);
+        let state = sub.state(2);
+        assert_eq!(state.device(0).lost_at(), Some(1.0)); // was device 2
+        assert_eq!(state.device(1).pending_transients(0.5), 1); // was device 0
+        assert!(sub.host_crash_at().is_none());
+        assert!(plan.for_subset(&[]).is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 mod buffer;
 mod device;
 mod fault;
+mod health;
 mod kernel;
 mod platform;
 mod power;
@@ -54,6 +55,7 @@ pub use fault::{
     DeviceFaultState, FaultCounters, FaultEvent, FaultKind, FaultPlan, FaultPlanParseError,
     FaultState,
 };
+pub use health::{DeviceHealth, HealthState, DEFAULT_QUARANTINE_FAULTS};
 pub use kernel::{run_kernel, FnKernel, Kernel, KernelRun};
 pub use platform::{
     apportion, DeviceRun, LaunchError, LaunchErrorKind, Platform, PlatformRun, Share,

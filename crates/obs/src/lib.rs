@@ -36,6 +36,7 @@ pub mod json;
 mod map_metrics;
 mod metrics;
 mod report;
+mod slo;
 pub mod trace;
 
 pub use map_metrics::MapMetrics;
@@ -44,4 +45,5 @@ pub use metrics::{
     StageTimer,
 };
 pub use report::{DeviceTimeline, EnergySummary, KernelEvent, RunReport, StageLatency};
+pub use slo::{SloReport, SloTracker};
 pub use trace::{NoopTraceSink, Span, TraceSink, VecTraceSink};

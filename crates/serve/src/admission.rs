@@ -165,6 +165,37 @@ impl AdmissionQueue {
         self.capacity
     }
 
+    /// Rebounds the queue (clamped to at least one slot). Jobs already
+    /// queued above a shrunk bound stay queued — capacity gates only
+    /// *new* pushes, so device loss never drops accepted work.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+    }
+
+    /// Removes and returns every queued job whose deadline has already
+    /// passed at simulated time `now`, in acceptance (seq) order — the
+    /// shed set of `--shed-overdue`. Best-effort jobs (no deadline) are
+    /// never shed. The tenants' fair-queue `served` is not charged:
+    /// shed jobs received no service.
+    pub fn take_overdue(&mut self, now: f64) -> Vec<JobSpec> {
+        let mut shed = Vec::new();
+        for lane in &mut self.lanes {
+            let mut kept = VecDeque::with_capacity(lane.jobs.len());
+            for job in lane.jobs.drain(..) {
+                if job.deadline_s.is_some_and(|d| d < now) {
+                    shed.push(job);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            lane.jobs = kept;
+        }
+        self.len -= shed.len();
+        self.depth.set(self.len as u64);
+        shed.sort_by_key(|j| j.seq);
+        shed
+    }
+
     /// The queue-depth gauge (current depth + high-water mark).
     pub fn depth(&self) -> Gauge {
         self.depth
@@ -568,6 +599,41 @@ mod tests {
         assert_eq!(served.len(), 2);
         assert_eq!(served[0].0, "a");
         assert!(served[0].1 > 0.0 || served[1].1 > 0.0);
+    }
+
+    #[test]
+    fn take_overdue_sheds_only_expired_deadlines_in_seq_order() {
+        let mut q = AdmissionQueue::new(64, &[]);
+        q.push(job(0, "a", 2), false).expect("push");
+        q.push(deadline_job(3, "z", 2.0, 0), false).expect("push");
+        q.push(deadline_job(1, "b", 1.0, 0), false).expect("push");
+        q.push(deadline_job(2, "b", 9.0, 0), false).expect("push");
+        // At t=5 the deadlines at 1.0 and 2.0 have passed; the
+        // best-effort job and the 9.0 deadline stay queued.
+        let shed: Vec<u64> = q.take_overdue(5.0).iter().map(|j| j.seq).collect();
+        assert_eq!(shed, [1, 3]);
+        assert_eq!(q.len(), 2);
+        // Nothing further to shed at the same instant.
+        assert!(q.take_overdue(5.0).is_empty());
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop_fair(5.0).map(|j| j.seq)).collect();
+        assert_eq!(rest, [2, 0]);
+    }
+
+    #[test]
+    fn set_capacity_rebounds_without_dropping_queued_jobs() {
+        let mut q = AdmissionQueue::new(4, &[]);
+        for i in 0..4 {
+            q.push(job(i, "a", 1), false).expect("push");
+        }
+        q.set_capacity(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.is_full());
+        assert_eq!(q.len(), 4, "shrinking never drops accepted work");
+        assert!(q.push(job(9, "a", 1), false).is_err());
+        q.set_capacity(0);
+        assert_eq!(q.capacity(), 1, "capacity clamps to one slot");
+        q.set_capacity(8);
+        assert!(q.push(job(10, "a", 1), false).is_ok());
     }
 
     #[test]

@@ -400,6 +400,14 @@ pub enum JobStatus {
     /// after the window slides (distinct from `RETRY_LATER`: the queue
     /// has room, the *tenant* is over budget).
     QuotaExceeded,
+    /// The job's deadline expired before dispatch and the daemon runs
+    /// with `--shed-overdue`: the job was accepted but never executed.
+    /// Resubmitting with a later (or no) deadline is safe.
+    DeadlineExceeded,
+    /// No live device remains (every accelerator is lost or
+    /// quarantined): the daemon is draining and will exit; the job was
+    /// not executed and will not be.
+    ServiceUnavailable,
 }
 
 impl JobStatus {
@@ -410,6 +418,8 @@ impl JobStatus {
             JobStatus::Rejected => "REJECTED",
             JobStatus::RetryLater => "RETRY_LATER",
             JobStatus::QuotaExceeded => "QUOTA_EXCEEDED",
+            JobStatus::DeadlineExceeded => "DEADLINE_EXCEEDED",
+            JobStatus::ServiceUnavailable => "SERVICE_UNAVAILABLE",
         }
     }
 
@@ -420,6 +430,8 @@ impl JobStatus {
             "REJECTED" => JobStatus::Rejected,
             "RETRY_LATER" => JobStatus::RetryLater,
             "QUOTA_EXCEEDED" => JobStatus::QuotaExceeded,
+            "DEADLINE_EXCEEDED" => JobStatus::DeadlineExceeded,
+            "SERVICE_UNAVAILABLE" => JobStatus::ServiceUnavailable,
             _ => return None,
         })
     }
@@ -430,13 +442,15 @@ impl JobStatus {
 pub struct JobResponse {
     /// The job id the response answers.
     pub id: String,
-    /// Server-assigned acceptance sequence number (`OK` only). Unique
-    /// across the daemon's life even when clients reuse ids — the
-    /// multi-client socket loop routes responses by it.
+    /// Server-assigned acceptance sequence number — present for every
+    /// job that was *accepted*, whatever its final status (`OK`,
+    /// `DEADLINE_EXCEEDED`, `SERVICE_UNAVAILABLE`), absent for refusals
+    /// at admission. Unique across the daemon's life even when clients
+    /// reuse ids — the multi-client socket loop routes responses by it.
     pub seq: Option<u64>,
     /// Typed outcome.
     pub status: JobStatus,
-    /// Human-readable refusal reason (`REJECTED` / `RETRY_LATER` only).
+    /// Human-readable refusal reason (every non-`OK` status).
     pub reason: Option<String>,
     /// Reads the job carried.
     pub reads: u64,
@@ -466,6 +480,24 @@ impl JobResponse {
         }
     }
 
+    /// A typed failure for an *accepted* job (`DEADLINE_EXCEEDED` /
+    /// `SERVICE_UNAVAILABLE`): the job had a sequence number, so the
+    /// response carries it for per-client routing, plus the read count
+    /// the job was admitted with.
+    pub fn shed(
+        id: impl Into<String>,
+        seq: u64,
+        reads: u64,
+        status: JobStatus,
+        reason: impl Into<String>,
+    ) -> Self {
+        JobResponse {
+            seq: Some(seq),
+            reads,
+            ..JobResponse::refusal(id, status, reason)
+        }
+    }
+
     /// Serializes the response as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         let mut obj = JsonObject::new();
@@ -475,10 +507,12 @@ impl JobResponse {
         if let Some(reason) = &self.reason {
             obj.str_field("reason", reason);
         }
+        // Accepted jobs carry their sequence number whatever the final
+        // status — transports route shed/unavailable responses by it.
+        if let Some(seq) = self.seq {
+            obj.u64_field("seq", seq);
+        }
         if self.status == JobStatus::Ok {
-            if let Some(seq) = self.seq {
-                obj.u64_field("seq", seq);
-            }
             obj.u64_field("reads", self.reads);
             obj.u64_field("mappings", self.mappings);
             if let Some(batch) = self.batch {
@@ -490,6 +524,8 @@ impl JobResponse {
             if let Some(sam) = &self.sam {
                 obj.str_field("sam", sam);
             }
+        } else if self.reads > 0 {
+            obj.u64_field("reads", self.reads);
         }
         obj.finish()
     }
@@ -614,6 +650,38 @@ mod tests {
         let line = quota.to_json_line();
         assert!(line.contains("QUOTA_EXCEEDED"));
         assert_eq!(JobResponse::parse(&line).expect("parses"), quota);
+    }
+
+    #[test]
+    fn shed_responses_round_trip_with_seq() {
+        let shed = JobResponse::shed(
+            "j4",
+            17,
+            8,
+            JobStatus::DeadlineExceeded,
+            "deadline 2.000000 s expired at 3.500000 s before dispatch",
+        );
+        let line = shed.to_json_line();
+        assert!(line.contains("DEADLINE_EXCEEDED"));
+        assert!(line.contains("\"seq\":17"), "{line}");
+        assert!(line.contains("\"reads\":8"), "{line}");
+        assert_eq!(JobResponse::parse(&line).expect("parses"), shed);
+
+        let gone = JobResponse::shed(
+            "j5",
+            18,
+            4,
+            JobStatus::ServiceUnavailable,
+            "all devices lost",
+        );
+        let line = gone.to_json_line();
+        assert!(line.contains("SERVICE_UNAVAILABLE"));
+        assert!(line.contains("\"seq\":18"), "{line}");
+        assert_eq!(JobResponse::parse(&line).expect("parses"), gone);
+
+        for s in [JobStatus::DeadlineExceeded, JobStatus::ServiceUnavailable] {
+            assert_eq!(JobStatus::parse(s.as_str()), Some(s));
+        }
     }
 
     #[test]

@@ -13,16 +13,27 @@
 //!   crash; the journal cannot.
 //! * **BatchDone** — written once per completed scheduler batch, as a
 //!   single frame. It lists every job in the batch together with each
-//!   read's mapping locations. Because the frame is one CRC unit, a
-//!   batch commit is atomic: after a crash the batch either replays
-//!   from its stored mappings (byte-identical responses, no
-//!   re-execution) or it never happened and its jobs re-run. This is
-//!   the "at most one in-flight batch re-executed" guarantee.
+//!   read's mapping locations, plus the batch's fault provenance: which
+//!   devices were permanently lost by commit time and each struck
+//!   device's transient-fault / retry / migration counts. Because the
+//!   frame is one CRC unit, a batch commit is atomic: after a crash the
+//!   batch either replays from its stored mappings (byte-identical
+//!   responses, no re-execution) — with the provenance re-observed into
+//!   the device-health registry, so a resume mid-fault-episode
+//!   reconstructs the same fleet view — or it never happened and its
+//!   jobs re-run under the same re-based fault plan. This is the "at
+//!   most one in-flight batch re-executed" guarantee.
+//! * **Shed** — the deadline-shedding commit: the simulated time and
+//!   the sequence numbers of queued jobs whose deadlines expired before
+//!   dispatch (`--shed-overdue`). Written before the `DEADLINE_EXCEEDED`
+//!   responses are sent, so a crash-resume re-sheds exactly the same
+//!   jobs instead of re-executing them.
 //! * **State** — a snapshot of the scheduler state (simulated clock,
 //!   sequence/batch counters, per-tenant fairness service, live quota
-//!   window). Written only as the first frame of a *compacted* journal,
-//!   it replaces the dead records the compaction dropped: a resume
-//!   applies the state, then replays the remaining frames as usual.
+//!   window, shed counter, and the per-device health ladder). Written
+//!   only as the first frame of a *compacted* journal, it replaces the
+//!   dead records the compaction dropped: a resume applies the state,
+//!   then replays the remaining frames as usual.
 //!
 //! **Compaction** keeps a long-lived daemon's journal proportional to
 //! in-flight work: once enough records are dead (their jobs committed
@@ -50,13 +61,14 @@ use repute_mappers::Mapping;
 use crate::admission::{ConfigKey, JobSpec};
 use crate::envelope::{prefilter_code, prefilter_from_code, MapperKind};
 
-/// Magic prefix of a serve journal file (v2: deadline/priority fields
-/// in Accepted records, State frames, compaction).
-pub const JOURNAL_MAGIC: &[u8; 8] = b"RPSVJNL2";
+/// Magic prefix of a serve journal file (v3: fault provenance in batch
+/// records, Shed frames, health ladder + shed counter in State frames).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"RPSVJNL3";
 
 const TAG_ACCEPTED: u8 = 1;
 const TAG_BATCH_DONE: u8 = 2;
 const TAG_STATE: u8 = 3;
+const TAG_SHED: u8 = 4;
 
 /// The mapping results of one job inside a committed batch: one inner
 /// vector per read, in job read order.
@@ -68,8 +80,23 @@ pub struct JobResult {
     pub mappings: Vec<Vec<Mapping>>,
 }
 
-/// A committed batch: which jobs ran together, and when (simulated
-/// clock) the batch completed.
+/// Per-device fault provenance of one committed batch: what struck the
+/// device while the batch ran (only devices with non-zero counts are
+/// recorded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceProvenance {
+    /// Global device index.
+    pub device: u32,
+    /// Transient faults that struck the device during the batch.
+    pub faults: u64,
+    /// Retry attempts the device performed.
+    pub retries: u64,
+    /// Batches the device absorbed from dead devices (failover).
+    pub migrated: u64,
+}
+
+/// A committed batch: which jobs ran together, when (simulated clock)
+/// the batch completed, and its fault provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchRecord {
     /// Batch ordinal (0-based, in execution order).
@@ -78,6 +105,22 @@ pub struct BatchRecord {
     pub completion_s: f64,
     /// Results for every job of the batch, in dispatch order.
     pub jobs: Vec<JobResult>,
+    /// Devices permanently lost by the time the batch committed
+    /// (ascending global indices; empty on a fault-free batch).
+    pub lost: Vec<u32>,
+    /// Per-device fault/retry/migration counts, ascending by device
+    /// (empty on a fault-free batch).
+    pub provenance: Vec<DeviceProvenance>,
+}
+
+/// One shed commit: queued jobs dropped at `at_s` because their
+/// deadlines had expired before dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedRecord {
+    /// Simulated time of the shed decision.
+    pub at_s: f64,
+    /// Sequence numbers of the shed jobs, in shed order.
+    pub seqs: Vec<u64>,
 }
 
 /// The scheduler-state snapshot a compacted journal opens with: the
@@ -96,10 +139,15 @@ pub struct StateRecord {
     pub completed: u64,
     /// Responses replayed from the journal so far (counter continuity).
     pub replayed: u64,
+    /// Jobs shed with `DEADLINE_EXCEEDED` so far (counter continuity).
+    pub shed: u64,
     /// Per-tenant weighted-fair accumulated service, name-sorted.
     pub served: Vec<(String, f64)>,
     /// Live quota-window bookings `(seq, tenant, admitted_at, reads)`.
     pub quota: Vec<(u64, String, f64, u64)>,
+    /// Per-device health ladder `(device, state code, cumulative
+    /// faults)` in device order — see `repute_hetsim::HealthState::code`.
+    pub health: Vec<(u32, u8, u64)>,
 }
 
 /// Everything recovered from a journal replay.
@@ -111,6 +159,8 @@ pub struct Recovered {
     pub accepted: Vec<JobSpec>,
     /// Committed batches in commit order.
     pub batches: Vec<BatchRecord>,
+    /// Shed commits in commit order.
+    pub shed: Vec<ShedRecord>,
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -257,6 +307,17 @@ fn encode_batch(record: &BatchRecord) -> Vec<u8> {
             }
         }
     }
+    put_u32(&mut out, record.lost.len() as u32);
+    for dev in &record.lost {
+        put_u32(&mut out, *dev);
+    }
+    put_u32(&mut out, record.provenance.len() as u32);
+    for p in &record.provenance {
+        put_u32(&mut out, p.device);
+        put_u64(&mut out, p.faults);
+        put_u64(&mut out, p.retries);
+        put_u64(&mut out, p.migrated);
+    }
     out
 }
 
@@ -290,11 +351,48 @@ fn decode_batch(cur: &mut Cursor<'_>) -> Result<BatchRecord, ReputeError> {
         }
         jobs.push(JobResult { seq, mappings });
     }
+    let n_lost = cur.u32()? as usize;
+    let mut lost = Vec::with_capacity(n_lost);
+    for _ in 0..n_lost {
+        lost.push(cur.u32()?);
+    }
+    let n_prov = cur.u32()? as usize;
+    let mut provenance = Vec::with_capacity(n_prov);
+    for _ in 0..n_prov {
+        provenance.push(DeviceProvenance {
+            device: cur.u32()?,
+            faults: cur.u64()?,
+            retries: cur.u64()?,
+            migrated: cur.u64()?,
+        });
+    }
     Ok(BatchRecord {
         batch,
         jobs,
         completion_s,
+        lost,
+        provenance,
     })
+}
+
+fn encode_shed(record: &ShedRecord) -> Vec<u8> {
+    let mut out = vec![TAG_SHED];
+    put_u64(&mut out, record.at_s.to_bits());
+    put_u32(&mut out, record.seqs.len() as u32);
+    for seq in &record.seqs {
+        put_u64(&mut out, *seq);
+    }
+    out
+}
+
+fn decode_shed(cur: &mut Cursor<'_>) -> Result<ShedRecord, ReputeError> {
+    let at_s = f64::from_bits(cur.u64()?);
+    let n = cur.u32()? as usize;
+    let mut seqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        seqs.push(cur.u64()?);
+    }
+    Ok(ShedRecord { at_s, seqs })
 }
 
 fn encode_state(state: &StateRecord) -> Vec<u8> {
@@ -305,6 +403,7 @@ fn encode_state(state: &StateRecord) -> Vec<u8> {
     put_u64(&mut out, state.accepted);
     put_u64(&mut out, state.completed);
     put_u64(&mut out, state.replayed);
+    put_u64(&mut out, state.shed);
     put_u32(&mut out, state.served.len() as u32);
     for (tenant, served) in &state.served {
         put_str(&mut out, tenant);
@@ -317,6 +416,12 @@ fn encode_state(state: &StateRecord) -> Vec<u8> {
         put_u64(&mut out, at.to_bits());
         put_u64(&mut out, *reads);
     }
+    put_u32(&mut out, state.health.len() as u32);
+    for (device, code, faults) in &state.health {
+        put_u32(&mut out, *device);
+        out.push(*code);
+        put_u64(&mut out, *faults);
+    }
     out
 }
 
@@ -327,6 +432,7 @@ fn decode_state(cur: &mut Cursor<'_>) -> Result<StateRecord, ReputeError> {
     let accepted = cur.u64()?;
     let completed = cur.u64()?;
     let replayed = cur.u64()?;
+    let shed = cur.u64()?;
     let n_served = cur.u32()? as usize;
     let mut served = Vec::with_capacity(n_served);
     for _ in 0..n_served {
@@ -342,6 +448,14 @@ fn decode_state(cur: &mut Cursor<'_>) -> Result<StateRecord, ReputeError> {
         let reads = cur.u64()?;
         quota.push((seq, tenant, at, reads));
     }
+    let n_health = cur.u32()? as usize;
+    let mut health = Vec::with_capacity(n_health);
+    for _ in 0..n_health {
+        let device = cur.u32()?;
+        let code = cur.u8()?;
+        let faults = cur.u64()?;
+        health.push((device, code, faults));
+    }
     Ok(StateRecord {
         sim_clock,
         next_seq,
@@ -349,8 +463,10 @@ fn decode_state(cur: &mut Cursor<'_>) -> Result<StateRecord, ReputeError> {
         accepted,
         completed,
         replayed,
+        shed,
         served,
         quota,
+        health,
     })
 }
 
@@ -477,6 +593,7 @@ impl JobJournal {
             match cur.u8()? {
                 TAG_ACCEPTED => recovered.accepted.push(decode_accepted(&mut cur)?),
                 TAG_BATCH_DONE => recovered.batches.push(decode_batch(&mut cur)?),
+                TAG_SHED => recovered.shed.push(decode_shed(&mut cur)?),
                 TAG_STATE => {
                     // Only compaction writes state frames, always as the
                     // first frame of the rewritten file.
@@ -521,6 +638,13 @@ impl JobJournal {
     /// Journals a completed batch as one atomic frame.
     pub fn record_batch(&mut self, record: &BatchRecord) -> Result<(), ReputeError> {
         self.append(&encode_batch(record))
+    }
+
+    /// Journals a deadline-shed commit (written before the
+    /// `DEADLINE_EXCEEDED` responses are sent, so resume re-sheds the
+    /// same jobs).
+    pub fn record_shed(&mut self, record: &ShedRecord) -> Result<(), ReputeError> {
+        self.append(&encode_shed(record))
     }
 
     /// Rewrites the journal down to its live content: header, one state
@@ -625,6 +749,13 @@ mod tests {
                     vec![],
                 ],
             }],
+            lost: vec![2],
+            provenance: vec![DeviceProvenance {
+                device: 1,
+                faults: 3,
+                retries: 2,
+                migrated: 1,
+            }],
         }
     }
 
@@ -636,8 +767,10 @@ mod tests {
             accepted: 9,
             completed: 7,
             replayed: 2,
+            shed: 1,
             served: vec![("acme".to_string(), 6.5), ("beta".to_string(), 2.0)],
             quota: vec![(5, "acme".to_string(), 11.0, 64)],
+            health: vec![(0, 0, 0), (1, 1, 3), (2, 3, 0)],
         }
     }
 
@@ -651,10 +784,22 @@ mod tests {
             j.record_accepted(&job(0)).expect("job");
             j.record_accepted(&job(1)).expect("job");
             j.record_batch(&batch(0)).expect("batch");
+            j.record_shed(&ShedRecord {
+                at_s: 2.25,
+                seqs: vec![1],
+            })
+            .expect("shed");
         }
         let (_, recovered) = JobJournal::open(&path, &fp()).expect("open");
         assert_eq!(recovered.accepted, vec![job(0), job(1)]);
         assert_eq!(recovered.batches, vec![batch(0)]);
+        assert_eq!(
+            recovered.shed,
+            vec![ShedRecord {
+                at_s: 2.25,
+                seqs: vec![1],
+            }]
+        );
         assert_eq!(recovered.state, None);
         std::fs::remove_file(&path).expect("cleanup");
     }

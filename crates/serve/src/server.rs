@@ -5,32 +5,49 @@
 //! reference and FM-index are loaded once (shared behind the
 //! [`ReferenceSet`]'s internal `Arc`); each submitted job is validated
 //! against the server's pinned limits, journaled, and queued; each
-//! [`ServeCore::run_batch`] call fair-dequeues a run of jobs with the
-//! same effective mapping configuration, packs them under the
-//! platform's quarter-RAM batch cap, executes them as *one* scheduler
-//! batch on the simulated fleet, commits the batch to the job journal,
-//! and emits one response per job.
+//! [`ServeCore::run_batch`] call fair-dequeues up to one run of
+//! same-configuration jobs *per live device*, partitions the live
+//! devices round-robin into disjoint subsets, and executes the groups
+//! as independent scheduler batches whose simulated timelines overlap
+//! (the clock advances by the slowest group's makespan, not the sum).
+//! `--serial-batches` restores the one-batch-per-call behaviour.
 //!
 //! Per-job output is byte-identical to `repute map` on the same reads
 //! and configuration by construction: mapping happens in the executor's
-//! deterministic host phase (independent of batching and scheduling),
-//! and the SAM assembly uses the same resolve-and-write path as the
-//! batch CLI. The simulated clock advances by each batch's makespan, so
-//! latency percentiles and trace spans live on one continuous timeline
-//! across the daemon's life — including across a crash and `--resume`.
+//! deterministic host phase (independent of batching, scheduling, and
+//! faults), and the SAM assembly uses the same resolve-and-write path
+//! as the batch CLI.
+//!
+//! # Fault tolerance
+//!
+//! The execution path is the fault-aware executor, armed with the
+//! daemon's `--fault-plan` re-based onto each batch window
+//! ([`FaultPlan::rebased`]). A [`DeviceHealth`] registry tracks every
+//! device down the healthy → degraded → quarantined → lost ladder:
+//! plan losses and retry-budget kill-escalations retire devices from
+//! future scheduling, admission recomputes the queue bound and the
+//! quarter-RAM batch cap from the survivors, and when the last device
+//! dies the daemon turns `SERVICE_UNAVAILABLE`: queued jobs are
+//! answered with a typed refusal and the transport drains and exits
+//! instead of panicking. With `--shed-overdue`, a job whose deadline
+//! expires while still queued is shed with a typed `DEADLINE_EXCEEDED`
+//! (journaled, so a crash-resume replays the same refusals). Batch
+//! records carry per-device fault/retry/migration provenance, so a
+//! resume during a fault episode reconstructs health — and therefore
+//! scheduling — bit-identically.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::Arc;
 
 use repute_core::journal::Fnv64;
 use repute_core::{
-    map_scheduled_traced, write_atomic, ReputeConfig, ReputeError, ReputeMapper, RunFingerprint,
-    Schedule, ScheduleMode, DEFAULT_MAX_RETRIES,
+    map_scheduled_on_subset_traced, write_atomic, MappingRun, ReputeConfig, ReputeError,
+    ReputeMapper, RunFingerprint, Schedule, ScheduleMode, DEFAULT_MAX_RETRIES,
 };
 use repute_eval::sam;
 use repute_genome::DnaSeq;
-use repute_hetsim::Platform;
+use repute_hetsim::{DeviceHealth, FaultKind, FaultPlan, HealthState, LaunchErrorKind, Platform};
 use repute_mappers::multiref::ReferenceSet;
 use repute_mappers::{
     bwamem::BwaMemLike, coral::CoralLike, gem::GemLike, hobbes3::Hobbes3Like, razers3::Razers3Like,
@@ -38,12 +55,14 @@ use repute_mappers::{
 };
 use repute_obs::json::JsonObject;
 use repute_obs::trace::{device_pid, write_chrome_trace, SCHEDULER_PID};
-use repute_obs::{Samples, Span};
+use repute_obs::{Samples, SloReport, SloTracker, Span};
 use repute_prefilter::{qgram, PrefilterMode};
 
 use crate::admission::{AdmissionQueue, ConfigKey, JobSpec, TenantQuota, DEFAULT_QUEUE_CAPACITY};
 use crate::envelope::{prefilter_code, resolve_reads, JobEnvelope, JobResponse, JobStatus};
-use crate::journal::{BatchRecord, JobJournal, JobResult, Recovered, StateRecord};
+use crate::journal::{
+    BatchRecord, DeviceProvenance, JobJournal, JobResult, Recovered, ShedRecord, StateRecord,
+};
 
 /// Bytes one read's output occupies in a device result buffer (the
 /// executor's `max_locations × 12` convention).
@@ -55,11 +74,13 @@ const BYTES_PER_LOCATION: usize = 12;
 pub struct ServeLimits {
     /// Largest read count a single job may carry; bigger jobs are
     /// `REJECTED` (they would not fit one scheduler batch). Clamped to
-    /// the platform's quarter-RAM batch cap at server construction.
+    /// the platform's quarter-RAM batch cap at server construction, and
+    /// re-clamped to the *surviving* devices' cap as losses accrue.
     pub max_reads_per_job: usize,
     /// Largest per-job δ override accepted.
     pub max_delta: u32,
     /// Admission-queue capacity; a full queue answers `RETRY_LATER`.
+    /// Scaled down proportionally as devices are lost.
     pub queue_capacity: usize,
 }
 
@@ -74,7 +95,7 @@ impl Default for ServeLimits {
 }
 
 /// Server configuration: mapping defaults, pinned limits, fairness
-/// weights, and observability switches.
+/// weights, fault injection, and observability switches.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOptions {
     /// Default error budget δ for jobs without an override.
@@ -94,8 +115,18 @@ pub struct ServeOptions {
     pub schedule: ScheduleMode,
     /// Host-thread cap of the executor (`0` = automatic).
     pub host_threads: usize,
-    /// Transient-fault retry budget (kept for config parity with `map`).
+    /// Transient-fault retry budget of every batch execution.
     pub max_retries: usize,
+    /// Simulated device faults, in daemon simulated time (re-based onto
+    /// each batch window). Host-crash events are refused at
+    /// construction — crashes are the harness's job, not the plan's.
+    pub fault_plan: FaultPlan,
+    /// Shed queued jobs whose deadline has already passed with a typed
+    /// `DEADLINE_EXCEEDED` instead of mapping them late.
+    pub shed_overdue: bool,
+    /// Execute independent same-configuration batches concurrently on
+    /// disjoint device subsets (`false` = one batch at a time).
+    pub concurrent_batches: bool,
     /// Collect per-batch and per-job trace spans.
     pub tracing: bool,
     /// Pinned admission limits.
@@ -105,12 +136,13 @@ pub struct ServeOptions {
     /// Sliding-window read budgets per tenant (unlisted tenants are
     /// unbudgeted); an exceeded budget answers `QUOTA_EXCEEDED`.
     pub tenant_quotas: Vec<(String, u64)>,
-    /// Length of the quota sliding window, in simulated seconds.
+    /// Length of the quota sliding window, in simulated seconds (also
+    /// the SLO hit-rate window).
     pub quota_window_s: f64,
     /// Compact the journal once this many dead records accumulate
-    /// (committed batches and their acceptance records); `0` disables
-    /// compaction. Not part of the resume fingerprint — it is safe to
-    /// change across restarts.
+    /// (committed batches, shed commits, and their acceptance records);
+    /// `0` disables compaction. Not part of the resume fingerprint — it
+    /// is safe to change across restarts.
     pub journal_compact_threshold: usize,
 }
 
@@ -126,6 +158,9 @@ impl Default for ServeOptions {
             schedule: ScheduleMode::Dynamic,
             host_threads: 0,
             max_retries: DEFAULT_MAX_RETRIES,
+            fault_plan: FaultPlan::new(),
+            shed_overdue: false,
+            concurrent_batches: true,
             tracing: false,
             limits: ServeLimits::default(),
             tenant_weights: Vec::new(),
@@ -163,6 +198,16 @@ pub struct ServeCounters {
     /// Spool inputs skipped because a response for them already existed
     /// (crash-window idempotence).
     pub spool_skipped: u64,
+    /// Queued jobs shed with `DEADLINE_EXCEEDED` (`--shed-overdue`).
+    pub shed: u64,
+    /// Jobs answered `SERVICE_UNAVAILABLE` (all devices lost).
+    pub unavailable: u64,
+    /// Device faults observed across all committed batches.
+    pub faults: u64,
+    /// Kernel retries across all committed batches.
+    pub retries: u64,
+    /// Batches migrated off a lost device across all committed batches.
+    pub migrated: u64,
 }
 
 /// Telemetry facts of one completed job.
@@ -194,14 +239,31 @@ impl JobRecord {
     }
 }
 
+/// The refusal text of every `SERVICE_UNAVAILABLE` response — one
+/// constant so live refusals and resume-era refusals stay
+/// byte-identical.
+const UNAVAILABLE_REASON: &str = "every simulated device has been lost; the daemon is draining";
+
+/// The refusal text of a shed job (also used by resume replay — the
+/// strings must match byte-for-byte for response-union identity).
+fn shed_reason(deadline_s: f64, at_s: f64) -> String {
+    format!("deadline {deadline_s:.3}s passed at {at_s:.3}s while the job was queued")
+}
+
 /// The mapping-as-a-service core (see the module docs).
 pub struct ServeCore {
     set: ReferenceSet,
     platform: Platform,
     options: ServeOptions,
+    /// Configured per-job read cap (full platform; journal identity).
     max_reads_per_job: usize,
+    /// Live per-job read cap, re-clamped as devices are lost.
+    live_max_reads: usize,
+    health: DeviceHealth,
+    unavailable: bool,
     queue: AdmissionQueue,
     quota: TenantQuota,
+    slo: SloTracker,
     journal: Option<JobJournal>,
     next_seq: u64,
     sim_clock: f64,
@@ -213,14 +275,17 @@ pub struct ServeCore {
 }
 
 impl ServeCore {
-    /// Builds the core: validates the default configuration, computes
-    /// the platform batch cap, and sets up the admission queue. No
-    /// journal is attached yet (see [`ServeCore::attach_journal`]).
+    /// Builds the core: validates the default configuration and the
+    /// fault plan, computes the platform batch cap, and sets up the
+    /// admission queue. No journal is attached yet (see
+    /// [`ServeCore::attach_journal`]).
     ///
     /// # Errors
     ///
     /// [`ReputeError::Config`] when the default δ/`S_min` combination is
-    /// invalid.
+    /// invalid, when the fault plan names a device the platform does not
+    /// have or carries a host-crash event, or when the plan loses every
+    /// device at time zero (nothing could ever be served).
     pub fn new(
         set: ReferenceSet,
         platform: Platform,
@@ -236,19 +301,40 @@ impl ServeCore {
                 options.delta, options.limits.max_delta
             )));
         }
+        let n_dev = platform.devices().len();
+        if let Some(max_dev) = options.fault_plan.max_device() {
+            if max_dev >= n_dev {
+                return Err(ReputeError::Config(format!(
+                    "fault plan names device {max_dev} but the platform has {n_dev} devices"
+                )));
+            }
+        }
+        if options.fault_plan.host_crash_at().is_some() {
+            return Err(ReputeError::Config(
+                "host-crash fault events are not supported by serve (the journal models \
+                 crashes; use --resume); use loss/degrade/transient device faults"
+                    .to_string(),
+            ));
+        }
         let cap = platform
             .max_batch_items(options.max_locations * BYTES_PER_LOCATION)
             .max(1);
         let max_reads_per_job = options.limits.max_reads_per_job.min(cap);
         let queue = AdmissionQueue::new(options.limits.queue_capacity, &options.tenant_weights);
         let quota = TenantQuota::new(options.quota_window_s, &options.tenant_quotas);
-        Ok(ServeCore {
+        let slo = SloTracker::new(options.quota_window_s);
+        let health = DeviceHealth::new(n_dev);
+        let mut core = ServeCore {
             set,
             platform,
             options,
             max_reads_per_job,
+            live_max_reads: max_reads_per_job,
+            health,
+            unavailable: false,
             queue,
             quota,
+            slo,
             journal: None,
             next_seq: 0,
             sim_clock: 0.0,
@@ -257,12 +343,23 @@ impl ServeCore {
             latency: Samples::new(),
             jobs: Vec::new(),
             spans: Vec::new(),
-        })
+        };
+        // Losses the plan schedules at t = 0 shrink admission before the
+        // first job ever arrives; a plan that leaves nothing alive is a
+        // configuration error, not a serving state.
+        core.observe_plan_faults(0.0);
+        if core.health.none_live() {
+            return Err(ReputeError::Config(
+                "the fault plan loses every device at time zero; nothing could be served"
+                    .to_string(),
+            ));
+        }
+        Ok(core)
     }
 
     /// The config/limits identity of this server. A journal written
-    /// under a different reference, platform, limit set, or fairness
-    /// table is refused on resume.
+    /// under a different reference, platform, limit set, fairness
+    /// table, or fault plan is refused on resume.
     pub fn fingerprint(&self) -> RunFingerprint {
         let mut cfg = Fnv64::new();
         cfg.write(self.platform.name().as_bytes());
@@ -280,6 +377,24 @@ impl ServeCore {
         cfg.write_u64(self.options.max_retries as u64);
         cfg.write_u64(u64::from(self.options.limits.max_delta));
         cfg.write_u64(self.max_reads_per_job as u64);
+        // The fault plan and the degradation switches change batch
+        // composition and responses, so they are journal identity.
+        cfg.write_u64(self.options.fault_plan.events().len() as u64);
+        for event in self.options.fault_plan.events() {
+            cfg.write_u64(event.device as u64);
+            cfg.write_u64(event.at_seconds.to_bits());
+            match event.kind {
+                FaultKind::Transient => cfg.write_u64(1),
+                FaultKind::Loss => cfg.write_u64(2),
+                FaultKind::HostCrash => cfg.write_u64(3),
+                FaultKind::Degrade { factor } => {
+                    cfg.write_u64(4);
+                    cfg.write_u64(factor.to_bits());
+                }
+            }
+        }
+        cfg.write_u64(u64::from(self.options.shed_overdue));
+        cfg.write_u64(u64::from(self.options.concurrent_batches));
         for (name, weight) in &self.options.tenant_weights {
             cfg.write(name.as_bytes());
             cfg.write_u64(weight.to_bits());
@@ -304,10 +419,13 @@ impl ServeCore {
     /// fresh journal is created (truncating any existing file). With
     /// `resume = true` the existing journal is replayed: committed jobs
     /// get their responses reconstructed from stored mappings
-    /// (byte-identical, no re-execution — returned here), jobs accepted
+    /// (byte-identical, no re-execution — returned here), shed jobs get
+    /// their typed `DEADLINE_EXCEEDED` refusals replayed, jobs accepted
     /// but not committed are re-queued in arrival order, and the
-    /// simulated clock, batch counter, and per-tenant fairness state
-    /// continue exactly where the crashed daemon left them.
+    /// simulated clock, batch counter, device health, and per-tenant
+    /// fairness state continue exactly where the crashed daemon left
+    /// them — so a resume during a fault episode schedules (and
+    /// answers) bit-identically to the uninterrupted run.
     ///
     /// # Errors
     ///
@@ -331,7 +449,8 @@ impl ServeCore {
         };
         // A compacted journal opens with a state snapshot standing in
         // for the dead records it dropped: restore the clock, counters,
-        // fairness service, and quota window before replaying frames.
+        // fairness service, device health, and quota window before
+        // replaying frames.
         let state_next_seq = recovered.state.as_ref().map_or(0, |s| s.next_seq);
         if let Some(state) = &recovered.state {
             self.next_seq = state.next_seq;
@@ -339,17 +458,34 @@ impl ServeCore {
             self.counters.accepted = state.accepted;
             self.counters.completed = state.completed;
             self.counters.replayed = state.replayed;
+            self.counters.shed = state.shed;
             for (tenant, served) in &state.served {
                 self.queue.set_served(tenant, *served);
             }
             for (seq, tenant, at, reads) in &state.quota {
                 self.quota.restore(*seq, tenant, *at, *reads);
             }
+            for &(device, code, faults) in &state.health {
+                if let Some(hs) = HealthState::from_code(code) {
+                    self.health.restore(device as usize, hs, faults);
+                }
+            }
+            // Transient-fault totals are recoverable from the health
+            // snapshot (both accumulate the same per-device counts);
+            // retry/migration totals restart at the snapshot.
+            self.counters.faults = state.health.iter().map(|&(_, _, f)| f).sum();
         }
         let mut by_seq: HashMap<u64, (u64, f64, &JobResult)> = HashMap::new();
         for batch in &recovered.batches {
             for job in &batch.jobs {
                 by_seq.insert(job.seq, (batch.batch, batch.completion_s, job));
+            }
+        }
+        // Shed commits name seqs that were refused, not completed.
+        let mut shed_at: HashMap<u64, f64> = HashMap::new();
+        for record in &recovered.shed {
+            for seq in &record.seqs {
+                shed_at.insert(*seq, record.at_s);
             }
         }
         let mut replayed = Vec::new();
@@ -363,6 +499,22 @@ impl ServeCore {
             }
             self.quota
                 .restore(job.seq, &job.tenant, job.arrival_s, job.reads.len() as u64);
+            if let Some(&at) = shed_at.get(&job.seq) {
+                // Shed before the crash: replay the typed refusal
+                // byte-for-byte (no re-queue, no fairness charge).
+                self.counters.shed += 1;
+                if let Some(deadline) = job.deadline_s {
+                    self.slo.record(&job.tenant, at, false);
+                    replayed.push(JobResponse::shed(
+                        job.id.clone(),
+                        job.seq,
+                        job.reads.len() as u64,
+                        JobStatus::DeadlineExceeded,
+                        shed_reason(deadline, at),
+                    ));
+                }
+                continue;
+            }
             match by_seq.get(&job.seq) {
                 Some((batch, completion, result)) => {
                     // Dispatched and committed before the crash: restore
@@ -382,20 +534,44 @@ impl ServeCore {
         }
         let state_batches = recovered.state.as_ref().map_or(0, |s| s.batches);
         self.counters.batches = state_batches + recovered.batches.len() as u64;
-        if let Some(last) = recovered.batches.last() {
-            self.sim_clock = last.completion_s;
+        // Concurrent groups commit in group order, not completion order,
+        // and shed commits carry their own timestamps: the resumed clock
+        // is the max over everything durable, not the last frame.
+        for batch in &recovered.batches {
+            self.sim_clock = self.sim_clock.max(batch.completion_s);
         }
-        // Replayed responses and their batch frames are dead the moment
-        // this returns; the rewritten state frame stays live.
-        self.dead_records = replayed.len() + recovered.batches.len();
+        for record in &recovered.shed {
+            self.sim_clock = self.sim_clock.max(record.at_s);
+        }
+        // Re-observe fault provenance so device health — and therefore
+        // capacity and scheduling — continues exactly as before the
+        // crash (the ladder is monotone, so re-observation after a
+        // snapshot restore is order-insensitive).
+        for batch in &recovered.batches {
+            for p in &batch.provenance {
+                self.health.observe_faults(p.device as usize, p.faults);
+                self.counters.faults += p.faults;
+                self.counters.retries += p.retries;
+                self.counters.migrated += p.migrated;
+            }
+            for &device in &batch.lost {
+                self.health.observe_loss(device as usize);
+            }
+        }
+        self.observe_plan_faults(self.sim_clock);
+        // Replayed responses, their batch/shed frames, and their
+        // acceptance records are dead the moment this returns; the
+        // rewritten state frame stays live.
+        self.dead_records = replayed.len() + recovered.batches.len() + recovered.shed.len();
         self.journal = Some(journal);
         Ok(replayed)
     }
 
     /// Submits one job. Returns `Ok(None)` when the job was accepted
     /// (its `OK` response comes from a later [`ServeCore::run_batch`] /
-    /// [`ServeCore::drain`]) or `Ok(Some(refusal))` with a `REJECTED` or
-    /// `RETRY_LATER` response the transport should answer immediately.
+    /// [`ServeCore::drain`]) or `Ok(Some(refusal))` with a `REJECTED`,
+    /// `RETRY_LATER`, `QUOTA_EXCEEDED`, or `SERVICE_UNAVAILABLE`
+    /// response the transport should answer immediately.
     ///
     /// # Errors
     ///
@@ -405,6 +581,15 @@ impl ServeCore {
         &mut self,
         mut envelope: JobEnvelope,
     ) -> Result<Option<JobResponse>, ReputeError> {
+        if self.unavailable || self.health.none_live() {
+            self.unavailable = true;
+            self.counters.unavailable += 1;
+            return Ok(Some(JobResponse::refusal(
+                envelope.id,
+                JobStatus::ServiceUnavailable,
+                UNAVAILABLE_REASON,
+            )));
+        }
         if let Err(e) = resolve_reads(&mut envelope) {
             self.counters.rejected += 1;
             return Ok(Some(JobResponse::refusal(
@@ -425,15 +610,18 @@ impl ServeCore {
                 ),
             )));
         }
-        if envelope.reads.len() > self.max_reads_per_job {
+        if envelope.reads.len() > self.live_max_reads {
             self.counters.rejected += 1;
             return Ok(Some(JobResponse::refusal(
                 envelope.id,
                 JobStatus::Rejected,
                 format!(
-                    "job carries {} reads but the server accepts at most {} per job",
+                    "job carries {} reads but the server accepts at most {} per job \
+                     ({} of {} devices live)",
                     envelope.reads.len(),
-                    self.max_reads_per_job
+                    self.live_max_reads,
+                    self.health.live_count(),
+                    self.health.len()
                 ),
             )));
         }
@@ -502,8 +690,11 @@ impl ServeCore {
         Ok(None)
     }
 
-    /// Executes (and commits) the next scheduler batch; no-op on an
-    /// empty queue. Returns the `OK` responses of the batch's jobs.
+    /// Executes (and commits) the next round of scheduler batches — up
+    /// to one per live device in concurrent mode, exactly one in serial
+    /// mode; no-op on an empty queue. Returns the responses of the
+    /// round's jobs, including any typed `DEADLINE_EXCEEDED` /
+    /// `SERVICE_UNAVAILABLE` refusals.
     ///
     /// # Errors
     ///
@@ -526,102 +717,357 @@ impl ServeCore {
         Ok(responses)
     }
 
-    /// Fair-dequeues a maximal run of same-configuration jobs under the
-    /// platform batch cap, executes them as one scheduler batch, and —
-    /// when `commit` is true — journals the batch, advances the clock,
-    /// and records telemetry. `commit = false` models a crash after the
-    /// work started but before the commit: the jobs have left the queue
-    /// and nothing is durable, so a resume re-executes exactly this
-    /// batch (the harness's `crash_mid_batch`).
+    /// Fair-dequeues up to one maximal run of same-configuration jobs
+    /// per live device (one in serial mode), partitions the live
+    /// devices round-robin into disjoint subsets, executes the groups
+    /// as independent scheduler batches sharing one start time, and —
+    /// when `commit` is true — journals them in group order, advances
+    /// the clock by the slowest group's makespan, and records
+    /// telemetry. `commit = false` models a crash after the work
+    /// started but before the commit: the jobs have left the queue and
+    /// nothing is durable, so a resume re-executes exactly this round
+    /// (the harness's `crash_mid_batch`).
     pub(crate) fn run_batch_impl(&mut self, commit: bool) -> Result<Vec<JobResponse>, ReputeError> {
         let now = self.sim_clock;
-        let Some(first) = self.queue.pop_fair(now) else {
-            return Ok(Vec::new());
+        // Plan faults that have already struck retire their devices
+        // before dequeue — a lost device must not shape the partition.
+        self.observe_plan_faults(now);
+        if self.unavailable || self.health.none_live() {
+            return self.go_unavailable(Vec::new());
+        }
+        let mut responses = Vec::new();
+        if self.options.shed_overdue {
+            responses.extend(self.shed_overdue_queued(now, commit)?);
+        }
+
+        // Group formation: each group is one maximal same-key run under
+        // the surviving devices' quarter-RAM cap, fair-dequeued at the
+        // shared start time.
+        let live = self.health.live();
+        let max_groups = if self.options.concurrent_batches {
+            live.len()
+        } else {
+            1
         };
-        let key = first.key;
-        let cap = self
-            .platform
-            .max_batch_items(self.options.max_locations * BYTES_PER_LOCATION)
-            .max(1);
-        let mut total_reads = first.reads.len();
-        let mut jobs = vec![first];
-        while let Some(next) = self.queue.peek_fair(now) {
-            if next.key != key || total_reads + next.reads.len() > cap {
-                break;
-            }
-            let Some(job) = self.queue.pop_fair(now) else {
+        let cap = self.live_max_reads.max(1);
+        let mut groups: Vec<Vec<JobSpec>> = Vec::new();
+        while groups.len() < max_groups {
+            let Some(first) = self.queue.pop_fair(now) else {
                 break;
             };
-            total_reads += job.reads.len();
-            jobs.push(job);
+            let key = first.key;
+            let mut total_reads = first.reads.len();
+            let mut jobs = vec![first];
+            while let Some(next) = self.queue.peek_fair(now) {
+                if next.key != key || total_reads + next.reads.len() > cap {
+                    break;
+                }
+                let Some(job) = self.queue.pop_fair(now) else {
+                    break;
+                };
+                total_reads += job.reads.len();
+                jobs.push(job);
+            }
+            groups.push(jobs);
+        }
+        if groups.is_empty() {
+            return Ok(responses);
         }
 
-        let batch_index = self.counters.batches;
-        let start = self.sim_clock;
-        let reads: Vec<DnaSeq> = jobs.iter().flat_map(|j| j.reads.iter().cloned()).collect();
-        let config = self.batch_config(key)?;
-        let schedule = Schedule::for_config(&config, &self.platform, reads.len());
-        let threads = config.host_threads();
+        // Round-robin partition: group g owns the live devices at
+        // positions ≡ g (mod k). Disjoint subsets, every group served.
+        let k = groups.len();
+        let subsets: Vec<Vec<usize>> = (0..k)
+            .map(|g| {
+                live.iter()
+                    .copied()
+                    .enumerate()
+                    .filter_map(|(p, d)| (p % k == g).then_some(d))
+                    .collect()
+            })
+            .collect();
+
+        // Execute the groups host-sequentially (phase-1 mapping inside
+        // each is host-parallel); their simulated timelines all start at
+        // `now` and overlap. Device health evolves as each group's run
+        // reports faults, so a loss in group g is visible to group g+1's
+        // retry path but never re-partitions its planned subset.
+        let start = now;
         let tracing = self.options.tracing;
-        let mapper = self.build_mapper(key, config);
-        let mapper = mapper.as_ref();
-        let (run, _metrics) =
-            map_scheduled_traced(&mapper, &self.platform, &schedule, threads, tracing, &reads)?;
-        let completion = start + run.simulated_seconds;
-
-        let mut record = BatchRecord {
-            batch: batch_index,
-            completion_s: completion,
-            jobs: Vec::with_capacity(jobs.len()),
-        };
-        let mut offset = 0usize;
-        for job in &jobs {
-            let n = job.reads.len();
-            let mappings: Vec<Vec<Mapping>> = run.outputs[offset..offset + n]
+        let mut group_runs: Vec<(Vec<JobSpec>, MappingRun)> = Vec::new();
+        let mut doomed: Vec<JobSpec> = Vec::new();
+        for (g, jobs) in groups.into_iter().enumerate() {
+            if self.health.none_live() {
+                doomed.extend(jobs);
+                continue;
+            }
+            let key = jobs[0].key;
+            let reads: Vec<DnaSeq> = jobs.iter().flat_map(|j| j.reads.iter().cloned()).collect();
+            let config = self.batch_config(key)?;
+            let threads = config.host_threads();
+            let mapper = self.build_mapper(key, config);
+            let mapper = mapper.as_ref();
+            let plan = self.options.fault_plan.rebased(start);
+            // The planned subset, pruned of devices an earlier group's
+            // retry lost; a fully-dead subset falls back to whatever
+            // still lives (documented timeline overlap).
+            let mut subset: Vec<usize> = subsets[g]
                 .iter()
-                .map(|o| o.mappings.clone())
+                .copied()
+                .filter(|&d| self.health.state(d).is_live())
                 .collect();
-            offset += n;
-            record.jobs.push(JobResult {
-                seq: job.seq,
-                mappings,
-            });
-        }
-        if commit {
-            if let Some(journal) = &mut self.journal {
-                journal.record_batch(&record)?;
+            if subset.is_empty() {
+                subset = self.health.live();
+            }
+            let run = loop {
+                let schedule =
+                    Schedule::for_config(&config, &self.sub_platform(&subset), reads.len());
+                match map_scheduled_on_subset_traced(
+                    &mapper,
+                    &self.platform,
+                    &subset,
+                    &schedule,
+                    threads,
+                    &plan,
+                    self.options.max_retries,
+                    tracing,
+                    &reads,
+                ) {
+                    Ok((run, _metrics)) => break Some(run),
+                    Err(e) if matches!(e.kind(), LaunchErrorKind::AllDevicesLost { .. }) => {
+                        // The whole subset died mid-run: retire it and
+                        // retry the group from the same start time on
+                        // the remaining fleet.
+                        for &d in &subset {
+                            self.health.observe_loss(d);
+                        }
+                        self.recompute_live_caps();
+                        let survivors = self.health.live();
+                        if survivors.is_empty() {
+                            break None;
+                        }
+                        subset = survivors;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            match run {
+                Some(run) => {
+                    for (dr, fc) in run.device_runs.iter().zip(&run.fault_counters) {
+                        if fc.faults > 0 {
+                            self.health.observe_faults(dr.device, fc.faults);
+                        }
+                        self.counters.faults += fc.faults;
+                        self.counters.retries += fc.retries;
+                        self.counters.migrated += fc.migrated_batches;
+                    }
+                    for &d in &run.lost_devices {
+                        self.health.observe_loss(d);
+                    }
+                    self.recompute_live_caps();
+                    group_runs.push((jobs, run));
+                }
+                None => doomed.extend(jobs),
             }
         }
-        let mut responses = Vec::with_capacity(jobs.len());
-        for (job, result) in jobs.iter().zip(&record.jobs) {
-            let response = self.job_response(job, &result.mappings, batch_index, completion)?;
+
+        // Commit phase, in group order (deterministic for any
+        // --host-threads): journal frame, responses, telemetry.
+        let base = self.counters.batches;
+        let mut max_makespan = 0.0f64;
+        let mut committed_jobs = 0usize;
+        for (ordinal, (jobs, run)) in group_runs.iter().enumerate() {
+            let batch_index = base + ordinal as u64;
+            let completion = start + run.simulated_seconds;
+            max_makespan = max_makespan.max(run.simulated_seconds);
+            let mut provenance: BTreeMap<u32, DeviceProvenance> = BTreeMap::new();
+            for (dr, fc) in run.device_runs.iter().zip(&run.fault_counters) {
+                if fc.is_zero() {
+                    continue;
+                }
+                let entry = provenance
+                    .entry(dr.device as u32)
+                    .or_insert(DeviceProvenance {
+                        device: dr.device as u32,
+                        faults: 0,
+                        retries: 0,
+                        migrated: 0,
+                    });
+                entry.faults += fc.faults;
+                entry.retries += fc.retries;
+                entry.migrated += fc.migrated_batches;
+            }
+            let mut record = BatchRecord {
+                batch: batch_index,
+                completion_s: completion,
+                jobs: Vec::with_capacity(jobs.len()),
+                lost: run.lost_devices.iter().map(|&d| d as u32).collect(),
+                provenance: provenance.into_values().collect(),
+            };
+            let mut offset = 0usize;
+            for job in jobs {
+                let n = job.reads.len();
+                let mappings: Vec<Vec<Mapping>> = run.outputs[offset..offset + n]
+                    .iter()
+                    .map(|o| o.mappings.clone())
+                    .collect();
+                offset += n;
+                record.jobs.push(JobResult {
+                    seq: job.seq,
+                    mappings,
+                });
+            }
             if commit {
-                self.finish_job(job, response.mappings, batch_index, completion, false);
+                if let Some(journal) = &mut self.journal {
+                    journal.record_batch(&record)?;
+                }
             }
-            responses.push(response);
-        }
-        if commit {
-            if tracing {
+            for (job, result) in jobs.iter().zip(&record.jobs) {
+                let response = self.job_response(job, &result.mappings, batch_index, completion)?;
+                if commit {
+                    self.finish_job(job, response.mappings, batch_index, completion, false);
+                }
+                responses.push(response);
+            }
+            if commit && tracing {
                 // Batch spans come out of the executor on a zero-based
                 // clock; shift them onto the daemon's continuous one.
-                for mut span in run.trace {
+                for span in &run.trace {
+                    let mut span = span.clone();
                     span.begin_seconds += start;
                     span.end_seconds += start;
                     self.spans.push(span);
                 }
             }
-            self.sim_clock = completion;
-            self.counters.batches += 1;
-            // The batch's acceptance records and the batch frame itself
-            // are now dead weight in the journal.
-            self.dead_records += jobs.len() + 1;
+            committed_jobs += jobs.len();
+        }
+        if commit && !group_runs.is_empty() {
+            self.sim_clock = start + max_makespan;
+            self.counters.batches += group_runs.len() as u64;
+            // The round's acceptance records and batch frames are now
+            // dead weight in the journal.
+            self.dead_records += committed_jobs + group_runs.len();
             if self.options.journal_compact_threshold > 0
                 && self.dead_records >= self.options.journal_compact_threshold
             {
                 self.compact_journal()?;
             }
         }
+        if !doomed.is_empty() || self.health.none_live() {
+            responses.extend(self.go_unavailable(doomed)?);
+        }
         Ok(responses)
+    }
+
+    /// Sheds every queued job whose deadline has passed at `now` with a
+    /// typed `DEADLINE_EXCEEDED`, journaling the shed commit first so a
+    /// crash-resume replays the same refusals.
+    fn shed_overdue_queued(
+        &mut self,
+        now: f64,
+        commit: bool,
+    ) -> Result<Vec<JobResponse>, ReputeError> {
+        let overdue = self.queue.take_overdue(now);
+        if overdue.is_empty() {
+            return Ok(Vec::new());
+        }
+        if commit {
+            if let Some(journal) = &mut self.journal {
+                journal.record_shed(&ShedRecord {
+                    at_s: now,
+                    seqs: overdue.iter().map(|j| j.seq).collect(),
+                })?;
+            }
+            // The shed frame and the jobs' acceptance records are dead.
+            self.dead_records += overdue.len() + 1;
+        }
+        let mut responses = Vec::with_capacity(overdue.len());
+        for job in &overdue {
+            let deadline = job.deadline_s.unwrap_or(now);
+            if commit {
+                self.counters.shed += 1;
+                self.slo.record(&job.tenant, now, false);
+            }
+            responses.push(JobResponse::shed(
+                job.id.clone(),
+                job.seq,
+                job.reads.len() as u64,
+                JobStatus::DeadlineExceeded,
+                shed_reason(deadline, now),
+            ));
+        }
+        Ok(responses)
+    }
+
+    /// Enters (or continues) the unavailable state: `doomed` jobs and
+    /// everything still queued are answered with a typed
+    /// `SERVICE_UNAVAILABLE`; the transport sees
+    /// [`ServeCore::is_unavailable`] and drains instead of panicking.
+    fn go_unavailable(&mut self, doomed: Vec<JobSpec>) -> Result<Vec<JobResponse>, ReputeError> {
+        self.unavailable = true;
+        let mut refused = doomed;
+        while let Some(job) = self.queue.pop_fair(self.sim_clock) {
+            refused.push(job);
+        }
+        refused.sort_by_key(|j| j.seq);
+        let mut responses = Vec::with_capacity(refused.len());
+        for job in &refused {
+            self.counters.unavailable += 1;
+            if job.deadline_s.is_some() {
+                self.slo.record(&job.tenant, self.sim_clock, false);
+            }
+            responses.push(JobResponse::shed(
+                job.id.clone(),
+                job.seq,
+                job.reads.len() as u64,
+                JobStatus::ServiceUnavailable,
+                UNAVAILABLE_REASON,
+            ));
+        }
+        Ok(responses)
+    }
+
+    /// Folds the fault plan's already-struck persistent faults into the
+    /// health registry and recomputes the live capacity bounds.
+    fn observe_plan_faults(&mut self, up_to_seconds: f64) {
+        if !self.options.fault_plan.has_device_events() {
+            return;
+        }
+        self.health
+            .apply_plan(&self.options.fault_plan, up_to_seconds);
+        self.recompute_live_caps();
+    }
+
+    /// Recomputes the per-job read cap (quarter-RAM cap of the smallest
+    /// *surviving* device) and the admission-queue bound (scaled by the
+    /// live-device fraction) after any health change.
+    fn recompute_live_caps(&mut self) {
+        let live = self.health.live();
+        if live.is_empty() {
+            self.unavailable = true;
+            return;
+        }
+        let cap = self
+            .sub_platform(&live)
+            .max_batch_items(self.options.max_locations * BYTES_PER_LOCATION)
+            .max(1);
+        self.live_max_reads = self.options.limits.max_reads_per_job.min(cap);
+        let total = self.health.len();
+        let scaled = (self.options.limits.queue_capacity * live.len()).div_ceil(total);
+        self.queue.set_capacity(scaled);
+    }
+
+    /// The sub-platform holding exactly the devices in `subset`
+    /// (ascending global indices).
+    fn sub_platform(&self, subset: &[usize]) -> Platform {
+        Platform::new(
+            self.platform.name(),
+            self.platform.idle_power_w(),
+            subset
+                .iter()
+                .map(|&d| self.platform.devices()[d].clone())
+                .collect(),
+        )
     }
 
     /// Compacts the journal down to a state snapshot plus the still-
@@ -640,8 +1086,16 @@ impl ServeCore {
             accepted: self.counters.accepted,
             completed: self.counters.completed,
             replayed: self.counters.replayed,
+            shed: self.counters.shed,
             served: self.queue.served_snapshot(),
             quota: self.quota.snapshot(self.sim_clock),
+            health: self
+                .health
+                .snapshot()
+                .iter()
+                .enumerate()
+                .map(|(device, &(state, faults))| (device as u32, state.code(), faults))
+                .collect(),
         };
         let Some(journal) = &mut self.journal else {
             return Ok(false);
@@ -672,21 +1126,21 @@ impl ServeCore {
     }
 
     /// Books one spool input skipped for an already-present response
-    /// (transport layer).
+    /// (crash-window idempotence, transport layer).
     pub fn note_spool_skipped(&mut self) {
         self.counters.spool_skipped += 1;
     }
 
     /// Books a rejection issued by a transport before the envelope ever
-    /// reached [`ServeCore::submit`] — an unparseable request line or a
-    /// malformed spool file — so telemetry counts every refusal the
-    /// daemon sent, not just validation failures.
+    /// reached [`ServeCore::submit`] — an unparseable request line, a
+    /// malformed spool file, or an unreadable one — so telemetry counts
+    /// every refusal the daemon sent, not just validation failures.
     pub fn note_rejected(&mut self) {
         self.counters.rejected += 1;
     }
 
     /// Books a completed (or replayed) job into counters, latency
-    /// samples, telemetry records, and the trace.
+    /// samples, SLO outcomes, telemetry records, and the trace.
     fn finish_job(
         &mut self,
         job: &JobSpec,
@@ -700,6 +1154,10 @@ impl ServeCore {
         self.counters.completed += 1;
         if replayed {
             self.counters.replayed += 1;
+        }
+        if let Some(deadline) = job.deadline_s {
+            self.slo
+                .record(&job.tenant, completion, completion <= deadline);
         }
         self.jobs.push(JobRecord {
             seq: job.seq,
@@ -813,6 +1271,30 @@ impl ServeCore {
         self.counters
     }
 
+    /// The device-health registry (read-only).
+    pub fn health(&self) -> &DeviceHealth {
+        &self.health
+    }
+
+    /// True once every simulated device has been permanently lost: the
+    /// daemon answers `SERVICE_UNAVAILABLE` and the transport should
+    /// drain and exit.
+    pub fn is_unavailable(&self) -> bool {
+        self.unavailable
+    }
+
+    /// The per-job read cap currently enforced (shrinks and grows with
+    /// the surviving devices' quarter-RAM cap).
+    pub fn live_max_reads(&self) -> usize {
+        self.live_max_reads
+    }
+
+    /// Per-tenant deadline SLO reports over the sliding quota window
+    /// ending now, tenant name-sorted.
+    pub fn slo_reports(&self) -> Vec<SloReport> {
+        self.slo.clone().snapshot(self.sim_clock)
+    }
+
     /// The acceptance seq assigned to the most recently accepted job
     /// (meaningful right after a [`ServeCore::submit`] that returned
     /// `Ok(None)`; transports use it to route the eventual response
@@ -831,7 +1313,8 @@ impl ServeCore {
         self.queue.depth().high_water()
     }
 
-    /// The simulated clock: sum of every committed batch's makespan.
+    /// The simulated clock: every committed round advances it by its
+    /// slowest group's makespan.
     pub fn simulated_seconds(&self) -> f64 {
         self.sim_clock
     }
@@ -850,8 +1333,9 @@ impl ServeCore {
     }
 
     /// The service telemetry as JSON lines: one `job` record per
-    /// completed job, the `serve` counter summary, and a `latency`
-    /// record (`stage: "job"`) in the shape `repute stats` renders.
+    /// completed job, the `serve` counter summary, a `latency` record
+    /// (`stage: "job"`), and one `slo` record per tenant with deadline
+    /// outcomes in the window — the shapes `repute stats` renders.
     pub fn telemetry_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         for job in &self.jobs {
@@ -870,6 +1354,13 @@ impl ServeCore {
         obj.u64_field("compactions", self.counters.compactions);
         obj.u64_field("connection_errors", self.counters.connection_errors);
         obj.u64_field("spool_skipped", self.counters.spool_skipped);
+        obj.u64_field("shed", self.counters.shed);
+        obj.u64_field("unavailable", self.counters.unavailable);
+        obj.u64_field("faults", self.counters.faults);
+        obj.u64_field("retries", self.counters.retries);
+        obj.u64_field("migrated", self.counters.migrated);
+        obj.u64_field("devices_live", self.health.live_count() as u64);
+        obj.u64_field("devices_lost", self.health.lost_count() as u64);
         obj.u64_field("queue_depth", self.queue_depth());
         obj.u64_field("queue_depth_max", self.queue_depth_high_water());
         obj.f64_field("simulated_seconds", self.sim_clock);
@@ -885,6 +1376,17 @@ impl ServeCore {
             lat.f64_field("p90_s", p90);
             lat.f64_field("p99_s", p99);
             out.extend_from_slice(lat.finish().as_bytes());
+            out.push(b'\n');
+        }
+        for report in self.slo_reports() {
+            let mut slo = JsonObject::new();
+            slo.str_field("type", "slo");
+            slo.str_field("tenant", &report.tenant);
+            slo.u64_field("met", report.met);
+            slo.u64_field("missed", report.missed);
+            slo.f64_field("hit_rate", report.hit_rate());
+            slo.f64_field("window_s", self.options.quota_window_s);
+            out.extend_from_slice(slo.finish().as_bytes());
             out.push(b'\n');
         }
         out

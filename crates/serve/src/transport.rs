@@ -24,8 +24,9 @@
 //! `<name>.done` so a rescan never double-submits. Inputs whose
 //! `.response` already exists (a crash landed between the response
 //! write and the rename) are skipped and counted (`spool_skipped`)
-//! instead of re-executed; files carrying more than one request line
-//! are rejected with a typed response.
+//! instead of re-executed; files carrying more than one request line,
+//! and files that cannot be read at all, are rejected with a typed
+//! response rather than aborting the scan.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -317,6 +318,23 @@ fn serve_socket_loop(
                         core.note_connection_error();
                     }
                 }
+                if core.is_unavailable() {
+                    // Every simulated device has been lost. The queue
+                    // was already flushed with SERVICE_UNAVAILABLE
+                    // responses; answer the connections that are still
+                    // open and exit instead of refusing forever.
+                    let mut open: Vec<u64> = writers.keys().copied().collect();
+                    open.sort_unstable();
+                    for id in open {
+                        let lines = mux.on_eof(core, id)?;
+                        if let Some(stream) = writers.remove(&id) {
+                            if write_lines(&stream, &lines).is_err() {
+                                core.note_connection_error();
+                            }
+                        }
+                    }
+                    return Ok(());
+                }
             }
             Event::ReadError(id) => {
                 mux.on_error(core, id);
@@ -410,34 +428,53 @@ pub fn process_spool_once(core: &mut ServeCore, dir: &Path) -> Result<usize, Rep
             processed += 1;
             continue;
         }
-        let text = std::fs::read_to_string(path).map_err(|e| io_at(path, e))?;
-        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let line = lines.next().unwrap_or("");
-        let slot = if lines.next().is_some() {
-            core.note_rejected();
-            Slot::Ready(JobResponse::refusal(
-                "",
-                JobStatus::Rejected,
-                "spool job files must contain exactly one request line",
-            ))
-        } else {
-            match parse_request(line) {
-                Err(e) => {
-                    core.note_rejected();
-                    Slot::Ready(JobResponse::refusal("", JobStatus::Rejected, e.to_string()))
-                }
-                Ok(Request::Shutdown) => {
+        // An unreadable job file (permissions, I/O decay, a directory
+        // masquerading as a file) is that one job's problem, not the
+        // scan loop's: it gets a typed rejection response and the
+        // daemon keeps serving the rest of the spool.
+        let slot = match std::fs::read_to_string(path) {
+            Err(e) => {
+                core.note_rejected();
+                Slot::Ready(JobResponse::refusal(
+                    "",
+                    JobStatus::Rejected,
+                    format!("unreadable spool job file: {e}"),
+                ))
+            }
+            Ok(text) => {
+                let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+                let line = lines.next().unwrap_or("");
+                if lines.next().is_some() {
                     core.note_rejected();
                     Slot::Ready(JobResponse::refusal(
                         "",
                         JobStatus::Rejected,
-                        "spool files carry jobs, not control messages",
+                        "spool job files must contain exactly one request line",
                     ))
+                } else {
+                    match parse_request(line) {
+                        Err(e) => {
+                            core.note_rejected();
+                            Slot::Ready(JobResponse::refusal(
+                                "",
+                                JobStatus::Rejected,
+                                e.to_string(),
+                            ))
+                        }
+                        Ok(Request::Shutdown) => {
+                            core.note_rejected();
+                            Slot::Ready(JobResponse::refusal(
+                                "",
+                                JobStatus::Rejected,
+                                "spool files carry jobs, not control messages",
+                            ))
+                        }
+                        Ok(Request::Job(envelope)) => match core.submit(envelope)? {
+                            Some(refusal) => Slot::Ready(refusal),
+                            None => Slot::Pending(core.last_accepted_seq()),
+                        },
+                    }
                 }
-                Ok(Request::Job(envelope)) => match core.submit(envelope)? {
-                    Some(refusal) => Slot::Ready(refusal),
-                    None => Slot::Pending(core.last_accepted_seq()),
-                },
             }
         };
         slots.push((path.clone(), slot));

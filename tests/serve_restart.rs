@@ -49,6 +49,10 @@ fn jobs() -> Vec<JobEnvelope> {
 fn options() -> ServeOptions {
     ServeOptions {
         tenant_weights: vec![("acme".to_string(), 2.0)],
+        // One batch per round: these tests aim the crash window at
+        // exactly one in-flight batch (concurrent rounds would execute
+        // both config groups before the crash).
+        concurrent_batches: false,
         ..ServeOptions::default()
     }
 }

@@ -104,6 +104,53 @@ fn crash_window_leftovers_are_skipped_not_resubmitted() {
 }
 
 #[test]
+fn unreadable_spool_files_are_rejected_without_wedging_the_scan() {
+    let dir = fresh_dir("repute-serve-spool-unreadable-test");
+
+    // A directory with a `.json` name cannot be read as a file — the
+    // portable stand-in for an unreadable job file (permission modes
+    // don't bite when tests run as root).
+    std::fs::create_dir(dir.join("bad.json")).unwrap();
+    std::fs::write(
+        dir.join("good.json"),
+        format!("{}\n", job("good", 30_000).to_json_line()),
+    )
+    .unwrap();
+
+    let mut h = harness();
+    assert_eq!(
+        process_spool_once(h.core_mut(), &dir).expect("the scan must not wedge"),
+        2
+    );
+
+    // The unreadable file earns a typed refusal and is renamed out of
+    // the scan path like any other handled input.
+    let bad = read_response(&dir, "bad.json.response");
+    assert_eq!(bad.status, JobStatus::Rejected);
+    assert!(
+        bad.reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("unreadable spool job file"),
+        "refusal must name the problem, got {:?}",
+        bad.reason
+    );
+    assert!(dir.join("bad.json.done").exists());
+
+    // The healthy job beside it still ran.
+    let good = read_response(&dir, "good.json.response");
+    assert_eq!(good.status, JobStatus::Ok);
+    let counters = h.counters();
+    assert_eq!(counters.rejected, 1);
+    assert_eq!(counters.completed, 1);
+
+    // The rescan finds nothing left.
+    assert_eq!(process_spool_once(h.core_mut(), &dir).expect("rescan"), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn multi_line_spool_files_are_rejected_with_a_typed_response() {
     let dir = fresh_dir("repute-serve-spool-multiline-test");
 
